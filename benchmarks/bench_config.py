@@ -1,0 +1,66 @@
+"""Configuration knobs and helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  Campaign sizes
+are a fraction of the paper's 10,000-experiment campaigns so the whole
+harness finishes in minutes; the environment variables below scale it up.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_PROGRAMS``
+    Comma-separated program names (default: a 6-program subset covering both
+    suites and both ends of the detection spectrum).
+``REPRO_BENCH_EXPERIMENTS``
+    Experiments per campaign (default 60).
+``REPRO_BENCH_FULL``
+    Set to ``1`` to use all 15 programs and the full Table I parameter grid
+    (the paper-shaped sweep; expect hours, not minutes).
+``REPRO_BENCH_CACHE``
+    Path to a JSON file used to cache campaign results across invocations.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+from repro.campaign import ExperimentScale
+from repro.experiments import ExperimentSession
+from repro.injection.faultmodel import MAX_MBF_VALUES, WIN_SIZE_SPECS, win_size_by_index
+from repro.programs.registry import all_program_names
+
+#: Default program subset: two data-dominated programs the paper singles out
+#: (basicmath, crc32), two address-heavy ones (dijkstra, bfs), and two mixed
+#: ones (qsort, spmv).
+DEFAULT_PROGRAMS = ["basicmath", "qsort", "crc32", "dijkstra", "bfs", "spmv"]
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def bench_programs() -> List[str]:
+    names = os.environ.get("REPRO_BENCH_PROGRAMS")
+    if names:
+        return [name.strip() for name in names.split(",") if name.strip()]
+    if FULL:
+        return all_program_names()
+    return list(DEFAULT_PROGRAMS)
+
+
+def bench_experiments() -> int:
+    return int(os.environ.get("REPRO_BENCH_EXPERIMENTS", "60"))
+
+
+def bench_max_mbf_values(default: Tuple[int, ...]) -> Tuple[int, ...]:
+    if FULL:
+        return MAX_MBF_VALUES
+    return default
+
+
+def bench_win_sizes(default_indices: Tuple[str, ...]):
+    if FULL:
+        return [spec for spec in WIN_SIZE_SPECS if spec.is_random or spec.value != 0]
+    return [win_size_by_index(index) for index in default_indices]
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive figure/table generation exactly once under timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

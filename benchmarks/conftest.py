@@ -1,0 +1,34 @@
+"""Pytest fixtures for the benchmark harness.
+
+The configuration knobs (program subset, experiments per campaign, the
+``REPRO_BENCH_*`` environment variables) live in :mod:`bench_config`; this
+conftest only wires them into session-scoped fixtures shared by every
+benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from bench_config import bench_experiments, bench_programs
+
+from repro.campaign import ExperimentScale
+from repro.experiments import ExperimentSession
+
+
+@pytest.fixture(scope="session")
+def session() -> ExperimentSession:
+    """One experiment session (campaign runner + result store) per bench run."""
+    import os
+
+    scale = ExperimentScale("bench", experiments_per_campaign=bench_experiments())
+    cache = os.environ.get("REPRO_BENCH_CACHE")
+    return ExperimentSession(scale=scale, cache_path=cache)
+
+
+@pytest.fixture(scope="session")
+def programs() -> List[str]:
+    """The benchmark program subset under study (see bench_config)."""
+    return bench_programs()

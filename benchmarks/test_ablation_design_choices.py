@@ -1,0 +1,95 @@
+"""Ablations of reproduction-specific design choices (DESIGN.md §1).
+
+Two knobs of this reproduction do not exist in the paper and therefore need
+evidence that they do not distort the results:
+
+* the **hang watchdog multiplier** — LLFI uses a wall-clock timeout 1-2
+  orders of magnitude above the fault-free runtime; the VM uses a dynamic-
+  instruction budget.  The outcome classification must be stable when the
+  multiplier changes, i.e. hangs must be genuinely rare rather than an
+  artefact of a tight budget;
+* the **win-size grid subset** used by the default benchmarks — the paper's
+  RQ4 finding is that the window size matters little under inject-on-read
+  but does matter under inject-on-write; the SDC spread across windows is
+  reported here for both techniques.
+"""
+
+import random
+
+from bench_config import run_once
+
+from repro.analysis.comparison import win_size_sensitivity
+from repro.campaign.plan import multi_register_campaigns
+from repro.injection import INJECT_ON_WRITE, OutcomeCounts
+from repro.injection.experiment import ExperimentRunner
+from repro.injection.faultmodel import win_size_by_index
+from repro.programs.registry import build_program
+
+ABLATION_PROGRAM = "crc32"
+EXPERIMENTS = 120
+
+
+def _campaign_with_watchdog(multiplier: int) -> OutcomeCounts:
+    """One single-bit inject-on-write campaign under a given watchdog."""
+    runner = ExperimentRunner(build_program(ABLATION_PROGRAM), watchdog_multiplier=multiplier)
+    rng = random.Random(2017)
+    counts = OutcomeCounts()
+    for _ in range(EXPERIMENTS):
+        result = runner.run_sampled(INJECT_ON_WRITE, max_mbf=1, win_size=0, rng=rng)
+        counts.add(result.outcome)
+    return counts
+
+
+def test_ablation_watchdog_multiplier(benchmark):
+    """The outcome split must not depend on the watchdog budget."""
+
+    def run_both():
+        return _campaign_with_watchdog(4), _campaign_with_watchdog(16)
+
+    tight, generous = run_once(benchmark, run_both)
+    print(
+        f"\nwatchdog x4:  SDC={100 * tight.sdc_fraction:.1f}% "
+        f"detection={100 * tight.detection_fraction:.1f}% "
+        f"benign={100 * tight.benign_fraction:.1f}%"
+    )
+    print(
+        f"watchdog x16: SDC={100 * generous.sdc_fraction:.1f}% "
+        f"detection={100 * generous.detection_fraction:.1f}% "
+        f"benign={100 * generous.benign_fraction:.1f}%"
+    )
+    # Same seed, same fault specs: only runs that hit the watchdog can change
+    # classification, and those are rare.  The SDC estimate must be stable.
+    assert abs(tight.sdc_fraction - generous.sdc_fraction) <= 0.10
+    assert abs(tight.benign_fraction - generous.benign_fraction) <= 0.10
+
+
+def test_ablation_window_sensitivity(benchmark, session, programs):
+    """RQ4: report the SDC spread across win-size values per technique.
+
+    The paper finds the window size matters little under inject-on-read but
+    visibly under inject-on-write.  At reproduction scale the spreads are
+    noisy, so this ablation asserts only sanity bounds and prints the spreads
+    for EXPERIMENTS.md.
+    """
+    windows = [win_size_by_index(index) for index in ("w2", "w5", "w7")]
+
+    def run_grid():
+        configs = multi_register_campaigns(
+            programs, session.scale, max_mbf_values=(2,), win_size_specs=windows
+        )
+        return session.ensure(configs)
+
+    store = run_once(benchmark, run_grid)
+    for technique in ("inject-on-read", "inject-on-write"):
+        spreads = []
+        for program in programs:
+            spread = win_size_sensitivity(store, program, technique, max_mbf=2)
+            spreads.append(spread)
+            print(f"{technique:16s} {program:12s} SDC spread across windows: {spread:5.1f} pp")
+        mean_spread = sum(spreads) / len(spreads)
+        print(f"{technique:16s} mean spread: {mean_spread:.1f} pp")
+        # Sanity: the spread is bounded by the confidence interval scale at
+        # this campaign size — window choice never swings SDC% by half the
+        # range, matching the paper's "does not matter much" for read and
+        # "matters, but within a modest band" for write.
+        assert 0.0 <= mean_spread <= 50.0

@@ -1,0 +1,51 @@
+"""Fig. 1: outcome classification of single bit-flip campaigns.
+
+Paper findings checked here (shape, not absolute numbers):
+
+* every experiment falls into exactly one of the five outcome categories;
+* the SDC percentage under inject-on-write is, on aggregate, at least as
+  high as under inject-on-read (Fig. 1's headline observation);
+* Hang and NoOutput stay a small minority of outcomes.
+"""
+
+from bench_config import run_once
+
+from repro.experiments import figure1
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_figure1_single_bit_outcomes(benchmark, session, programs):
+    result = run_once(benchmark, figure1, session, programs)
+    print("\n" + result.text)
+
+    read = result.data["inject-on-read"]
+    write = result.data["inject-on-write"]
+    assert set(read) == set(programs) and set(write) == set(programs)
+
+    for technique_data in (read, write):
+        for program, entries in technique_data.items():
+            total = entries["benign"] + entries["detection"] + entries["sdc"]
+            assert abs(total - 100.0) < 1e-6, program
+            # Hangs and missing output are rare (the paper reports < 0.3 %);
+            # allow generous slack at small campaign sizes.
+            assert entries["hang"] + entries["no_output"] <= 25.0, program
+
+    mean_read_sdc = _mean(entries["sdc"] for entries in read.values())
+    mean_write_sdc = _mean(entries["sdc"] for entries in write.values())
+    # Fig. 1: inject-on-write produces a higher SDC percentage overall.
+    assert mean_write_sdc >= mean_read_sdc - 2.0, (mean_read_sdc, mean_write_sdc)
+
+    # The paper explains the SDC/Detection split by the address/data mix:
+    # programs dominated by data computation (basicmath, CRC32) should show
+    # less detection than pointer-chasing programs (dijkstra, bfs).
+    for technique_data in (read, write):
+        data_programs = [p for p in ("basicmath", "crc32") if p in technique_data]
+        address_programs = [p for p in ("dijkstra", "bfs") if p in technique_data]
+        if data_programs and address_programs:
+            data_detection = _mean(technique_data[p]["detection"] for p in data_programs)
+            address_detection = _mean(technique_data[p]["detection"] for p in address_programs)
+            assert address_detection >= data_detection - 5.0

@@ -1,0 +1,62 @@
+"""Fig. 4: SDC % for multi-register injections with inject-on-read.
+
+Paper findings checked here:
+
+* for most programs the single bit-flip model gives a pessimistic (or very
+  close) SDC estimate compared with every multi-bit cluster;
+* increasing max-MBF does not increase the SDC % on aggregate — the trend
+  over the number of injected errors is declining.
+"""
+
+from bench_config import bench_max_mbf_values, bench_win_sizes, run_once
+
+from repro.experiments import figure4
+
+MAX_MBF = bench_max_mbf_values((2, 3, 10, 30))
+WIN_SIZES = bench_win_sizes(("w2", "w7"))
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_figure4_multi_register_read(benchmark, session, programs):
+    result = run_once(
+        benchmark,
+        figure4,
+        session,
+        programs,
+        max_mbf_values=MAX_MBF,
+        win_size_specs=WIN_SIZES,
+    )
+    print("\n" + result.text)
+
+    per_program = result.data["inject-on-read"]
+    assert set(per_program) == set(programs)
+
+    singles = []
+    small_mbf_peaks = []
+    large_mbf_means = []
+    covered = 0
+    for program, entries in per_program.items():
+        assert entries["single_bit"] is not None
+        clusters = entries["by_cluster"]
+        assert clusters, program
+        singles.append(entries["single_bit"])
+        small = [v for key, v in clusters.items() if key.startswith(("mbf=2,", "mbf=3,"))]
+        large = [v for key, v in clusters.items() if key.startswith("mbf=30,")]
+        if small:
+            small_mbf_peaks.append(max(small))
+        if large:
+            large_mbf_means.append(_mean(large))
+        if max(clusters.values()) <= entries["single_bit"] + 10.0:
+            covered += 1
+
+    # RQ2 (read): the single-bit model is pessimistic/close for most programs.
+    assert covered >= len(per_program) // 2
+
+    # Declining trend: many simultaneous errors crash the program more often,
+    # so SDC% at max-MBF=30 does not exceed the small-max-MBF peak on average.
+    if small_mbf_peaks and large_mbf_means:
+        assert _mean(large_mbf_means) <= _mean(small_mbf_peaks) + 5.0

@@ -1,0 +1,75 @@
+"""Headline aggregates of §IV / §V and the three pruning layers.
+
+Paper findings checked here:
+
+* the single bit-flip model is pessimistic for the large majority of
+  multi-bit campaigns (the paper reports 92 %; we require a clear majority
+  at reproduction scale);
+* bounding max-MBF at 10 covers the overwhelming majority of activated-error
+  counts (pruning layer 1);
+* a small max-MBF reaches the SDC peak for most program/win-size pairs
+  (pruning layer 2);
+* a substantial fraction of single-bit locations (those ending in SDC or
+  Detection) can be excluded from multi-bit campaigns (pruning layer 3,
+  27-100 % in the paper).
+"""
+
+from bench_config import bench_max_mbf_values, bench_win_sizes, run_once
+
+from repro.analysis.comparison import (
+    fraction_of_pairs_peaking_within,
+    single_bit_pessimistic_fraction,
+)
+from repro.analysis.pruning import pruning_summary
+from repro.campaign.plan import (
+    multi_register_campaigns,
+    same_register_campaigns,
+    single_bit_campaigns,
+)
+
+MAX_MBF = bench_max_mbf_values((2, 3, 10, 30))
+WIN_SIZES = bench_win_sizes(("w2", "w7"))
+
+
+def _run_grid(session, programs):
+    configs = single_bit_campaigns(programs, session.scale)
+    configs += same_register_campaigns(programs, session.scale, max_mbf_values=MAX_MBF)
+    configs += multi_register_campaigns(
+        programs, session.scale, max_mbf_values=MAX_MBF, win_size_specs=WIN_SIZES
+    )
+    return session.ensure(configs)
+
+
+def test_headline_aggregates(benchmark, session, programs):
+    store = run_once(benchmark, _run_grid, session, programs)
+
+    pessimistic = single_bit_pessimistic_fraction(store, tolerance_pp=1.0)
+    print(f"\nsingle-bit model pessimistic for {100.0 * pessimistic:.1f}% of multi-bit campaigns "
+          f"(paper: 92%)")
+    assert pessimistic >= 0.5
+
+    for technique in ("inject-on-read", "inject-on-write"):
+        summary = pruning_summary(store, technique)
+        low, high = summary.prunable_location_range
+        print(
+            f"{technique}: layer1 max-MBF bound = {summary.recommended_max_mbf}, "
+            f"layer2 peak max-MBF = {summary.pessimistic_max_mbf}, "
+            f"layer2 single-bit-sufficient programs = {len(summary.single_bit_sufficient)}, "
+            f"layer3 prunable locations = {100 * low:.0f}%-{100 * high:.0f}%"
+        )
+        # Layer 1: activated errors are overwhelmingly small counts.
+        assert summary.recommended_max_mbf <= 30
+        # Layer 2: a small number of errors (<=3) reaches the SDC peak for the
+        # majority of program/win-size pairs (the paper reports ~95%; at the
+        # reduced campaign sizes used here the argmax is noisier, so require a
+        # clear majority instead of the paper's near-totality).
+        peak_within_three = fraction_of_pairs_peaking_within(store, technique, 3)
+        print(f"{technique}: SDC peak reached with <=3 errors for "
+              f"{100 * peak_within_three:.0f}% of program/win-size pairs")
+        assert peak_within_three >= 0.5
+        # Layer 3: a substantial share of locations can be pruned everywhere.
+        assert low >= 0.10
+        assert high <= 1.0
+        # At least one program should already be covered by the single-bit
+        # model (the paper finds this for the majority of programs).
+        assert len(summary.single_bit_sufficient) >= 1

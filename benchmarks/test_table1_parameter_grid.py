@@ -1,0 +1,21 @@
+"""Table I: the max-MBF and win-size values of the error-space clustering."""
+
+from bench_config import run_once
+
+from repro.experiments import table1
+from repro.injection.faultmodel import MAX_MBF_VALUES, WIN_SIZE_SPECS
+
+
+def test_table1_parameter_grid(benchmark):
+    result = run_once(benchmark, table1)
+    print("\n" + result.text)
+
+    # The grid must match Table I of the paper exactly (it is configuration,
+    # not measurement): ten max-MBF values m1-m10 and nine win-size specs.
+    max_mbf_rows = [row for row in result.rows if row["kind"] == "max-MBF"]
+    win_rows = [row for row in result.rows if row["kind"] == "win-size"]
+    assert [int(row["value"]) for row in max_mbf_rows] == list(MAX_MBF_VALUES)
+    assert [row["value"] for row in win_rows] == [spec.label for spec in WIN_SIZE_SPECS]
+    # 2 techniques x (1 single-bit + 10 x 9 multi-bit clusters) = 182 campaigns
+    # per program, the number the paper reports.
+    assert 2 * (1 + len(MAX_MBF_VALUES) * len(WIN_SIZE_SPECS)) == 182

@@ -1,0 +1,24 @@
+"""Table II: benchmark programs and their candidate instruction counts."""
+
+from bench_config import run_once
+
+from repro.experiments import table2
+from repro.programs.registry import all_program_names
+
+
+def test_table2_candidate_counts(benchmark):
+    # Table II covers all 15 programs regardless of the bench subset — it only
+    # needs the (cheap) fault-free profiling runs.
+    result = run_once(benchmark, table2, all_program_names())
+    print("\n" + result.text)
+
+    assert len(result.rows) == 15
+    suites = {row["suite"] for row in result.rows}
+    assert suites == {"mibench", "parboil"}
+
+    for row in result.rows:
+        # The paper's Table II observation: inject-on-read has more candidate
+        # instructions than inject-on-write because stores and branches have
+        # source registers but no destination register.
+        assert row["inject_on_read_candidates"] >= row["inject_on_write_candidates"]
+        assert row["inject_on_write_candidates"] > 0

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Bring your own program: assess the error resilience of new code.
+
+The paper's methodology is not tied to MiBench/Parboil — any program compiled
+to the IR can be studied.  This example shows the workflow a user would
+follow for their own kernel:
+
+1. write the kernel in the restricted-Python frontend language (here: a
+   fixed-point PID controller step loop and a checksummed lookup table);
+2. compare the SDC sensitivity of two *variants* of the same kernel — one
+   unprotected, one with a simple software check (duplicated computation and
+   comparison, in the spirit of the SWIFT-style mechanisms the paper cites);
+3. report how much the software check improves error resilience under both
+   single-bit and multi-bit fault models.
+
+Run with::
+
+    python examples/custom_program_injection.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ExperimentRunner, INJECT_ON_WRITE, OutcomeCounts
+from repro.frontend import compile_program
+
+UNPROTECTED = '''
+def controller_step(error: "i64", previous: "i64", integral: "i64", gains: "i32*") -> "i64":
+    proportional = gains[0] * error
+    integral_term = gains[1] * integral
+    derivative = gains[2] * (error - previous)
+    return (proportional + integral_term + derivative) // 16
+
+def main() -> "i64":
+    integral = 0
+    previous = 0
+    checksum = 0
+    for step in range(40):
+        error = setpoints[step % 8] - (step * 3) % 11
+        integral += error
+        command = controller_step(error, previous, integral, gains)
+        previous = error
+        checksum += command * (step + 1)
+    output(checksum)
+    return checksum
+'''
+
+# The protected variant recomputes the control command a second time and
+# aborts when the two copies disagree (duplication-with-comparison).  Faults
+# that would have produced an SDC now mostly end up as detections.
+PROTECTED = '''
+def controller_step(error: "i64", previous: "i64", integral: "i64", gains: "i32*") -> "i64":
+    proportional = gains[0] * error
+    integral_term = gains[1] * integral
+    derivative = gains[2] * (error - previous)
+    return (proportional + integral_term + derivative) // 16
+
+def main() -> "i64":
+    integral = 0
+    previous = 0
+    checksum = 0
+    for step in range(40):
+        error = setpoints[step % 8] - (step * 3) % 11
+        integral += error
+        command = controller_step(error, previous, integral, gains)
+        shadow = controller_step(error, previous, integral, gains)
+        if command != shadow:
+            abort()
+        previous = error
+        checksum += command * (step + 1)
+    output(checksum)
+    return checksum
+'''
+
+GLOBALS = {
+    "setpoints": ("i32", [12, -4, 7, 0, 22, -9, 3, 15]),
+    "gains": ("i32", [12, 3, 7]),
+}
+
+
+def measure(name: str, source: str, max_mbf: int, experiments: int = 250) -> OutcomeCounts:
+    program = compile_program(name, [source], GLOBALS)
+    runner = ExperimentRunner(program)
+    rng = random.Random(7)
+    counts = OutcomeCounts()
+    for _ in range(experiments):
+        result = runner.run_sampled(INJECT_ON_WRITE, max_mbf=max_mbf, win_size=1, rng=rng)
+        counts.add(result.outcome)
+    return counts
+
+
+def main() -> None:
+    print("fault model: inject-on-write, win-size = 1")
+    print(f"{'variant':14s} {'max-MBF':>8s} {'SDC%':>8s} {'detection%':>11s} {'resilience':>11s}")
+    for max_mbf in (1, 3):
+        for variant, source in (("unprotected", UNPROTECTED), ("protected", PROTECTED)):
+            counts = measure(variant, source, max_mbf)
+            print(
+                f"{variant:14s} {max_mbf:8d} "
+                f"{100.0 * counts.sdc_fraction:8.1f} "
+                f"{100.0 * counts.detection_fraction:11.1f} "
+                f"{counts.resilience:11.3f}"
+            )
+    print("\nThe duplicated-computation check converts most silent data corruptions "
+          "into detections, under both the single and the multiple bit-flip model.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The paper's three error-space pruning layers, applied to real campaigns.
+
+Demonstrates §IV's pruning workflow on two contrasting workloads:
+
+* **Layer 1** — run max-MBF = 30 campaigns and look at how many errors are
+  actually activated before the program crashes (RQ1 / Fig. 3); the small
+  activation counts justify bounding max-MBF.
+* **Layer 2** — find programs where the single bit-flip model already gives a
+  pessimistic SDC estimate, and the small max-MBF bound that reaches the SDC
+  peak everywhere else (RQ2/RQ3).
+* **Layer 3** — compute the fraction of single-bit locations (those that led
+  to SDC or Detection) that multi-bit campaigns can skip entirely (RQ5).
+
+Run with::
+
+    python examples/error_space_pruning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.activation import activation_distribution
+from repro.analysis.pruning import pruning_summary
+from repro.campaign import ExperimentScale
+from repro.campaign.plan import (
+    multi_register_campaigns,
+    same_register_campaigns,
+    single_bit_campaigns,
+)
+from repro.experiments import ExperimentSession
+from repro.injection.faultmodel import win_size_by_index
+
+PROGRAMS = ["crc32", "dijkstra"]
+WIN_SIZES = tuple(win_size_by_index(index) for index in ("w2", "w5", "w7"))
+
+
+def run_campaigns(session: ExperimentSession):
+    configs = single_bit_campaigns(PROGRAMS, session.scale)
+    configs += multi_register_campaigns(
+        PROGRAMS, session.scale, max_mbf_values=(2, 3, 30), win_size_specs=WIN_SIZES
+    )
+    configs += same_register_campaigns(PROGRAMS, session.scale, max_mbf_values=(30,))
+    return session.ensure(configs)
+
+
+def main() -> None:
+    session = ExperimentSession(scale=ExperimentScale("example", experiments_per_campaign=100))
+    print(f"running campaigns for {', '.join(PROGRAMS)} ...")
+    store = run_campaigns(session)
+
+    for technique in ("inject-on-read", "inject-on-write"):
+        print(f"\n=== {technique} ===")
+
+        distribution = activation_distribution(store, technique, max_mbf=30)
+        print("layer 1 — activated errors when 30 flips are planned:")
+        for label, percentage in distribution.bucket_percentages().items():
+            print(f"    {label:>5s} activated: {percentage:5.1f}% of experiments")
+        print(f"    mean activated errors: {distribution.mean_activated():.1f}")
+
+        summary = pruning_summary(store, technique)
+        print("layer 2 — pessimistic parameter selection:")
+        print(f"    max-MBF bound covering 95% of activations: {summary.recommended_max_mbf}")
+        print(f"    single-bit model already pessimistic for: "
+              f"{', '.join(summary.single_bit_sufficient) or '(none)'}")
+        print(f"    max-MBF needed to reach the SDC peak elsewhere: {summary.pessimistic_max_mbf}")
+
+        print("layer 3 — prunable first-injection locations:")
+        for program, fraction in summary.prunable_location_fraction.items():
+            print(f"    {program:12s} {100.0 * fraction:5.1f}% of single-bit locations "
+                  f"(SDC or Detection) can be skipped")
+
+
+if __name__ == "__main__":
+    main()

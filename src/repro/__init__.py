@@ -1,0 +1,77 @@
+"""repro — reproduction of "One Bit is (Not) Enough" (DSN 2017).
+
+An LLFI-style fault-injection study of single versus multiple bit-flip
+errors, rebuilt as a self-contained Python library:
+
+* :mod:`repro.ir` — MiniIR, an LLVM-like typed SSA intermediate representation;
+* :mod:`repro.frontend` — a restricted-Python to MiniIR compiler;
+* :mod:`repro.vm` — the MiniIR interpreter with a hardware-exception memory
+  model and the register read/write hooks the injector uses;
+* :mod:`repro.injection` — the bit-flip fault model (max-MBF / win-size),
+  the inject-on-read / inject-on-write techniques, and the experiment driver;
+* :mod:`repro.campaign` — campaign grids, execution and result storage;
+* :mod:`repro.programs` — the 15 MiBench / Parboil workloads of Table II;
+* :mod:`repro.analysis` — RQ1–RQ5 analyses and the three pruning layers;
+* :mod:`repro.experiments` — one entry point per table and figure.
+
+Quickstart::
+
+    from repro.experiments import ExperimentSession, figure1
+    from repro.campaign import SMOKE_SCALE
+
+    session = ExperimentSession(scale=SMOKE_SCALE)
+    print(figure1(session, programs=["crc32", "dijkstra"]).text)
+"""
+
+from repro.campaign import (
+    BENCH_SCALE,
+    CampaignConfig,
+    CampaignRunner,
+    ExperimentScale,
+    PAPER_SCALE,
+    ResultStore,
+    SMOKE_SCALE,
+)
+from repro.errors import (
+    AnalysisError,
+    CompilationError,
+    ConfigurationError,
+    ExecutionSetupError,
+    ReproError,
+)
+from repro.injection import (
+    INJECT_ON_READ,
+    INJECT_ON_WRITE,
+    ExperimentRunner,
+    FaultInjector,
+    FaultSpec,
+    Outcome,
+    OutcomeCounts,
+    profile_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "BENCH_SCALE",
+    "CampaignConfig",
+    "CampaignRunner",
+    "CompilationError",
+    "ConfigurationError",
+    "ExecutionSetupError",
+    "ExperimentRunner",
+    "ExperimentScale",
+    "FaultInjector",
+    "FaultSpec",
+    "INJECT_ON_READ",
+    "INJECT_ON_WRITE",
+    "Outcome",
+    "OutcomeCounts",
+    "PAPER_SCALE",
+    "profile_program",
+    "ReproError",
+    "ResultStore",
+    "SMOKE_SCALE",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Analysis layer: the paper's research questions and pruning techniques.
+
+Modules map onto the paper's evaluation structure:
+
+* :mod:`repro.analysis.statistics` — proportions, 95 % confidence intervals
+  and significance tests (re-exported from :mod:`repro.stats`);
+* :mod:`repro.analysis.activation` — RQ1: how many injected errors are
+  activated before the program crashes (Fig. 3);
+* :mod:`repro.analysis.comparison` — RQ2–RQ4: single vs multiple bit-flip
+  SDC percentages, max-MBF upper bounds and win-size sensitivity
+  (Figs. 2, 4, 5 and Table III);
+* :mod:`repro.analysis.transitions` — RQ5: outcome transitions when the
+  first error of a multi-bit experiment is pinned to a single-bit location
+  (Fig. 6, Table IV);
+* :mod:`repro.analysis.pruning` — the three error-space pruning layers;
+* :mod:`repro.analysis.reporting` — plain-text rendering of every table and
+  figure series for the benchmark harness and examples.
+"""
+
+from repro.analysis.activation import ActivationDistribution, activation_distribution
+from repro.analysis.comparison import (
+    HighestSdcConfiguration,
+    highest_sdc_configurations,
+    max_mbf_needed_for_peak_sdc,
+    sdc_percentage_by_cluster,
+    single_bit_is_pessimistic,
+    single_bit_pessimistic_fraction,
+    win_size_sensitivity,
+)
+from repro.analysis.pruning import (
+    PruningSummary,
+    prunable_first_location_fraction,
+    pruning_summary,
+    recommended_max_mbf_bound,
+)
+from repro.analysis.transitions import (
+    TRANSITIONS,
+    TransitionStudyResult,
+    transition_study,
+)
+
+__all__ = [
+    "ActivationDistribution",
+    "activation_distribution",
+    "HighestSdcConfiguration",
+    "highest_sdc_configurations",
+    "max_mbf_needed_for_peak_sdc",
+    "prunable_first_location_fraction",
+    "PruningSummary",
+    "pruning_summary",
+    "recommended_max_mbf_bound",
+    "sdc_percentage_by_cluster",
+    "single_bit_is_pessimistic",
+    "single_bit_pessimistic_fraction",
+    "TRANSITIONS",
+    "transition_study",
+    "TransitionStudyResult",
+    "win_size_sensitivity",
+]

@@ -1,0 +1,126 @@
+"""RQ1: how many injected errors are *activated* before the program crashes?
+
+The paper injects with max-MBF = 30 and measures how many of the planned 30
+flips were actually performed before the run ended (Fig. 3).  The resulting
+distribution justifies the first error-space pruning layer: because almost
+all experiments activate far fewer than 30 errors, larger max-MBF values add
+no information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.campaign.results import CampaignResult, ResultStore
+from repro.errors import AnalysisError
+
+#: The buckets Fig. 3 reports: 1–5, 6–10 and more than 10 activated errors.
+FIGURE3_BUCKETS: Tuple[Tuple[int, int], ...] = ((1, 5), (6, 10), (11, 10**9))
+
+
+@dataclass
+class ActivationDistribution:
+    """Distribution of the number of activated errors across experiments."""
+
+    technique: str
+    #: Histogram: activated error count -> number of experiments.
+    histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_experiments(self) -> int:
+        return sum(self.histogram.values())
+
+    def merge_histogram(self, histogram: Dict[int, int]) -> None:
+        for activated, count in histogram.items():
+            self.histogram[activated] = self.histogram.get(activated, 0) + count
+
+    def fraction_at_most(self, limit: int) -> float:
+        """Fraction of experiments that activated at most ``limit`` errors."""
+        total = self.total_experiments
+        if total == 0:
+            return 0.0
+        covered = sum(count for activated, count in self.histogram.items() if activated <= limit)
+        return covered / total
+
+    def fraction_in_range(self, low: int, high: int) -> float:
+        total = self.total_experiments
+        if total == 0:
+            return 0.0
+        covered = sum(
+            count for activated, count in self.histogram.items() if low <= activated <= high
+        )
+        return covered / total
+
+    def bucket_percentages(
+        self, buckets: Tuple[Tuple[int, int], ...] = FIGURE3_BUCKETS
+    ) -> Dict[str, float]:
+        """Fig. 3's bucketed view, as percentages keyed by a readable label."""
+        result: Dict[str, float] = {}
+        for low, high in buckets:
+            label = f"{low}-{high}" if high < 10**9 else f">{low - 1}"
+            result[label] = 100.0 * self.fraction_in_range(low, high)
+        return result
+
+    def mean_activated(self) -> float:
+        total = self.total_experiments
+        if total == 0:
+            return 0.0
+        return sum(activated * count for activated, count in self.histogram.items()) / total
+
+    def smallest_bound_covering(self, coverage: float) -> int:
+        """Smallest activated-error count whose CDF reaches ``coverage``."""
+        if not 0.0 < coverage <= 1.0:
+            raise AnalysisError("coverage must be in (0, 1]")
+        if not self.histogram:
+            raise AnalysisError("activation distribution is empty")
+        for bound in sorted(self.histogram):
+            if self.fraction_at_most(bound) >= coverage:
+                return bound
+        return max(self.histogram)
+
+
+def activation_distribution(
+    store: ResultStore,
+    technique: str,
+    *,
+    max_mbf: int = 30,
+    programs: Optional[Iterable[str]] = None,
+) -> ActivationDistribution:
+    """Aggregate the activated-error histograms of max-MBF=30 campaigns.
+
+    Matches Fig. 3's setup: every win-size value of Table I is included, and
+    results are aggregated across the selected programs for one technique.
+    """
+    wanted_programs = set(programs) if programs is not None else None
+    distribution = ActivationDistribution(technique=technique)
+    matched = 0
+    for result in store.for_technique(technique):
+        if result.config.max_mbf != max_mbf:
+            continue
+        if wanted_programs is not None and result.config.program not in wanted_programs:
+            continue
+        distribution.merge_histogram(result.activated_histogram)
+        matched += 1
+    if matched == 0:
+        raise AnalysisError(
+            f"no campaigns with max-MBF={max_mbf} and technique {technique!r} in the store"
+        )
+    return distribution
+
+
+def activation_summary_rows(
+    store: ResultStore, *, max_mbf: int = 30
+) -> List[Dict[str, object]]:
+    """One row per technique with Fig. 3's bucket percentages."""
+    rows: List[Dict[str, object]] = []
+    for technique in ("inject-on-read", "inject-on-write"):
+        try:
+            distribution = activation_distribution(store, technique, max_mbf=max_mbf)
+        except AnalysisError:
+            continue
+        row: Dict[str, object] = {"technique": technique}
+        row.update(distribution.bucket_percentages())
+        row["mean"] = distribution.mean_activated()
+        rows.append(row)
+    return rows

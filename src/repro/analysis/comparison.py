@@ -1,0 +1,224 @@
+"""RQ2–RQ4: single vs multiple bit-flip SDC comparison.
+
+These analyses sit behind Figs. 2, 4 and 5 and Table III of the paper:
+
+* :func:`sdc_percentage_by_cluster` — SDC % per (max-MBF, win-size) cluster
+  of one program/technique, the series the figures plot;
+* :func:`single_bit_is_pessimistic` — RQ2: is the single bit-flip SDC %
+  an upper bound (within a tolerance) on every multi-bit cluster's SDC %?
+* :func:`single_bit_pessimistic_fraction` — the headline "92 % of campaigns"
+  aggregation across the whole store;
+* :func:`highest_sdc_configurations` — Table III: the (max-MBF, win-size)
+  configuration with the highest SDC % per program/technique;
+* :func:`max_mbf_needed_for_peak_sdc` — RQ3: the number of errors needed to
+  reach the peak SDC % for each program/win-size pair;
+* :func:`win_size_sensitivity` — RQ4: how much the win-size parameter moves
+  the SDC % at a fixed max-MBF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.campaign.results import CampaignResult, ResultStore
+from repro.errors import AnalysisError
+
+#: A campaign whose SDC % exceeds the single-bit SDC % by less than this many
+#: percentage points is still counted as "covered" by the single-bit model,
+#: following the paper's reading of "higher than or almost the same as (i.e.,
+#: difference less than one percentage point)".
+DEFAULT_TOLERANCE_PP = 1.0
+
+
+def _sdc_pct(result: CampaignResult) -> float:
+    return result.sdc_percentage
+
+
+def sdc_percentage_by_cluster(
+    store: ResultStore,
+    program: str,
+    technique: str,
+    *,
+    same_register: Optional[bool] = None,
+    include_single_bit: bool = True,
+) -> Dict[Tuple[int, str], float]:
+    """SDC % keyed by (max-MBF, win-size label) for one program/technique."""
+    series: Dict[Tuple[int, str], float] = {}
+    if include_single_bit:
+        try:
+            single = store.single_bit(program, technique)
+            series[(1, "single")] = _sdc_pct(single)
+        except AnalysisError:
+            pass
+    for result in store.multi_bit(program, technique, same_register=same_register):
+        key = (result.config.max_mbf, result.config.win_size.label)
+        series[key] = _sdc_pct(result)
+    if not series:
+        raise AnalysisError(f"no campaigns for {program}/{technique} in the store")
+    return series
+
+
+def single_bit_is_pessimistic(
+    store: ResultStore,
+    program: str,
+    technique: str,
+    *,
+    tolerance_pp: float = DEFAULT_TOLERANCE_PP,
+    same_register: Optional[bool] = None,
+) -> bool:
+    """RQ2 for one program/technique: is the single-bit SDC % an upper bound?"""
+    single = store.single_bit(program, technique)
+    multi = store.multi_bit(program, technique, same_register=same_register)
+    if not multi:
+        raise AnalysisError(f"no multi-bit campaigns for {program}/{technique}")
+    single_pct = _sdc_pct(single)
+    return all(_sdc_pct(result) <= single_pct + tolerance_pp for result in multi)
+
+
+def single_bit_pessimistic_fraction(
+    store: ResultStore,
+    *,
+    tolerance_pp: float = DEFAULT_TOLERANCE_PP,
+) -> float:
+    """Fraction of multi-bit campaigns whose SDC % the single-bit model covers.
+
+    This is the aggregation behind the paper's "the single bit-flip model
+    mostly (92 % of all campaigns) results in pessimistic percentage of SDCs".
+    """
+    covered = 0
+    total = 0
+    for result in store:
+        if result.config.is_single_bit:
+            continue
+        try:
+            single = store.single_bit(result.config.program, result.config.technique)
+        except AnalysisError:
+            continue
+        total += 1
+        if _sdc_pct(result) <= _sdc_pct(single) + tolerance_pp:
+            covered += 1
+    if total == 0:
+        raise AnalysisError("store contains no multi-bit campaigns with single-bit baselines")
+    return covered / total
+
+
+@dataclass(frozen=True)
+class HighestSdcConfiguration:
+    """One Table III row: the multi-bit configuration with the peak SDC %."""
+
+    program: str
+    technique: str
+    max_mbf: int
+    win_size_label: str
+    sdc_percentage: float
+    single_bit_sdc_percentage: float
+
+    @property
+    def exceeds_single_bit(self) -> bool:
+        return self.sdc_percentage > self.single_bit_sdc_percentage
+
+    @property
+    def margin_over_single_bit_pp(self) -> float:
+        return self.sdc_percentage - self.single_bit_sdc_percentage
+
+
+def highest_sdc_configurations(
+    store: ResultStore,
+    *,
+    programs: Optional[Iterable[str]] = None,
+    techniques: Iterable[str] = ("inject-on-read", "inject-on-write"),
+    same_register: Optional[bool] = False,
+) -> List[HighestSdcConfiguration]:
+    """Table III: per program/technique, the multi-bit campaign with max SDC %.
+
+    The paper's Table III considers multi-register campaigns (win-size > 0),
+    which is the default here (``same_register=False``); pass ``None`` to
+    consider every multi-bit campaign.
+    """
+    selected_programs = list(programs) if programs is not None else store.programs()
+    rows: List[HighestSdcConfiguration] = []
+    for program in selected_programs:
+        for technique in techniques:
+            multi = store.multi_bit(program, technique, same_register=same_register)
+            if not multi:
+                continue
+            best = max(multi, key=_sdc_pct)
+            try:
+                single_pct = _sdc_pct(store.single_bit(program, technique))
+            except AnalysisError:
+                single_pct = float("nan")
+            rows.append(
+                HighestSdcConfiguration(
+                    program=program,
+                    technique=technique,
+                    max_mbf=best.config.max_mbf,
+                    win_size_label=best.config.win_size.label,
+                    sdc_percentage=_sdc_pct(best),
+                    single_bit_sdc_percentage=single_pct,
+                )
+            )
+    if not rows:
+        raise AnalysisError("store contains no multi-bit campaigns to rank")
+    return rows
+
+
+def max_mbf_needed_for_peak_sdc(
+    store: ResultStore,
+    technique: str,
+    *,
+    programs: Optional[Iterable[str]] = None,
+) -> Dict[Tuple[str, str], int]:
+    """RQ3: per (program, win-size label), the max-MBF that peaks the SDC %.
+
+    The paper reports that 2 errors suffice under inject-on-read and 3 under
+    inject-on-write for ~95 % of program/win-size pairs.
+    """
+    selected_programs = list(programs) if programs is not None else store.programs()
+    peaks: Dict[Tuple[str, str], Tuple[int, float]] = {}
+    for program in selected_programs:
+        for result in store.multi_bit(program, technique, same_register=False):
+            key = (program, result.config.win_size.label)
+            candidate = (result.config.max_mbf, _sdc_pct(result))
+            incumbent = peaks.get(key)
+            if incumbent is None or candidate[1] > incumbent[1] or (
+                candidate[1] == incumbent[1] and candidate[0] < incumbent[0]
+            ):
+                peaks[key] = candidate
+    if not peaks:
+        raise AnalysisError(f"no multi-register campaigns for technique {technique!r}")
+    return {key: max_mbf for key, (max_mbf, _) in peaks.items()}
+
+
+def fraction_of_pairs_peaking_within(
+    store: ResultStore, technique: str, bound: int, **kwargs
+) -> float:
+    """Fraction of (program, win-size) pairs whose SDC peak needs ≤ ``bound`` errors."""
+    peaks = max_mbf_needed_for_peak_sdc(store, technique, **kwargs)
+    within = sum(1 for max_mbf in peaks.values() if max_mbf <= bound)
+    return within / len(peaks)
+
+
+def win_size_sensitivity(
+    store: ResultStore,
+    program: str,
+    technique: str,
+    *,
+    max_mbf: Optional[int] = None,
+) -> float:
+    """RQ4: spread (max − min, in pp) of SDC % across win-size values.
+
+    When ``max_mbf`` is None the spread is computed per max-MBF value and the
+    largest spread is returned — "does any window choice matter anywhere?".
+    """
+    multi = store.multi_bit(program, technique, same_register=False)
+    if not multi:
+        raise AnalysisError(f"no multi-register campaigns for {program}/{technique}")
+    by_mbf: Dict[int, List[float]] = {}
+    for result in multi:
+        if max_mbf is not None and result.config.max_mbf != max_mbf:
+            continue
+        by_mbf.setdefault(result.config.max_mbf, []).append(_sdc_pct(result))
+    if not by_mbf:
+        raise AnalysisError(f"no campaigns with max-MBF={max_mbf} for {program}/{technique}")
+    return max(max(values) - min(values) for values in by_mbf.values() if values)

@@ -1,0 +1,169 @@
+"""The three error-space pruning layers the paper derives from its results.
+
+1. **Bound max-MBF** (§IV-C1): the activated-error distribution shows that
+   runs with 30 planned flips rarely activate more than 10 before crashing,
+   so max-MBF beyond ~10 adds nothing — :func:`recommended_max_mbf_bound`.
+2. **Pessimistic parameter selection** (§IV-B / §IV-C2): for programs where
+   the single bit-flip model is already pessimistic, multi-bit campaigns can
+   be replaced by the single-bit one; where it is not, a small max-MBF (2–3)
+   with a small window suffices — :func:`single_bit_sufficient_programs`,
+   :func:`pessimistic_cluster_bound`.
+3. **Location pruning** (§IV-C3): multi-bit experiments only need to start
+   from locations whose single-bit outcome was Benign, because Detection
+   locations almost never transition to SDC (Transition I is rare) —
+   :func:`prunable_first_location_fraction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.activation import activation_distribution
+from repro.analysis.comparison import (
+    max_mbf_needed_for_peak_sdc,
+    single_bit_is_pessimistic,
+)
+from repro.campaign.results import ResultStore
+from repro.errors import AnalysisError
+from repro.injection.outcome import DETECTION_OUTCOMES, Outcome
+
+
+# --------------------------------------------------------------------------- layer 1
+def recommended_max_mbf_bound(
+    store: ResultStore,
+    technique: str,
+    *,
+    coverage: float = 0.95,
+    probe_max_mbf: int = 30,
+) -> int:
+    """Layer 1: smallest max-MBF covering ``coverage`` of activated-error counts.
+
+    The paper finds ~99 % of inject-on-read and ~92 % of inject-on-write
+    experiments activate fewer than 10 errors, making 10 a sufficient upper
+    bound for max-MBF.
+    """
+    distribution = activation_distribution(store, technique, max_mbf=probe_max_mbf)
+    return distribution.smallest_bound_covering(coverage)
+
+
+# --------------------------------------------------------------------------- layer 2
+def single_bit_sufficient_programs(
+    store: ResultStore,
+    technique: str,
+    *,
+    tolerance_pp: float = 1.0,
+    programs: Optional[Iterable[str]] = None,
+) -> List[str]:
+    """Layer 2a: programs whose multi-bit campaigns the single-bit model covers.
+
+    For these programs multi-bit fault injection can be skipped entirely when
+    one only needs a conservative SDC estimate.
+    """
+    selected = list(programs) if programs is not None else store.programs()
+    sufficient: List[str] = []
+    for program in selected:
+        try:
+            if single_bit_is_pessimistic(store, program, technique, tolerance_pp=tolerance_pp):
+                sufficient.append(program)
+        except AnalysisError:
+            continue
+    return sufficient
+
+
+def pessimistic_cluster_bound(
+    store: ResultStore,
+    technique: str,
+    *,
+    quantile: float = 0.95,
+    programs: Optional[Iterable[str]] = None,
+) -> int:
+    """Layer 2b: the max-MBF value that reaches the SDC peak for ``quantile``
+    of program/win-size pairs.
+
+    The paper's answer is 2 for inject-on-read and 3 for inject-on-write —
+    multi-bit campaigns beyond that max-MBF can be pruned.
+    """
+    if not 0.0 < quantile <= 1.0:
+        raise AnalysisError("quantile must be in (0, 1]")
+    peaks = max_mbf_needed_for_peak_sdc(store, technique, programs=programs)
+    ordered = sorted(peaks.values())
+    index = min(len(ordered) - 1, max(0, int(quantile * len(ordered)) - 1))
+    return ordered[index]
+
+
+# --------------------------------------------------------------------------- layer 3
+def prunable_first_location_fraction(
+    store: ResultStore, program: str, technique: str
+) -> float:
+    """Layer 3: fraction of single-bit experiments whose location can be skipped.
+
+    Locations whose single-bit outcome was an SDC or a Detection need not be
+    used as the first location of multi-bit experiments (they cannot *add*
+    SDCs beyond what the single-bit campaign already found, and Detection
+    locations rarely transition to SDC).  The paper reports this covers
+    roughly 50–100 % of inject-on-read and 27–100 % of inject-on-write
+    experiments.
+    """
+    single_bit = store.single_bit(program, technique)
+    counts = single_bit.outcome_counts
+    if counts.total == 0:
+        raise AnalysisError(f"single-bit campaign for {program}/{technique} is empty")
+    prunable = counts.count(Outcome.SDC) + sum(
+        counts.count(outcome) for outcome in DETECTION_OUTCOMES
+    )
+    return prunable / counts.total
+
+
+# --------------------------------------------------------------------------- summary
+@dataclass(frozen=True)
+class PruningSummary:
+    """All three pruning layers evaluated on one result store."""
+
+    technique: str
+    recommended_max_mbf: int
+    single_bit_sufficient: Tuple[str, ...]
+    pessimistic_max_mbf: int
+    prunable_location_fraction: Dict[str, float]
+
+    @property
+    def prunable_location_range(self) -> Tuple[float, float]:
+        """The min/max prunable fraction across programs (the 27–100 % span)."""
+        values = list(self.prunable_location_fraction.values())
+        if not values:
+            return (0.0, 0.0)
+        return (min(values), max(values))
+
+
+def pruning_summary(
+    store: ResultStore,
+    technique: str,
+    *,
+    coverage: float = 0.95,
+    tolerance_pp: float = 1.0,
+) -> PruningSummary:
+    """Evaluate all three pruning layers for one technique over a store."""
+    programs = store.programs()
+    try:
+        bound = recommended_max_mbf_bound(store, technique, coverage=coverage)
+    except AnalysisError:
+        bound = 0
+    try:
+        pessimistic_bound = pessimistic_cluster_bound(store, technique)
+    except AnalysisError:
+        pessimistic_bound = 0
+    prunable: Dict[str, float] = {}
+    for program in programs:
+        try:
+            prunable[program] = prunable_first_location_fraction(store, program, technique)
+        except AnalysisError:
+            continue
+    return PruningSummary(
+        technique=technique,
+        recommended_max_mbf=bound,
+        single_bit_sufficient=tuple(
+            single_bit_sufficient_programs(store, technique, tolerance_pp=tolerance_pp)
+        ),
+        pessimistic_max_mbf=pessimistic_bound,
+        prunable_location_fraction=prunable,
+    )

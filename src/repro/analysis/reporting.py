@@ -1,0 +1,183 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+Every figure in the paper is a bar chart over programs/configurations; the
+benchmark harness regenerates the *numbers* behind those bars and renders
+them as aligned text tables so a terminal diff against EXPERIMENTS.md is
+possible.  The functions here are deliberately free of any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.analysis.activation import activation_summary_rows
+from repro.analysis.comparison import highest_sdc_configurations, sdc_percentage_by_cluster
+from repro.analysis.transitions import TransitionStudyResult
+from repro.campaign.results import ResultStore
+from repro.errors import AnalysisError
+from repro.injection.outcome import Outcome
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        " | ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append(" | ".join(value.ljust(widths[index]) for index, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+# --------------------------------------------------------------------------- Fig. 1
+def figure1_rows(store: ResultStore, technique: str) -> List[List[object]]:
+    """Per-program outcome breakdown for the single bit-flip model."""
+    rows: List[List[object]] = []
+    for program in store.programs():
+        try:
+            result = store.single_bit(program, technique)
+        except AnalysisError:
+            continue
+        rows.append(
+            [
+                program,
+                result.benign_percentage,
+                result.outcome_percentage(Outcome.DETECTED_HW_EXCEPTION),
+                result.outcome_percentage(Outcome.HANG),
+                result.outcome_percentage(Outcome.NO_OUTPUT),
+                result.detection_percentage,
+                result.sdc_percentage,
+                100.0 * result.sdc_estimate().half_width,
+            ]
+        )
+    return rows
+
+
+def format_figure1(store: ResultStore, technique: str) -> str:
+    headers = [
+        "program",
+        "benign%",
+        "hw-exception%",
+        "hang%",
+        "no-output%",
+        "detection%",
+        "SDC%",
+        "CI±",
+    ]
+    return format_table(headers, figure1_rows(store, technique))
+
+
+# --------------------------------------------------------------------------- Figs. 2/4/5
+def sdc_series_rows(
+    store: ResultStore,
+    technique: str,
+    *,
+    same_register: Optional[bool],
+    programs: Optional[Iterable[str]] = None,
+) -> List[List[object]]:
+    """One row per program: SDC % for the single-bit model and each max-MBF."""
+    selected = list(programs) if programs is not None else store.programs()
+    rows: List[List[object]] = []
+    for program in selected:
+        try:
+            series = sdc_percentage_by_cluster(
+                store, program, technique, same_register=same_register
+            )
+        except AnalysisError:
+            continue
+        single = series.get((1, "single"), float("nan"))
+        multi_by_mbf: Dict[int, List[float]] = {}
+        for (max_mbf, _label), value in series.items():
+            if max_mbf == 1:
+                continue
+            multi_by_mbf.setdefault(max_mbf, []).append(value)
+        row: List[object] = [program, single]
+        for max_mbf in sorted(multi_by_mbf):
+            row.append(max(multi_by_mbf[max_mbf]))
+        rows.append(row)
+    return rows
+
+
+def format_sdc_series(
+    store: ResultStore,
+    technique: str,
+    *,
+    same_register: Optional[bool],
+    programs: Optional[Iterable[str]] = None,
+) -> str:
+    rows = sdc_series_rows(store, technique, same_register=same_register, programs=programs)
+    mbf_count = max((len(row) - 2 for row in rows), default=0)
+    headers = ["program", "single-bit SDC%"] + [f"mbf#{i}" for i in range(1, mbf_count + 1)]
+    return format_table(headers, rows)
+
+
+# --------------------------------------------------------------------------- Fig. 3
+def format_figure3(store: ResultStore, *, max_mbf: int = 30) -> str:
+    rows = activation_summary_rows(store, max_mbf=max_mbf)
+    if not rows:
+        return "(no max-MBF=30 campaigns in the store)"
+    headers = ["technique"] + [key for key in rows[0] if key != "technique"]
+    table_rows = [[row[header] for header in headers] for row in rows]
+    return format_table(headers, table_rows)
+
+
+# --------------------------------------------------------------------------- Table III
+def format_table3(store: ResultStore, **kwargs) -> str:
+    rows = [
+        [
+            row.program,
+            row.technique,
+            row.max_mbf,
+            row.win_size_label,
+            row.sdc_percentage,
+            row.single_bit_sdc_percentage,
+            "yes" if row.exceeds_single_bit else "no",
+        ]
+        for row in highest_sdc_configurations(store, **kwargs)
+    ]
+    headers = [
+        "program",
+        "technique",
+        "max-MBF",
+        "win-size",
+        "peak SDC%",
+        "single-bit SDC%",
+        "exceeds single?",
+    ]
+    return format_table(headers, rows)
+
+
+# --------------------------------------------------------------------------- Table IV
+def format_table4(results: Sequence[TransitionStudyResult]) -> str:
+    rows = [
+        [
+            result.program,
+            result.technique,
+            100.0 * result.transition1_likelihood,
+            100.0 * result.transition2_likelihood,
+            result.detection_locations,
+            result.benign_locations,
+        ]
+        for result in results
+    ]
+    headers = [
+        "program",
+        "technique",
+        "Tran. I %",
+        "Tran. II %",
+        "detection locations",
+        "benign locations",
+    ]
+    return format_table(headers, rows)

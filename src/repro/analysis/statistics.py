@@ -1,0 +1,68 @@
+"""Statistical helpers used by the analyses (thin facade over :mod:`repro.stats`).
+
+The campaign layer must not depend on the analysis package (to keep imports
+acyclic), so the actual implementations live in the top-level
+:mod:`repro.stats` module; this facade re-exports them under the name the
+analysis code and the paper's terminology suggest, and adds the couple of
+helpers that only make sense at the analysis level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.campaign.results import CampaignResult
+from repro.stats import (
+    ProportionEstimate,
+    Z_95,
+    normal_proportion_interval,
+    percentage_point_difference,
+    proportion_difference_significant,
+    wilson_proportion_interval,
+)
+
+__all__ = [
+    "ProportionEstimate",
+    "Z_95",
+    "normal_proportion_interval",
+    "percentage_point_difference",
+    "proportion_difference_significant",
+    "wilson_proportion_interval",
+    "sdc_difference_percentage_points",
+    "sdc_difference_is_significant",
+    "summarize_sdc",
+]
+
+
+def summarize_sdc(result: CampaignResult) -> Dict[str, float]:
+    """SDC percentage with its 95 % confidence half-width for one campaign."""
+    estimate = result.sdc_estimate()
+    return {
+        "sdc_percentage": estimate.percentage,
+        "ci_half_width": 100.0 * estimate.half_width,
+        "experiments": float(estimate.trials),
+    }
+
+
+def sdc_difference_percentage_points(a: CampaignResult, b: CampaignResult) -> float:
+    """SDC percentage of campaign ``a`` minus that of campaign ``b`` (pp)."""
+    from repro.injection.outcome import Outcome
+
+    return percentage_point_difference(
+        a.outcome_counts.count(Outcome.SDC),
+        a.outcome_counts.total,
+        b.outcome_counts.count(Outcome.SDC),
+        b.outcome_counts.total,
+    )
+
+
+def sdc_difference_is_significant(a: CampaignResult, b: CampaignResult) -> bool:
+    """Whether two campaigns' SDC rates differ at the 95 % level."""
+    from repro.injection.outcome import Outcome
+
+    return proportion_difference_significant(
+        a.outcome_counts.count(Outcome.SDC),
+        a.outcome_counts.total,
+        b.outcome_counts.count(Outcome.SDC),
+        b.outcome_counts.total,
+    )

@@ -1,0 +1,201 @@
+"""RQ5: sensitivity of fault-injection locations to multiple bit-flip errors.
+
+The paper's Fig. 6 describes outcome *transitions*: starting a multi-bit
+experiment at the same program location as a single-bit experiment, does the
+outcome change?  Two transitions decrease resilience and therefore matter
+for pruning:
+
+* **Transition I** (``t_{d-s}``): the single-bit outcome was a Detection,
+  but multi-bit injection at the same starting location yields an SDC;
+* **Transition II** (``t_{b-s}``): the single-bit outcome was Benign, but
+  multi-bit injection at the same starting location yields an SDC.
+
+Table IV reports the likelihood of both transitions per program and
+technique using the worst-case (Table III) multi-bit configuration.  Because
+Transition I is rare, multi-bit campaigns can skip every location whose
+single-bit outcome was a Detection (or already an SDC) and only start from
+Benign locations — the third pruning layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.results import CampaignResult, ExperimentRecord, ResultStore
+from repro.errors import AnalysisError
+from repro.injection.experiment import ExperimentRunner
+from repro.injection.outcome import DETECTION_OUTCOMES, Outcome
+from repro.injection.techniques import InjectionCandidate, technique_by_name
+
+
+@dataclass(frozen=True)
+class TransitionLabel:
+    """One edge of the Fig. 6 state diagram."""
+
+    name: str
+    source: Outcome
+    target: Outcome
+    decreases_resilience: bool
+
+
+#: The transitions Fig. 6 draws (self-loops plus the resilience-decreasing ones).
+TRANSITIONS: Tuple[TransitionLabel, ...] = (
+    TransitionLabel("t_s", Outcome.SDC, Outcome.SDC, False),
+    TransitionLabel("t_b", Outcome.BENIGN, Outcome.BENIGN, False),
+    TransitionLabel("t_d", Outcome.DETECTED_HW_EXCEPTION, Outcome.DETECTED_HW_EXCEPTION, False),
+    TransitionLabel("t_d-s (Transition I)", Outcome.DETECTED_HW_EXCEPTION, Outcome.SDC, True),
+    TransitionLabel("t_b-s (Transition II)", Outcome.BENIGN, Outcome.SDC, True),
+    TransitionLabel("t_b-d", Outcome.BENIGN, Outcome.DETECTED_HW_EXCEPTION, False),
+    TransitionLabel("t_d-b", Outcome.DETECTED_HW_EXCEPTION, Outcome.BENIGN, False),
+    TransitionLabel("t_s-b", Outcome.SDC, Outcome.BENIGN, False),
+    TransitionLabel("t_s-d", Outcome.SDC, Outcome.DETECTED_HW_EXCEPTION, False),
+)
+
+
+@dataclass
+class TransitionStudyResult:
+    """One Table IV row: transition likelihoods for a program/technique pair."""
+
+    program: str
+    technique: str
+    max_mbf: int
+    win_size: int
+    #: Locations replayed and how many of them transitioned to SDC.
+    detection_locations: int
+    detection_to_sdc: int
+    benign_locations: int
+    benign_to_sdc: int
+
+    @property
+    def transition1_likelihood(self) -> float:
+        """P(Detection -> SDC) — Table IV's "Tran. I" column (0..1)."""
+        if self.detection_locations == 0:
+            return 0.0
+        return self.detection_to_sdc / self.detection_locations
+
+    @property
+    def transition2_likelihood(self) -> float:
+        """P(Benign -> SDC) — Table IV's "Tran. II" column (0..1)."""
+        if self.benign_locations == 0:
+            return 0.0
+        return self.benign_to_sdc / self.benign_locations
+
+
+def _records_by_outcome(
+    single_bit: CampaignResult,
+) -> Tuple[List[ExperimentRecord], List[ExperimentRecord]]:
+    """Split single-bit experiment records into Detection and Benign sets."""
+    detection: List[ExperimentRecord] = []
+    benign: List[ExperimentRecord] = []
+    for record in single_bit.records:
+        if record.outcome in DETECTION_OUTCOMES:
+            detection.append(record)
+        elif record.outcome is Outcome.BENIGN:
+            benign.append(record)
+    return detection, benign
+
+
+def _replay_locations(
+    runner: ExperimentRunner,
+    technique_name: str,
+    records: Sequence[ExperimentRecord],
+    *,
+    max_mbf: int,
+    win_size: int,
+    rng: random.Random,
+    limit: Optional[int],
+) -> Tuple[int, int]:
+    """Re-run multi-bit experiments pinned to each record's first location."""
+    technique = technique_by_name(technique_name)
+    chosen = list(records)
+    if limit is not None and len(chosen) > limit:
+        chosen = rng.sample(chosen, limit)
+    sdc_count = 0
+    for record in chosen:
+        candidate = InjectionCandidate(
+            dynamic_index=record.first_dynamic_index,
+            slot=record.first_slot,
+            register_bits=0,
+            opcode="",
+        )
+        result = runner.run_sampled(
+            technique,
+            max_mbf=max_mbf,
+            win_size=win_size,
+            rng=rng,
+            first_candidate=candidate,
+        )
+        if result.outcome is Outcome.SDC:
+            sdc_count += 1
+    return len(chosen), sdc_count
+
+
+def transition_study(
+    store: ResultStore,
+    runner: ExperimentRunner,
+    program: str,
+    technique: str,
+    *,
+    max_mbf: Optional[int] = None,
+    win_size: Optional[int] = None,
+    locations_per_class: Optional[int] = 60,
+    seed: int = 2017,
+) -> TransitionStudyResult:
+    """Measure Transition I and Transition II likelihoods for one workload.
+
+    The single-bit campaign in ``store`` supplies the starting locations and
+    their single-bit outcomes; the worst-case multi-bit configuration (the
+    Table III argmax, unless ``max_mbf``/``win_size`` are given) is replayed
+    from each location.  ``locations_per_class`` bounds the number of replays
+    per outcome class (the paper replays all 10,000; at reproduction scale a
+    sample keeps the study fast while preserving the contrast between the
+    two transition likelihoods).
+    """
+    single_bit = store.single_bit(program, technique)
+    if not single_bit.records:
+        raise AnalysisError(
+            f"single-bit campaign for {program}/{technique} kept no per-experiment records"
+        )
+    if max_mbf is None or win_size is None:
+        multi = store.multi_bit(program, technique, same_register=False)
+        if not multi:
+            raise AnalysisError(
+                f"no multi-register campaigns for {program}/{technique}; "
+                "run them first or pass max_mbf/win_size explicitly"
+            )
+        best = max(multi, key=lambda result: result.sdc_percentage)
+        max_mbf = best.config.max_mbf if max_mbf is None else max_mbf
+        win_size = best.resolved_win_size if win_size is None else win_size
+
+    detection_records, benign_records = _records_by_outcome(single_bit)
+    rng = random.Random(seed)
+    detection_total, detection_sdc = _replay_locations(
+        runner,
+        technique,
+        detection_records,
+        max_mbf=max_mbf,
+        win_size=win_size,
+        rng=rng,
+        limit=locations_per_class,
+    )
+    benign_total, benign_sdc = _replay_locations(
+        runner,
+        technique,
+        benign_records,
+        max_mbf=max_mbf,
+        win_size=win_size,
+        rng=rng,
+        limit=locations_per_class,
+    )
+    return TransitionStudyResult(
+        program=program,
+        technique=technique,
+        max_mbf=max_mbf,
+        win_size=win_size,
+        detection_locations=detection_total,
+        detection_to_sdc=detection_sdc,
+        benign_locations=benign_total,
+        benign_to_sdc=benign_sdc,
+    )

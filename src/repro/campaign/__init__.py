@@ -1,0 +1,46 @@
+"""Campaign engine: runs sets of fault-injection experiments.
+
+A *campaign* is a set of experiments using the same fault model on a given
+workload (§III-E); the paper runs 182 campaigns per program (2 single-bit +
+2 × 90 multi-bit clusters) with 10,000 experiments each.  This package
+provides:
+
+* :mod:`repro.campaign.config` — campaign configurations, experiment scales
+  (SMOKE / BENCH / PAPER), and deterministic seeding;
+* :mod:`repro.campaign.plan` — helpers that expand a program list into the
+  campaign grids behind each figure of the paper;
+* :mod:`repro.campaign.runner` — executes campaigns and collects results;
+* :mod:`repro.campaign.results` — per-campaign aggregates and a queryable,
+  JSON-serialisable result store.
+"""
+
+from repro.campaign.config import (
+    BENCH_SCALE,
+    CampaignConfig,
+    ExperimentScale,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+)
+from repro.campaign.plan import (
+    full_paper_grid,
+    multi_register_campaigns,
+    same_register_campaigns,
+    single_bit_campaigns,
+)
+from repro.campaign.results import CampaignResult, ResultStore
+from repro.campaign.runner import CampaignRunner
+
+__all__ = [
+    "BENCH_SCALE",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignRunner",
+    "ExperimentScale",
+    "full_paper_grid",
+    "multi_register_campaigns",
+    "PAPER_SCALE",
+    "ResultStore",
+    "same_register_campaigns",
+    "single_bit_campaigns",
+    "SMOKE_SCALE",
+]

@@ -1,0 +1,105 @@
+"""Campaign configurations and experiment scales.
+
+Every campaign is identified by a (program, technique, max-MBF, win-size)
+tuple plus the number of experiments to run.  Seeding is fully deterministic:
+a campaign derives its RNG seed from the master seed and its own identity, so
+re-running any subset of campaigns reproduces the same numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.injection.faultmodel import (
+    SINGLE_BIT_MAX_MBF,
+    MultiBitCluster,
+    WinSizeSpec,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Bundle of knobs that trade fidelity for runtime.
+
+    The paper runs 10,000 experiments per campaign (PAPER scale).  The SMOKE
+    and BENCH presets keep the same statistical machinery at a size that runs
+    in seconds/minutes on a laptop; EXPERIMENTS.md records which scale was
+    used for every reported number.
+    """
+
+    name: str
+    experiments_per_campaign: int
+    #: Hang watchdog = multiplier × fault-free dynamic instruction count.
+    watchdog_multiplier: int = 12
+
+    def __post_init__(self) -> None:
+        if self.experiments_per_campaign < 1:
+            raise ConfigurationError("experiments_per_campaign must be positive")
+        if self.watchdog_multiplier < 2:
+            raise ConfigurationError("watchdog_multiplier must be at least 2")
+
+    def with_experiments(self, experiments: int) -> "ExperimentScale":
+        return replace(self, experiments_per_campaign=experiments)
+
+
+#: Used by unit tests and CI smoke checks.
+SMOKE_SCALE = ExperimentScale("smoke", experiments_per_campaign=40)
+#: Default for the benchmark harness in ``benchmarks/``.
+BENCH_SCALE = ExperimentScale("bench", experiments_per_campaign=150)
+#: The paper's own scale (provided for completeness; hours of runtime).
+PAPER_SCALE = ExperimentScale("paper", experiments_per_campaign=10_000)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One fault-injection campaign: a fault model applied to one workload."""
+
+    program: str
+    technique: str
+    max_mbf: int
+    win_size: WinSizeSpec
+    experiments: int
+    master_seed: int = 2017  # the year of the paper, used as the default seed
+
+    def __post_init__(self) -> None:
+        if self.max_mbf < 1:
+            raise ConfigurationError("max-MBF must be at least 1")
+        if self.experiments < 1:
+            raise ConfigurationError("a campaign needs at least one experiment")
+        if self.technique not in ("inject-on-read", "inject-on-write"):
+            raise ConfigurationError(f"unknown technique {self.technique!r}")
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def is_single_bit(self) -> bool:
+        return self.max_mbf == SINGLE_BIT_MAX_MBF
+
+    @property
+    def cluster(self) -> MultiBitCluster:
+        return MultiBitCluster(self.max_mbf, self.win_size)
+
+    @property
+    def campaign_id(self) -> str:
+        """Stable, human-readable identifier used as the result-store key."""
+        return (
+            f"{self.program}/{self.technique}/mbf={self.max_mbf}/"
+            f"win={self.win_size.index}:{self.win_size.label}"
+        )
+
+    @property
+    def seed(self) -> int:
+        """Deterministic per-campaign seed derived from identity + master seed."""
+        digest = hashlib.sha256(
+            f"{self.master_seed}|{self.campaign_id}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def describe(self) -> str:
+        model = "single bit-flip" if self.is_single_bit else self.cluster.label
+        return f"{self.program} / {self.technique} / {model} / {self.experiments} experiments"
+
+    def with_scale(self, scale: ExperimentScale) -> "CampaignConfig":
+        return replace(self, experiments=scale.experiments_per_campaign)

@@ -1,0 +1,121 @@
+"""Campaign plans: expand program lists into the paper's campaign grids.
+
+Each helper corresponds to a slice of the paper's evaluation:
+
+* :func:`single_bit_campaigns` — the two single bit-flip campaigns per
+  program behind Fig. 1 (and the baselines of every later comparison);
+* :func:`same_register_campaigns` — the win-size = 0 grid behind Fig. 2;
+* :func:`multi_register_campaigns` — the win-size > 0 grid behind Figs. 4/5;
+* :func:`full_paper_grid` — all 182 campaigns per program.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.campaign.config import CampaignConfig, ExperimentScale, SMOKE_SCALE
+from repro.injection.faultmodel import (
+    MAX_MBF_VALUES,
+    SINGLE_BIT_MAX_MBF,
+    WIN_SIZE_SPECS,
+    WinSizeSpec,
+    win_size_by_index,
+)
+from repro.injection.techniques import TECHNIQUES
+
+_ZERO_WINDOW = win_size_by_index("w1")
+
+
+def _technique_names(techniques: Optional[Sequence[str]]) -> List[str]:
+    if techniques is None:
+        return [technique.name for technique in TECHNIQUES]
+    return list(techniques)
+
+
+def single_bit_campaigns(
+    programs: Sequence[str],
+    scale: ExperimentScale = SMOKE_SCALE,
+    *,
+    techniques: Optional[Sequence[str]] = None,
+    master_seed: int = 2017,
+) -> List[CampaignConfig]:
+    """The single bit-flip campaign for every program × technique (Fig. 1)."""
+    return [
+        CampaignConfig(
+            program=program,
+            technique=technique,
+            max_mbf=SINGLE_BIT_MAX_MBF,
+            win_size=_ZERO_WINDOW,
+            experiments=scale.experiments_per_campaign,
+            master_seed=master_seed,
+        )
+        for program in programs
+        for technique in _technique_names(techniques)
+    ]
+
+
+def same_register_campaigns(
+    programs: Sequence[str],
+    scale: ExperimentScale = SMOKE_SCALE,
+    *,
+    max_mbf_values: Sequence[int] = MAX_MBF_VALUES,
+    techniques: Optional[Sequence[str]] = None,
+    master_seed: int = 2017,
+) -> List[CampaignConfig]:
+    """Multi-bit campaigns with win-size = 0 (Fig. 2's same-register study)."""
+    return [
+        CampaignConfig(
+            program=program,
+            technique=technique,
+            max_mbf=max_mbf,
+            win_size=_ZERO_WINDOW,
+            experiments=scale.experiments_per_campaign,
+            master_seed=master_seed,
+        )
+        for program in programs
+        for technique in _technique_names(techniques)
+        for max_mbf in max_mbf_values
+    ]
+
+
+def multi_register_campaigns(
+    programs: Sequence[str],
+    scale: ExperimentScale = SMOKE_SCALE,
+    *,
+    max_mbf_values: Sequence[int] = MAX_MBF_VALUES,
+    win_size_specs: Optional[Sequence[WinSizeSpec]] = None,
+    techniques: Optional[Sequence[str]] = None,
+    master_seed: int = 2017,
+) -> List[CampaignConfig]:
+    """Multi-bit campaigns with win-size > 0 (Figs. 4 and 5)."""
+    if win_size_specs is None:
+        win_size_specs = [
+            spec for spec in WIN_SIZE_SPECS if spec.is_random or spec.value != 0
+        ]
+    return [
+        CampaignConfig(
+            program=program,
+            technique=technique,
+            max_mbf=max_mbf,
+            win_size=win_size,
+            experiments=scale.experiments_per_campaign,
+            master_seed=master_seed,
+        )
+        for program in programs
+        for technique in _technique_names(techniques)
+        for max_mbf in max_mbf_values
+        for win_size in win_size_specs
+    ]
+
+
+def full_paper_grid(
+    programs: Sequence[str],
+    scale: ExperimentScale = SMOKE_SCALE,
+    *,
+    master_seed: int = 2017,
+) -> List[CampaignConfig]:
+    """All 182 campaigns per program: 2 single-bit + 2 × 90 multi-bit."""
+    campaigns = single_bit_campaigns(programs, scale, master_seed=master_seed)
+    campaigns += same_register_campaigns(programs, scale, master_seed=master_seed)
+    campaigns += multi_register_campaigns(programs, scale, master_seed=master_seed)
+    return campaigns

@@ -1,0 +1,239 @@
+"""Per-campaign results and the queryable result store.
+
+:class:`CampaignResult` aggregates one campaign: outcome counts, the
+activated-error histogram (for RQ1/Fig. 3), and per-experiment records (first
+injection location + outcome) that the transition study of RQ5/Table IV
+replays.  :class:`ResultStore` holds many campaign results, supports the
+queries the analysis layer needs, and round-trips to JSON so expensive
+campaign sweeps can be cached on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.campaign.config import CampaignConfig
+from repro.errors import AnalysisError
+from repro.injection.faultmodel import WinSizeSpec, win_size_by_index
+from repro.injection.outcome import Outcome, OutcomeCounts
+from repro.stats import ProportionEstimate, wilson_proportion_interval
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """Compact per-experiment record kept for location-sensitive analyses."""
+
+    first_dynamic_index: int
+    first_slot: Optional[int]
+    outcome: Outcome
+    activated_errors: int
+
+    def to_tuple(self) -> Tuple:
+        return (
+            self.first_dynamic_index,
+            self.first_slot,
+            self.outcome.value,
+            self.activated_errors,
+        )
+
+    @classmethod
+    def from_tuple(cls, data: Iterable) -> "ExperimentRecord":
+        index, slot, outcome, activated = data
+        return cls(index, slot, Outcome(outcome), activated)
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated results of one campaign."""
+
+    config: CampaignConfig
+    #: Concrete dynamic distance used (random win-size specs resolve per campaign).
+    resolved_win_size: int
+    outcome_counts: OutcomeCounts = field(default_factory=OutcomeCounts)
+    #: Histogram: number of activated errors -> experiment count.
+    activated_histogram: Dict[int, int] = field(default_factory=dict)
+    #: Per-experiment records (kept unless the caller disables them).
+    records: List[ExperimentRecord] = field(default_factory=list)
+
+    # -- incremental construction ------------------------------------------------
+    def add_experiment(
+        self,
+        outcome: Outcome,
+        activated_errors: int,
+        first_dynamic_index: int,
+        first_slot: Optional[int],
+        *,
+        keep_record: bool = True,
+    ) -> None:
+        self.outcome_counts.add(outcome)
+        self.activated_histogram[activated_errors] = (
+            self.activated_histogram.get(activated_errors, 0) + 1
+        )
+        if keep_record:
+            self.records.append(
+                ExperimentRecord(first_dynamic_index, first_slot, outcome, activated_errors)
+            )
+
+    # -- derived quantities ----------------------------------------------------------
+    @property
+    def experiments(self) -> int:
+        return self.outcome_counts.total
+
+    @property
+    def sdc_percentage(self) -> float:
+        return 100.0 * self.outcome_counts.sdc_fraction
+
+    @property
+    def detection_percentage(self) -> float:
+        return 100.0 * self.outcome_counts.detection_fraction
+
+    @property
+    def benign_percentage(self) -> float:
+        return 100.0 * self.outcome_counts.benign_fraction
+
+    def sdc_estimate(self) -> ProportionEstimate:
+        """SDC proportion with its 95 % confidence interval."""
+        return wilson_proportion_interval(
+            self.outcome_counts.count(Outcome.SDC), self.outcome_counts.total
+        )
+
+    def outcome_percentage(self, outcome: Outcome) -> float:
+        return 100.0 * self.outcome_counts.fraction(outcome)
+
+    # -- serialization -----------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "program": self.config.program,
+            "technique": self.config.technique,
+            "max_mbf": self.config.max_mbf,
+            "win_size_index": self.config.win_size.index,
+            "experiments": self.config.experiments,
+            "master_seed": self.config.master_seed,
+            "resolved_win_size": self.resolved_win_size,
+            "outcomes": self.outcome_counts.as_dict(),
+            "activated_histogram": {str(k): v for k, v in self.activated_histogram.items()},
+            "records": [record.to_tuple() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignResult":
+        config = CampaignConfig(
+            program=data["program"],
+            technique=data["technique"],
+            max_mbf=data["max_mbf"],
+            win_size=win_size_by_index(data["win_size_index"]),
+            experiments=data["experiments"],
+            master_seed=data.get("master_seed", 2017),
+        )
+        result = cls(
+            config=config,
+            resolved_win_size=data["resolved_win_size"],
+            outcome_counts=OutcomeCounts.from_mapping(data["outcomes"]),
+            activated_histogram={int(k): v for k, v in data["activated_histogram"].items()},
+            records=[ExperimentRecord.from_tuple(item) for item in data.get("records", [])],
+        )
+        return result
+
+
+class ResultStore:
+    """A collection of campaign results keyed by campaign id."""
+
+    def __init__(self) -> None:
+        self._results: Dict[str, CampaignResult] = {}
+
+    # -- mutation -----------------------------------------------------------------
+    def add(self, result: CampaignResult) -> None:
+        self._results[result.config.campaign_id] = result
+
+    def merge(self, other: "ResultStore") -> None:
+        for result in other:
+            self.add(result)
+
+    # -- access --------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[CampaignResult]:
+        return iter(self._results.values())
+
+    def __contains__(self, config: Union[str, CampaignConfig]) -> bool:
+        key = config if isinstance(config, str) else config.campaign_id
+        return key in self._results
+
+    def get(self, config: Union[str, CampaignConfig]) -> CampaignResult:
+        key = config if isinstance(config, str) else config.campaign_id
+        try:
+            return self._results[key]
+        except KeyError:
+            raise AnalysisError(f"no result recorded for campaign {key!r}") from None
+
+    def campaign_ids(self) -> List[str]:
+        return list(self._results)
+
+    # -- queries used by the analysis layer ----------------------------------------------
+    def for_program(self, program: str) -> List[CampaignResult]:
+        return [r for r in self if r.config.program == program]
+
+    def for_technique(self, technique: str) -> List[CampaignResult]:
+        return [r for r in self if r.config.technique == technique]
+
+    def single_bit(
+        self, program: str, technique: str
+    ) -> CampaignResult:
+        """The single bit-flip campaign for a program/technique pair."""
+        matches = [
+            r
+            for r in self
+            if r.config.program == program
+            and r.config.technique == technique
+            and r.config.is_single_bit
+        ]
+        if not matches:
+            raise AnalysisError(
+                f"no single bit-flip campaign for {program}/{technique} in the store"
+            )
+        return matches[0]
+
+    def multi_bit(
+        self,
+        program: str,
+        technique: str,
+        *,
+        same_register: Optional[bool] = None,
+    ) -> List[CampaignResult]:
+        """All multi-bit campaigns, optionally filtered by win-size = 0 or > 0."""
+        matches = [
+            r
+            for r in self
+            if r.config.program == program
+            and r.config.technique == technique
+            and not r.config.is_single_bit
+        ]
+        if same_register is True:
+            matches = [r for r in matches if r.resolved_win_size == 0]
+        elif same_register is False:
+            matches = [r for r in matches if r.resolved_win_size > 0]
+        return matches
+
+    def programs(self) -> List[str]:
+        seen: List[str] = []
+        for result in self:
+            if result.config.program not in seen:
+                seen.append(result.config.program)
+        return seen
+
+    # -- persistence ---------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {"version": 1, "campaigns": [result.to_dict() for result in self]}
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ResultStore":
+        payload = json.loads(Path(path).read_text())
+        store = cls()
+        for item in payload.get("campaigns", []):
+            store.add(CampaignResult.from_dict(item))
+        return store

@@ -1,0 +1,92 @@
+"""Campaign execution: run every experiment of one or more campaigns.
+
+The runner caches one :class:`~repro.injection.experiment.ExperimentRunner`
+per workload (compiling the program and profiling its golden trace exactly
+once), then executes campaigns sequentially.  Everything is seeded from the
+campaign configuration so results are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+from repro.campaign.config import CampaignConfig
+from repro.campaign.results import CampaignResult, ResultStore
+from repro.injection.experiment import ExperimentRunner
+from repro.injection.techniques import technique_by_name
+
+#: A provider maps a program name to a ready-to-use ExperimentRunner.
+RunnerProvider = Callable[[str], ExperimentRunner]
+
+
+def _default_provider(program_name: str) -> ExperimentRunner:
+    """Resolve programs through the benchmark registry (imported lazily)."""
+    from repro.programs.registry import get_experiment_runner
+
+    return get_experiment_runner(program_name)
+
+
+class CampaignRunner:
+    """Executes campaigns and accumulates their results in a store."""
+
+    def __init__(
+        self,
+        provider: Optional[RunnerProvider] = None,
+        *,
+        keep_records: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self._provider = provider or _default_provider
+        self._keep_records = keep_records
+        self._progress = progress
+        self._experiment_runners: Dict[str, ExperimentRunner] = {}
+
+    # -- workload management --------------------------------------------------------
+    def experiment_runner(self, program_name: str) -> ExperimentRunner:
+        """The cached per-workload experiment runner (golden trace included)."""
+        if program_name not in self._experiment_runners:
+            self._experiment_runners[program_name] = self._provider(program_name)
+        return self._experiment_runners[program_name]
+
+    # -- campaign execution -----------------------------------------------------------
+    def run_campaign(self, config: CampaignConfig) -> CampaignResult:
+        """Run every experiment of one campaign and aggregate the outcomes."""
+        if self._progress is not None:
+            self._progress(config.describe())
+        workload = self.experiment_runner(config.program)
+        technique = technique_by_name(config.technique)
+        rng = random.Random(config.seed)
+        resolved_win_size = config.win_size.resolve(rng)
+        result = CampaignResult(config=config, resolved_win_size=resolved_win_size)
+
+        for _ in range(config.experiments):
+            experiment = workload.run_sampled(
+                technique,
+                max_mbf=config.max_mbf,
+                win_size=resolved_win_size,
+                rng=rng,
+            )
+            result.add_experiment(
+                outcome=experiment.outcome,
+                activated_errors=experiment.activated_errors,
+                first_dynamic_index=experiment.spec.first_dynamic_index,
+                first_slot=experiment.spec.first_slot,
+                keep_record=self._keep_records,
+            )
+        return result
+
+    def run_campaigns(
+        self,
+        configs: Sequence[CampaignConfig],
+        store: Optional[ResultStore] = None,
+        *,
+        skip_existing: bool = True,
+    ) -> ResultStore:
+        """Run many campaigns, reusing any results already in ``store``."""
+        store = store if store is not None else ResultStore()
+        for config in configs:
+            if skip_existing and config in store:
+                continue
+            store.add(self.run_campaign(config))
+        return store

@@ -1,0 +1,167 @@
+"""Command-line interface: regenerate paper artefacts from a terminal.
+
+Usage (after ``pip install -e .``, or via ``python -m repro``)::
+
+    python -m repro list-programs
+    python -m repro table 2
+    python -m repro figure 1 --programs crc32,dijkstra --experiments 100
+    python -m repro figure 5 --programs basicmath,crc32 --max-mbf 2,3,30
+    python -m repro table 4 --programs crc32 --experiments 80 --cache results.json
+
+Every command prints the same text tables the benchmark harness produces.
+Campaign results can be cached to a JSON file with ``--cache`` so repeated
+invocations only run what is missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.campaign import ExperimentScale
+from repro.experiments import (
+    ExperimentSession,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.injection.faultmodel import MAX_MBF_VALUES, win_size_by_index
+from repro.programs.registry import all_program_names, get_program
+
+_FIGURES = {1: figure1, 2: figure2, 3: figure3, 4: figure4, 5: figure5}
+
+
+def _parse_programs(text: Optional[str]) -> Optional[List[str]]:
+    if not text:
+        return None
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    for name in names:
+        get_program(name)  # raises ConfigurationError on typos
+    return names
+
+
+def _parse_max_mbf(text: Optional[str]) -> Sequence[int]:
+    if not text:
+        return MAX_MBF_VALUES
+    return tuple(int(part) for part in text.split(","))
+
+
+def _parse_win_sizes(text: Optional[str]):
+    if not text:
+        return None
+    return [win_size_by_index(index.strip()) for index in text.split(",")]
+
+
+def _build_session(args: argparse.Namespace) -> ExperimentSession:
+    scale = ExperimentScale("cli", experiments_per_campaign=args.experiments)
+    return ExperimentSession(scale=scale, cache_path=args.cache, progress=_progress(args))
+
+
+def _progress(args: argparse.Namespace):
+    if args.quiet:
+        return None
+
+    def report(message: str) -> None:
+        print(f"  running {message}", file=sys.stderr)
+
+    return report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables and figures of 'One Bit is (Not) Enough' (DSN 2017).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-programs", help="list the 15 benchmark programs")
+
+    def add_campaign_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--programs", help="comma-separated program names (default: all 15)")
+        sub.add_argument(
+            "--experiments", type=int, default=100, help="experiments per campaign (default 100)"
+        )
+        sub.add_argument("--max-mbf", help="comma-separated max-MBF values (default: Table I)")
+        sub.add_argument(
+            "--win-sizes", help="comma-separated win-size indices, e.g. w2,w7 (default: Table I)"
+        )
+        sub.add_argument("--cache", help="JSON file to cache campaign results across runs")
+        sub.add_argument("--quiet", action="store_true", help="suppress per-campaign progress")
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate a figure (1-5)")
+    figure_parser.add_argument("number", type=int, choices=sorted(_FIGURES))
+    add_campaign_options(figure_parser)
+
+    table_parser = subparsers.add_parser("table", help="regenerate a table (1-4)")
+    table_parser.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    add_campaign_options(table_parser)
+
+    return parser
+
+
+def _run_figure(args: argparse.Namespace) -> str:
+    programs = _parse_programs(args.programs)
+    session = _build_session(args)
+    function = _FIGURES[args.number]
+    if args.number == 1:
+        result = function(session, programs)
+    elif args.number == 3:
+        result = function(session, programs, win_size_specs=_parse_win_sizes(args.win_sizes))
+    elif args.number == 2:
+        result = function(session, programs, max_mbf_values=_parse_max_mbf(args.max_mbf))
+    else:
+        result = function(
+            session,
+            programs,
+            max_mbf_values=_parse_max_mbf(args.max_mbf),
+            win_size_specs=_parse_win_sizes(args.win_sizes),
+        )
+    return f"{result.name}: {result.description}\n\n{result.text}"
+
+
+def _run_table(args: argparse.Namespace) -> str:
+    if args.number == 1:
+        result = table1()
+    elif args.number == 2:
+        result = table2(_parse_programs(args.programs))
+    elif args.number == 3:
+        result = table3(
+            _build_session(args),
+            _parse_programs(args.programs),
+            max_mbf_values=_parse_max_mbf(args.max_mbf),
+            win_size_specs=_parse_win_sizes(args.win_sizes),
+        )
+    else:
+        result = table4(
+            _build_session(args),
+            _parse_programs(args.programs),
+            win_size_specs=_parse_win_sizes(args.win_sizes),
+        )
+    return f"{result.name}: {result.description}\n\n{result.text}"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-programs":
+        for name in all_program_names():
+            definition = get_program(name)
+            print(f"{name:16s} {definition.suite}/{definition.package:11s} {definition.description}")
+        return 0
+    if args.command == "figure":
+        print(_run_figure(args))
+        return 0
+    if args.command == "table":
+        print(_run_table(args))
+        return 0
+    return 2  # pragma: no cover - argparse enforces valid commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Exception hierarchy shared across the repro library.
+
+Two families of errors exist and must not be confused:
+
+* :class:`ReproError` and subclasses — *host-level* problems in the library
+  itself (bad configuration, compiler bugs, mis-used APIs).  These propagate
+  to the caller like any Python exception.
+* :class:`repro.vm.faults.HardwareFault` and subclasses — *simulated* faults
+  raised by the virtual machine on behalf of the emulated hardware
+  (segmentation faults, misaligned accesses, division by zero, aborts).
+  These are caught by the experiment driver and classified as
+  "Detected by Hardware Exception" outcomes, mirroring how LLFI's native runs
+  are terminated by OS signals.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all host-level errors raised by the library."""
+
+
+class CompilationError(ReproError):
+    """The frontend could not translate a program to MiniIR."""
+
+    def __init__(self, message: str, *, location: str | None = None) -> None:
+        if location:
+            message = f"{location}: {message}"
+        super().__init__(message)
+        self.location = location
+
+
+class ConfigurationError(ReproError):
+    """A campaign, fault-model or program configuration is invalid."""
+
+
+class ExecutionSetupError(ReproError):
+    """The VM could not be set up to run a program (not a simulated fault)."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked to operate on incomplete or inconsistent results."""

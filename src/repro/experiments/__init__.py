@@ -1,0 +1,26 @@
+"""Experiment harness: one entry point per table and figure of the paper.
+
+:class:`~repro.experiments.session.ExperimentSession` owns a campaign runner
+and a result store so that different figures can share campaign results
+(Fig. 4 and Table III, for example, use the same multi-register campaigns).
+The :mod:`~repro.experiments.figures` and :mod:`~repro.experiments.tables`
+modules expose ``figure1`` … ``figure5`` and ``table1`` … ``table4``
+functions returning both the raw data and a formatted text rendering.
+"""
+
+from repro.experiments.session import ExperimentSession
+from repro.experiments.figures import figure1, figure2, figure3, figure4, figure5
+from repro.experiments.tables import table1, table2, table3, table4
+
+__all__ = [
+    "ExperimentSession",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,222 @@
+"""Regenerate the data behind each figure of the paper's evaluation.
+
+Every function takes an :class:`~repro.experiments.session.ExperimentSession`
+(which caches campaign results), a list of programs and optional parameter
+subsets, runs whatever campaigns are missing, and returns a
+:class:`FigureResult` with the raw per-program series plus a formatted text
+table.  Absolute percentages will differ from the paper (different substrate,
+scaled-down inputs and campaign sizes); the *shape* — which technique yields
+more SDCs, how SDC % moves with max-MBF and win-size — is what the benchmark
+assertions in ``benchmarks/`` check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.activation import activation_distribution
+from repro.analysis.comparison import sdc_percentage_by_cluster
+from repro.analysis.reporting import format_figure1, format_figure3, format_sdc_series
+from repro.campaign.plan import (
+    multi_register_campaigns,
+    same_register_campaigns,
+    single_bit_campaigns,
+)
+from repro.experiments.session import ExperimentSession
+from repro.injection.faultmodel import MAX_MBF_VALUES, WIN_SIZE_SPECS, WinSizeSpec
+from repro.injection.outcome import Outcome
+from repro.programs.registry import all_program_names
+
+
+@dataclass
+class FigureResult:
+    """Raw data plus a text rendering for one figure."""
+
+    name: str
+    description: str
+    #: Per-technique mapping: program -> series (structure varies per figure).
+    data: Dict[str, Dict] = field(default_factory=dict)
+    text: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}: {self.description}\n{self.text}"
+
+
+_TECHNIQUES = ("inject-on-read", "inject-on-write")
+
+
+def _programs_or_default(programs: Optional[Sequence[str]]) -> List[str]:
+    return list(programs) if programs is not None else all_program_names()
+
+
+# ------------------------------------------------------------------------------ Fig. 1
+def figure1(
+    session: ExperimentSession,
+    programs: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Fig. 1: outcome classification of single bit-flip campaigns."""
+    selected = _programs_or_default(programs)
+    store = session.ensure(single_bit_campaigns(selected, session.scale))
+    result = FigureResult(
+        name="figure1",
+        description="Single bit-flip outcome classification per program and technique",
+    )
+    sections: List[str] = []
+    for technique in _TECHNIQUES:
+        per_program: Dict[str, Dict[str, float]] = {}
+        for program in selected:
+            campaign = store.single_bit(program, technique)
+            per_program[program] = {
+                "benign": campaign.benign_percentage,
+                "detection": campaign.detection_percentage,
+                "sdc": campaign.sdc_percentage,
+                "hw_exception": campaign.outcome_percentage(Outcome.DETECTED_HW_EXCEPTION),
+                "hang": campaign.outcome_percentage(Outcome.HANG),
+                "no_output": campaign.outcome_percentage(Outcome.NO_OUTPUT),
+                "ci_half_width": 100.0 * campaign.sdc_estimate().half_width,
+            }
+        result.data[technique] = per_program
+        sections.append(f"[{technique}]\n" + format_figure1(store, technique))
+    result.text = "\n\n".join(sections)
+    return result
+
+
+# ------------------------------------------------------------------------------ Fig. 2
+def figure2(
+    session: ExperimentSession,
+    programs: Optional[Sequence[str]] = None,
+    *,
+    max_mbf_values: Sequence[int] = MAX_MBF_VALUES,
+) -> FigureResult:
+    """Fig. 2: SDC % for multiple flips of the same register (win-size = 0)."""
+    selected = _programs_or_default(programs)
+    configs = single_bit_campaigns(selected, session.scale)
+    configs += same_register_campaigns(selected, session.scale, max_mbf_values=max_mbf_values)
+    store = session.ensure(configs)
+    result = FigureResult(
+        name="figure2",
+        description="SDC% when injecting 1..30 errors into the same register",
+    )
+    sections: List[str] = []
+    for technique in _TECHNIQUES:
+        per_program: Dict[str, Dict] = {}
+        for program in selected:
+            series = sdc_percentage_by_cluster(store, program, technique, same_register=True)
+            per_program[program] = {
+                "single_bit": series.get((1, "single")),
+                "by_max_mbf": {
+                    max_mbf: value
+                    for (max_mbf, _label), value in series.items()
+                    if max_mbf != 1
+                },
+            }
+        result.data[technique] = per_program
+        sections.append(
+            f"[{technique}]\n"
+            + format_sdc_series(store, technique, same_register=True, programs=selected)
+        )
+    result.text = "\n\n".join(sections)
+    return result
+
+
+# ------------------------------------------------------------------------------ Fig. 3
+def figure3(
+    session: ExperimentSession,
+    programs: Optional[Sequence[str]] = None,
+    *,
+    win_size_specs: Optional[Sequence[WinSizeSpec]] = None,
+) -> FigureResult:
+    """Fig. 3: distribution of activated errors when 30 flips are planned."""
+    selected = _programs_or_default(programs)
+    configs = multi_register_campaigns(
+        selected,
+        session.scale,
+        max_mbf_values=(30,),
+        win_size_specs=win_size_specs,
+    )
+    configs += same_register_campaigns(selected, session.scale, max_mbf_values=(30,))
+    store = session.ensure(configs)
+    result = FigureResult(
+        name="figure3",
+        description="Distribution of activated errors before crash (max-MBF = 30)",
+    )
+    for technique in _TECHNIQUES:
+        distribution = activation_distribution(
+            store, technique, max_mbf=30, programs=selected
+        )
+        result.data[technique] = {
+            "histogram": dict(distribution.histogram),
+            "buckets": distribution.bucket_percentages(),
+            "mean": distribution.mean_activated(),
+            "fraction_at_most_10": distribution.fraction_at_most(10),
+        }
+    result.text = format_figure3(store, max_mbf=30)
+    return result
+
+
+# ------------------------------------------------------------------------------ Figs. 4 & 5
+def _multi_register_figure(
+    session: ExperimentSession,
+    technique: str,
+    programs: Optional[Sequence[str]],
+    max_mbf_values: Sequence[int],
+    win_size_specs: Optional[Sequence[WinSizeSpec]],
+    name: str,
+) -> FigureResult:
+    selected = _programs_or_default(programs)
+    configs = single_bit_campaigns(selected, session.scale, techniques=[technique])
+    configs += multi_register_campaigns(
+        selected,
+        session.scale,
+        max_mbf_values=max_mbf_values,
+        win_size_specs=win_size_specs,
+        techniques=[technique],
+    )
+    store = session.ensure(configs)
+    result = FigureResult(
+        name=name,
+        description=f"SDC% for multi-register injections using {technique}",
+    )
+    per_program: Dict[str, Dict] = {}
+    for program in selected:
+        series = sdc_percentage_by_cluster(store, program, technique, same_register=False)
+        per_program[program] = {
+            "single_bit": series.get((1, "single")),
+            "by_cluster": {
+                f"mbf={max_mbf},win={label}": value
+                for (max_mbf, label), value in series.items()
+                if max_mbf != 1
+            },
+        }
+    result.data[technique] = per_program
+    result.text = format_sdc_series(
+        store, technique, same_register=False, programs=selected
+    )
+    return result
+
+
+def figure4(
+    session: ExperimentSession,
+    programs: Optional[Sequence[str]] = None,
+    *,
+    max_mbf_values: Sequence[int] = MAX_MBF_VALUES,
+    win_size_specs: Optional[Sequence[WinSizeSpec]] = None,
+) -> FigureResult:
+    """Fig. 4: SDC % for multi-register injections, inject-on-read."""
+    return _multi_register_figure(
+        session, "inject-on-read", programs, max_mbf_values, win_size_specs, "figure4"
+    )
+
+
+def figure5(
+    session: ExperimentSession,
+    programs: Optional[Sequence[str]] = None,
+    *,
+    max_mbf_values: Sequence[int] = MAX_MBF_VALUES,
+    win_size_specs: Optional[Sequence[WinSizeSpec]] = None,
+) -> FigureResult:
+    """Fig. 5: SDC % for multi-register injections, inject-on-write."""
+    return _multi_register_figure(
+        session, "inject-on-write", programs, max_mbf_values, win_size_specs, "figure5"
+    )

@@ -1,0 +1,51 @@
+"""Experiment sessions: shared campaign execution and result caching."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.campaign.config import CampaignConfig, ExperimentScale, SMOKE_SCALE
+from repro.campaign.results import ResultStore
+from repro.campaign.runner import CampaignRunner
+
+
+class ExperimentSession:
+    """Owns a campaign runner plus a result store shared across figures.
+
+    Figures 2, 4 and 5, Table III and Table IV all reuse overlapping campaign
+    grids; running them through one session means each campaign executes at
+    most once.  A session can also persist its store to disk so repeated
+    benchmark invocations do not re-run identical campaigns.
+    """
+
+    def __init__(
+        self,
+        *,
+        scale: ExperimentScale = SMOKE_SCALE,
+        store: Optional[ResultStore] = None,
+        cache_path: Optional[Union[str, Path]] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.scale = scale
+        self.cache_path = Path(cache_path) if cache_path is not None else None
+        if store is not None:
+            self.store = store
+        elif self.cache_path is not None and self.cache_path.exists():
+            self.store = ResultStore.load(self.cache_path)
+        else:
+            self.store = ResultStore()
+        self.runner = CampaignRunner(progress=progress)
+
+    def ensure(self, configs: Sequence[CampaignConfig]) -> ResultStore:
+        """Run any of ``configs`` not yet in the store; return the store."""
+        scaled = [config.with_scale(self.scale) for config in configs]
+        self.runner.run_campaigns(scaled, self.store, skip_existing=True)
+        if self.cache_path is not None:
+            self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+            self.store.save(self.cache_path)
+        return self.store
+
+    def experiment_runner(self, program: str):
+        """Direct access to a workload's experiment runner (used by Table IV)."""
+        return self.runner.experiment_runner(program)

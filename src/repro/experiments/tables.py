@@ -1,0 +1,187 @@
+"""Regenerate the data behind each table of the paper.
+
+* Table I — the max-MBF / win-size parameter grid (pure configuration);
+* Table II — per-program candidate instruction counts for both techniques;
+* Table III — the (max-MBF, win-size) configurations with the highest SDC %;
+* Table IV — Transition I / Transition II likelihoods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.comparison import highest_sdc_configurations
+from repro.analysis.reporting import format_table, format_table3, format_table4
+from repro.analysis.transitions import TransitionStudyResult, transition_study
+from repro.campaign.plan import multi_register_campaigns, single_bit_campaigns
+from repro.experiments.session import ExperimentSession
+from repro.injection.faultmodel import MAX_MBF_VALUES, WIN_SIZE_SPECS, WinSizeSpec
+from repro.injection.techniques import INJECT_ON_READ, INJECT_ON_WRITE
+from repro.programs.registry import all_program_names, get_experiment_runner, get_program
+
+
+@dataclass
+class TableResult:
+    """Raw rows plus a text rendering for one table."""
+
+    name: str
+    description: str
+    rows: List[Dict] = field(default_factory=list)
+    text: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}: {self.description}\n{self.text}"
+
+
+# ------------------------------------------------------------------------------ Table I
+def table1() -> TableResult:
+    """Table I: the values selected for max-MBF and win-size."""
+    rows: List[Dict] = []
+    for index, value in enumerate(MAX_MBF_VALUES, start=1):
+        rows.append({"kind": "max-MBF", "index": f"m{index}", "value": str(value)})
+    for spec in WIN_SIZE_SPECS:
+        rows.append({"kind": "win-size", "index": spec.index, "value": spec.label})
+    text = format_table(
+        ["kind", "index", "value"],
+        [[row["kind"], row["index"], row["value"]] for row in rows],
+    )
+    return TableResult(
+        name="table1",
+        description="max-MBF and win-size values of the error-space clustering",
+        rows=rows,
+        text=text,
+    )
+
+
+# ------------------------------------------------------------------------------ Table II
+def table2(programs: Optional[Sequence[str]] = None) -> TableResult:
+    """Table II: candidate fault-injection instruction counts per program."""
+    selected = list(programs) if programs is not None else all_program_names()
+    rows: List[Dict] = []
+    for name in selected:
+        definition = get_program(name)
+        runner = get_experiment_runner(name)
+        golden = runner.golden
+        rows.append(
+            {
+                "program": name,
+                "suite": definition.suite,
+                "package": definition.package,
+                "dynamic_instructions": golden.dynamic_instruction_count,
+                "inject_on_read_candidates": INJECT_ON_READ.candidate_instruction_count(golden),
+                "inject_on_write_candidates": INJECT_ON_WRITE.candidate_instruction_count(golden),
+                "description": definition.description,
+            }
+        )
+    text = format_table(
+        ["program", "suite", "package", "dyn. instr.", "read candidates", "write candidates"],
+        [
+            [
+                row["program"],
+                row["suite"],
+                row["package"],
+                row["dynamic_instructions"],
+                row["inject_on_read_candidates"],
+                row["inject_on_write_candidates"],
+            ]
+            for row in rows
+        ],
+    )
+    return TableResult(
+        name="table2",
+        description="Benchmark programs and their candidate instruction counts",
+        rows=rows,
+        text=text,
+    )
+
+
+# ------------------------------------------------------------------------------ Table III
+def table3(
+    session: ExperimentSession,
+    programs: Optional[Sequence[str]] = None,
+    *,
+    max_mbf_values: Sequence[int] = MAX_MBF_VALUES,
+    win_size_specs: Optional[Sequence[WinSizeSpec]] = None,
+) -> TableResult:
+    """Table III: configurations with the highest SDC % per program/technique."""
+    selected = list(programs) if programs is not None else all_program_names()
+    configs = single_bit_campaigns(selected, session.scale)
+    configs += multi_register_campaigns(
+        selected,
+        session.scale,
+        max_mbf_values=max_mbf_values,
+        win_size_specs=win_size_specs,
+    )
+    store = session.ensure(configs)
+    rows = [
+        {
+            "program": row.program,
+            "technique": row.technique,
+            "max_mbf": row.max_mbf,
+            "win_size": row.win_size_label,
+            "sdc_percentage": row.sdc_percentage,
+            "single_bit_sdc_percentage": row.single_bit_sdc_percentage,
+            "exceeds_single_bit": row.exceeds_single_bit,
+        }
+        for row in highest_sdc_configurations(store, programs=selected)
+    ]
+    return TableResult(
+        name="table3",
+        description="Configurations with the highest SDC% among multi-bit campaigns",
+        rows=rows,
+        text=format_table3(store, programs=selected),
+    )
+
+
+# ------------------------------------------------------------------------------ Table IV
+def table4(
+    session: ExperimentSession,
+    programs: Optional[Sequence[str]] = None,
+    *,
+    techniques: Sequence[str] = ("inject-on-read", "inject-on-write"),
+    max_mbf_values: Sequence[int] = (2, 3),
+    win_size_specs: Optional[Sequence[WinSizeSpec]] = None,
+    locations_per_class: int = 40,
+) -> TableResult:
+    """Table IV: likelihood of Transition I and Transition II per program."""
+    selected = list(programs) if programs is not None else all_program_names()
+    configs = single_bit_campaigns(selected, session.scale, techniques=techniques)
+    configs += multi_register_campaigns(
+        selected,
+        session.scale,
+        max_mbf_values=max_mbf_values,
+        win_size_specs=win_size_specs,
+        techniques=techniques,
+    )
+    store = session.ensure(configs)
+
+    studies: List[TransitionStudyResult] = []
+    for program in selected:
+        for technique in techniques:
+            studies.append(
+                transition_study(
+                    store,
+                    session.experiment_runner(program),
+                    program,
+                    technique,
+                    locations_per_class=locations_per_class,
+                )
+            )
+    rows = [
+        {
+            "program": study.program,
+            "technique": study.technique,
+            "transition1_percentage": 100.0 * study.transition1_likelihood,
+            "transition2_percentage": 100.0 * study.transition2_likelihood,
+            "max_mbf": study.max_mbf,
+            "win_size": study.win_size,
+        }
+        for study in studies
+    ]
+    return TableResult(
+        name="table4",
+        description="Likelihood of Detection->SDC and Benign->SDC transitions",
+        rows=rows,
+        text=format_table4(studies),
+    )

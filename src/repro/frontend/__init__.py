@@ -1,0 +1,31 @@
+"""Frontend: compiles a restricted Python subset into MiniIR.
+
+The benchmark programs of the paper are C programs compiled to LLVM IR.  In
+this reproduction the programs are written in a small, statically-typeable
+subset of Python (annotated functions, explicit element types for arrays)
+and compiled by :class:`~repro.frontend.compiler.ProgramCompiler` into MiniIR
+modules that the VM executes and the injector instruments.
+
+The lowering style matches ``clang -O0`` (the configuration LLFI studies are
+usually run at): every local variable becomes an ``alloca``'d stack slot,
+reads are ``load``s and writes are ``store``s.  This produces the realistic
+mix of address-producing and data-producing instructions that the paper uses
+to explain the difference between inject-on-read and inject-on-write results.
+"""
+
+from repro.frontend.compiler import (
+    CompiledProgram,
+    FrontendOptions,
+    ProgramCompiler,
+    compile_program,
+)
+from repro.frontend.intrinsics import FRONTEND_BUILTINS, MATH_BUILTINS
+
+__all__ = [
+    "CompiledProgram",
+    "FRONTEND_BUILTINS",
+    "FrontendOptions",
+    "MATH_BUILTINS",
+    "ProgramCompiler",
+    "compile_program",
+]

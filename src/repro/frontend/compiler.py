@@ -1,0 +1,960 @@
+"""Compile a restricted Python subset into MiniIR modules.
+
+The supported language (checked by the compiler, documented here for program
+authors):
+
+* **Functions** with string type annotations on every parameter and on the
+  return value (``"i64"``, ``"f64"``, ``"i32*"`` …).  A missing return
+  annotation means ``void``.
+* **Locals** are typed by their first assignment and lowered to ``alloca``'d
+  stack slots (the ``clang -O0`` style LLFI operates on): reads become
+  ``load``s, writes become ``store``s.
+* **Integers** are ``i64`` and **floats** are ``f64`` in registers; arrays
+  and globals may use any scalar element type, with automatic widening on
+  load and narrowing on store.
+* **Statements**: assignment, augmented assignment, ``if``/``elif``/``else``,
+  ``while``, ``for i in range(...)``, ``break``, ``continue``, ``return``,
+  ``assert``, ``pass``, and expression statements (calls).
+* **Expressions**: arithmetic and bitwise operators, comparisons (single
+  comparator), short-circuit ``and``/``or``, ``not``, unary ``-``/``~``,
+  subscripts on pointers, conditional expressions (both arms evaluated),
+  calls to other program functions and to the builtins listed in
+  :mod:`repro.frontend.intrinsics` (``output``, ``sqrt``, ``array``, …).
+* **Globals** are declared through :meth:`ProgramCompiler.add_global` and are
+  visible in every function as pointers to their element type.
+
+Anything outside the subset raises :class:`~repro.errors.CompilationError`
+with the offending source location.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import CompilationError
+from repro.frontend.intrinsics import FRONTEND_BUILTINS, INLINE_BUILTINS, MATH_BUILTINS
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import (
+    ArrayType,
+    BOOL,
+    FloatType,
+    IntType,
+    IRType,
+    PointerType,
+    F64,
+    I64,
+    VOID,
+    parse_type,
+)
+from repro.ir.values import Constant, Value
+from repro.ir.verifier import verify_module
+
+
+@dataclass(frozen=True)
+class FrontendOptions:
+    """Knobs for the frontend (kept small on purpose)."""
+
+    #: Register type used for Python ``int`` expressions.
+    default_int: IntType = I64
+    #: Register type used for Python ``float`` expressions.
+    default_float: FloatType = F64
+    #: Verify the produced module before returning it.
+    verify: bool = True
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled module plus the metadata needed to run it."""
+
+    module: Module
+    entry: str = "main"
+
+    def instruction_count(self) -> int:
+        return self.module.instruction_count()
+
+
+SourceLike = Union[str, Callable]
+
+
+class ProgramCompiler:
+    """Collects globals and function sources, then compiles them to a module."""
+
+    def __init__(self, name: str, options: Optional[FrontendOptions] = None) -> None:
+        self.name = name
+        self.options = options or FrontendOptions()
+        self._module = Module(name)
+        self._function_sources: List[Tuple[str, ast.FunctionDef]] = []
+        self._signatures: Dict[str, Function] = {}
+
+    # -- program inputs -------------------------------------------------------
+    def add_global(
+        self,
+        name: str,
+        element_typename: str,
+        values: Sequence[Union[int, float]],
+        *,
+        constant: bool = False,
+    ) -> None:
+        """Declare a module-level array global visible to every function."""
+        element = parse_type(element_typename)
+        if element.is_void or element.is_pointer:
+            raise CompilationError(f"global {name}: unsupported element type {element}")
+        array = ArrayType(element, len(values))
+        self._module.add_global(name, array, list(values), constant=constant)
+
+    def add_output_global(self, name: str, element_typename: str, count: int) -> None:
+        """Declare a zero-initialised global used as an output buffer."""
+        self.add_global(name, element_typename, [0] * count)
+
+    def add_function(self, source: SourceLike) -> None:
+        """Add a function given as source text or a Python function object."""
+        if callable(source):
+            source = inspect.getsource(source)
+        source = textwrap.dedent(source)
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            raise CompilationError(f"cannot parse function source: {error}") from None
+        found = [node for node in tree.body if isinstance(node, ast.FunctionDef)]
+        if not found:
+            raise CompilationError("source does not contain a function definition")
+        for node in found:
+            self._function_sources.append((source, node))
+
+    def add_functions(self, sources: Sequence[SourceLike]) -> None:
+        for source in sources:
+            self.add_function(source)
+
+    # -- compilation -----------------------------------------------------------
+    def compile(self, entry: str = "main") -> CompiledProgram:
+        """Compile all added functions and return the finished program."""
+        if not self._function_sources:
+            raise CompilationError(f"program {self.name} has no functions")
+
+        # Pass 1: build signatures so calls can be type-checked in any order.
+        for _, node in self._function_sources:
+            signature = self._build_signature(node)
+            if signature.name in self._signatures:
+                raise CompilationError(f"duplicate function {signature.name}")
+            self._signatures[signature.name] = signature
+            self._module.add_function(signature)
+
+        # Pass 2: lower bodies.
+        for _, node in self._function_sources:
+            lowering = _FunctionLowering(
+                compiler=self,
+                node=node,
+                function=self._signatures[node.name],
+            )
+            lowering.run()
+
+        if entry not in self._signatures:
+            raise CompilationError(f"program {self.name} has no entry function {entry!r}")
+        self._module.finalize()
+        if self.options.verify:
+            verify_module(self._module)
+        return CompiledProgram(module=self._module, entry=entry)
+
+    # -- internals ---------------------------------------------------------------
+    def _annotation_type(self, node: Optional[ast.expr], where: str) -> IRType:
+        if node is None:
+            return VOID
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                return parse_type(node.value)
+            except ValueError as error:
+                raise CompilationError(str(error), location=where) from None
+        if isinstance(node, ast.Constant) and node.value is None:
+            return VOID
+        raise CompilationError(
+            "type annotations must be string literals such as \"i64\" or \"f64*\"",
+            location=where,
+        )
+
+    def _build_signature(self, node: ast.FunctionDef) -> Function:
+        where = f"{self.name}:{node.name}"
+        if node.args.vararg or node.args.kwarg or node.args.kwonlyargs or node.args.defaults:
+            raise CompilationError(
+                "only plain positional parameters are supported", location=where
+            )
+        arg_types: List[IRType] = []
+        arg_names: List[str] = []
+        for arg in node.args.args:
+            arg_type = self._annotation_type(arg.annotation, f"{where}:{arg.arg}")
+            if arg_type.is_void:
+                raise CompilationError(
+                    f"parameter {arg.arg} must have a non-void type annotation",
+                    location=where,
+                )
+            arg_types.append(arg_type)
+            arg_names.append(arg.arg)
+        return_type = self._annotation_type(node.returns, where)
+        return Function(node.name, return_type, arg_types, arg_names)
+
+    @property
+    def module(self) -> Module:
+        return self._module
+
+    @property
+    def signatures(self) -> Dict[str, Function]:
+        return self._signatures
+
+
+def compile_program(
+    name: str,
+    functions: Sequence[SourceLike],
+    globals_: Optional[Dict[str, Tuple[str, Sequence[Union[int, float]]]]] = None,
+    *,
+    entry: str = "main",
+    options: Optional[FrontendOptions] = None,
+) -> CompiledProgram:
+    """One-shot helper: declare globals, add functions, compile.
+
+    ``globals_`` maps a global name to ``(element_typename, values)``.
+    """
+    compiler = ProgramCompiler(name, options)
+    for global_name, (typename, values) in (globals_ or {}).items():
+        compiler.add_global(global_name, typename, values)
+    compiler.add_functions(functions)
+    return compiler.compile(entry=entry)
+
+
+@dataclass
+class _LoopContext:
+    break_target: BasicBlock
+    continue_target: BasicBlock
+
+
+@dataclass
+class _Local:
+    """A stack-slot local variable."""
+
+    slot: Value
+    type: IRType
+
+
+class _FunctionLowering(ast.NodeVisitor):
+    """Lowers a single Python function body into MiniIR."""
+
+    def __init__(self, compiler: ProgramCompiler, node: ast.FunctionDef, function: Function) -> None:
+        self.compiler = compiler
+        self.node = node
+        self.function = function
+        self.options = compiler.options
+        self.module = compiler.module
+        self.where = f"{compiler.name}:{node.name}"
+        self.builder: IRBuilder = IRBuilder(function, function.add_block("entry"))
+        self.locals: Dict[str, _Local] = {}
+        self.loop_stack: List[_LoopContext] = []
+        self._terminated = False
+
+    # -- driver ---------------------------------------------------------------
+    def run(self) -> None:
+        # Parameters get stack slots like any other local (clang -O0 style).
+        for argument in self.function.arguments:
+            slot = self.builder.alloca(argument.type, hint=f"{argument.name}.addr")
+            self.builder.store(argument, slot)
+            self.locals[argument.name] = _Local(slot, argument.type)
+
+        self._lower_body(self.node.body)
+
+        if not self._terminated:
+            if self.function.return_type.is_void:
+                self.builder.ret()
+            elif isinstance(self.function.return_type, IntType):
+                self.builder.ret(Constant(self.function.return_type, 0))
+            elif isinstance(self.function.return_type, FloatType):
+                self.builder.ret(Constant(self.function.return_type, 0.0))
+            else:
+                self.error(self.node, "missing return statement for pointer-returning function")
+
+    def error(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", "?")
+        raise CompilationError(message, location=f"{self.where}:{line}")
+
+    # -- statements --------------------------------------------------------------
+    def _lower_body(self, statements: Sequence[ast.stmt]) -> None:
+        for statement in statements:
+            if self._terminated:
+                # Unreachable trailing code (after return/break/continue) is
+                # legal Python; simply ignore it.
+                return
+            self._lower_statement(statement)
+
+    def _lower_statement(self, statement: ast.stmt) -> None:
+        if isinstance(statement, ast.Assign):
+            self._lower_assign(statement)
+        elif isinstance(statement, ast.AugAssign):
+            self._lower_aug_assign(statement)
+        elif isinstance(statement, ast.AnnAssign):
+            self._lower_ann_assign(statement)
+        elif isinstance(statement, ast.If):
+            self._lower_if(statement)
+        elif isinstance(statement, ast.While):
+            self._lower_while(statement)
+        elif isinstance(statement, ast.For):
+            self._lower_for(statement)
+        elif isinstance(statement, ast.Return):
+            self._lower_return(statement)
+        elif isinstance(statement, ast.Break):
+            self._lower_break(statement)
+        elif isinstance(statement, ast.Continue):
+            self._lower_continue(statement)
+        elif isinstance(statement, ast.Assert):
+            self._lower_assert(statement)
+        elif isinstance(statement, ast.Expr):
+            self._lower_expr_statement(statement)
+        elif isinstance(statement, ast.Pass):
+            pass
+        else:
+            self.error(statement, f"unsupported statement: {type(statement).__name__}")
+
+    def _lower_assign(self, statement: ast.Assign) -> None:
+        if len(statement.targets) != 1:
+            self.error(statement, "chained assignment is not supported")
+        target = statement.targets[0]
+        value, value_type = self._lower_expression(statement.value)
+        self._store_to_target(target, value, value_type)
+
+    def _lower_ann_assign(self, statement: ast.AnnAssign) -> None:
+        if statement.value is None:
+            self.error(statement, "annotated declaration requires an initial value")
+        if not isinstance(statement.target, ast.Name):
+            self.error(statement, "annotated assignment target must be a simple name")
+        declared = self.compiler._annotation_type(statement.annotation, self.where)
+        value, value_type = self._lower_expression(statement.value)
+        value = self._coerce(value, value_type, declared, statement)
+        self._store_to_name(statement.target.id, value, declared, statement)
+
+    def _lower_aug_assign(self, statement: ast.AugAssign) -> None:
+        load_node = ast.copy_location(
+            ast.BinOp(
+                left=self._target_as_expression(statement.target),
+                op=statement.op,
+                right=statement.value,
+            ),
+            statement,
+        )
+        ast.fix_missing_locations(load_node)
+        value, value_type = self._lower_expression(load_node)
+        self._store_to_target(statement.target, value, value_type)
+
+    @staticmethod
+    def _target_as_expression(target: ast.expr) -> ast.expr:
+        copied = ast.copy_location(
+            ast.Subscript(value=target.value, slice=target.slice, ctx=ast.Load())
+            if isinstance(target, ast.Subscript)
+            else ast.Name(id=target.id, ctx=ast.Load()),
+            target,
+        )
+        ast.fix_missing_locations(copied)
+        return copied
+
+    def _store_to_target(self, target: ast.expr, value: Value, value_type: IRType) -> None:
+        if isinstance(target, ast.Name):
+            self._store_to_name(target.id, value, value_type, target)
+        elif isinstance(target, ast.Subscript):
+            pointer, element_type = self._lower_subscript_address(target)
+            converted = self._coerce(value, value_type, element_type, target)
+            self.builder.store(converted, pointer)
+        elif isinstance(target, ast.Tuple):
+            self.error(target, "tuple unpacking is not supported")
+        else:
+            self.error(target, f"unsupported assignment target: {type(target).__name__}")
+
+    def _store_to_name(self, name: str, value: Value, value_type: IRType, node: ast.AST) -> None:
+        if name in self.compiler.module.globals:
+            self.error(node, f"cannot assign to global array {name!r}")
+        local = self.locals.get(name)
+        if local is None:
+            slot = self.builder.alloca(value_type, hint=f"{name}.addr")
+            local = _Local(slot, value_type)
+            self.locals[name] = local
+            converted = value
+        else:
+            converted = self._coerce(value, value_type, local.type, node)
+        self.builder.store(converted, local.slot)
+
+    def _lower_if(self, statement: ast.If) -> None:
+        condition, condition_type = self._lower_expression(statement.test)
+        condition = self._to_bool(condition, condition_type)
+        then_block = self.builder.append_block("if.then")
+        else_block = self.builder.append_block("if.else") if statement.orelse else None
+        merge_block = self.builder.append_block("if.end")
+        # Note: blocks are falsy while empty, so use an explicit None check.
+        false_target = else_block if else_block is not None else merge_block
+        self.builder.cond_branch(condition, then_block, false_target)
+
+        self.builder.position_at_end(then_block)
+        self._terminated = False
+        self._lower_body(statement.body)
+        then_terminated = self._terminated
+        if not then_terminated:
+            self.builder.branch(merge_block)
+
+        else_terminated = False
+        if else_block is not None:
+            self.builder.position_at_end(else_block)
+            self._terminated = False
+            self._lower_body(statement.orelse)
+            else_terminated = self._terminated
+            if not else_terminated:
+                self.builder.branch(merge_block)
+
+        self.builder.position_at_end(merge_block)
+        self._terminated = then_terminated and (else_block is not None and else_terminated)
+        if self._terminated:
+            # Merge block is unreachable but must still be terminated.
+            self.builder.unreachable()
+
+    def _lower_while(self, statement: ast.While) -> None:
+        if statement.orelse:
+            self.error(statement, "while/else is not supported")
+        cond_block = self.builder.append_block("while.cond")
+        body_block = self.builder.append_block("while.body")
+        end_block = self.builder.append_block("while.end")
+        self.builder.branch(cond_block)
+
+        self.builder.position_at_end(cond_block)
+        condition, condition_type = self._lower_expression(statement.test)
+        condition = self._to_bool(condition, condition_type)
+        self.builder.cond_branch(condition, body_block, end_block)
+
+        self.builder.position_at_end(body_block)
+        self.loop_stack.append(_LoopContext(break_target=end_block, continue_target=cond_block))
+        self._terminated = False
+        self._lower_body(statement.body)
+        if not self._terminated:
+            self.builder.branch(cond_block)
+        self.loop_stack.pop()
+
+        self.builder.position_at_end(end_block)
+        self._terminated = False
+
+    def _lower_for(self, statement: ast.For) -> None:
+        if statement.orelse:
+            self.error(statement, "for/else is not supported")
+        if not isinstance(statement.target, ast.Name):
+            self.error(statement, "for-loop target must be a simple name")
+        call = statement.iter
+        if not (isinstance(call, ast.Call) and isinstance(call.func, ast.Name) and call.func.id == "range"):
+            self.error(statement, "for-loops must iterate over range(...)")
+        if not 1 <= len(call.args) <= 3:
+            self.error(statement, "range() takes 1 to 3 arguments")
+
+        int_type = self.options.default_int
+        if len(call.args) == 1:
+            start: Value = Constant(int_type, 0)
+            stop, stop_type = self._lower_expression(call.args[0])
+            step: Value = Constant(int_type, 1)
+            step_type: IRType = int_type
+        elif len(call.args) == 2:
+            start, start_type = self._lower_expression(call.args[0])
+            start = self._coerce(start, start_type, int_type, statement)
+            stop, stop_type = self._lower_expression(call.args[1])
+            step, step_type = Constant(int_type, 1), int_type
+        else:
+            start, start_type = self._lower_expression(call.args[0])
+            start = self._coerce(start, start_type, int_type, statement)
+            stop, stop_type = self._lower_expression(call.args[1])
+            step, step_type = self._lower_expression(call.args[2])
+        stop = self._coerce(stop, stop_type, int_type, statement)
+        step = self._coerce(step, step_type, int_type, statement)
+
+        # Decide the loop comparison direction from a constant step when
+        # possible (negative constant steps count down).
+        descending = isinstance(step, Constant) and step.value < 0
+
+        loop_name = statement.target.id
+        self._store_to_name(loop_name, start, int_type, statement)
+        loop_var = self.locals[loop_name]
+
+        cond_block = self.builder.append_block("for.cond")
+        body_block = self.builder.append_block("for.body")
+        step_block = self.builder.append_block("for.step")
+        end_block = self.builder.append_block("for.end")
+        self.builder.branch(cond_block)
+
+        self.builder.position_at_end(cond_block)
+        current = self.builder.load(loop_var.slot, hint=loop_name)
+        predicate = "sgt" if descending else "slt"
+        condition = self.builder.icmp(predicate, current, stop)
+        self.builder.cond_branch(condition, body_block, end_block)
+
+        self.builder.position_at_end(body_block)
+        self.loop_stack.append(_LoopContext(break_target=end_block, continue_target=step_block))
+        self._terminated = False
+        self._lower_body(statement.body)
+        if not self._terminated:
+            self.builder.branch(step_block)
+        self.loop_stack.pop()
+
+        self.builder.position_at_end(step_block)
+        current = self.builder.load(loop_var.slot, hint=loop_name)
+        advanced = self.builder.add(current, step)
+        self.builder.store(advanced, loop_var.slot)
+        self.builder.branch(cond_block)
+
+        self.builder.position_at_end(end_block)
+        self._terminated = False
+
+    def _lower_return(self, statement: ast.Return) -> None:
+        return_type = self.function.return_type
+        if statement.value is None:
+            if not return_type.is_void:
+                self.error(statement, "non-void function must return a value")
+            self.builder.ret()
+        else:
+            if return_type.is_void:
+                self.error(statement, "void function cannot return a value")
+            value, value_type = self._lower_expression(statement.value)
+            value = self._coerce(value, value_type, return_type, statement)
+            self.builder.ret(value)
+        self._terminated = True
+
+    def _lower_break(self, statement: ast.Break) -> None:
+        if not self.loop_stack:
+            self.error(statement, "break outside of a loop")
+        self.builder.branch(self.loop_stack[-1].break_target)
+        self._terminated = True
+
+    def _lower_continue(self, statement: ast.Continue) -> None:
+        if not self.loop_stack:
+            self.error(statement, "continue outside of a loop")
+        self.builder.branch(self.loop_stack[-1].continue_target)
+        self._terminated = True
+
+    def _lower_assert(self, statement: ast.Assert) -> None:
+        condition, condition_type = self._lower_expression(statement.test)
+        condition = self._to_bool(condition, condition_type)
+        self.builder.call("__assert", [condition], VOID)
+
+    def _lower_expr_statement(self, statement: ast.Expr) -> None:
+        if isinstance(statement.value, ast.Constant) and isinstance(statement.value.value, str):
+            return  # docstring
+        self._lower_expression(statement.value)
+
+    # -- expressions -----------------------------------------------------------------
+    def _lower_expression(self, node: ast.expr) -> Tuple[Value, IRType]:
+        if isinstance(node, ast.Constant):
+            return self._lower_constant(node)
+        if isinstance(node, ast.Name):
+            return self._lower_name(node)
+        if isinstance(node, ast.BinOp):
+            return self._lower_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._lower_unaryop(node)
+        if isinstance(node, ast.Compare):
+            return self._lower_compare(node)
+        if isinstance(node, ast.BoolOp):
+            return self._lower_boolop(node)
+        if isinstance(node, ast.Subscript):
+            return self._lower_subscript_load(node)
+        if isinstance(node, ast.Call):
+            return self._lower_call(node)
+        if isinstance(node, ast.IfExp):
+            return self._lower_ifexp(node)
+        self.error(node, f"unsupported expression: {type(node).__name__}")
+        raise AssertionError("unreachable")
+
+    def _lower_constant(self, node: ast.Constant) -> Tuple[Value, IRType]:
+        value = node.value
+        if isinstance(value, bool):
+            return Constant(BOOL, 1 if value else 0), BOOL
+        if isinstance(value, int):
+            return Constant(self.options.default_int, value), self.options.default_int
+        if isinstance(value, float):
+            return Constant(self.options.default_float, value), self.options.default_float
+        self.error(node, f"unsupported constant {value!r}")
+        raise AssertionError("unreachable")
+
+    def _lower_name(self, node: ast.Name) -> Tuple[Value, IRType]:
+        name = node.id
+        local = self.locals.get(name)
+        if local is not None:
+            loaded = self.builder.load(local.slot, hint=name)
+            return loaded, local.type
+        if name in self.module.globals:
+            variable = self.module.globals[name]
+            element = variable.element_type()
+            # Globals decay to a pointer to their first element, computed
+            # through a gep so the address lives in an (injectable) register.
+            pointer = self.builder.gep(
+                variable, Constant(self.options.default_int, 0), element, hint=name
+            )
+            return pointer, PointerType(element)
+        self.error(node, f"use of undefined variable {name!r}")
+        raise AssertionError("unreachable")
+
+    _INT_OPS = {
+        ast.Add: "add",
+        ast.Sub: "sub",
+        ast.Mult: "mul",
+        ast.FloorDiv: "sdiv",
+        ast.Mod: "srem",
+        ast.BitAnd: "and",
+        ast.BitOr: "or",
+        ast.BitXor: "xor",
+        ast.LShift: "shl",
+        ast.RShift: "ashr",
+    }
+    _FLOAT_OPS = {
+        ast.Add: "fadd",
+        ast.Sub: "fsub",
+        ast.Mult: "fmul",
+        ast.Div: "fdiv",
+    }
+
+    def _lower_binop(self, node: ast.BinOp) -> Tuple[Value, IRType]:
+        lhs, lhs_type = self._lower_expression(node.left)
+        rhs, rhs_type = self._lower_expression(node.right)
+        op = type(node.op)
+
+        if isinstance(node.op, ast.Div):
+            # True division is always floating point, like Python.
+            lhs = self._coerce(lhs, lhs_type, self.options.default_float, node)
+            rhs = self._coerce(rhs, rhs_type, self.options.default_float, node)
+            return self.builder.fdiv(lhs, rhs), self.options.default_float
+
+        use_float = isinstance(lhs_type, FloatType) or isinstance(rhs_type, FloatType)
+        if isinstance(node.op, ast.Pow):
+            lhs = self._coerce(lhs, lhs_type, self.options.default_float, node)
+            rhs = self._coerce(rhs, rhs_type, self.options.default_float, node)
+            result = self.builder.call("__pow", [lhs, rhs], self.options.default_float)
+            return result, self.options.default_float
+
+        if use_float:
+            if op not in self._FLOAT_OPS:
+                self.error(node, f"operator {op.__name__} is not supported on floats")
+            lhs = self._coerce(lhs, lhs_type, self.options.default_float, node)
+            rhs = self._coerce(rhs, rhs_type, self.options.default_float, node)
+            opcode = self._FLOAT_OPS[op]
+            return self.builder.binop(opcode, lhs, rhs), self.options.default_float
+
+        # Pointer arithmetic: pointer + int behaves like a getelementptr.
+        if isinstance(lhs_type, PointerType) and isinstance(node.op, (ast.Add, ast.Sub)):
+            index = self._coerce(rhs, rhs_type, self.options.default_int, node)
+            if isinstance(node.op, ast.Sub):
+                index = self.builder.sub(Constant(self.options.default_int, 0), index)
+            return self.builder.gep(lhs, index, lhs_type.pointee), lhs_type
+
+        if op not in self._INT_OPS:
+            self.error(node, f"operator {op.__name__} is not supported on integers")
+        int_type = self.options.default_int
+        lhs = self._coerce(lhs, lhs_type, int_type, node)
+        rhs = self._coerce(rhs, rhs_type, int_type, node)
+        opcode = self._INT_OPS[op]
+        return self.builder.binop(opcode, lhs, rhs), int_type
+
+    def _lower_unaryop(self, node: ast.UnaryOp) -> Tuple[Value, IRType]:
+        value, value_type = self._lower_expression(node.operand)
+        if isinstance(node.op, ast.USub):
+            if isinstance(value_type, FloatType):
+                return self.builder.fsub(Constant(value_type, 0.0), value), value_type
+            value = self._coerce(value, value_type, self.options.default_int, node)
+            return (
+                self.builder.sub(Constant(self.options.default_int, 0), value),
+                self.options.default_int,
+            )
+        if isinstance(node.op, ast.UAdd):
+            return value, value_type
+        if isinstance(node.op, ast.Invert):
+            value = self._coerce(value, value_type, self.options.default_int, node)
+            return (
+                self.builder.xor(value, Constant(self.options.default_int, -1)),
+                self.options.default_int,
+            )
+        if isinstance(node.op, ast.Not):
+            as_bool = self._to_bool(value, value_type)
+            return self.builder.xor(as_bool, Constant(BOOL, 1)), BOOL
+        self.error(node, f"unsupported unary operator {type(node.op).__name__}")
+        raise AssertionError("unreachable")
+
+    _COMPARE_PREDICATES = {
+        ast.Eq: "eq",
+        ast.NotEq: "ne",
+        ast.Lt: "slt",
+        ast.LtE: "sle",
+        ast.Gt: "sgt",
+        ast.GtE: "sge",
+    }
+
+    def _lower_compare(self, node: ast.Compare) -> Tuple[Value, IRType]:
+        if len(node.ops) != 1 or len(node.comparators) != 1:
+            self.error(node, "chained comparisons are not supported")
+        predicate = self._COMPARE_PREDICATES.get(type(node.ops[0]))
+        if predicate is None:
+            self.error(node, f"unsupported comparison {type(node.ops[0]).__name__}")
+        lhs, lhs_type = self._lower_expression(node.left)
+        rhs, rhs_type = self._lower_expression(node.comparators[0])
+
+        if isinstance(lhs_type, FloatType) or isinstance(rhs_type, FloatType):
+            lhs = self._coerce(lhs, lhs_type, self.options.default_float, node)
+            rhs = self._coerce(rhs, rhs_type, self.options.default_float, node)
+            return self.builder.fcmp(predicate, lhs, rhs), BOOL
+        if isinstance(lhs_type, PointerType) and isinstance(rhs_type, PointerType):
+            return self.builder.icmp(predicate, lhs, rhs), BOOL
+        lhs = self._coerce(lhs, lhs_type, self.options.default_int, node)
+        rhs = self._coerce(rhs, rhs_type, self.options.default_int, node)
+        return self.builder.icmp(predicate, lhs, rhs), BOOL
+
+    def _lower_boolop(self, node: ast.BoolOp) -> Tuple[Value, IRType]:
+        """Short-circuit ``and``/``or`` via a stack slot for the result."""
+        is_and = isinstance(node.op, ast.And)
+        result_slot = self.builder.alloca(BOOL, hint="bool.tmp")
+
+        def lower_chain(index: int) -> None:
+            value, value_type = self._lower_expression(node.values[index])
+            as_bool = self._to_bool(value, value_type)
+            self.builder.store(as_bool, result_slot)
+            if index == len(node.values) - 1:
+                return
+            continue_block = self.builder.append_block("bool.next")
+            done_block = self.builder.append_block("bool.done")
+            if is_and:
+                self.builder.cond_branch(as_bool, continue_block, done_block)
+            else:
+                self.builder.cond_branch(as_bool, done_block, continue_block)
+            self.builder.position_at_end(continue_block)
+            lower_chain(index + 1)
+            self.builder.branch(done_block)
+            self.builder.position_at_end(done_block)
+
+        lower_chain(0)
+        return self.builder.load(result_slot, hint="bool"), BOOL
+
+    def _lower_ifexp(self, node: ast.IfExp) -> Tuple[Value, IRType]:
+        condition, condition_type = self._lower_expression(node.test)
+        condition = self._to_bool(condition, condition_type)
+        true_value, true_type = self._lower_expression(node.body)
+        false_value, false_type = self._lower_expression(node.orelse)
+        target = self._unify(true_type, false_type, node)
+        true_value = self._coerce(true_value, true_type, target, node)
+        false_value = self._coerce(false_value, false_type, target, node)
+        return self.builder.select(condition, true_value, false_value), target
+
+    def _lower_subscript_address(self, node: ast.Subscript) -> Tuple[Value, IRType]:
+        base, base_type = self._lower_expression(node.value)
+        if not isinstance(base_type, PointerType):
+            self.error(node, f"cannot index a value of type {base_type}")
+        index_node = node.slice
+        index, index_type = self._lower_expression(index_node)
+        index = self._coerce(index, index_type, self.options.default_int, node)
+        element_type = base_type.pointee
+        pointer = self.builder.gep(base, index, element_type)
+        return pointer, element_type
+
+    def _lower_subscript_load(self, node: ast.Subscript) -> Tuple[Value, IRType]:
+        pointer, element_type = self._lower_subscript_address(node)
+        loaded = self.builder.load(pointer)
+        widened_type = self._widened(element_type)
+        widened = self._coerce(loaded, element_type, widened_type, node)
+        return widened, widened_type
+
+    def _lower_call(self, node: ast.Call) -> Tuple[Value, IRType]:
+        if node.keywords:
+            self.error(node, "keyword arguments are not supported")
+        if not isinstance(node.func, ast.Name):
+            self.error(node, "only direct calls by name are supported")
+        name = node.func.id
+
+        if name in INLINE_BUILTINS:
+            return self._lower_inline_builtin(name, node)
+        if name in FRONTEND_BUILTINS:
+            return self._lower_intrinsic_call(FRONTEND_BUILTINS[name], node)
+        if name in MATH_BUILTINS:
+            return self._lower_intrinsic_call(MATH_BUILTINS[name], node)
+        if name in self.compiler.signatures:
+            return self._lower_user_call(name, node)
+        self.error(node, f"call to unknown function {name!r}")
+        raise AssertionError("unreachable")
+
+    def _lower_intrinsic_call(self, spec, node: ast.Call) -> Tuple[Value, IRType]:
+        if len(node.args) != len(spec.arg_kinds):
+            self.error(
+                node,
+                f"{spec.name}() takes {len(spec.arg_kinds)} arguments, got {len(node.args)}",
+            )
+        lowered: List[Value] = []
+        for arg_node, kind in zip(node.args, spec.arg_kinds):
+            value, value_type = self._lower_expression(arg_node)
+            if kind == "int":
+                value = self._coerce(value, value_type, self.options.default_int, node)
+            elif kind == "float":
+                value = self._coerce(value, value_type, self.options.default_float, node)
+            lowered.append(value)
+        if spec.return_kind == "void":
+            self.builder.call(spec.intrinsic, lowered, VOID)
+            return Constant(self.options.default_int, 0), self.options.default_int
+        if spec.return_kind == "float":
+            result = self.builder.call(spec.intrinsic, lowered, self.options.default_float)
+            return result, self.options.default_float
+        result = self.builder.call(spec.intrinsic, lowered, self.options.default_int)
+        return result, self.options.default_int
+
+    def _lower_user_call(self, name: str, node: ast.Call) -> Tuple[Value, IRType]:
+        callee = self.compiler.signatures[name]
+        if len(node.args) != len(callee.arguments):
+            self.error(
+                node,
+                f"{name}() takes {len(callee.arguments)} arguments, got {len(node.args)}",
+            )
+        lowered: List[Value] = []
+        for arg_node, formal in zip(node.args, callee.arguments):
+            value, value_type = self._lower_expression(arg_node)
+            value = self._coerce(value, value_type, formal.type, node)
+            lowered.append(value)
+        result = self.builder.call(callee, lowered)
+        if callee.return_type.is_void:
+            return Constant(self.options.default_int, 0), self.options.default_int
+        return result, callee.return_type
+
+    def _lower_inline_builtin(self, name: str, node: ast.Call) -> Tuple[Value, IRType]:
+        if name == "array":
+            return self._lower_array(node)
+        if name == "malloc":
+            return self._lower_malloc(node)
+        if name in ("min", "max"):
+            return self._lower_min_max(name, node)
+        if name == "abs":
+            return self._lower_abs(node)
+        if name == "int":
+            value, value_type = self._lower_expression(node.args[0])
+            coerced = self._coerce(value, value_type, self.options.default_int, node)
+            return coerced, self.options.default_int
+        if name == "float":
+            value, value_type = self._lower_expression(node.args[0])
+            coerced = self._coerce(value, value_type, self.options.default_float, node)
+            return coerced, self.options.default_float
+        if name == "bool":
+            value, value_type = self._lower_expression(node.args[0])
+            return self._to_bool(value, value_type), BOOL
+        self.error(node, f"unhandled builtin {name!r}")
+        raise AssertionError("unreachable")
+
+    def _element_type_argument(self, node: ast.Call, which: int) -> IRType:
+        arg = node.args[which]
+        if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+            self.error(node, "element type must be a string literal such as \"i32\"")
+        try:
+            element = parse_type(arg.value)
+        except ValueError as error:
+            self.error(node, str(error))
+        if element.is_void or element.is_pointer:
+            self.error(node, f"unsupported array element type {element}")
+        return element
+
+    def _lower_array(self, node: ast.Call) -> Tuple[Value, IRType]:
+        if len(node.args) != 2:
+            self.error(node, "array(element_type, count) takes exactly 2 arguments")
+        element = self._element_type_argument(node, 0)
+        count, count_type = self._lower_expression(node.args[1])
+        count = self._coerce(count, count_type, self.options.default_int, node)
+        pointer = self.builder.alloca(element, count, hint="arr")
+        return pointer, PointerType(element)
+
+    def _lower_malloc(self, node: ast.Call) -> Tuple[Value, IRType]:
+        if len(node.args) != 2:
+            self.error(node, "malloc(element_type, count) takes exactly 2 arguments")
+        element = self._element_type_argument(node, 0)
+        count, count_type = self._lower_expression(node.args[1])
+        count = self._coerce(count, count_type, self.options.default_int, node)
+        size = self.builder.mul(count, Constant(self.options.default_int, element.size_bytes()))
+        pointer = self.builder.call("__malloc", [size], PointerType(element), hint="heap")
+        return pointer, PointerType(element)
+
+    def _lower_min_max(self, name: str, node: ast.Call) -> Tuple[Value, IRType]:
+        if len(node.args) != 2:
+            self.error(node, f"{name}(a, b) takes exactly 2 arguments")
+        lhs, lhs_type = self._lower_expression(node.args[0])
+        rhs, rhs_type = self._lower_expression(node.args[1])
+        target = self._unify(lhs_type, rhs_type, node)
+        lhs = self._coerce(lhs, lhs_type, target, node)
+        rhs = self._coerce(rhs, rhs_type, target, node)
+        predicate = "slt" if name == "min" else "sgt"
+        if isinstance(target, FloatType):
+            condition = self.builder.fcmp(predicate, lhs, rhs)
+        else:
+            condition = self.builder.icmp(predicate, lhs, rhs)
+        return self.builder.select(condition, lhs, rhs), target
+
+    def _lower_abs(self, node: ast.Call) -> Tuple[Value, IRType]:
+        if len(node.args) != 1:
+            self.error(node, "abs(x) takes exactly 1 argument")
+        value, value_type = self._lower_expression(node.args[0])
+        if isinstance(value_type, FloatType):
+            result = self.builder.call("__fabs", [value], self.options.default_float)
+            return result, self.options.default_float
+        value = self._coerce(value, value_type, self.options.default_int, node)
+        negated = self.builder.sub(Constant(self.options.default_int, 0), value)
+        negative = self.builder.icmp("slt", value, Constant(self.options.default_int, 0))
+        return self.builder.select(negative, negated, value), self.options.default_int
+
+    # -- type plumbing ------------------------------------------------------------------
+    def _widened(self, element_type: IRType) -> IRType:
+        """Register type used for a value loaded from memory of ``element_type``."""
+        if isinstance(element_type, IntType):
+            return self.options.default_int
+        if isinstance(element_type, FloatType):
+            return self.options.default_float
+        return element_type
+
+    def _unify(self, a: IRType, b: IRType, node: ast.AST) -> IRType:
+        if isinstance(a, FloatType) or isinstance(b, FloatType):
+            return self.options.default_float
+        if isinstance(a, PointerType):
+            return a
+        if isinstance(b, PointerType):
+            return b
+        if a == BOOL and b == BOOL:
+            return BOOL
+        return self.options.default_int
+
+    def _to_bool(self, value: Value, value_type: IRType) -> Value:
+        if value_type == BOOL:
+            return value
+        if isinstance(value_type, FloatType):
+            return self.builder.fcmp("ne", value, Constant(value_type, 0.0))
+        if isinstance(value_type, PointerType):
+            zero = Constant(I64, 0)
+            as_int = self.builder.cast("ptrtoint", value, I64)
+            return self.builder.icmp("ne", as_int, zero)
+        return self.builder.icmp("ne", value, Constant(value_type, 0))
+
+    def _coerce(self, value: Value, from_type: IRType, to_type: IRType, node: ast.AST) -> Value:
+        if from_type == to_type:
+            return value
+        if isinstance(value, Constant) and isinstance(to_type, (IntType, FloatType)):
+            if isinstance(to_type, IntType) and isinstance(from_type, (IntType,)):
+                return Constant(to_type, int(value.value))
+            if isinstance(to_type, FloatType):
+                return Constant(to_type, float(value.value))
+            if isinstance(to_type, IntType) and isinstance(from_type, FloatType):
+                return Constant(to_type, int(value.value))
+        if isinstance(from_type, IntType) and isinstance(to_type, IntType):
+            if to_type.width > from_type.width:
+                opcode = "zext" if from_type == BOOL else "sext"
+                return self.builder.cast(opcode, value, to_type)
+            return self.builder.trunc(value, to_type)
+        if isinstance(from_type, IntType) and isinstance(to_type, FloatType):
+            return self.builder.sitofp(value, to_type)
+        if isinstance(from_type, FloatType) and isinstance(to_type, IntType):
+            return self.builder.fptosi(value, to_type)
+        if isinstance(from_type, FloatType) and isinstance(to_type, FloatType):
+            opcode = "fpext" if to_type.width > from_type.width else "fptrunc"
+            return self.builder.cast(opcode, value, to_type)
+        if isinstance(from_type, PointerType) and isinstance(to_type, IntType):
+            return self.builder.cast("ptrtoint", value, to_type)
+        if isinstance(from_type, IntType) and isinstance(to_type, PointerType):
+            return self.builder.cast("inttoptr", value, to_type)
+        if isinstance(from_type, PointerType) and isinstance(to_type, PointerType):
+            return self.builder.cast("bitcast", value, to_type)
+        self.error(node, f"cannot convert {from_type} to {to_type}")
+        raise AssertionError("unreachable")

@@ -1,0 +1,67 @@
+"""Frontend builtin functions and their mapping to VM intrinsics.
+
+Programs written for the frontend call ordinary-looking functions such as
+``output``, ``sqrt`` or ``abort``.  The compiler lowers each of them either
+to a VM intrinsic call (``__output``, ``__sqrt``, …) or to a short inline
+MiniIR sequence (``min``/``max`` become ``select``).
+
+Keeping the table here, separate from the compiler, makes it easy to assert
+in tests that every builtin a benchmark uses has a lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BuiltinSpec:
+    """Description of a frontend builtin lowered to a VM intrinsic.
+
+    ``arg_kinds`` / ``return_kind`` use coarse frontend kinds:
+    ``"int"`` (i64), ``"float"`` (f64), ``"any"`` (no coercion), ``"void"``.
+    """
+
+    name: str
+    intrinsic: str
+    arg_kinds: Tuple[str, ...]
+    return_kind: str
+
+
+#: Builtins lowered 1:1 to VM intrinsics.
+FRONTEND_BUILTINS: Dict[str, BuiltinSpec] = {
+    "output": BuiltinSpec("output", "__output", ("any",), "void"),
+    "abort": BuiltinSpec("abort", "__abort", (), "void"),
+    "exit": BuiltinSpec("exit", "__exit", ("int",), "void"),
+}
+
+#: Math builtins — all take and return f64, mirroring libm.
+MATH_BUILTINS: Dict[str, BuiltinSpec] = {
+    name: BuiltinSpec(name, f"__{name}", ("float",) * arity, "float")
+    for name, arity in (
+        ("sqrt", 1),
+        ("sin", 1),
+        ("cos", 1),
+        ("tan", 1),
+        ("atan", 1),
+        ("asin", 1),
+        ("acos", 1),
+        ("fabs", 1),
+        ("floor", 1),
+        ("ceil", 1),
+        ("log", 1),
+        ("exp", 1),
+        ("pow", 2),
+        ("fmin", 2),
+        ("fmax", 2),
+    )
+}
+
+#: Builtins the compiler expands inline rather than lowering to a call.
+INLINE_BUILTINS = frozenset({"array", "malloc", "min", "max", "abs", "int", "float", "bool"})
+
+
+def all_builtin_names() -> frozenset:
+    """Every name the compiler treats as a builtin (reserved identifiers)."""
+    return frozenset(FRONTEND_BUILTINS) | frozenset(MATH_BUILTINS) | INLINE_BUILTINS

@@ -1,0 +1,76 @@
+"""Fault injection: the paper's extended-LLFI machinery.
+
+This package implements the core contribution of the reproduction — an
+LLFI-style fault injector extended for multiple bit-flip errors:
+
+* :mod:`repro.injection.faultmodel` — the bit-flip fault model and the
+  paper's parameter grid (Table I): ``max-MBF`` values m1–m10 and
+  ``win-size`` specifications w1–w9.
+* :mod:`repro.injection.techniques` — the two injection techniques,
+  *inject-on-read* and *inject-on-write*, and the candidate error-space
+  enumeration they induce over a golden trace (Table II).
+* :mod:`repro.injection.outcome` — the five-way outcome classification
+  (Benign, Detected by HW exception, Hang, NoOutput, SDC) of §III-E.
+* :mod:`repro.injection.injector` — the runtime hook object that performs
+  the scheduled bit flips during a VM run and records activations.
+* :mod:`repro.injection.experiment` — single-experiment driver: golden-run
+  profiling, fault specification sampling, faulty run, classification.
+"""
+
+from repro.injection.faultmodel import (
+    MAX_MBF_VALUES,
+    SINGLE_BIT_MAX_MBF,
+    WIN_SIZE_SPECS,
+    FaultSpec,
+    InjectionRecord,
+    MultiBitCluster,
+    WinSizeSpec,
+    full_cluster_grid,
+    same_register_clusters,
+)
+from repro.injection.techniques import (
+    INJECT_ON_READ,
+    INJECT_ON_WRITE,
+    TECHNIQUES,
+    InjectionCandidate,
+    InjectionTechnique,
+    technique_by_name,
+)
+from repro.injection.outcome import (
+    DETECTION_OUTCOMES,
+    Outcome,
+    OutcomeCounts,
+    RESILIENCE_OUTCOMES,
+)
+from repro.injection.injector import FaultInjector
+from repro.injection.experiment import (
+    ExperimentResult,
+    ExperimentRunner,
+    profile_program,
+)
+
+__all__ = [
+    "DETECTION_OUTCOMES",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "FaultInjector",
+    "FaultSpec",
+    "full_cluster_grid",
+    "INJECT_ON_READ",
+    "INJECT_ON_WRITE",
+    "InjectionCandidate",
+    "InjectionRecord",
+    "InjectionTechnique",
+    "MAX_MBF_VALUES",
+    "MultiBitCluster",
+    "Outcome",
+    "OutcomeCounts",
+    "profile_program",
+    "RESILIENCE_OUTCOMES",
+    "same_register_clusters",
+    "SINGLE_BIT_MAX_MBF",
+    "TECHNIQUES",
+    "technique_by_name",
+    "WIN_SIZE_SPECS",
+    "WinSizeSpec",
+]

@@ -1,0 +1,183 @@
+"""Single-experiment driver: golden run, fault sampling, faulty run, outcome.
+
+This module glues the pieces together the same way an LLFI campaign script
+does:
+
+1. :func:`profile_program` performs the fault-free *profiling* run and
+   returns the golden trace (dynamic instruction stream + golden output);
+2. :class:`ExperimentRunner` samples a fault specification from a technique's
+   candidate space, executes the program once with a
+   :class:`~repro.injection.injector.FaultInjector` installed, and classifies
+   the outcome against the golden output per §III-E.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.frontend.compiler import CompiledProgram
+from repro.injection.faultmodel import FaultSpec, InjectionRecord, SINGLE_BIT_MAX_MBF
+from repro.injection.injector import FaultInjector
+from repro.injection.outcome import Outcome
+from repro.injection.techniques import InjectionCandidate, InjectionTechnique
+from repro.vm.interpreter import ExecutionLimits, ExecutionResult, Interpreter
+from repro.vm.trace import GoldenTrace, TraceCollector
+
+
+def profile_program(
+    program: CompiledProgram,
+    args: Sequence = (),
+    *,
+    limits: Optional[ExecutionLimits] = None,
+) -> GoldenTrace:
+    """Run the program fault-free and collect its golden trace.
+
+    Raises if the fault-free run does not complete — a program that crashes
+    without any injected fault is a benchmark bug, not an experiment outcome.
+    """
+    collector = TraceCollector()
+    interpreter = Interpreter(
+        program.module,
+        entry=program.entry,
+        limits=limits or ExecutionLimits(),
+        trace_collector=collector,
+    )
+    result = interpreter.run(list(args))
+    if not result.completed:
+        detail = result.fault.category if result.fault else "hang"
+        raise RuntimeError(
+            f"fault-free run of {program.module.name} did not complete ({detail})"
+        )
+    return collector.build(result.output, result.return_value)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything recorded about one fault-injection experiment."""
+
+    spec: FaultSpec
+    outcome: Outcome
+    #: Number of bit flips actually performed before the run ended.
+    activated_errors: int
+    #: The individual flips, in injection order.
+    injections: List[InjectionRecord] = field(default_factory=list)
+    #: Dynamic instructions executed by the faulty run.
+    dynamic_instructions: int = 0
+    #: Hardware-exception category when the outcome is a detection, else None.
+    fault_category: Optional[str] = None
+
+    @property
+    def is_sdc(self) -> bool:
+        return self.outcome is Outcome.SDC
+
+    @property
+    def crashed(self) -> bool:
+        return self.outcome is Outcome.DETECTED_HW_EXCEPTION
+
+
+class ExperimentRunner:
+    """Runs fault-injection experiments for one workload.
+
+    A *workload* is a compiled program plus its (fixed) input; the golden
+    trace is computed once and reused by every experiment, mirroring LLFI's
+    profile-then-inject workflow.
+    """
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        *,
+        args: Sequence = (),
+        golden: Optional[GoldenTrace] = None,
+        watchdog_multiplier: int = 12,
+    ) -> None:
+        self.program = program
+        self.args = list(args)
+        self.golden = golden or profile_program(program, self.args)
+        self.watchdog_multiplier = watchdog_multiplier
+        self.limits = ExecutionLimits.for_golden_length(
+            self.golden.dynamic_instruction_count, watchdog_multiplier
+        )
+
+    # -- fault specification ---------------------------------------------------------
+    def sample_spec(
+        self,
+        technique: InjectionTechnique,
+        *,
+        max_mbf: int = SINGLE_BIT_MAX_MBF,
+        win_size: int = 0,
+        rng: random.Random,
+        first_candidate: Optional[InjectionCandidate] = None,
+    ) -> FaultSpec:
+        """Build a fault spec whose first flip is sampled from the error space.
+
+        ``first_candidate`` can pin the first injection location explicitly —
+        used by the RQ5 transition study, which replays multi-bit injections
+        at locations chosen from single-bit experiments.
+        """
+        candidate = first_candidate or technique.sample_candidate(self.golden, rng)
+        return FaultSpec(
+            technique=technique.name,
+            first_dynamic_index=candidate.dynamic_index,
+            first_slot=candidate.slot,
+            max_mbf=max_mbf,
+            win_size=win_size,
+            seed=rng.getrandbits(48),
+        )
+
+    # -- execution ----------------------------------------------------------------------
+    def run_spec(self, spec: FaultSpec) -> ExperimentResult:
+        """Execute one faulty run and classify its outcome."""
+        injector = FaultInjector(spec)
+        interpreter = Interpreter(
+            self.program.module,
+            entry=self.program.entry,
+            limits=self.limits,
+            read_hook=injector.read_hook if spec.technique == "inject-on-read" else None,
+            write_hook=injector.write_hook if spec.technique == "inject-on-write" else None,
+        )
+        execution = interpreter.run(self.args)
+        outcome = self.classify(execution)
+        return ExperimentResult(
+            spec=spec,
+            outcome=outcome,
+            activated_errors=injector.activated_errors,
+            injections=list(injector.injections),
+            dynamic_instructions=execution.dynamic_instructions,
+            fault_category=execution.fault.category if execution.fault else None,
+        )
+
+    def run_sampled(
+        self,
+        technique: InjectionTechnique,
+        *,
+        max_mbf: int = SINGLE_BIT_MAX_MBF,
+        win_size: int = 0,
+        rng: random.Random,
+        first_candidate: Optional[InjectionCandidate] = None,
+    ) -> ExperimentResult:
+        """Sample a spec and run it (the common path for campaign loops)."""
+        spec = self.sample_spec(
+            technique,
+            max_mbf=max_mbf,
+            win_size=win_size,
+            rng=rng,
+            first_candidate=first_candidate,
+        )
+        return self.run_spec(spec)
+
+    # -- outcome classification -----------------------------------------------------------
+    def classify(self, execution: ExecutionResult) -> Outcome:
+        """Map a VM execution result onto the paper's five outcome categories."""
+        if execution.fault is not None:
+            return Outcome.DETECTED_HW_EXCEPTION
+        if execution.hang:
+            return Outcome.HANG
+        golden_output = self.golden.output
+        if execution.output == golden_output:
+            return Outcome.BENIGN
+        if len(execution.output) == 0 and len(golden_output) > 0:
+            return Outcome.NO_OUTPUT
+        return Outcome.SDC

@@ -1,0 +1,216 @@
+"""The bit-flip fault model and the paper's parameter grid (Table I).
+
+The paper extends LLFI's single bit-flip time–location model with two extra
+parameters that together define an *error cluster*:
+
+* ``max-MBF`` — the maximum number of bit-flip errors injected in one run
+  (the program may crash before all of them are activated);
+* ``win-size`` — the dynamic-instruction distance between consecutive
+  injections; a window of zero means every flip targets the same register of
+  the same dynamic instruction.
+
+Table I of the paper fixes ten max-MBF values (m1–m10) and nine win-size
+specifications (w1–w9), three of which are ranges resolved to a random value
+per campaign.  The single bit-flip model corresponds to max-MBF = 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+#: Table I, left column: the maximum number of bit-flip errors per run.
+MAX_MBF_VALUES: Tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8, 9, 10, 30)
+
+#: The single bit-flip model expressed in the same parameterisation.
+SINGLE_BIT_MAX_MBF = 1
+
+
+@dataclass(frozen=True)
+class WinSizeSpec:
+    """One win-size entry of Table I.
+
+    Either a fixed dynamic distance (``value``) or a random range
+    (``low``/``high``) resolved once per campaign, as the paper does for
+    w4, w6 and w8 "to achieve better representativeness".
+    """
+
+    index: str
+    value: Optional[int] = None
+    low: Optional[int] = None
+    high: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        fixed = self.value is not None
+        ranged = self.low is not None and self.high is not None
+        if fixed == ranged:
+            raise ConfigurationError(
+                f"win-size {self.index}: specify either a fixed value or a range"
+            )
+        if ranged and self.low > self.high:  # type: ignore[operator]
+            raise ConfigurationError(f"win-size {self.index}: empty range")
+
+    @property
+    def is_random(self) -> bool:
+        return self.value is None
+
+    @property
+    def label(self) -> str:
+        """Human-readable label matching the paper's figures (``RND(α-β)``)."""
+        if self.is_random:
+            return f"RND({self.low}-{self.high})"
+        return str(self.value)
+
+    def resolve(self, rng: random.Random) -> int:
+        """The concrete dynamic distance used by a campaign."""
+        if self.value is not None:
+            return self.value
+        return rng.randint(self.low, self.high)  # type: ignore[arg-type]
+
+
+#: Table I, right column: the nine win-size specifications w1–w9.
+WIN_SIZE_SPECS: Tuple[WinSizeSpec, ...] = (
+    WinSizeSpec("w1", value=0),
+    WinSizeSpec("w2", value=1),
+    WinSizeSpec("w3", value=4),
+    WinSizeSpec("w4", low=2, high=10),
+    WinSizeSpec("w5", value=10),
+    WinSizeSpec("w6", low=11, high=100),
+    WinSizeSpec("w7", value=100),
+    WinSizeSpec("w8", low=101, high=1000),
+    WinSizeSpec("w9", value=1000),
+)
+
+
+def win_size_by_index(index: str) -> WinSizeSpec:
+    """Look up a win-size specification by its Table I index (``"w3"``)."""
+    for spec in WIN_SIZE_SPECS:
+        if spec.index == index:
+            return spec
+    raise ConfigurationError(f"unknown win-size index {index!r}")
+
+
+@dataclass(frozen=True)
+class MultiBitCluster:
+    """One error cluster: a (max-MBF, win-size) pair.
+
+    The paper forms 180 clusters per program: 10 max-MBF values × 9 win-size
+    specifications × 2 injection techniques.  (The two single bit-flip
+    campaigns bring the total number of campaigns per program to 182.)
+    """
+
+    max_mbf: int
+    win_size: WinSizeSpec
+
+    def __post_init__(self) -> None:
+        if self.max_mbf < 1:
+            raise ConfigurationError("max-MBF must be at least 1")
+
+    @property
+    def is_single_bit(self) -> bool:
+        return self.max_mbf == SINGLE_BIT_MAX_MBF
+
+    @property
+    def is_same_register(self) -> bool:
+        """True for win-size = 0 clusters (all flips hit the same register)."""
+        return not self.win_size.is_random and self.win_size.value == 0
+
+    @property
+    def label(self) -> str:
+        return f"mbf={self.max_mbf},win={self.win_size.label}"
+
+
+def full_cluster_grid(
+    max_mbf_values: Sequence[int] = MAX_MBF_VALUES,
+    win_size_specs: Sequence[WinSizeSpec] = WIN_SIZE_SPECS,
+) -> List[MultiBitCluster]:
+    """The full Table I grid of multi-bit clusters (90 per technique)."""
+    return [
+        MultiBitCluster(max_mbf, win_size)
+        for max_mbf in max_mbf_values
+        for win_size in win_size_specs
+    ]
+
+
+def same_register_clusters(
+    max_mbf_values: Sequence[int] = MAX_MBF_VALUES,
+) -> List[MultiBitCluster]:
+    """Clusters used in Fig. 2: win-size = 0, every max-MBF value."""
+    zero = win_size_by_index("w1")
+    return [MultiBitCluster(max_mbf, zero) for max_mbf in max_mbf_values]
+
+
+def multi_register_clusters(
+    max_mbf_values: Sequence[int] = MAX_MBF_VALUES,
+    win_size_specs: Sequence[WinSizeSpec] = WIN_SIZE_SPECS,
+) -> List[MultiBitCluster]:
+    """Clusters used in Figs. 4 and 5: win-size > 0, every max-MBF value."""
+    positive = [spec for spec in win_size_specs if spec.is_random or spec.value != 0]
+    return [
+        MultiBitCluster(max_mbf, win_size)
+        for max_mbf in max_mbf_values
+        for win_size in positive
+    ]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A fully resolved fault specification for one experiment.
+
+    ``first_dynamic_index`` / ``first_slot`` give the time–location of the
+    first bit flip, chosen from the golden-trace candidate space of the
+    selected technique.  Subsequent flips (if ``max_mbf > 1``) are scheduled
+    ``win_size`` dynamic instructions apart at injection time, because the
+    faulty run's control flow may diverge from the golden trace after the
+    first flip (this matches LLFI's runtime counting).
+    """
+
+    technique: str
+    first_dynamic_index: int
+    #: Source-operand slot for inject-on-read; ``None`` for inject-on-write.
+    first_slot: Optional[int]
+    max_mbf: int
+    #: Concrete dynamic distance between consecutive injections.
+    win_size: int
+    #: Seed for the per-experiment RNG that picks bit positions and the
+    #: slots of follow-up injections.
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.max_mbf < 1:
+            raise ConfigurationError("max-MBF must be at least 1")
+        if self.win_size < 0:
+            raise ConfigurationError("win-size must be non-negative")
+        if self.first_dynamic_index < 0:
+            raise ConfigurationError("first injection time must be non-negative")
+
+    @property
+    def is_single_bit(self) -> bool:
+        return self.max_mbf == SINGLE_BIT_MAX_MBF
+
+    @property
+    def same_register(self) -> bool:
+        return self.win_size == 0
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One bit flip actually performed during a run (an *activated* error)."""
+
+    #: Dynamic instruction index at which the flip happened.
+    dynamic_index: int
+    #: ``"read"`` or ``"write"``.
+    access: str
+    #: Name of the targeted virtual register.
+    register: str
+    #: Opcode of the instruction whose operand/result was corrupted.
+    opcode: str
+    #: Bit position that was flipped.
+    bit: int
+    #: Register bit pattern before and after the flip.
+    before_bits: int = 0
+    after_bits: int = 0

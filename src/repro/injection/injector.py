@@ -1,0 +1,184 @@
+"""The runtime fault injector: performs scheduled bit flips during a VM run.
+
+A :class:`FaultInjector` is built from a :class:`~repro.injection.faultmodel.FaultSpec`
+and plugged into the interpreter as its read or write hook.  It implements the
+paper's extended-LLFI semantics:
+
+* the **first** flip happens at the time–location the spec names (a dynamic
+  instruction index plus, for inject-on-read, a source-operand slot), with a
+  uniformly random bit of that register;
+* for ``win-size = 0`` all ``max-MBF`` flips target *distinct bits of the same
+  register at the same dynamic instruction* (Fig. 2's "same register" mode);
+* for ``win-size > 0`` each subsequent flip is scheduled ``win-size`` dynamic
+  instructions after the previous one and lands on the first eligible register
+  access at or after that time.  Scheduling uses the *faulty* run's dynamic
+  instruction counter, exactly like LLFI's runtime counting — after the first
+  flip the control flow may diverge from the golden trace, and errors that the
+  program never reaches (because it crashed first) are simply not activated;
+* every flip actually performed is recorded as an
+  :class:`~repro.injection.faultmodel.InjectionRecord` (an *activated* error),
+  which is what the RQ1 analysis of Fig. 3 consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.injection.faultmodel import FaultSpec, InjectionRecord
+from repro.ir.instructions import Instruction
+from repro.ir.values import VirtualRegister
+from repro.vm import bitops
+
+
+class FaultInjector:
+    """Stateful hook object that injects the bit flips of one experiment."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        if spec.technique not in ("inject-on-read", "inject-on-write"):
+            raise ConfigurationError(f"unknown technique {spec.technique!r}")
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        #: Flips actually performed (activated errors), in injection order.
+        self.injections: List[InjectionRecord] = []
+        self._next_time = spec.first_dynamic_index
+        self._remaining = spec.max_mbf
+        self._first_done = False
+
+    # -- public accounting -------------------------------------------------------
+    @property
+    def activated_errors(self) -> int:
+        """Number of bit flips that were actually performed."""
+        return len(self.injections)
+
+    @property
+    def planned_errors(self) -> int:
+        return self.spec.max_mbf
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every planned flip has been performed."""
+        return self._remaining <= 0
+
+    # -- hooks wired into the interpreter ------------------------------------------
+    def read_hook(
+        self,
+        dynamic_index: int,
+        instruction: Instruction,
+        slot: int,
+        register: VirtualRegister,
+        value,
+    ):
+        if self.spec.technique != "inject-on-read":
+            return value
+        return self._maybe_inject(dynamic_index, instruction, slot, register, value, "read")
+
+    def write_hook(
+        self,
+        dynamic_index: int,
+        instruction: Instruction,
+        register: VirtualRegister,
+        value,
+    ):
+        if self.spec.technique != "inject-on-write":
+            return value
+        return self._maybe_inject(dynamic_index, instruction, None, register, value, "write")
+
+    # -- injection logic ---------------------------------------------------------------
+    def _maybe_inject(
+        self,
+        dynamic_index: int,
+        instruction: Instruction,
+        slot: Optional[int],
+        register: VirtualRegister,
+        value,
+        access: str,
+    ):
+        if self.exhausted or dynamic_index < self._next_time:
+            return value
+
+        if not self._first_done:
+            # The first injection must land exactly on the location the spec
+            # names.  If this access is earlier-than-scheduled we already
+            # returned above; if it is the scheduled instruction but a
+            # different operand slot, wait for the right slot.
+            if dynamic_index == self.spec.first_dynamic_index:
+                if self.spec.first_slot is not None and slot != self.spec.first_slot:
+                    return value
+            # If the scheduled instruction was skipped (possible only if the
+            # spec does not come from the golden trace), fall through and
+            # inject at the first eligible access after it.
+            self._first_done = True
+            if self.spec.same_register:
+                return self._inject_same_register(dynamic_index, instruction, register, value, access)
+
+        return self._inject_one(dynamic_index, instruction, register, value, access)
+
+    def _pick_bit(self, register: VirtualRegister, exclude: Optional[set] = None) -> int:
+        width = bitops.bit_width(register.type)
+        if exclude and len(exclude) >= width:
+            exclude = None
+        while True:
+            bit = self.rng.randrange(width)
+            if not exclude or bit not in exclude:
+                return bit
+
+    def _record(
+        self,
+        dynamic_index: int,
+        instruction: Instruction,
+        register: VirtualRegister,
+        bit: int,
+        before,
+        after,
+        access: str,
+    ) -> None:
+        self.injections.append(
+            InjectionRecord(
+                dynamic_index=dynamic_index,
+                access=access,
+                register=register.name,
+                opcode=instruction.opcode,
+                bit=bit,
+                before_bits=bitops.value_to_bits(before, register.type),
+                after_bits=bitops.value_to_bits(after, register.type),
+            )
+        )
+
+    def _inject_one(
+        self,
+        dynamic_index: int,
+        instruction: Instruction,
+        register: VirtualRegister,
+        value,
+        access: str,
+    ):
+        bit = self._pick_bit(register)
+        corrupted = bitops.flip_bit(value, register.type, bit)
+        self._record(dynamic_index, instruction, register, bit, value, corrupted, access)
+        self._remaining -= 1
+        self._next_time = dynamic_index + max(self.spec.win_size, 1)
+        return corrupted
+
+    def _inject_same_register(
+        self,
+        dynamic_index: int,
+        instruction: Instruction,
+        register: VirtualRegister,
+        value,
+        access: str,
+    ):
+        """win-size = 0: flip ``max_mbf`` distinct bits of this one register."""
+        width = bitops.bit_width(register.type)
+        flips = min(self._remaining, width)
+        chosen: set = set()
+        corrupted = value
+        for _ in range(flips):
+            bit = self._pick_bit(register, exclude=chosen)
+            chosen.add(bit)
+            before = corrupted
+            corrupted = bitops.flip_bit(corrupted, register.type, bit)
+            self._record(dynamic_index, instruction, register, bit, before, corrupted, access)
+        self._remaining = 0
+        return corrupted

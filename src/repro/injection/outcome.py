@@ -1,0 +1,121 @@
+"""Outcome classification of fault-injection experiments (§III-E).
+
+Every experiment ends in exactly one of five categories:
+
+* **Benign** — the program terminates normally and its output is bit-wise
+  identical to the golden output (internal robustness masked the error);
+* **Detected by Hardware Exception** — the run raised a simulated hardware
+  exception (segmentation fault, misaligned access, arithmetic fault, abort);
+* **Hang** — the watchdog fired;
+* **NoOutput** — the program terminated normally but produced no output;
+* **SDC** (silent data corruption) — the program terminated normally, with
+  output, but the output differs bit-wise from the golden output.
+
+The first four categories contribute to *error resilience*; the last three
+of those (everything but Benign) are collectively called *Detection* in the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Mapping, Tuple
+
+
+class Outcome(str, Enum):
+    """The five-way outcome classification used throughout the paper."""
+
+    BENIGN = "benign"
+    DETECTED_HW_EXCEPTION = "detected-hw-exception"
+    HANG = "hang"
+    NO_OUTPUT = "no-output"
+    SDC = "sdc"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Outcomes that count towards error resilience (everything but SDC).
+RESILIENCE_OUTCOMES: Tuple[Outcome, ...] = (
+    Outcome.BENIGN,
+    Outcome.DETECTED_HW_EXCEPTION,
+    Outcome.HANG,
+    Outcome.NO_OUTPUT,
+)
+
+#: Outcomes the paper aggregates as "Detection" in Fig. 1.
+DETECTION_OUTCOMES: Tuple[Outcome, ...] = (
+    Outcome.DETECTED_HW_EXCEPTION,
+    Outcome.HANG,
+    Outcome.NO_OUTPUT,
+)
+
+
+@dataclass
+class OutcomeCounts:
+    """Counts of experiment outcomes, with the derived rates the paper uses."""
+
+    counts: Dict[Outcome, int] = field(default_factory=dict)
+
+    def add(self, outcome: Outcome, count: int = 1) -> None:
+        self.counts[outcome] = self.counts.get(outcome, 0) + count
+
+    def update(self, outcomes: Iterable[Outcome]) -> None:
+        for outcome in outcomes:
+            self.add(outcome)
+
+    def merge(self, other: "OutcomeCounts") -> "OutcomeCounts":
+        merged = OutcomeCounts(dict(self.counts))
+        for outcome, count in other.counts.items():
+            merged.add(outcome, count)
+        return merged
+
+    def count(self, outcome: Outcome) -> int:
+        return self.counts.get(outcome, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    # -- derived rates ---------------------------------------------------------
+    def fraction(self, outcome: Outcome) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.count(outcome) / self.total
+
+    @property
+    def sdc_fraction(self) -> float:
+        """P(SDC) — the quantity compared across fault models in the paper."""
+        return self.fraction(Outcome.SDC)
+
+    @property
+    def benign_fraction(self) -> float:
+        return self.fraction(Outcome.BENIGN)
+
+    @property
+    def detection_fraction(self) -> float:
+        """Sum of Detected-by-HW-exception, Hang and NoOutput fractions."""
+        if self.total == 0:
+            return 0.0
+        return sum(self.count(outcome) for outcome in DETECTION_OUTCOMES) / self.total
+
+    @property
+    def resilience(self) -> float:
+        """Error resilience: probability that the outcome is not an SDC."""
+        return 1.0 - self.sdc_fraction
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (stable key order) for serialization and reports."""
+        return {outcome.value: self.count(outcome) for outcome in Outcome}
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, int]) -> "OutcomeCounts":
+        counts = cls()
+        for key, value in mapping.items():
+            counts.add(Outcome(key), value)
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k.value}={v}" for k, v in sorted(self.counts.items()))
+        return f"OutcomeCounts({parts})"

@@ -1,0 +1,77 @@
+"""MiniIR: a small SSA-style typed intermediate representation.
+
+MiniIR plays the role that LLVM IR plays in the paper.  It provides the
+abstract machine the fault injector operates on: typed virtual registers,
+dynamic instructions that read source registers and write destination
+registers, a byte-addressable memory accessed through explicit ``load`` and
+``store`` instructions, and call/return control flow.
+
+The public surface mirrors (a small subset of) the LLVM C++ API so that the
+rest of the code base reads naturally to anyone familiar with LLFI/LLVM:
+
+* :mod:`repro.ir.types` — the type system (``i1``/``i8``/…/``f64``, pointers,
+  arrays).
+* :mod:`repro.ir.values` — SSA values: constants and virtual registers.
+* :mod:`repro.ir.instructions` — the instruction set.
+* :mod:`repro.ir.basicblock`, :mod:`repro.ir.function`,
+  :mod:`repro.ir.module` — containers.
+* :mod:`repro.ir.builder` — an ``IRBuilder`` for programmatic construction.
+* :mod:`repro.ir.verifier` — structural and type verification.
+* :mod:`repro.ir.printer` — an LLVM-like textual form, used in error
+  messages, debugging and golden tests.
+"""
+
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    IRType,
+    PointerType,
+    VoidType,
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    VOID,
+)
+from repro.ir.values import Constant, GlobalVariable, Value, VirtualRegister
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Argument, Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+from repro.ir.printer import print_function, print_module
+
+__all__ = [
+    "ArrayType",
+    "Argument",
+    "BasicBlock",
+    "BOOL",
+    "Constant",
+    "F32",
+    "F64",
+    "FloatType",
+    "Function",
+    "GlobalVariable",
+    "I16",
+    "I32",
+    "I64",
+    "I8",
+    "IRBuilder",
+    "IRType",
+    "IntType",
+    "Module",
+    "PointerType",
+    "Value",
+    "VerificationError",
+    "VirtualRegister",
+    "VOID",
+    "VoidType",
+    "print_function",
+    "print_module",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,72 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, TYPE_CHECKING
+
+from repro.ir.instructions import Instruction, Phi
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.function import Function
+
+
+class BasicBlock:
+    """A labelled list of instructions with a single terminator at the end."""
+
+    def __init__(self, name: str, parent: Optional["Function"] = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+
+    def append(self, instruction: Instruction) -> Instruction:
+        """Append an instruction and set its parent link."""
+        if self.is_terminated:
+            raise ValueError(
+                f"block %{self.name} already has terminator "
+                f"{self.terminator.describe()!r}; cannot append "
+                f"{instruction.describe()!r}"
+            )
+        instruction.parent = self
+        self.instructions.append(instruction)
+        return instruction
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    @property
+    def phis(self) -> List[Phi]:
+        """The phi nodes at the start of the block."""
+        result: List[Phi] = []
+        for instruction in self.instructions:
+            if isinstance(instruction, Phi):
+                result.append(instruction)
+            else:
+                break
+        return result
+
+    def successors(self) -> List["BasicBlock"]:
+        """Blocks this block can branch to."""
+        from repro.ir.instructions import Branch, CondBranch
+
+        term = self.terminator
+        if isinstance(term, Branch):
+            return [term.target]
+        if isinstance(term, CondBranch):
+            return [term.if_true, term.if_false]
+        return []
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock %{self.name} ({len(self.instructions)} instructions)>"

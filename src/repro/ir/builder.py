@@ -1,0 +1,227 @@
+"""IRBuilder: a convenience API for constructing MiniIR.
+
+The builder keeps an *insertion point* (a basic block) and offers one method
+per instruction, returning the result register of the created instruction —
+the same ergonomics as LLVM's ``IRBuilder``.  It is used directly in tests
+and indirectly by the frontend compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    Compare,
+    CondBranch,
+    GetElementPtr,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.types import (
+    BOOL,
+    FloatType,
+    IntType,
+    IRType,
+    PointerType,
+    I32,
+    I64,
+    VOID,
+)
+from repro.ir.values import Constant, Value, VirtualRegister
+
+
+class IRBuilder:
+    """Builds instructions into a function at a movable insertion point."""
+
+    def __init__(self, function: Function, block: Optional[BasicBlock] = None) -> None:
+        self.function = function
+        if block is None and function.blocks:
+            block = function.blocks[-1]
+        self.block = block
+
+    # -- insertion-point management -----------------------------------------
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def append_block(self, name: Optional[str] = None) -> BasicBlock:
+        """Create a new block in the function (does not move the builder)."""
+        return self.function.add_block(name)
+
+    def _insert(self, instruction):
+        if self.block is None:
+            raise ValueError("builder has no insertion block")
+        return self.block.append(instruction)
+
+    def _result(self, type_: IRType, hint: str) -> VirtualRegister:
+        return self.function.new_register(type_, hint)
+
+    # -- constants -----------------------------------------------------------
+    @staticmethod
+    def const_int(value: int, type_: IntType = I64) -> Constant:
+        return Constant(type_, value)
+
+    @staticmethod
+    def const_float(value: float, type_: FloatType) -> Constant:
+        return Constant(type_, value)
+
+    @staticmethod
+    def const_bool(value: bool) -> Constant:
+        return Constant(BOOL, 1 if value else 0)
+
+    # -- arithmetic ------------------------------------------------------------
+    def binop(self, opcode: str, lhs: Value, rhs: Value, hint: str = "t") -> VirtualRegister:
+        result = self._result(lhs.type, hint)
+        self._insert(BinaryOp(opcode, lhs, rhs, result))
+        return result
+
+    def add(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("add", lhs, rhs, "add")
+
+    def sub(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("sub", lhs, rhs, "sub")
+
+    def mul(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("mul", lhs, rhs, "mul")
+
+    def sdiv(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("sdiv", lhs, rhs, "div")
+
+    def srem(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("srem", lhs, rhs, "rem")
+
+    def and_(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("and", lhs, rhs, "and")
+
+    def or_(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("or", lhs, rhs, "or")
+
+    def xor(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("xor", lhs, rhs, "xor")
+
+    def shl(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("shl", lhs, rhs, "shl")
+
+    def lshr(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("lshr", lhs, rhs, "shr")
+
+    def ashr(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("ashr", lhs, rhs, "sar")
+
+    def fadd(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("fadd", lhs, rhs, "fadd")
+
+    def fsub(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("fsub", lhs, rhs, "fsub")
+
+    def fmul(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("fmul", lhs, rhs, "fmul")
+
+    def fdiv(self, lhs: Value, rhs: Value) -> VirtualRegister:
+        return self.binop("fdiv", lhs, rhs, "fdiv")
+
+    # -- comparisons -----------------------------------------------------------
+    def icmp(self, predicate: str, lhs: Value, rhs: Value) -> VirtualRegister:
+        result = self._result(BOOL, "cmp")
+        self._insert(Compare(predicate, lhs, rhs, result, is_float=False))
+        return result
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value) -> VirtualRegister:
+        result = self._result(BOOL, "fcmp")
+        self._insert(Compare(predicate, lhs, rhs, result, is_float=True))
+        return result
+
+    # -- casts -----------------------------------------------------------------
+    def cast(self, opcode: str, value: Value, to_type: IRType, hint: str = "cast") -> VirtualRegister:
+        result = self._result(to_type, hint)
+        self._insert(Cast(opcode, value, to_type, result))
+        return result
+
+    def trunc(self, value: Value, to_type: IntType) -> VirtualRegister:
+        return self.cast("trunc", value, to_type)
+
+    def sext(self, value: Value, to_type: IntType) -> VirtualRegister:
+        return self.cast("sext", value, to_type)
+
+    def zext(self, value: Value, to_type: IntType) -> VirtualRegister:
+        return self.cast("zext", value, to_type)
+
+    def sitofp(self, value: Value, to_type: FloatType) -> VirtualRegister:
+        return self.cast("sitofp", value, to_type)
+
+    def fptosi(self, value: Value, to_type: IntType) -> VirtualRegister:
+        return self.cast("fptosi", value, to_type)
+
+    # -- memory ----------------------------------------------------------------
+    def alloca(self, allocated_type: IRType, count: Optional[Value] = None, hint: str = "ptr") -> VirtualRegister:
+        if count is None:
+            count = Constant(I64, 1)
+        result = self._result(PointerType(allocated_type), hint)
+        self._insert(Alloca(allocated_type, count, result))
+        return result
+
+    def load(self, pointer: Value, hint: str = "load") -> VirtualRegister:
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"load requires a pointer operand, got {pointer.type}")
+        result = self._result(pointer.type.pointee, hint)
+        self._insert(Load(pointer, result))
+        return result
+
+    def store(self, value: Value, pointer: Value) -> None:
+        self._insert(Store(value, pointer))
+
+    def gep(self, base: Value, index: Value, element_type: Optional[IRType] = None, hint: str = "gep") -> VirtualRegister:
+        if element_type is None:
+            if not isinstance(base.type, PointerType):
+                raise TypeError(f"gep requires a pointer base, got {base.type}")
+            element_type = base.type.pointee
+        result = self._result(PointerType(element_type), hint)
+        self._insert(GetElementPtr(base, index, element_type, result))
+        return result
+
+    # -- control flow ------------------------------------------------------------
+    def branch(self, target: BasicBlock) -> None:
+        self._insert(Branch(target))
+
+    def cond_branch(self, condition: Value, if_true: BasicBlock, if_false: BasicBlock) -> None:
+        self._insert(CondBranch(condition, if_true, if_false))
+
+    def phi(self, type_: IRType, hint: str = "phi") -> Phi:
+        result = self._result(type_, hint)
+        node = Phi(type_, result)
+        self._insert(node)
+        return node
+
+    def select(self, condition: Value, if_true: Value, if_false: Value, hint: str = "sel") -> VirtualRegister:
+        result = self._result(if_true.type, hint)
+        self._insert(Select(condition, if_true, if_false, result))
+        return result
+
+    def call(
+        self,
+        callee: Union[str, Function],
+        args: Sequence[Value] = (),
+        return_type: IRType = VOID,
+        hint: str = "call",
+    ) -> Optional[VirtualRegister]:
+        if isinstance(callee, Function):
+            return_type = callee.return_type
+        result = None if return_type == VOID else self._result(return_type, hint)
+        self._insert(Call(callee, args, result))
+        return result
+
+    def ret(self, value: Optional[Value] = None) -> None:
+        self._insert(Return(value))
+
+    def unreachable(self) -> None:
+        self._insert(Unreachable())

@@ -1,0 +1,111 @@
+"""Functions: arguments, basic blocks and static instruction numbering."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.ir.types import IRType, VOID
+from repro.ir.values import VirtualRegister
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.module import Module
+
+
+class Argument(VirtualRegister):
+    """A function argument; behaves like a virtual register with no definer."""
+
+    def __init__(self, type_: IRType, name: str, index: int) -> None:
+        super().__init__(type_, name)
+        self.index = index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Argument({self.type}, %{self.name}, #{self.index})"
+
+
+class Function:
+    """A MiniIR function: a named list of basic blocks plus typed arguments."""
+
+    def __init__(
+        self,
+        name: str,
+        return_type: IRType = VOID,
+        arg_types: Sequence[IRType] = (),
+        arg_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.name = name
+        self.return_type = return_type
+        if arg_names is None:
+            arg_names = [f"arg{i}" for i in range(len(arg_types))]
+        if len(arg_names) != len(arg_types):
+            raise ValueError("arg_names and arg_types must have the same length")
+        self.arguments: List[Argument] = [
+            Argument(type_, name, index)
+            for index, (type_, name) in enumerate(zip(arg_types, arg_names))
+        ]
+        self.blocks: List[BasicBlock] = []
+        self.parent: Optional["Module"] = None
+        self._blocks_by_name: Dict[str, BasicBlock] = {}
+        self._register_counter = 0
+        self._block_counter = 0
+        self._finalized = False
+
+    # -- construction ------------------------------------------------------
+    def add_block(self, name: Optional[str] = None) -> BasicBlock:
+        """Create and append a new basic block with a unique name."""
+        if name is None:
+            name = f"bb{self._block_counter}"
+        base = name
+        while name in self._blocks_by_name:
+            self._block_counter += 1
+            name = f"{base}.{self._block_counter}"
+        self._block_counter += 1
+        block = BasicBlock(name, parent=self)
+        self.blocks.append(block)
+        self._blocks_by_name[name] = block
+        self._finalized = False
+        return block
+
+    def new_register(self, type_: IRType, hint: str = "t") -> VirtualRegister:
+        """Create a fresh, uniquely-named virtual register."""
+        name = f"{hint}{self._register_counter}"
+        self._register_counter += 1
+        return VirtualRegister(type_, name)
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function @{self.name} has no blocks")
+        return self.blocks[0]
+
+    def block(self, name: str) -> BasicBlock:
+        return self._blocks_by_name[name]
+
+    # -- queries -----------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def finalize(self) -> None:
+        """Assign static indices to every instruction (idempotent)."""
+        index = 0
+        for block in self.blocks:
+            for instruction in block.instructions:
+                instruction.static_index = index
+                index += 1
+        self._finalized = True
+
+    @property
+    def is_finalized(self) -> bool:
+        return self._finalized
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Function @{self.name}({len(self.arguments)} args, "
+            f"{len(self.blocks)} blocks, {self.instruction_count()} instructions)>"
+        )

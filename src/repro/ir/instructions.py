@@ -1,0 +1,425 @@
+"""The MiniIR instruction set.
+
+Instructions follow LLVM's shape: most produce a single SSA result register
+and read a list of operand values.  The fault-injection layer only needs two
+views of an instruction:
+
+* ``source_registers()`` — the operands that are virtual registers, i.e. the
+  candidate locations for *inject-on-read*;
+* ``destination()`` — the result register, i.e. the candidate location for
+  *inject-on-write*.
+
+The instruction classes themselves are pure data; execution semantics live in
+:mod:`repro.vm.interpreter`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
+
+from repro.ir.types import IRType, IntType, PointerType, VOID
+from repro.ir.values import Constant, Value, VirtualRegister
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.basicblock import BasicBlock
+    from repro.ir.function import Function
+
+
+#: Integer binary opcodes and whether they can raise an arithmetic fault.
+INT_BINARY_OPCODES = {
+    "add": False,
+    "sub": False,
+    "mul": False,
+    "sdiv": True,
+    "udiv": True,
+    "srem": True,
+    "urem": True,
+    "and": False,
+    "or": False,
+    "xor": False,
+    "shl": False,
+    "lshr": False,
+    "ashr": False,
+}
+
+#: Floating-point binary opcodes.
+FLOAT_BINARY_OPCODES = ("fadd", "fsub", "fmul", "fdiv", "frem")
+
+#: Comparison predicates shared by icmp and fcmp.
+COMPARE_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")
+
+#: Cast opcodes.
+CAST_OPCODES = (
+    "trunc",
+    "zext",
+    "sext",
+    "fptosi",
+    "sitofp",
+    "fpext",
+    "fptrunc",
+    "ptrtoint",
+    "inttoptr",
+    "bitcast",
+)
+
+
+class Instruction:
+    """Base class for all MiniIR instructions."""
+
+    #: Class-level opcode name; refined per subclass/instance.
+    opcode: str = "?"
+
+    def __init__(self, operands: Sequence[Value], result: Optional[VirtualRegister]) -> None:
+        self.operands: List[Value] = list(operands)
+        self.result = result
+        if result is not None:
+            result.definer = self
+        #: The basic block containing this instruction; set on insertion.
+        self.parent: Optional["BasicBlock"] = None
+        #: Static index within the function, assigned by Function.finalize().
+        self.static_index: int = -1
+        #: Optional source-location string for diagnostics ("file:line").
+        self.debug_location: Optional[str] = None
+
+    # -- views used by the fault injector ---------------------------------
+    def source_registers(self) -> List[VirtualRegister]:
+        """Operand registers read by this instruction (inject-on-read sites)."""
+        return [op for op in self.operands if isinstance(op, VirtualRegister)]
+
+    def destination(self) -> Optional[VirtualRegister]:
+        """The register written by this instruction (inject-on-write site)."""
+        return self.result
+
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Branch, CondBranch, Return, Unreachable))
+
+    def replace_operand(self, index: int, new_value: Value) -> None:
+        """Replace operand ``index`` (used by the frontend's phi fix-ups)."""
+        self.operands[index] = new_value
+
+    def describe(self) -> str:
+        """Short human-readable description used in traces and errors."""
+        dst = f"{self.result.short_name()} = " if self.result is not None else ""
+        ops = ", ".join(op.short_name() for op in self.operands)
+        return f"{dst}{self.opcode} {ops}".strip()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class BinaryOp(Instruction):
+    """Integer or floating-point binary arithmetic / bitwise operation."""
+
+    def __init__(
+        self,
+        opcode: str,
+        lhs: Value,
+        rhs: Value,
+        result: VirtualRegister,
+    ) -> None:
+        if opcode not in INT_BINARY_OPCODES and opcode not in FLOAT_BINARY_OPCODES:
+            raise ValueError(f"unknown binary opcode: {opcode}")
+        super().__init__([lhs, rhs], result)
+        self.opcode = opcode
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def may_trap(self) -> bool:
+        """True for division/remainder, which can raise an arithmetic fault."""
+        return INT_BINARY_OPCODES.get(self.opcode, False)
+
+
+class Compare(Instruction):
+    """``icmp``/``fcmp``-style comparison producing an ``i1``."""
+
+    def __init__(
+        self,
+        predicate: str,
+        lhs: Value,
+        rhs: Value,
+        result: VirtualRegister,
+        *,
+        is_float: bool = False,
+    ) -> None:
+        if predicate not in COMPARE_PREDICATES:
+            raise ValueError(f"unknown compare predicate: {predicate}")
+        super().__init__([lhs, rhs], result)
+        self.predicate = predicate
+        self.is_float = is_float
+        self.opcode = ("fcmp " if is_float else "icmp ") + predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class Cast(Instruction):
+    """Type conversion (truncation, extension, int/float conversion…)."""
+
+    def __init__(self, opcode: str, value: Value, to_type: IRType, result: VirtualRegister) -> None:
+        if opcode not in CAST_OPCODES:
+            raise ValueError(f"unknown cast opcode: {opcode}")
+        super().__init__([value], result)
+        self.opcode = opcode
+        self.to_type = to_type
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class Alloca(Instruction):
+    """Stack allocation of ``count`` elements of ``allocated_type``.
+
+    The result is a pointer into the current frame's stack segment.
+    """
+
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: IRType, count: Value, result: VirtualRegister) -> None:
+        super().__init__([count], result)
+        self.allocated_type = allocated_type
+
+    @property
+    def count(self) -> Value:
+        return self.operands[0]
+
+
+class Load(Instruction):
+    """Load a scalar of the result's type from a pointer operand."""
+
+    opcode = "load"
+
+    def __init__(self, pointer: Value, result: VirtualRegister) -> None:
+        super().__init__([pointer], result)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    """Store a scalar value through a pointer.  Has no result register."""
+
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value) -> None:
+        super().__init__([value, pointer], None)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class GetElementPtr(Instruction):
+    """Pointer arithmetic: ``result = base + index * sizeof(element_type)``."""
+
+    opcode = "getelementptr"
+
+    def __init__(
+        self,
+        base: Value,
+        index: Value,
+        element_type: IRType,
+        result: VirtualRegister,
+    ) -> None:
+        super().__init__([base, index], result)
+        self.element_type = element_type
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class Branch(Instruction):
+    """Unconditional branch to a basic block."""
+
+    opcode = "br"
+
+    def __init__(self, target: "BasicBlock") -> None:
+        super().__init__([], None)
+        self.target = target
+
+    def describe(self) -> str:
+        return f"br label %{self.target.name}"
+
+
+class CondBranch(Instruction):
+    """Conditional branch on an ``i1`` value."""
+
+    opcode = "br.cond"
+
+    def __init__(self, condition: Value, if_true: "BasicBlock", if_false: "BasicBlock") -> None:
+        super().__init__([condition], None)
+        self.if_true = if_true
+        self.if_false = if_false
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    def describe(self) -> str:
+        return (
+            f"br {self.condition.short_name()}, "
+            f"label %{self.if_true.name}, label %{self.if_false.name}"
+        )
+
+
+class Phi(Instruction):
+    """SSA phi node selecting a value by predecessor block."""
+
+    opcode = "phi"
+
+    def __init__(self, type_: IRType, result: VirtualRegister) -> None:
+        super().__init__([], result)
+        self.type = type_
+        #: Mapping from predecessor block name to incoming value.
+        self.incoming: Dict[str, Value] = {}
+        self._incoming_blocks: Dict[str, "BasicBlock"] = {}
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        self.incoming[block.name] = value
+        self._incoming_blocks[block.name] = block
+        if value not in self.operands:
+            self.operands.append(value)
+
+    def incoming_pairs(self) -> List[Tuple[Value, "BasicBlock"]]:
+        return [(self.incoming[name], self._incoming_blocks[name]) for name in self.incoming]
+
+    def source_registers(self) -> List[VirtualRegister]:
+        # Phi operands are resolved by control flow, not read uniformly; LLFI
+        # does not treat phi incoming values as read sites either, so the phi
+        # exposes no inject-on-read candidates.
+        return []
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"[{value.short_name()}, %{name}]" for name, value in self.incoming.items()
+        )
+        return f"{self.result.short_name()} = phi {self.type} {pairs}"
+
+
+class Call(Instruction):
+    """Direct call to another function or to a VM intrinsic by name."""
+
+    opcode = "call"
+
+    def __init__(
+        self,
+        callee: Union[str, "Function"],
+        args: Sequence[Value],
+        result: Optional[VirtualRegister],
+    ) -> None:
+        super().__init__(list(args), result)
+        self.callee = callee
+
+    @property
+    def callee_name(self) -> str:
+        if isinstance(self.callee, str):
+            return self.callee
+        return self.callee.name
+
+    @property
+    def is_intrinsic(self) -> bool:
+        return isinstance(self.callee, str) and self.callee.startswith("__")
+
+    def describe(self) -> str:
+        dst = f"{self.result.short_name()} = " if self.result is not None else ""
+        args = ", ".join(op.short_name() for op in self.operands)
+        return f"{dst}call @{self.callee_name}({args})"
+
+
+class Return(Instruction):
+    """Return from the current function, optionally with a value."""
+
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None) -> None:
+        super().__init__([value] if value is not None else [], None)
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def describe(self) -> str:
+        if self.operands:
+            return f"ret {self.operands[0].short_name()}"
+        return "ret void"
+
+
+class Select(Instruction):
+    """``result = condition ? if_true : if_false`` without branching."""
+
+    opcode = "select"
+
+    def __init__(
+        self,
+        condition: Value,
+        if_true: Value,
+        if_false: Value,
+        result: VirtualRegister,
+    ) -> None:
+        super().__init__([condition, if_true, if_false], result)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def if_true(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def if_false(self) -> Value:
+        return self.operands[2]
+
+
+class Unreachable(Instruction):
+    """Marks a point that must never execute; reaching it aborts the run."""
+
+    opcode = "unreachable"
+
+    def __init__(self) -> None:
+        super().__init__([], None)
+
+    def describe(self) -> str:
+        return "unreachable"
+
+
+def make_result(type_: IRType, name: str) -> VirtualRegister:
+    """Create a result register; small helper shared by builder and frontend."""
+    if type_ == VOID:
+        raise ValueError("cannot create a register of void type")
+    return VirtualRegister(type_, name)
+
+
+def is_pointer_producing(instruction: Instruction) -> bool:
+    """True when the instruction's result is a pointer value.
+
+    Used by analysis code to reason about the data/address mix of a program,
+    which the paper uses to explain inject-on-read vs inject-on-write
+    differences.
+    """
+    return instruction.result is not None and isinstance(
+        instruction.result.type, PointerType
+    )

@@ -1,0 +1,82 @@
+"""Modules: the top-level container of functions and global variables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.ir.function import Function
+from repro.ir.types import IRType
+from repro.ir.values import GlobalVariable
+
+
+class Module:
+    """A compilation unit: named functions plus module-level globals.
+
+    The interpreter executes a module starting from a designated entry
+    function (``main`` by convention, overridable per program).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+
+    # -- functions ---------------------------------------------------------
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function @{function.name} in module {self.name}")
+        function.parent = self
+        self.functions[function.name] = function
+        return function
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"module {self.name} has no function @{name}") from None
+
+    def has_function(self, name: str) -> bool:
+        return name in self.functions
+
+    # -- globals -----------------------------------------------------------
+    def add_global(
+        self,
+        name: str,
+        value_type: IRType,
+        initializer: Optional[Sequence[Union[int, float]]] = None,
+        *,
+        constant: bool = False,
+    ) -> GlobalVariable:
+        if name in self.globals:
+            raise ValueError(f"duplicate global @{name} in module {self.name}")
+        variable = GlobalVariable(name, value_type, initializer, constant=constant)
+        self.globals[name] = variable
+        return variable
+
+    def get_global(self, name: str) -> GlobalVariable:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise KeyError(f"module {self.name} has no global @{name}") from None
+
+    # -- bulk operations ----------------------------------------------------
+    def finalize(self) -> None:
+        """Assign static instruction indices in every function."""
+        for function in self.functions.values():
+            function.finalize()
+
+    def all_instructions(self) -> Iterator:
+        for function in self.functions.values():
+            yield from function.instructions()
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.functions.values())
+
+    def function_names(self) -> List[str]:
+        return list(self.functions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Module {self.name}: {len(self.functions)} functions, "
+            f"{len(self.globals)} globals, {self.instruction_count()} instructions>"
+        )

@@ -1,0 +1,134 @@
+"""LLVM-like textual printing of MiniIR.
+
+The textual form is used for debugging, error reporting and golden tests of
+the frontend compiler.  It is intentionally close to LLVM assembly so that
+modules are easy to eyeball, but it is not designed to be re-parsed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    Compare,
+    CondBranch,
+    GetElementPtr,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.module import Module
+from repro.ir.values import Constant, GlobalVariable, Value
+
+
+def _operand(value: Value) -> str:
+    """Render an operand with its type, LLVM style."""
+    if isinstance(value, Constant):
+        return f"{value.type} {value.value}"
+    if isinstance(value, GlobalVariable):
+        return f"{value.type} @{value.name}"
+    return f"{value.type} %{value.name}"
+
+
+def print_instruction(instruction: Instruction) -> str:
+    """Render a single instruction as one line of LLVM-like text."""
+    result = instruction.result
+    prefix = f"%{result.name} = " if result is not None else ""
+
+    if isinstance(instruction, BinaryOp):
+        return f"{prefix}{instruction.opcode} {_operand(instruction.lhs)}, {_operand(instruction.rhs)}"
+    if isinstance(instruction, Compare):
+        kind = "fcmp" if instruction.is_float else "icmp"
+        return (
+            f"{prefix}{kind} {instruction.predicate} "
+            f"{_operand(instruction.lhs)}, {_operand(instruction.rhs)}"
+        )
+    if isinstance(instruction, Cast):
+        return f"{prefix}{instruction.opcode} {_operand(instruction.value)} to {instruction.to_type}"
+    if isinstance(instruction, Alloca):
+        return f"{prefix}alloca {instruction.allocated_type}, count {_operand(instruction.count)}"
+    if isinstance(instruction, Load):
+        return f"{prefix}load {_operand(instruction.pointer)}"
+    if isinstance(instruction, Store):
+        return f"store {_operand(instruction.value)}, {_operand(instruction.pointer)}"
+    if isinstance(instruction, GetElementPtr):
+        return (
+            f"{prefix}getelementptr {instruction.element_type}, "
+            f"{_operand(instruction.base)}, {_operand(instruction.index)}"
+        )
+    if isinstance(instruction, Branch):
+        return f"br label %{instruction.target.name}"
+    if isinstance(instruction, CondBranch):
+        return (
+            f"br {_operand(instruction.condition)}, "
+            f"label %{instruction.if_true.name}, label %{instruction.if_false.name}"
+        )
+    if isinstance(instruction, Phi):
+        pairs = ", ".join(
+            f"[ {value.short_name()}, %{name} ]"
+            for name, value in instruction.incoming.items()
+        )
+        return f"{prefix}phi {instruction.type} {pairs}"
+    if isinstance(instruction, Select):
+        return (
+            f"{prefix}select {_operand(instruction.condition)}, "
+            f"{_operand(instruction.if_true)}, {_operand(instruction.if_false)}"
+        )
+    if isinstance(instruction, Call):
+        args = ", ".join(_operand(op) for op in instruction.operands)
+        return f"{prefix}call @{instruction.callee_name}({args})"
+    if isinstance(instruction, Return):
+        if instruction.value is not None:
+            return f"ret {_operand(instruction.value)}"
+        return "ret void"
+    if isinstance(instruction, Unreachable):
+        return "unreachable"
+    return instruction.describe()
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for instruction in block.instructions:
+        lines.append(f"  {print_instruction(instruction)}")
+    return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    args = ", ".join(f"{arg.type} %{arg.name}" for arg in function.arguments)
+    lines: List[str] = [f"define {function.return_type} @{function.name}({args}) {{"]
+    for block in function.blocks:
+        lines.append(print_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_global(variable: GlobalVariable) -> str:
+    kind = "constant" if variable.constant else "global"
+    init = ""
+    if variable.initializer:
+        init = " [" + ", ".join(str(v) for v in variable.initializer) + "]"
+    return f"@{variable.name} = {kind} {variable.value_type}{init}"
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module (globals first, then functions)."""
+    lines: List[str] = [f"; module {module.name}"]
+    for variable in module.globals.values():
+        lines.append(print_global(variable))
+    if module.globals:
+        lines.append("")
+    for function in module.functions.values():
+        lines.append(print_function(function))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,228 @@
+"""Type system for MiniIR.
+
+MiniIR types mirror the subset of LLVM types the paper's benchmarks exercise:
+
+* integer types of explicit bit width (``i1``, ``i8``, ``i16``, ``i32``,
+  ``i64``) — both signed arithmetic and bitwise views are provided by the VM;
+* IEEE-754 floating point (``f32``, ``f64``);
+* pointers (a pointee type plus a 64-bit address representation);
+* arrays (used for globals and stack allocations);
+* ``void`` (function return type only).
+
+Types are immutable value objects: equality and hashing are structural so
+they can be used as dictionary keys (for example by the interpreter's
+bit-manipulation tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class IRType:
+    """Base class for all MiniIR types."""
+
+    #: Number of bits an SSA value of this type occupies.  ``None`` for void.
+    bits: int | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return str(self)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def size_bytes(self) -> int:
+        """Size of an in-memory object of this type, in bytes."""
+        if self.bits is None:
+            raise TypeError(f"type {self} has no storage size")
+        return max(1, self.bits // 8)
+
+    def alignment(self) -> int:
+        """Natural alignment used by the VM's misaligned-access checks."""
+        return self.size_bytes()
+
+
+@dataclass(frozen=True)
+class IntType(IRType):
+    """An integer type with an explicit bit width (``i1`` … ``i64``)."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {self.width}")
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return self.width
+
+    def size_bytes(self) -> int:
+        return max(1, self.width // 8)
+
+    def min_value(self) -> int:
+        """Smallest representable signed value."""
+        return -(1 << (self.width - 1)) if self.width > 1 else 0
+
+    def max_value(self) -> int:
+        """Largest representable signed value (i1 is treated as 0/1)."""
+        return (1 << (self.width - 1)) - 1 if self.width > 1 else 1
+
+    def unsigned_max(self) -> int:
+        return (1 << self.width) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap ``value`` into this type's signed range (two's complement)."""
+        mask = (1 << self.width) - 1
+        value &= mask
+        if self.width > 1 and value >= (1 << (self.width - 1)):
+            value -= 1 << self.width
+        return value
+
+    def to_unsigned(self, value: int) -> int:
+        """Reinterpret a signed value as its unsigned bit pattern."""
+        return value & ((1 << self.width) - 1)
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+@dataclass(frozen=True)
+class FloatType(IRType):
+    """IEEE-754 float (``f32``) or double (``f64``)."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width not in (32, 64):
+            raise ValueError(f"unsupported float width: {self.width}")
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return self.width
+
+    def size_bytes(self) -> int:
+        return self.width // 8
+
+    def __str__(self) -> str:
+        return f"f{self.width}"
+
+
+@dataclass(frozen=True)
+class PointerType(IRType):
+    """A pointer to a pointee type.  Pointers are 64-bit addresses."""
+
+    pointee: IRType
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return 64
+
+    def size_bytes(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(IRType):
+    """A fixed-length array, used for globals and ``alloca`` of buffers."""
+
+    element: IRType
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("array count must be non-negative")
+        if self.element.is_void:
+            raise ValueError("array of void is not a valid type")
+
+    @property
+    def bits(self) -> int:  # type: ignore[override]
+        return self.element.size_bytes() * self.count * 8
+
+    def size_bytes(self) -> int:
+        return self.element.size_bytes() * self.count
+
+    def alignment(self) -> int:
+        return self.element.alignment()
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+@dataclass(frozen=True)
+class VoidType(IRType):
+    """The void type — only valid as a function return type."""
+
+    @property
+    def bits(self) -> None:  # type: ignore[override]
+        return None
+
+    def __str__(self) -> str:
+        return "void"
+
+
+# Canonical singletons used across the code base.
+BOOL = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+VOID = VoidType()
+
+_SCALAR_BY_NAME = {
+    "i1": BOOL,
+    "i8": I8,
+    "i16": I16,
+    "i32": I32,
+    "i64": I64,
+    "f32": F32,
+    "f64": F64,
+    "void": VOID,
+}
+
+
+def parse_type(text: str) -> IRType:
+    """Parse a textual type name (``"i32"``, ``"f64*"``, ``"[4 x i32]"``)."""
+    text = text.strip()
+    if text.endswith("*"):
+        return PointerType(parse_type(text[:-1]))
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1]
+        count_text, _, element_text = inner.partition(" x ")
+        return ArrayType(parse_type(element_text), int(count_text))
+    try:
+        return _SCALAR_BY_NAME[text]
+    except KeyError:
+        raise ValueError(f"unknown type name: {text!r}") from None
+
+
+def common_int_type(a: IntType, b: IntType) -> IntType:
+    """The wider of two integer types (used by the frontend for promotion)."""
+    return a if a.width >= b.width else b
+
+
+def scalar_types() -> Tuple[IRType, ...]:
+    """All scalar (register-storable) types, useful for property tests."""
+    return (BOOL, I8, I16, I32, I64, F32, F64)

@@ -1,0 +1,148 @@
+"""SSA values of MiniIR: constants, virtual registers and globals.
+
+Every instruction operand is a :class:`Value`.  Two kinds matter to the fault
+injector:
+
+* :class:`VirtualRegister` — an SSA name produced by exactly one instruction
+  (or a function argument).  These are the *locations* bit flips target.
+* :class:`Constant` — immediate operands; they are never injection targets,
+  matching LLFI which only flips register operands.
+
+:class:`GlobalVariable` represents module-level data; the VM materialises it
+as a memory segment and the value itself behaves like a pointer constant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.ir.types import ArrayType, FloatType, IntType, IRType, PointerType
+
+
+class Value:
+    """Base class for everything an instruction can use as an operand."""
+
+    def __init__(self, type_: IRType) -> None:
+        self.type = type_
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    @property
+    def is_register(self) -> bool:
+        return isinstance(self, VirtualRegister)
+
+    def short_name(self) -> str:
+        raise NotImplementedError
+
+
+class Constant(Value):
+    """An immediate constant of integer or floating-point type."""
+
+    def __init__(self, type_: IRType, value: Union[int, float]) -> None:
+        super().__init__(type_)
+        if isinstance(type_, IntType):
+            value = type_.wrap(int(value))
+        elif isinstance(type_, FloatType):
+            value = float(value)
+        elif isinstance(type_, PointerType):
+            value = int(value)
+        else:
+            raise TypeError(f"cannot build a constant of type {type_}")
+        self.value = value
+
+    def short_name(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.type}, {self.value})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class VirtualRegister(Value):
+    """An SSA virtual register (``%name``).
+
+    A register is defined either by an instruction (``definer``) or by being
+    a function argument.  Registers are the locations targeted by bit flips.
+    """
+
+    def __init__(self, type_: IRType, name: str) -> None:
+        super().__init__(type_)
+        self.name = name
+        #: The instruction that defines this register, or ``None`` for
+        #: function arguments.  Set by the instruction constructor.
+        self.definer = None
+
+    def short_name(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"VirtualRegister({self.type}, %{self.name})"
+
+
+class GlobalVariable(Value):
+    """A module-level variable.
+
+    The value of a global, when used as an operand, is the address of its
+    storage; hence its type is a pointer to ``value_type``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        value_type: IRType,
+        initializer: Optional[Sequence[Union[int, float]]] = None,
+        *,
+        constant: bool = False,
+    ) -> None:
+        super().__init__(PointerType(value_type))
+        self.name = name
+        self.value_type = value_type
+        self.constant = constant
+        self.initializer: List[Union[int, float]] = list(initializer or [])
+        if isinstance(value_type, ArrayType):
+            expected = value_type.count
+        else:
+            expected = 1
+        if self.initializer and len(self.initializer) not in (0, expected):
+            raise ValueError(
+                f"global @{name}: initializer length {len(self.initializer)} "
+                f"does not match type {value_type} (expected {expected})"
+            )
+
+    def element_type(self) -> IRType:
+        """The scalar element type stored in this global."""
+        if isinstance(self.value_type, ArrayType):
+            return self.value_type.element
+        return self.value_type
+
+    def element_count(self) -> int:
+        if isinstance(self.value_type, ArrayType):
+            return self.value_type.count
+        return 1
+
+    def short_name(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:
+        return f"GlobalVariable(@{self.name}: {self.value_type})"
+
+
+def constant_int(value: int, type_: IntType) -> Constant:
+    """Convenience constructor for integer constants."""
+    return Constant(type_, value)
+
+
+def constant_float(value: float, type_: FloatType) -> Constant:
+    """Convenience constructor for floating-point constants."""
+    return Constant(type_, value)

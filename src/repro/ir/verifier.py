@@ -1,0 +1,254 @@
+"""Structural and type verification of MiniIR.
+
+The verifier catches the construction bugs that would otherwise surface as
+confusing interpreter failures: unterminated blocks, type mismatches on
+binary operations, loads through non-pointers, phi nodes missing a
+predecessor, calls to unknown functions, and so on.
+
+It is deliberately stricter than the interpreter — every module produced by
+the frontend compiler is verified in the test suite before use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    Compare,
+    CondBranch,
+    FLOAT_BINARY_OPCODES,
+    GetElementPtr,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.module import Module
+from repro.ir.types import BOOL, FloatType, IntType, PointerType, VoidType
+from repro.ir.values import Constant, GlobalVariable, VirtualRegister
+
+
+class VerificationError(Exception):
+    """Raised when a module or function violates MiniIR structural rules."""
+
+    def __init__(self, messages: List[str]) -> None:
+        super().__init__("\n".join(messages))
+        self.messages = messages
+
+
+class _FunctionVerifier:
+    def __init__(self, function: Function, module: Optional[Module]) -> None:
+        self.function = function
+        self.module = module
+        self.errors: List[str] = []
+        self.defined: Set[int] = set()
+
+    def error(self, block: BasicBlock, message: str) -> None:
+        self.errors.append(f"@{self.function.name}/%{block.name}: {message}")
+
+    def run(self) -> List[str]:
+        function = self.function
+        if not function.blocks:
+            self.errors.append(f"@{function.name}: function has no basic blocks")
+            return self.errors
+
+        for argument in function.arguments:
+            self.defined.add(id(argument))
+
+        # First pass: record every register definition so that uses in
+        # earlier blocks of values defined later (via phi-carried loops) do
+        # not trigger false positives.  MiniIR only requires SSA dominance at
+        # runtime through phi nodes; the verifier checks definition existence.
+        for block in function.blocks:
+            for instruction in block.instructions:
+                if instruction.result is not None:
+                    self.defined.add(id(instruction.result))
+
+        block_names = {block.name for block in function.blocks}
+
+        for block in function.blocks:
+            if not block.is_terminated:
+                self.error(block, "block is not terminated")
+            self._check_phi_positions(block)
+            for position, instruction in enumerate(block.instructions):
+                if instruction.is_terminator and position != len(block.instructions) - 1:
+                    self.error(block, f"terminator {instruction.describe()!r} is not last")
+                self._check_instruction(block, instruction, block_names)
+        return self.errors
+
+    def _check_phi_positions(self, block: BasicBlock) -> None:
+        seen_non_phi = False
+        for instruction in block.instructions:
+            if isinstance(instruction, Phi):
+                if seen_non_phi:
+                    self.error(block, "phi node appears after non-phi instruction")
+            else:
+                seen_non_phi = True
+
+    def _check_operand_defined(self, block: BasicBlock, instruction, operand) -> None:
+        if isinstance(operand, VirtualRegister) and not isinstance(operand, GlobalVariable):
+            if id(operand) not in self.defined:
+                self.error(
+                    block,
+                    f"{instruction.describe()!r} uses undefined register "
+                    f"{operand.short_name()}",
+                )
+
+    def _check_instruction(self, block: BasicBlock, instruction, block_names: Set[str]) -> None:
+        for operand in instruction.operands:
+            self._check_operand_defined(block, instruction, operand)
+
+        if isinstance(instruction, BinaryOp):
+            self._check_binop(block, instruction)
+        elif isinstance(instruction, Compare):
+            self._check_compare(block, instruction)
+        elif isinstance(instruction, Cast):
+            self._check_cast(block, instruction)
+        elif isinstance(instruction, Load):
+            if not isinstance(instruction.pointer.type, PointerType):
+                self.error(block, f"load through non-pointer {instruction.pointer.type}")
+        elif isinstance(instruction, Store):
+            if not isinstance(instruction.pointer.type, PointerType):
+                self.error(block, f"store through non-pointer {instruction.pointer.type}")
+        elif isinstance(instruction, GetElementPtr):
+            if not isinstance(instruction.base.type, PointerType):
+                self.error(block, f"gep on non-pointer base {instruction.base.type}")
+            if not isinstance(instruction.index.type, IntType):
+                self.error(block, f"gep index must be an integer, got {instruction.index.type}")
+        elif isinstance(instruction, Alloca):
+            if not isinstance(instruction.count.type, IntType):
+                self.error(block, f"alloca count must be an integer, got {instruction.count.type}")
+        elif isinstance(instruction, CondBranch):
+            if instruction.condition.type != BOOL:
+                self.error(block, f"conditional branch on non-i1 {instruction.condition.type}")
+            for target in (instruction.if_true, instruction.if_false):
+                if target.name not in block_names:
+                    self.error(block, f"branch to unknown block %{target.name}")
+        elif isinstance(instruction, Branch):
+            if instruction.target.name not in block_names:
+                self.error(block, f"branch to unknown block %{instruction.target.name}")
+        elif isinstance(instruction, Phi):
+            self._check_phi(block, instruction, block_names)
+        elif isinstance(instruction, Select):
+            if instruction.condition.type != BOOL:
+                self.error(block, "select condition must be i1")
+            if instruction.if_true.type != instruction.if_false.type:
+                self.error(block, "select arms have different types")
+        elif isinstance(instruction, Return):
+            self._check_return(block, instruction)
+        elif isinstance(instruction, Call):
+            self._check_call(block, instruction)
+        elif isinstance(instruction, Unreachable):
+            pass
+
+    def _check_binop(self, block: BasicBlock, instruction: BinaryOp) -> None:
+        lhs, rhs = instruction.lhs, instruction.rhs
+        if lhs.type != rhs.type:
+            self.error(
+                block,
+                f"binary op {instruction.opcode} has mismatched operand types "
+                f"{lhs.type} and {rhs.type}",
+            )
+        is_float_op = instruction.opcode in FLOAT_BINARY_OPCODES
+        if is_float_op and not isinstance(lhs.type, FloatType):
+            self.error(block, f"float opcode {instruction.opcode} on {lhs.type}")
+        if not is_float_op and not isinstance(lhs.type, (IntType, PointerType)):
+            self.error(block, f"integer opcode {instruction.opcode} on {lhs.type}")
+        if instruction.result is not None and instruction.result.type != lhs.type:
+            self.error(block, f"binary op result type {instruction.result.type} != {lhs.type}")
+
+    def _check_compare(self, block: BasicBlock, instruction: Compare) -> None:
+        if instruction.lhs.type != instruction.rhs.type:
+            self.error(
+                block,
+                f"compare has mismatched operand types "
+                f"{instruction.lhs.type} and {instruction.rhs.type}",
+            )
+        if instruction.result is not None and instruction.result.type != BOOL:
+            self.error(block, "compare result must be i1")
+
+    def _check_cast(self, block: BasicBlock, instruction: Cast) -> None:
+        if instruction.result is not None and instruction.result.type != instruction.to_type:
+            self.error(
+                block,
+                f"cast result type {instruction.result.type} != declared {instruction.to_type}",
+            )
+
+    def _check_return(self, block: BasicBlock, instruction: Return) -> None:
+        expected = self.function.return_type
+        if isinstance(expected, VoidType):
+            if instruction.value is not None:
+                self.error(block, "void function returns a value")
+        else:
+            if instruction.value is None:
+                self.error(block, f"non-void function returns without a value")
+            elif instruction.value.type != expected:
+                self.error(
+                    block,
+                    f"return type {instruction.value.type} != function type {expected}",
+                )
+
+    def _check_call(self, block: BasicBlock, instruction: Call) -> None:
+        if instruction.is_intrinsic:
+            return
+        if self.module is None:
+            return
+        name = instruction.callee_name
+        if not self.module.has_function(name):
+            self.error(block, f"call to unknown function @{name}")
+            return
+        callee = self.module.get_function(name)
+        if len(instruction.operands) != len(callee.arguments):
+            self.error(
+                block,
+                f"call to @{name} passes {len(instruction.operands)} args, "
+                f"expected {len(callee.arguments)}",
+            )
+            return
+        for passed, formal in zip(instruction.operands, callee.arguments):
+            if passed.type != formal.type:
+                self.error(
+                    block,
+                    f"call to @{name}: argument type {passed.type} != {formal.type}",
+                )
+
+    def _check_phi(self, block: BasicBlock, instruction: Phi, block_names: Set[str]) -> None:
+        if not instruction.incoming:
+            self.error(block, "phi node has no incoming values")
+        for name, value in instruction.incoming.items():
+            if name not in block_names:
+                self.error(block, f"phi references unknown predecessor %{name}")
+            if value.type != instruction.type:
+                self.error(
+                    block,
+                    f"phi incoming value from %{name} has type {value.type}, "
+                    f"expected {instruction.type}",
+                )
+            self._check_operand_defined(block, instruction, value)
+
+
+def verify_function(function: Function, module: Optional[Module] = None) -> None:
+    """Verify a single function; raise :class:`VerificationError` on failure."""
+    errors = _FunctionVerifier(function, module).run()
+    if errors:
+        raise VerificationError(errors)
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function of a module; raise on the first failing set."""
+    errors: List[str] = []
+    if not module.functions:
+        errors.append(f"module {module.name} has no functions")
+    for function in module.functions.values():
+        errors.extend(_FunctionVerifier(function, module).run())
+    if errors:
+        raise VerificationError(errors)

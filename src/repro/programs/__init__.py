@@ -1,0 +1,35 @@
+"""Benchmark programs: the 15 MiBench / Parboil workloads of Table II.
+
+Each program is a faithful, scaled-down re-implementation of the benchmark
+the paper injects faults into, written in the restricted-Python frontend
+language and compiled to MiniIR.  Inputs are deterministic and small (the
+paper itself uses MiBench's "small" inputs) so a fault-free run takes
+thousands rather than millions of dynamic instructions; what matters for the
+reproduction is each program's characteristic mix of address and data
+computation, which drives the detection/SDC split the paper analyses.
+
+Use :mod:`repro.programs.registry` to enumerate and build programs::
+
+    from repro.programs import registry
+    runner = registry.get_experiment_runner("crc32")
+"""
+
+from repro.programs.definition import ProgramDefinition
+from repro.programs.registry import (
+    all_program_names,
+    build_program,
+    get_experiment_runner,
+    get_program,
+    mibench_program_names,
+    parboil_program_names,
+)
+
+__all__ = [
+    "ProgramDefinition",
+    "all_program_names",
+    "build_program",
+    "get_experiment_runner",
+    "get_program",
+    "mibench_program_names",
+    "parboil_program_names",
+]

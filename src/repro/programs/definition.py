@@ -1,0 +1,31 @@
+"""The :class:`ProgramDefinition` record describing one benchmark program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.frontend.compiler import CompiledProgram
+
+
+@dataclass(frozen=True)
+class ProgramDefinition:
+    """Metadata plus a builder for one benchmark workload.
+
+    Mirrors one row of the paper's Table II: the program name, its benchmark
+    suite (MiBench or Parboil), the suite package it comes from, and a short
+    description of what it computes on which input.
+    """
+
+    name: str
+    suite: str
+    package: str
+    description: str
+    builder: Callable[[], CompiledProgram]
+
+    def build(self) -> CompiledProgram:
+        """Compile the program to MiniIR (deterministic; no caching here)."""
+        return self.builder()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ProgramDefinition {self.name} ({self.suite}/{self.package})>"

@@ -1,0 +1,160 @@
+"""Deterministic input generators for the benchmark programs.
+
+The paper uses MiBench's "small" inputs and Parboil's default/small inputs;
+those files (sound samples, images, New-York road graphs, sparse matrices)
+are not redistributable here, so each workload synthesises a structurally
+similar input with a fixed linear congruential generator.  Determinism
+matters twice over: the golden output must be stable across runs, and every
+fault-injection campaign must target the exact same dynamic instruction
+stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+_LCG_MULTIPLIER = 1103515245
+_LCG_INCREMENT = 12345
+_LCG_MODULUS = 2**31
+
+
+def lcg_sequence(seed: int, count: int, modulus: int) -> List[int]:
+    """The classic C ``rand()`` LCG, reduced modulo ``modulus``."""
+    values: List[int] = []
+    state = seed & 0x7FFFFFFF
+    for _ in range(count):
+        state = (_LCG_MULTIPLIER * state + _LCG_INCREMENT) % _LCG_MODULUS
+        values.append(state % modulus)
+    return values
+
+
+def rectangle_image(width: int, height: int, *, noise_seed: int = 7) -> List[int]:
+    """A black & white image of a bright rectangle on a dark background.
+
+    This mirrors the susan benchmarks' input ("a black & white image of a
+    rectangle"); a little deterministic noise keeps the edge detector from
+    producing degenerate all-zero gradients.
+    """
+    noise = lcg_sequence(noise_seed, width * height, 9)
+    pixels: List[int] = []
+    left, right = width // 4, (3 * width) // 4
+    top, bottom = height // 4, (3 * height) // 4
+    for row in range(height):
+        for col in range(width):
+            inside = left <= col < right and top <= row < bottom
+            base = 190 if inside else 35
+            pixels.append(base + noise[row * width + col])
+    return pixels
+
+
+def ascii_text(seed: int, length: int) -> List[int]:
+    """Printable ASCII bytes (letters and spaces) for text workloads."""
+    alphabet = "abcdefghijklmnopqrstuvwxyz ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    picks = lcg_sequence(seed, length, len(alphabet))
+    return [ord(alphabet[p]) for p in picks]
+
+
+def embed_word(text: List[int], word: str, position: int) -> List[int]:
+    """Overwrite ``text`` with ``word`` starting at ``position``."""
+    result = list(text)
+    for offset, char in enumerate(word):
+        result[position + offset] = ord(char)
+    return result
+
+
+def adjacency_matrix(nodes: int, seed: int, *, max_weight: int = 9, density_mod: int = 3) -> List[int]:
+    """A connected directed weighted graph as a flattened adjacency matrix.
+
+    Zero entries mean "no edge".  A ring backbone guarantees connectivity
+    (dijkstra and bfs must reach every node in the golden run).
+    """
+    raw = lcg_sequence(seed, nodes * nodes, max_weight * density_mod)
+    matrix = [0] * (nodes * nodes)
+    for row in range(nodes):
+        for col in range(nodes):
+            if row == col:
+                continue
+            value = raw[row * nodes + col]
+            if value % density_mod == 0:
+                matrix[row * nodes + col] = 1 + value % max_weight
+    for node in range(nodes):
+        successor = (node + 1) % nodes
+        if matrix[node * nodes + successor] == 0:
+            matrix[node * nodes + successor] = 1 + node % max_weight
+    return matrix
+
+
+def edge_list_graph(nodes: int, seed: int, *, out_degree: int = 3) -> Tuple[List[int], List[int]]:
+    """A CSR-style irregular graph: (offsets[nodes+1], edges[...]).
+
+    Mirrors Parboil bfs's irregular uniform-edge-weight graph.
+    """
+    offsets: List[int] = [0]
+    edges: List[int] = []
+    picks = lcg_sequence(seed, nodes * out_degree, nodes)
+    for node in range(nodes):
+        targets = []
+        ring_target = (node + 1) % nodes
+        targets.append(ring_target)
+        for k in range(out_degree - 1):
+            candidate = picks[node * out_degree + k]
+            if candidate != node and candidate not in targets:
+                targets.append(candidate)
+        edges.extend(sorted(targets))
+        offsets.append(len(edges))
+    return offsets, edges
+
+
+def sparse_matrix_coo(
+    rows: int, cols: int, nonzeros: int, seed: int
+) -> Tuple[List[int], List[int], List[float]]:
+    """A sparse matrix in coordinate (COO) format, like Parboil spmv's input."""
+    row_picks = lcg_sequence(seed, nonzeros, rows)
+    col_picks = lcg_sequence(seed + 1, nonzeros, cols)
+    val_picks = lcg_sequence(seed + 2, nonzeros, 1000)
+    seen = set()
+    out_rows: List[int] = []
+    out_cols: List[int] = []
+    out_vals: List[float] = []
+    for r, c, v in zip(row_picks, col_picks, val_picks):
+        if (r, c) in seen:
+            continue
+        seen.add((r, c))
+        out_rows.append(r)
+        out_cols.append(c)
+        out_vals.append(0.25 + v / 250.0)
+    # Guarantee a nonzero on every row so y has no trivially-zero entries.
+    covered = set(out_rows)
+    for row in range(rows):
+        if row not in covered:
+            out_rows.append(row)
+            out_cols.append(row % cols)
+            out_vals.append(1.0 + row / 10.0)
+    return out_rows, out_cols, out_vals
+
+
+def dense_vector(length: int, seed: int) -> List[float]:
+    """A dense f64 vector with entries in [0.1, 2.1)."""
+    return [0.1 + v / 500.0 for v in lcg_sequence(seed, length, 1000)]
+
+
+def sound_samples(length: int, seed: int) -> List[int]:
+    """Pseudo sound samples (16-bit signed range) for CRC32 / FFT inputs."""
+    raw = lcg_sequence(seed, length, 65536)
+    return [value - 32768 for value in raw]
+
+
+def block_image_pair(width: int, height: int, seed: int) -> Tuple[List[int], List[int]]:
+    """A (current, reference) frame pair for the sad benchmark.
+
+    The reference frame is the current frame shifted by one pixel with a bit
+    of noise, giving the motion-estimation search a realistic minimum.
+    """
+    current = rectangle_image(width, height, noise_seed=seed)
+    noise = lcg_sequence(seed + 13, width * height, 5)
+    reference: List[int] = []
+    for row in range(height):
+        for col in range(width):
+            source_col = min(width - 1, col + 1)
+            reference.append(current[row * width + source_col] + noise[row * width + col] - 2)
+    return current, reference

@@ -1,0 +1,6 @@
+"""MiBench workloads (automotive, telecomm, network, security, office).
+
+Eleven programs, matching the MiBench rows of the paper's Table II:
+basicmath, qsort, susan (corners / edges / smoothing), FFT, IFFT, CRC32,
+dijkstra, sha and stringsearch.
+"""

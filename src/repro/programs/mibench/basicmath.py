@@ -1,0 +1,133 @@
+"""basicmath (MiBench / automotive).
+
+Performs the same families of calculations as MiBench's ``basicmath_small``:
+cubic equation solving (Cardano / trigonometric method), integer square
+roots, and angle conversions between degrees and radians, over a fixed set
+of constant coefficients.
+
+The workload is dominated by floating-point data computation with very few
+memory accesses, which is exactly why the paper observes the *lowest*
+detection rate (and hence the highest SDC rate) for basicmath — most flipped
+bits end up in data values that flow straight to the output instead of being
+caught by a hardware exception.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.compiler import CompiledProgram, compile_program
+from repro.programs.definition import ProgramDefinition
+
+#: Number of cubic-equation coefficient sets solved by the workload.
+CUBIC_SETS = 12
+#: Number of integer square roots computed.
+USQRT_COUNT = 16
+
+_SOLVE_CUBIC = '''
+def solve_cubic(a: "f64", b: "f64", c: "f64", d: "f64", roots: "f64*") -> "i64":
+    """Store the real roots of a*x^3 + b*x^2 + c*x + d in roots; return count."""
+    a1 = b / a
+    a2 = c / a
+    a3 = d / a
+    q = (a1 * a1 - 3.0 * a2) / 9.0
+    r = (2.0 * a1 * a1 * a1 - 9.0 * a1 * a2 + 27.0 * a3) / 54.0
+    q_cubed = q * q * q
+    determinant = q_cubed - r * r
+    if determinant >= 0.0:
+        if q_cubed <= 0.0:
+            roots[0] = -a1 / 3.0
+            return 1
+        theta = acos(r / sqrt(q_cubed))
+        sqrt_q = sqrt(q)
+        roots[0] = -2.0 * sqrt_q * cos(theta / 3.0) - a1 / 3.0
+        roots[1] = -2.0 * sqrt_q * cos((theta + 2.0 * 3.141592653589793) / 3.0) - a1 / 3.0
+        roots[2] = -2.0 * sqrt_q * cos((theta - 2.0 * 3.141592653589793) / 3.0) - a1 / 3.0
+        return 3
+    magnitude = pow(sqrt(r * r - q_cubed) + fabs(r), 1.0 / 3.0)
+    if r < 0.0:
+        roots[0] = (magnitude + q / magnitude) - a1 / 3.0
+    else:
+        roots[0] = -(magnitude + q / magnitude) - a1 / 3.0
+    return 1
+'''
+
+_USQRT = '''
+def usqrt(value: "i64") -> "i64":
+    """Integer square root via the classic bit-by-bit method."""
+    answer = 0
+    remainder = value
+    place = 1 << 30
+    while place > remainder:
+        place = place >> 2
+    while place != 0:
+        candidate = answer + place
+        if remainder >= candidate:
+            remainder = remainder - candidate
+            answer = candidate + place
+        place = place >> 2
+        answer = answer >> 1
+    return answer
+'''
+
+_MAIN_TEMPLATE = '''
+def main() -> "i64":
+    roots = array("f64", 4)
+    total_roots = 0
+    root_sum = 0.0
+    for index in range({cubic_sets}):
+        a = 1.0
+        b = coeff_b[index]
+        c = coeff_c[index]
+        d = coeff_d[index]
+        count = solve_cubic(a, b, c, d, roots)
+        total_roots += count
+        for k in range(count):
+            root_sum = root_sum + roots[k]
+    output(total_roots)
+    output(root_sum)
+
+    sqrt_sum = 0
+    for index in range({usqrt_count}):
+        sqrt_sum += usqrt(squares[index])
+    output(sqrt_sum)
+
+    angle_sum = 0.0
+    degree = 0.0
+    while degree < 360.0:
+        radian = degree * 3.141592653589793 / 180.0
+        angle_sum = angle_sum + radian
+        degree = degree + 30.0
+    output(angle_sum)
+    return total_roots + sqrt_sum
+'''
+
+
+def build() -> CompiledProgram:
+    """Compile the basicmath workload with its fixed coefficient sets."""
+    coeff_b = [float(b) for b in (-10, -6, -4, -2, 0, 2, 4, 6, 8, 10, -8, 3)][:CUBIC_SETS]
+    coeff_c = [float(c) for c in (28, 11, 5, -1, -7, 3, 9, 15, 21, 27, 14, -5)][:CUBIC_SETS]
+    coeff_d = [float(d) for d in (-24, -6, 2, 8, 14, -20, 26, -32, 38, -44, 50, 7)][:CUBIC_SETS]
+    squares = [(3 * k + 1) * (3 * k + 1) + k for k in range(USQRT_COUNT)]
+
+    main_source = _MAIN_TEMPLATE.format(cubic_sets=CUBIC_SETS, usqrt_count=USQRT_COUNT)
+    return compile_program(
+        "basicmath",
+        [_SOLVE_CUBIC, _USQRT, main_source],
+        {
+            "coeff_b": ("f64", coeff_b),
+            "coeff_c": ("f64", coeff_c),
+            "coeff_d": ("f64", coeff_d),
+            "squares": ("i64", squares),
+        },
+    )
+
+
+DEFINITION = ProgramDefinition(
+    name="basicmath",
+    suite="mibench",
+    package="automotive",
+    description=(
+        "Mathematical calculations such as cubic equation solving, integer "
+        "square roots and degree/radian conversions on a set of constants."
+    ),
+    builder=build,
+)

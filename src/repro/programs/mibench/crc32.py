@@ -1,0 +1,60 @@
+"""CRC32 (MiBench / telecomm).
+
+Computes the 32-bit Cyclic Redundancy Check of a pseudo sound-sample buffer
+with the classic bit-at-a-time algorithm (reflected polynomial 0xEDB88320),
+the same computation MiBench's ``crc32`` performs over a sound file.
+
+Nearly every instruction manipulates *data* (the running CRC) rather than
+addresses, so injected faults rarely raise hardware exceptions; the paper
+singles out CRC32 (together with basicmath) as a program where the single
+bit-flip model is *not* pessimistic because of exactly this profile.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.compiler import CompiledProgram, compile_program
+from repro.programs.definition import ProgramDefinition
+from repro.programs.inputs import sound_samples
+
+#: Number of input bytes checksummed.
+MESSAGE_BYTES = 40
+
+_MAIN_TEMPLATE = '''
+def main() -> "i64":
+    crc = 4294967295
+    for index in range({length}):
+        byte = message[index] & 255
+        crc = crc ^ byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 3988292384
+            else:
+                crc = crc >> 1
+    crc = crc ^ 4294967295
+    output(crc)
+    byte_sum = 0
+    for index in range({length}):
+        byte_sum += message[index] & 255
+    output(byte_sum)
+    return crc
+'''
+
+
+def build() -> CompiledProgram:
+    """Compile the CRC32 workload over a fixed pseudo sound-sample buffer."""
+    samples = sound_samples(MESSAGE_BYTES, seed=77)
+    message = [value & 0xFF for value in samples]
+    return compile_program(
+        "crc32",
+        [_MAIN_TEMPLATE.format(length=MESSAGE_BYTES)],
+        {"message": ("i32", message)},
+    )
+
+
+DEFINITION = ProgramDefinition(
+    name="crc32",
+    suite="mibench",
+    package="telecomm",
+    description="32-bit Cyclic Redundancy Check of a pseudo sound-sample buffer.",
+    builder=build,
+)

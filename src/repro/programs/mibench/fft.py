@@ -1,0 +1,157 @@
+"""FFT / IFFT (MiBench / telecomm).
+
+An iterative radix-2 Cooley-Tukey Fast Fourier Transform over a fixed
+mixture of sinusoids, plus the inverse-transform workload that runs the
+forward FFT followed by the inverse FFT and reports the reconstruction
+error.  Floating-point butterflies with trigonometric twiddle factors, a
+bit-reversal permutation, and strided array indexing.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.frontend.compiler import CompiledProgram, compile_program
+from repro.programs.definition import ProgramDefinition
+
+#: Transform size (power of two).  MiBench uses 4096/8192 waves; the butterfly
+#: structure is identical at any power of two.
+POINTS = 16
+_STAGES = POINTS.bit_length() - 1
+
+
+_BIT_REVERSE = '''
+def bit_reverse(value: "i64", bits: "i64") -> "i64":
+    """Reverse the lowest ``bits`` bits of ``value``."""
+    result = 0
+    remaining = value
+    for _ in range(bits):
+        result = (result << 1) | (remaining & 1)
+        remaining = remaining >> 1
+    return result
+'''
+
+_FFT_KERNEL = '''
+def fft_in_place(real: "f64*", imag: "f64*", points: "i64", inverse: "i64") -> None:
+    """Iterative radix-2 FFT; inverse=1 runs the inverse transform."""
+    bits = {stages}
+    for index in range(points):
+        swapped = bit_reverse(index, bits)
+        if swapped > index:
+            temp_real = real[index]
+            real[index] = real[swapped]
+            real[swapped] = temp_real
+            temp_imag = imag[index]
+            imag[index] = imag[swapped]
+            imag[swapped] = temp_imag
+    length = 2
+    while length <= points:
+        angle_step = 2.0 * 3.141592653589793 / length
+        if inverse == 0:
+            angle_step = -angle_step
+        half = length // 2
+        start = 0
+        while start < points:
+            for k in range(half):
+                angle = angle_step * k
+                twiddle_real = cos(angle)
+                twiddle_imag = sin(angle)
+                even_index = start + k
+                odd_index = start + k + half
+                product_real = real[odd_index] * twiddle_real - imag[odd_index] * twiddle_imag
+                product_imag = real[odd_index] * twiddle_imag + imag[odd_index] * twiddle_real
+                real[odd_index] = real[even_index] - product_real
+                imag[odd_index] = imag[even_index] - product_imag
+                real[even_index] = real[even_index] + product_real
+                imag[even_index] = imag[even_index] + product_imag
+            start += length
+        length = length * 2
+    if inverse != 0:
+        for index in range(points):
+            real[index] = real[index] / points
+            imag[index] = imag[index] / points
+'''
+
+_FFT_MAIN = '''
+def main() -> "i64":
+    points = {points}
+    real = array("f64", points)
+    imag = array("f64", points)
+    for index in range(points):
+        real[index] = wave[index]
+        imag[index] = 0.0
+    fft_in_place(real, imag, points, 0)
+    energy = 0.0
+    for index in range(points):
+        energy = energy + real[index] * real[index] + imag[index] * imag[index]
+    output(energy)
+    output(real[1])
+    output(imag[1])
+    output(real[points // 2])
+    return points
+'''
+
+_IFFT_MAIN = '''
+def main() -> "i64":
+    points = {points}
+    real = array("f64", points)
+    imag = array("f64", points)
+    for index in range(points):
+        real[index] = wave[index]
+        imag[index] = 0.0
+    fft_in_place(real, imag, points, 0)
+    fft_in_place(real, imag, points, 1)
+    error = 0.0
+    for index in range(points):
+        difference = real[index] - wave[index]
+        error = error + fabs(difference) + fabs(imag[index])
+    output(error)
+    output(real[0])
+    output(real[points - 1])
+    return points
+'''
+
+
+def _wave_samples() -> list:
+    """A fixed mixture of three sinusoids (MiBench synthesises random waves)."""
+    samples = []
+    for index in range(POINTS):
+        phase = 2.0 * math.pi * index / POINTS
+        samples.append(
+            1.0 * math.sin(phase) + 0.5 * math.sin(3.0 * phase) + 0.25 * math.cos(5.0 * phase)
+        )
+    return samples
+
+
+def _build(name: str, main_template: str) -> CompiledProgram:
+    sources = [
+        _BIT_REVERSE,
+        _FFT_KERNEL.format(stages=_STAGES),
+        main_template.format(points=POINTS),
+    ]
+    return compile_program(name, sources, {"wave": ("f64", _wave_samples())})
+
+
+def build_fft() -> CompiledProgram:
+    return _build("fft", _FFT_MAIN)
+
+
+def build_ifft() -> CompiledProgram:
+    return _build("ifft", _IFFT_MAIN)
+
+
+FFT_DEFINITION = ProgramDefinition(
+    name="fft",
+    suite="mibench",
+    package="telecomm",
+    description="Fast Fourier Transform of a fixed mixture of sinusoids.",
+    builder=build_fft,
+)
+
+IFFT_DEFINITION = ProgramDefinition(
+    name="ifft",
+    suite="mibench",
+    package="telecomm",
+    description="Inverse FFT (forward + inverse transform, reconstruction error).",
+    builder=build_ifft,
+)

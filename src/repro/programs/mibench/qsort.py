@@ -1,0 +1,80 @@
+"""qsort (MiBench / automotive).
+
+Sorts a fixed pseudo-random list with a recursive quicksort (Hoare-style
+partitioning around the middle element) and emits a position-weighted
+checksum of the sorted data plus its extremes.  Heavy on comparisons,
+swaps and recursion — a balanced mix of address and data manipulation.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.compiler import CompiledProgram, compile_program
+from repro.programs.definition import ProgramDefinition
+from repro.programs.inputs import lcg_sequence
+
+#: Number of elements sorted (MiBench sorts a word list; we sort integers).
+ELEMENT_COUNT = 40
+
+_QUICKSORT = '''
+def quicksort(data: "i32*", low: "i64", high: "i64") -> None:
+    """Recursive quicksort of data[low..high] (inclusive bounds)."""
+    if low >= high:
+        return
+    pivot = data[(low + high) // 2]
+    left = low
+    right = high
+    while left <= right:
+        while data[left] < pivot:
+            left += 1
+        while data[right] > pivot:
+            right -= 1
+        if left <= right:
+            temporary = data[left]
+            data[left] = data[right]
+            data[right] = temporary
+            left += 1
+            right -= 1
+    quicksort(data, low, right)
+    quicksort(data, left, high)
+'''
+
+_MAIN_TEMPLATE = '''
+def main() -> "i64":
+    data = array("i32", {count})
+    for index in range({count}):
+        data[index] = values[index]
+    quicksort(data, 0, {count} - 1)
+    checksum = 0
+    for index in range({count}):
+        checksum += data[index] * (index + 1)
+    output(checksum)
+    output(data[0])
+    output(data[{count} - 1])
+    previous = data[0]
+    inversions = 0
+    for index in range(1, {count}):
+        if data[index] < previous:
+            inversions += 1
+        previous = data[index]
+    output(inversions)
+    return checksum
+'''
+
+
+def build() -> CompiledProgram:
+    """Compile the qsort workload over a fixed pseudo-random input list."""
+    values = lcg_sequence(seed=42, count=ELEMENT_COUNT, modulus=10_000)
+    return compile_program(
+        "qsort",
+        [_QUICKSORT, _MAIN_TEMPLATE.format(count=ELEMENT_COUNT)],
+        {"values": ("i32", values)},
+    )
+
+
+DEFINITION = ProgramDefinition(
+    name="qsort",
+    suite="mibench",
+    package="automotive",
+    description="Quick Sort of a fixed pseudo-random list of integers.",
+    builder=build,
+)

@@ -1,0 +1,111 @@
+"""sha (MiBench / security).
+
+SHA-1 over a single padded 64-byte block of ASCII text: the full message
+schedule expansion (80 words) and 80 compression rounds with the standard
+round constants, all performed in 32-bit arithmetic emulated with explicit
+masking on 64-bit registers.  Produces the five 32-bit state words of the
+digest.  A data-heavy workload with plenty of bitwise mixing — single bit
+flips in the data path almost always change the digest (SDC) unless caught
+by an address fault on the message schedule array.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.compiler import CompiledProgram, compile_program
+from repro.programs.definition import ProgramDefinition
+from repro.programs.inputs import ascii_text
+
+#: Length of the (unpadded) ASCII message in bytes; must fit one SHA-1 block.
+MESSAGE_LENGTH = 40
+
+_HELPERS = '''
+def rotate_left(value: "i64", amount: "i64") -> "i64":
+    """32-bit left rotation."""
+    mask = 4294967295
+    left = (value << amount) & mask
+    right = (value & mask) >> (32 - amount)
+    return (left | right) & mask
+'''
+
+_MAIN_TEMPLATE = '''
+def main() -> "i64":
+    mask = 4294967295
+    block = array("i64", 64)
+    for index in range(64):
+        block[index] = 0
+    for index in range({length}):
+        block[index] = message[index] & 255
+    block[{length}] = 128
+    bit_length = {length} * 8
+    block[62] = (bit_length >> 8) & 255
+    block[63] = bit_length & 255
+
+    schedule = array("i64", 80)
+    for word in range(16):
+        schedule[word] = (
+            (block[word * 4] << 24)
+            | (block[word * 4 + 1] << 16)
+            | (block[word * 4 + 2] << 8)
+            | block[word * 4 + 3]
+        ) & mask
+    for word in range(16, 80):
+        mixed = schedule[word - 3] ^ schedule[word - 8] ^ schedule[word - 14] ^ schedule[word - 16]
+        schedule[word] = rotate_left(mixed, 1)
+
+    state_a = 1732584193
+    state_b = 4023233417
+    state_c = 2562383102
+    state_d = 271733878
+    state_e = 3285377520
+
+    for round_index in range(80):
+        if round_index < 20:
+            f = (state_b & state_c) | ((state_b ^ mask) & state_d)
+            k = 1518500249
+        elif round_index < 40:
+            f = state_b ^ state_c ^ state_d
+            k = 1859775393
+        elif round_index < 60:
+            f = (state_b & state_c) | (state_b & state_d) | (state_c & state_d)
+            k = 2400959708
+        else:
+            f = state_b ^ state_c ^ state_d
+            k = 3395469782
+        temp = (rotate_left(state_a, 5) + f + state_e + k + schedule[round_index]) & mask
+        state_e = state_d
+        state_d = state_c
+        state_c = rotate_left(state_b, 30)
+        state_b = state_a
+        state_a = temp
+
+    digest0 = (1732584193 + state_a) & mask
+    digest1 = (4023233417 + state_b) & mask
+    digest2 = (2562383102 + state_c) & mask
+    digest3 = (271733878 + state_d) & mask
+    digest4 = (3285377520 + state_e) & mask
+    output(digest0)
+    output(digest1)
+    output(digest2)
+    output(digest3)
+    output(digest4)
+    return digest0 ^ digest4
+'''
+
+
+def build() -> CompiledProgram:
+    """Compile the SHA-1 workload over a fixed ASCII message."""
+    message = ascii_text(seed=99, length=MESSAGE_LENGTH)
+    return compile_program(
+        "sha",
+        [_HELPERS, _MAIN_TEMPLATE.format(length=MESSAGE_LENGTH)],
+        {"message": ("i32", message)},
+    )
+
+
+DEFINITION = ProgramDefinition(
+    name="sha",
+    suite="mibench",
+    package="security",
+    description="SHA-1 digest of a fixed ASCII message (one padded block).",
+    builder=build,
+)

@@ -1,0 +1,115 @@
+"""stringsearch (MiBench / office).
+
+Case-insensitive search of several key words inside several phrases, like
+MiBench's ``stringsearch`` (which uses Pratt/Boyer-Moore variants over a set
+of phrases).  The workload here uses the straightforward shift-and-compare
+search over byte arrays; the control flow is dominated by character loads,
+comparisons and early exits.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend.compiler import CompiledProgram, compile_program
+from repro.programs.definition import ProgramDefinition
+from repro.programs.inputs import ascii_text, embed_word
+
+#: Length of each phrase searched (bytes).
+PHRASE_LENGTH = 32
+#: The search patterns; each is embedded in exactly one phrase.
+PATTERNS = ("orbit", "fault", "hello")
+
+
+_TO_LOWER = '''
+def to_lower(char: "i64") -> "i64":
+    """ASCII lower-casing of a single character code."""
+    if char >= 65 and char <= 90:
+        return char + 32
+    return char
+'''
+
+_SEARCH = '''
+def find_pattern(phrase: "i8*", phrase_length: "i64", pattern: "i8*", pattern_length: "i64") -> "i64":
+    """Index of the first case-insensitive match, or -1 when absent."""
+    limit = phrase_length - pattern_length
+    for start in range(limit + 1):
+        matched = 1
+        for offset in range(pattern_length):
+            phrase_char = to_lower(phrase[start + offset] & 255)
+            pattern_char = to_lower(pattern[offset] & 255)
+            if phrase_char != pattern_char:
+                matched = 0
+                break
+        if matched == 1:
+            return start
+    return -1
+'''
+
+_MAIN_TEMPLATE = '''
+def main() -> "i64":
+    found_count = 0
+    position_sum = 0
+    for phrase_index in range({phrase_count}):
+        phrase_offset = phrase_index * {phrase_length}
+        for pattern_index in range({pattern_count}):
+            pattern_offset = pattern_index * {pattern_stride}
+            length = pattern_lengths[pattern_index]
+            position = find_pattern(
+                phrases + phrase_offset, {phrase_length}, patterns + pattern_offset, length
+            )
+            if position >= 0:
+                found_count += 1
+                position_sum += position + phrase_index * 100
+    output(found_count)
+    output(position_sum)
+    return found_count
+'''
+
+
+def _build_inputs() -> tuple:
+    """Phrases with one pattern embedded in each, plus the flattened patterns."""
+    phrases: List[int] = []
+    for index, pattern in enumerate(PATTERNS):
+        phrase = ascii_text(seed=300 + index, length=PHRASE_LENGTH)
+        # Uppercase the embedded word for one phrase to exercise case folding.
+        word = pattern.upper() if index == 1 else pattern
+        phrase = embed_word(phrase, word, position=7 + 9 * index)
+        phrases.extend(phrase)
+    stride = max(len(p) for p in PATTERNS)
+    flattened: List[int] = []
+    lengths: List[int] = []
+    for pattern in PATTERNS:
+        padded = list(pattern.ljust(stride, "\0"))
+        flattened.extend(ord(c) for c in padded)
+        lengths.append(len(pattern))
+    return phrases, flattened, lengths, stride
+
+
+def build() -> CompiledProgram:
+    """Compile the stringsearch workload over fixed phrases and patterns."""
+    phrases, patterns, lengths, stride = _build_inputs()
+    main_source = _MAIN_TEMPLATE.format(
+        phrase_count=len(PATTERNS),
+        pattern_count=len(PATTERNS),
+        phrase_length=PHRASE_LENGTH,
+        pattern_stride=stride,
+    )
+    return compile_program(
+        "stringsearch",
+        [_TO_LOWER, _SEARCH, main_source],
+        {
+            "phrases": ("i8", phrases),
+            "patterns": ("i8", patterns),
+            "pattern_lengths": ("i32", lengths),
+        },
+    )
+
+
+DEFINITION = ProgramDefinition(
+    name="stringsearch",
+    suite="mibench",
+    package="office",
+    description="Case-insensitive search for words in phrases.",
+    builder=build,
+)

@@ -1,0 +1,167 @@
+"""susan corners / edges / smoothing (MiBench / automotive).
+
+SUSAN (Smallest Univalue Segment Assimilating Nucleus) is an image
+processing benchmark operating on a black & white image of a rectangle.
+MiBench runs it in three modes, which the paper treats as three separate
+programs; we do the same:
+
+* **susan_smoothing** — brightness-similarity weighted smoothing over a
+  neighbourhood mask;
+* **susan_edges** — USAN area per pixel against a geometric threshold
+  yields an edge response;
+* **susan_corners** — a smaller geometric threshold plus a non-maximum-like
+  count yields corner candidates.
+
+All three scan the image with nested loops and neighbourhood index
+arithmetic, giving the address-heavy profile that makes detection (crash)
+rates higher than for pure data benchmarks like basicmath or CRC32.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.compiler import CompiledProgram, compile_program
+from repro.programs.definition import ProgramDefinition
+from repro.programs.inputs import rectangle_image
+
+#: Image dimensions for all three susan modes (MiBench uses a larger image;
+#: the rectangle structure, not the size, is what drives the control flow).
+WIDTH = 8
+HEIGHT = 8
+#: Brightness similarity threshold (MiBench's default is 20 for smoothing).
+BRIGHTNESS_THRESHOLD = 20
+
+
+_SIMILARITY = '''
+def brightness_similar(center: "i64", neighbour: "i64") -> "i64":
+    """1 when the neighbour's brightness is within the threshold of center."""
+    difference = neighbour - center
+    if difference < 0:
+        difference = -difference
+    if difference <= {threshold}:
+        return 1
+    return 0
+'''.format(threshold=BRIGHTNESS_THRESHOLD)
+
+
+_SMOOTHING_MAIN = '''
+def main() -> "i64":
+    width = {width}
+    height = {height}
+    smoothed = array("i32", {pixels})
+    for index in range({pixels}):
+        smoothed[index] = image[index]
+    checksum = 0
+    for row in range(1, height - 1):
+        for col in range(1, width - 1):
+            center = image[row * width + col]
+            weighted_sum = 0
+            weight_total = 0
+            for delta_row in range(-1, 2):
+                for delta_col in range(-1, 2):
+                    neighbour = image[(row + delta_row) * width + (col + delta_col)]
+                    weight = brightness_similar(center, neighbour) * 2 + 1
+                    weighted_sum += neighbour * weight
+                    weight_total += weight
+            smoothed[row * width + col] = weighted_sum // weight_total
+            checksum += smoothed[row * width + col]
+    output(checksum)
+    output(smoothed[(height // 2) * width + width // 2])
+    output(smoothed[width + 1])
+    return checksum
+'''
+
+_EDGES_MAIN = '''
+def main() -> "i64":
+    width = {width}
+    height = {height}
+    edge_count = 0
+    response_sum = 0
+    for row in range(1, height - 1):
+        for col in range(1, width - 1):
+            center = image[row * width + col]
+            usan_area = 0
+            for delta_row in range(-1, 2):
+                for delta_col in range(-1, 2):
+                    if delta_row != 0 or delta_col != 0:
+                        neighbour = image[(row + delta_row) * width + (col + delta_col)]
+                        usan_area += brightness_similar(center, neighbour)
+            geometric_threshold = 6
+            if usan_area < geometric_threshold:
+                response = geometric_threshold - usan_area
+                edge_count += 1
+                response_sum += response * (row * width + col)
+    output(edge_count)
+    output(response_sum)
+    return edge_count
+'''
+
+_CORNERS_MAIN = '''
+def main() -> "i64":
+    width = {width}
+    height = {height}
+    corner_count = 0
+    position_sum = 0
+    for row in range(2, height - 2):
+        for col in range(2, width - 2):
+            center = image[row * width + col]
+            usan_area = 0
+            for delta_row in range(-2, 3):
+                for delta_col in range(-2, 3):
+                    if delta_row != 0 or delta_col != 0:
+                        if delta_row * delta_row + delta_col * delta_col <= 4:
+                            neighbour = image[(row + delta_row) * width + (col + delta_col)]
+                            usan_area += brightness_similar(center, neighbour)
+            geometric_threshold = 6
+            if usan_area < geometric_threshold:
+                corner_count += 1
+                position_sum += row * width + col
+    output(corner_count)
+    output(position_sum)
+    return corner_count
+'''
+
+
+def _build_mode(name: str, main_source: str) -> CompiledProgram:
+    image = rectangle_image(WIDTH, HEIGHT)
+    return compile_program(
+        name,
+        [_SIMILARITY, main_source.format(width=WIDTH, height=HEIGHT, pixels=WIDTH * HEIGHT)],
+        {"image": ("i32", image)},
+    )
+
+
+def build_smoothing() -> CompiledProgram:
+    return _build_mode("susan_smoothing", _SMOOTHING_MAIN)
+
+
+def build_edges() -> CompiledProgram:
+    return _build_mode("susan_edges", _EDGES_MAIN)
+
+
+def build_corners() -> CompiledProgram:
+    return _build_mode("susan_corners", _CORNERS_MAIN)
+
+
+SMOOTHING_DEFINITION = ProgramDefinition(
+    name="susan_smoothing",
+    suite="mibench",
+    package="automotive",
+    description="Smooths a black & white image of a rectangle.",
+    builder=build_smoothing,
+)
+
+EDGES_DEFINITION = ProgramDefinition(
+    name="susan_edges",
+    suite="mibench",
+    package="automotive",
+    description="Finds edges in a black & white image of a rectangle.",
+    builder=build_edges,
+)
+
+CORNERS_DEFINITION = ProgramDefinition(
+    name="susan_corners",
+    suite="mibench",
+    package="automotive",
+    description="Finds corners in a black & white image of a rectangle.",
+    builder=build_corners,
+)

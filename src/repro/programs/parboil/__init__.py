@@ -1,0 +1,5 @@
+"""Parboil workloads (base and CPU implementation packages).
+
+Four programs, matching the Parboil rows of the paper's Table II: bfs and
+histo from the base package, sad and spmv from the CPU package.
+"""

@@ -1,0 +1,85 @@
+"""bfs (Parboil / base).
+
+Breadth-first search computing the shortest-path cost (in hops) from a
+single source node to every reachable node of an irregular graph with
+uniform edge weights — the same computation Parboil's ``bfs`` performs on a
+graph derived from the map of New York, here on a synthetic CSR graph.
+Queue management and CSR indexing make this another address-heavy workload.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.compiler import CompiledProgram, compile_program
+from repro.programs.definition import ProgramDefinition
+from repro.programs.inputs import edge_list_graph
+
+#: Number of graph nodes.
+NODE_COUNT = 24
+
+_BFS = '''
+def breadth_first_search(source: "i64", cost: "i32*", queue: "i32*") -> "i64":
+    """Fill cost[] with hop counts from source; return number of visited nodes."""
+    nodes = {nodes}
+    for node in range(nodes):
+        cost[node] = -1
+    cost[source] = 0
+    queue[0] = source
+    head = 0
+    tail = 1
+    visited = 0
+    while head < tail:
+        current = queue[head]
+        head += 1
+        visited += 1
+        first_edge = offsets[current]
+        last_edge = offsets[current + 1]
+        for edge_index in range(first_edge, last_edge):
+            neighbour = edges[edge_index]
+            if cost[neighbour] < 0:
+                cost[neighbour] = cost[current] + 1
+                queue[tail] = neighbour
+                tail += 1
+    return visited
+'''
+
+_MAIN_TEMPLATE = '''
+def main() -> "i64":
+    nodes = {nodes}
+    cost = array("i32", nodes)
+    queue = array("i32", nodes + 1)
+    visited = breadth_first_search(0, cost, queue)
+    cost_sum = 0
+    max_cost = 0
+    for node in range(nodes):
+        if cost[node] > 0:
+            cost_sum += cost[node]
+            if cost[node] > max_cost:
+                max_cost = cost[node]
+    output(visited)
+    output(cost_sum)
+    output(max_cost)
+    output(cost[nodes - 1])
+    return cost_sum
+'''
+
+
+def build() -> CompiledProgram:
+    """Compile the bfs workload over a fixed irregular CSR graph."""
+    offsets, edges = edge_list_graph(NODE_COUNT, seed=555)
+    return compile_program(
+        "bfs",
+        [_BFS.format(nodes=NODE_COUNT), _MAIN_TEMPLATE.format(nodes=NODE_COUNT)],
+        {"offsets": ("i32", offsets), "edges": ("i32", edges)},
+    )
+
+
+DEFINITION = ProgramDefinition(
+    name="bfs",
+    suite="parboil",
+    package="base",
+    description=(
+        "Breadth-first search shortest-path hop costs from a single node of "
+        "an irregular uniform-weight graph."
+    ),
+    builder=build,
+)

@@ -1,0 +1,72 @@
+"""histo (Parboil / base).
+
+Computes a 2-D saturating histogram with a maximum bin count of 255 over a
+fixed pseudo-random input image, matching Parboil's ``histo`` description in
+the paper's Table II.  The inner loop is a load, an index computation, a
+saturating increment and a store — a mixture of data and address operations.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.compiler import CompiledProgram, compile_program
+from repro.programs.definition import ProgramDefinition
+from repro.programs.inputs import lcg_sequence
+
+#: Number of input samples histogrammed.
+SAMPLE_COUNT = 160
+#: Histogram dimensions (bins = HIST_WIDTH * HIST_HEIGHT).
+HIST_WIDTH = 8
+HIST_HEIGHT = 8
+#: Saturation limit per bin (uint8 semantics from the original benchmark).
+SATURATION = 255
+
+_MAIN_TEMPLATE = '''
+def main() -> "i64":
+    bins = {bins}
+    histogram = array("i32", bins)
+    for bin_index in range(bins):
+        histogram[bin_index] = 0
+    for sample_index in range({samples}):
+        value = samples[sample_index]
+        row = (value // {width}) % {height}
+        col = value % {width}
+        bin_index = row * {width} + col
+        if histogram[bin_index] < {saturation}:
+            histogram[bin_index] = histogram[bin_index] + 1
+    checksum = 0
+    occupied = 0
+    peak = 0
+    for bin_index in range(bins):
+        count = histogram[bin_index]
+        checksum += count * (bin_index + 1)
+        if count > 0:
+            occupied += 1
+        if count > peak:
+            peak = count
+    output(checksum)
+    output(occupied)
+    output(peak)
+    return checksum
+'''
+
+
+def build() -> CompiledProgram:
+    """Compile the histo workload over a fixed pseudo-random sample stream."""
+    samples = lcg_sequence(seed=888, count=SAMPLE_COUNT, modulus=HIST_WIDTH * HIST_HEIGHT * 3)
+    main_source = _MAIN_TEMPLATE.format(
+        bins=HIST_WIDTH * HIST_HEIGHT,
+        samples=SAMPLE_COUNT,
+        width=HIST_WIDTH,
+        height=HIST_HEIGHT,
+        saturation=SATURATION,
+    )
+    return compile_program("histo", [main_source], {"samples": ("i32", samples)})
+
+
+DEFINITION = ProgramDefinition(
+    name="histo",
+    suite="parboil",
+    package="base",
+    description="2-D saturating histogram (max bin count 255) of an input stream.",
+    builder=build,
+)

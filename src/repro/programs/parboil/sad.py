@@ -1,0 +1,97 @@
+"""sad (Parboil / cpu).
+
+Sum of absolute differences (SAD) motion-estimation kernel: for each 4×4
+block of the current frame, evaluate the SAD against the reference frame at
+a small set of candidate displacements and keep the best one — the core of
+Parboil's ``sad`` benchmark.  The reference frame is the current frame
+shifted by one pixel, so the winning displacement is deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.compiler import CompiledProgram, compile_program
+from repro.programs.definition import ProgramDefinition
+from repro.programs.inputs import block_image_pair
+
+#: Frame dimensions (pixels).
+WIDTH = 8
+HEIGHT = 4
+#: Block size used for the SAD computation.
+BLOCK = 4
+#: Search displacement range: dx, dy in [-RANGE, RANGE].
+SEARCH_RANGE = 1
+
+_SAD_FUNCTION = '''
+def block_sad(block_row: "i64", block_col: "i64", delta_row: "i64", delta_col: "i64") -> "i64":
+    """SAD of one {block}x{block} block at the given displacement (clamped)."""
+    total = 0
+    for row in range({block}):
+        for col in range({block}):
+            current_row = block_row + row
+            current_col = block_col + col
+            reference_row = current_row + delta_row
+            reference_col = current_col + delta_col
+            if reference_row < 0:
+                reference_row = 0
+            if reference_row > {height} - 1:
+                reference_row = {height} - 1
+            if reference_col < 0:
+                reference_col = 0
+            if reference_col > {width} - 1:
+                reference_col = {width} - 1
+            difference = current[current_row * {width} + current_col] - reference[reference_row * {width} + reference_col]
+            if difference < 0:
+                difference = -difference
+            total += difference
+    return total
+'''
+
+_MAIN_TEMPLATE = '''
+def main() -> "i64":
+    best_sum = 0
+    displacement_sum = 0
+    block_rows = {height} // {block}
+    block_cols = {width} // {block}
+    for block_row_index in range(block_rows):
+        for block_col_index in range(block_cols):
+            block_row = block_row_index * {block}
+            block_col = block_col_index * {block}
+            best_sad = 1000000
+            best_dx = 0
+            best_dy = 0
+            for delta_row in range(-{search}, {search} + 1):
+                for delta_col in range(-{search}, {search} + 1):
+                    candidate = block_sad(block_row, block_col, delta_row, delta_col)
+                    if candidate < best_sad:
+                        best_sad = candidate
+                        best_dy = delta_row
+                        best_dx = delta_col
+            best_sum += best_sad
+            displacement_sum += best_dx + best_dy * 10
+    output(best_sum)
+    output(displacement_sum)
+    return best_sum
+'''
+
+
+def build() -> CompiledProgram:
+    """Compile the sad workload over a fixed current/reference frame pair."""
+    current, reference = block_image_pair(WIDTH, HEIGHT, seed=4242)
+    sad_source = _SAD_FUNCTION.format(block=BLOCK, width=WIDTH, height=HEIGHT)
+    main_source = _MAIN_TEMPLATE.format(
+        block=BLOCK, width=WIDTH, height=HEIGHT, search=SEARCH_RANGE
+    )
+    return compile_program(
+        "sad",
+        [sad_source, main_source],
+        {"current": ("i32", current), "reference": ("i32", reference)},
+    )
+
+
+DEFINITION = ProgramDefinition(
+    name="sad",
+    suite="parboil",
+    package="cpu",
+    description="Sum-of-absolute-differences motion estimation over 4x4 blocks.",
+    builder=build,
+)

@@ -1,0 +1,78 @@
+"""spmv (Parboil / cpu).
+
+Sparse matrix–vector multiplication with the matrix stored in coordinate
+(COO) format, matching the paper's description of Parboil ``spmv`` with its
+small input.  The product is computed twice (y = A·x, then z = A·y) to give
+the workload a little more dynamic depth, and checksums of the result
+vectors are emitted.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.compiler import CompiledProgram, compile_program
+from repro.programs.definition import ProgramDefinition
+from repro.programs.inputs import dense_vector, sparse_matrix_coo
+
+#: Matrix dimensions and nominal number of nonzeros.
+ROWS = 20
+COLS = 20
+NONZEROS = 70
+
+_SPMV = '''
+def spmv_coo(values_count: "i64", result: "f64*", vector: "f64*") -> None:
+    """result = A * vector with A given by the COO triplets in the globals."""
+    for row in range({rows}):
+        result[row] = 0.0
+    for index in range(values_count):
+        row = coo_rows[index]
+        col = coo_cols[index]
+        result[row] = result[row] + coo_values[index] * vector[col]
+'''
+
+_MAIN_TEMPLATE = '''
+def main() -> "i64":
+    nonzeros = {nonzeros}
+    first_result = array("f64", {rows})
+    second_result = array("f64", {rows})
+    dense = array("f64", {cols})
+    for col in range({cols}):
+        dense[col] = x_vector[col]
+    spmv_coo(nonzeros, first_result, dense)
+    spmv_coo(nonzeros, second_result, first_result)
+    first_checksum = 0.0
+    second_checksum = 0.0
+    for row in range({rows}):
+        first_checksum = first_checksum + first_result[row]
+        second_checksum = second_checksum + second_result[row] * (row + 1)
+    output(first_checksum)
+    output(second_checksum)
+    output(first_result[0])
+    output(second_result[{rows} - 1])
+    return {nonzeros}
+'''
+
+
+def build() -> CompiledProgram:
+    """Compile the spmv workload over a fixed COO sparse matrix."""
+    rows, cols, values = sparse_matrix_coo(ROWS, COLS, NONZEROS, seed=2020)
+    vector = dense_vector(COLS, seed=2021)
+    main_source = _MAIN_TEMPLATE.format(rows=ROWS, cols=COLS, nonzeros=len(values))
+    return compile_program(
+        "spmv",
+        [_SPMV.format(rows=ROWS), main_source],
+        {
+            "coo_rows": ("i32", rows),
+            "coo_cols": ("i32", cols),
+            "coo_values": ("f64", values),
+            "x_vector": ("f64", vector),
+        },
+    )
+
+
+DEFINITION = ProgramDefinition(
+    name="spmv",
+    suite="parboil",
+    package="cpu",
+    description="Sparse matrix (COO) times dense vector, applied twice.",
+    builder=build,
+)

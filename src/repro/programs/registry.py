@@ -1,0 +1,77 @@
+"""Program registry: lookup, building and caching of benchmark workloads.
+
+The registry holds one :class:`~repro.programs.definition.ProgramDefinition`
+per benchmark of Table II.  Compiled programs and their experiment runners
+(golden traces included) are cached per process, because campaigns reuse the
+same workload thousands of times.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.frontend.compiler import CompiledProgram
+from repro.injection.experiment import ExperimentRunner
+from repro.programs.definition import ProgramDefinition
+from repro.programs.mibench import basicmath, crc32, dijkstra, fft, qsort, sha, stringsearch, susan
+from repro.programs.parboil import bfs, histo, sad, spmv
+
+#: All 15 benchmark programs, in the order Table II lists them.
+_DEFINITIONS: List[ProgramDefinition] = [
+    basicmath.DEFINITION,
+    qsort.DEFINITION,
+    susan.CORNERS_DEFINITION,
+    susan.EDGES_DEFINITION,
+    susan.SMOOTHING_DEFINITION,
+    fft.FFT_DEFINITION,
+    fft.IFFT_DEFINITION,
+    crc32.DEFINITION,
+    dijkstra.DEFINITION,
+    sha.DEFINITION,
+    stringsearch.DEFINITION,
+    bfs.DEFINITION,
+    histo.DEFINITION,
+    sad.DEFINITION,
+    spmv.DEFINITION,
+]
+
+REGISTRY: Dict[str, ProgramDefinition] = {
+    definition.name: definition for definition in _DEFINITIONS
+}
+
+
+def get_program(name: str) -> ProgramDefinition:
+    """Look up a program definition by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark program {name!r}; known programs: {sorted(REGISTRY)}"
+        ) from None
+
+
+def all_program_names() -> List[str]:
+    """Names of all 15 benchmark programs, in Table II order."""
+    return [definition.name for definition in _DEFINITIONS]
+
+
+def mibench_program_names() -> List[str]:
+    return [d.name for d in _DEFINITIONS if d.suite == "mibench"]
+
+
+def parboil_program_names() -> List[str]:
+    return [d.name for d in _DEFINITIONS if d.suite == "parboil"]
+
+
+@lru_cache(maxsize=None)
+def build_program(name: str) -> CompiledProgram:
+    """Compile a benchmark to MiniIR (cached per process)."""
+    return get_program(name).build()
+
+
+@lru_cache(maxsize=None)
+def get_experiment_runner(name: str) -> ExperimentRunner:
+    """A ready-to-use experiment runner (golden trace profiled, cached)."""
+    return ExperimentRunner(build_program(name))

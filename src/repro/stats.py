@@ -1,0 +1,127 @@
+"""Small, dependency-light statistical helpers shared across the library.
+
+These functions carry the statistical machinery the paper reports: proportion
+estimates with 95 % confidence intervals ("we also compute error bars at the
+95% confidence intervals") and comparisons of two proportions.  Both the
+normal-approximation interval (what error bars on large fault-injection
+campaigns conventionally use) and the Wilson score interval (better behaved
+for small samples, used by the unit-test-scale runs) are provided.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Two-sided z value for a 95 % confidence level.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class ProportionEstimate:
+    """A proportion with its confidence interval (all values in [0, 1])."""
+
+    successes: int
+    trials: int
+    point: float
+    lower: float
+    upper: float
+
+    @property
+    def half_width(self) -> float:
+        """Half the confidence interval width (the paper's "error bar")."""
+        return (self.upper - self.lower) / 2.0
+
+    @property
+    def percentage(self) -> float:
+        return 100.0 * self.point
+
+    def as_percentage_tuple(self) -> Tuple[float, float, float]:
+        return (100.0 * self.lower, 100.0 * self.point, 100.0 * self.upper)
+
+
+def normal_proportion_interval(
+    successes: int, trials: int, z: float = Z_95
+) -> ProportionEstimate:
+    """Normal-approximation (Wald) interval for a binomial proportion."""
+    _validate(successes, trials)
+    if trials == 0:
+        return ProportionEstimate(0, 0, 0.0, 0.0, 0.0)
+    p = successes / trials
+    margin = z * math.sqrt(p * (1.0 - p) / trials)
+    return ProportionEstimate(
+        successes, trials, p, max(0.0, p - margin), min(1.0, p + margin)
+    )
+
+
+def _clamped_estimate(
+    successes: int, trials: int, p: float, lower: float, upper: float
+) -> ProportionEstimate:
+    """Build an estimate whose interval is guaranteed to bracket the point."""
+    return ProportionEstimate(
+        successes, trials, p, max(0.0, min(lower, p)), min(1.0, max(upper, p))
+    )
+
+
+def wilson_proportion_interval(
+    successes: int, trials: int, z: float = Z_95
+) -> ProportionEstimate:
+    """Wilson score interval — preferred when the sample is small."""
+    _validate(successes, trials)
+    if trials == 0:
+        return ProportionEstimate(0, 0, 0.0, 0.0, 0.0)
+    p = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    centre = (p + z2 / (2.0 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+        / denominator
+    )
+    return _clamped_estimate(successes, trials, p, centre - margin, centre + margin)
+
+
+def proportion_difference_significant(
+    successes_a: int,
+    trials_a: int,
+    successes_b: int,
+    trials_b: int,
+    z: float = Z_95,
+) -> bool:
+    """Two-proportion z-test at the given confidence level.
+
+    Used when deciding whether a multi-bit campaign's SDC percentage is
+    *significantly* higher than the single-bit campaign's, rather than just
+    noisier.
+    """
+    _validate(successes_a, trials_a)
+    _validate(successes_b, trials_b)
+    if trials_a == 0 or trials_b == 0:
+        return False
+    p_a = successes_a / trials_a
+    p_b = successes_b / trials_b
+    pooled = (successes_a + successes_b) / (trials_a + trials_b)
+    variance = pooled * (1.0 - pooled) * (1.0 / trials_a + 1.0 / trials_b)
+    if variance == 0.0:
+        return False
+    return abs(p_a - p_b) / math.sqrt(variance) > z
+
+
+def percentage_point_difference(
+    successes_a: int, trials_a: int, successes_b: int, trials_b: int
+) -> float:
+    """Difference of two proportions expressed in percentage points (a − b)."""
+    _validate(successes_a, trials_a)
+    _validate(successes_b, trials_b)
+    p_a = successes_a / trials_a if trials_a else 0.0
+    p_b = successes_b / trials_b if trials_b else 0.0
+    return 100.0 * (p_a - p_b)
+
+
+def _validate(successes: int, trials: int) -> None:
+    if trials < 0 or successes < 0:
+        raise ValueError("counts must be non-negative")
+    if successes > trials:
+        raise ValueError(f"successes ({successes}) cannot exceed trials ({trials})")

@@ -1,0 +1,48 @@
+"""The MiniIR virtual machine.
+
+The VM executes MiniIR modules while exposing the hooks the fault injector
+needs:
+
+* every dynamic instruction has a monotonically increasing index (its
+  *dynamic time*), used by LLFI-style time–location fault specifications;
+* per-instruction *read* and *write* hooks can rewrite register values just
+  before they are consumed and just after they are produced — these are the
+  insertion points for inject-on-read and inject-on-write bit flips;
+* a segmented memory model raises simulated hardware exceptions
+  (segmentation fault, misaligned access, arithmetic fault, abort) so that
+  fault outcomes can be classified exactly as in the paper;
+* a dynamic-instruction watchdog detects hangs;
+* program output is collected into an output buffer compared bit-wise
+  against a golden run to detect silent data corruptions.
+"""
+
+from repro.vm.faults import (
+    AbortFault,
+    ArithmeticFault,
+    HangDetected,
+    HardwareFault,
+    InvalidJumpFault,
+    MisalignedAccessFault,
+    SegmentationFault,
+)
+from repro.vm.memory import Memory, MemorySegment
+from repro.vm.interpreter import ExecutionLimits, ExecutionResult, Interpreter
+from repro.vm.trace import DynamicInstructionRecord, GoldenTrace, TraceCollector
+
+__all__ = [
+    "AbortFault",
+    "ArithmeticFault",
+    "DynamicInstructionRecord",
+    "ExecutionLimits",
+    "ExecutionResult",
+    "GoldenTrace",
+    "HangDetected",
+    "HardwareFault",
+    "Interpreter",
+    "InvalidJumpFault",
+    "Memory",
+    "MemorySegment",
+    "MisalignedAccessFault",
+    "SegmentationFault",
+    "TraceCollector",
+]

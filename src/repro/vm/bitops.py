@@ -1,0 +1,132 @@
+"""Typed bit manipulation for register values.
+
+The fault injector needs to flip individual bits of a *typed* runtime value
+exactly as LLFI does on the machine representation:
+
+* integers are treated as two's-complement bit patterns of their declared
+  width;
+* floats are reinterpreted as IEEE-754 bit patterns (``f32``/``f64``) so a
+  flipped exponent or sign bit has the realistic, often dramatic, effect;
+* pointers are 64-bit addresses.
+
+All helpers are pure functions over ``(value, ir_type)`` pairs so they are
+easy to property-test (flip twice == identity, flipped bit differs, etc.).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Union
+
+from repro.ir.types import FloatType, IntType, IRType, PointerType
+
+RuntimeScalar = Union[int, float]
+
+
+def bit_width(ir_type: IRType) -> int:
+    """Number of addressable bits in a register of ``ir_type``."""
+    if isinstance(ir_type, IntType):
+        return ir_type.width
+    if isinstance(ir_type, FloatType):
+        return ir_type.width
+    if isinstance(ir_type, PointerType):
+        return 64
+    raise TypeError(f"values of type {ir_type} are not bit-addressable")
+
+
+def float_to_bits(value: float, width: int) -> int:
+    """Reinterpret a float as its IEEE-754 bit pattern.
+
+    Values outside the f32 range overflow to the correctly-signed infinity,
+    matching what storing the value in a 32-bit register would produce.
+    """
+    if width == 64:
+        return struct.unpack("<Q", struct.pack("<d", value))[0]
+    if width == 32:
+        try:
+            return struct.unpack("<I", struct.pack("<f", value))[0]
+        except OverflowError:
+            infinity = math.inf if value > 0 else -math.inf
+            return struct.unpack("<I", struct.pack("<f", infinity))[0]
+    raise ValueError(f"unsupported float width {width}")
+
+
+def bits_to_float(bits: int, width: int) -> float:
+    """Reinterpret an IEEE-754 bit pattern as a float."""
+    if width == 64:
+        return struct.unpack("<d", struct.pack("<Q", bits & ((1 << 64) - 1)))[0]
+    if width == 32:
+        return struct.unpack("<f", struct.pack("<I", bits & ((1 << 32) - 1)))[0]
+    raise ValueError(f"unsupported float width {width}")
+
+
+def value_to_bits(value: RuntimeScalar, ir_type: IRType) -> int:
+    """Encode a runtime value as an unsigned bit pattern of the type's width."""
+    if isinstance(ir_type, IntType):
+        return ir_type.to_unsigned(int(value))
+    if isinstance(ir_type, FloatType):
+        return float_to_bits(float(value), ir_type.width)
+    if isinstance(ir_type, PointerType):
+        return int(value) & ((1 << 64) - 1)
+    raise TypeError(f"values of type {ir_type} are not bit-addressable")
+
+
+def bits_to_value(bits: int, ir_type: IRType) -> RuntimeScalar:
+    """Decode an unsigned bit pattern back into the runtime representation."""
+    if isinstance(ir_type, IntType):
+        return ir_type.wrap(bits)
+    if isinstance(ir_type, FloatType):
+        return bits_to_float(bits, ir_type.width)
+    if isinstance(ir_type, PointerType):
+        return bits & ((1 << 64) - 1)
+    raise TypeError(f"values of type {ir_type} are not bit-addressable")
+
+
+def flip_bit(value: RuntimeScalar, ir_type: IRType, bit: int) -> RuntimeScalar:
+    """Return ``value`` with bit ``bit`` (0 = least significant) flipped."""
+    width = bit_width(ir_type)
+    if not 0 <= bit < width:
+        raise ValueError(f"bit index {bit} out of range for {ir_type} ({width} bits)")
+    bits = value_to_bits(value, ir_type)
+    return bits_to_value(bits ^ (1 << bit), ir_type)
+
+
+def flip_bits(value: RuntimeScalar, ir_type: IRType, bits_to_flip) -> RuntimeScalar:
+    """Flip several bit positions of the same register value at once."""
+    result = value
+    for bit in bits_to_flip:
+        result = flip_bit(result, ir_type, bit)
+    return result
+
+
+def values_equal(a: RuntimeScalar, b: RuntimeScalar, ir_type: IRType) -> bool:
+    """Bit-wise equality of two runtime values of the same type.
+
+    Floats are compared on their bit patterns (so ``NaN == NaN`` here, and
+    ``+0.0 != -0.0``) because the paper's SDC definition is a bit-wise
+    comparison of program output.
+    """
+    return value_to_bits(a, ir_type) == value_to_bits(b, ir_type)
+
+
+def canonicalize(value: RuntimeScalar, ir_type: IRType) -> RuntimeScalar:
+    """Normalise a raw Python number into the type's runtime representation."""
+    if isinstance(ir_type, IntType):
+        return ir_type.wrap(int(value))
+    if isinstance(ir_type, FloatType):
+        value = float(value)
+        if ir_type.width == 32:
+            # Round-trip through 32-bit storage so f32 arithmetic stays f32.
+            return bits_to_float(float_to_bits(value, 32), 32)
+        return value
+    if isinstance(ir_type, PointerType):
+        return int(value) & ((1 << 64) - 1)
+    raise TypeError(f"cannot canonicalise a value of type {ir_type}")
+
+
+def is_finite(value: RuntimeScalar) -> bool:
+    """True when a float value is finite (always true for ints)."""
+    if isinstance(value, float):
+        return math.isfinite(value)
+    return True

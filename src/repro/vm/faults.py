@@ -1,0 +1,87 @@
+"""Simulated hardware exceptions raised by the MiniIR virtual machine.
+
+The paper classifies an experiment as *Detected by Hardware Exceptions* when
+the injected error makes the native binary hit an OS-visible exception:
+segmentation faults, misaligned memory accesses, aborts, and arithmetic
+errors such as division by zero (§III-E).  The VM raises the corresponding
+:class:`HardwareFault` subclasses; the experiment driver catches them and
+maps them onto the outcome taxonomy.
+
+``HangDetected`` models LLFI's watchdog: the program failed to terminate
+within a bound derived from the fault-free execution length.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class HardwareFault(Exception):
+    """Base class for all simulated hardware exceptions.
+
+    Attributes
+    ----------
+    dynamic_index:
+        The dynamic instruction index at which the fault was raised, or
+        ``None`` if unknown.  Used by analyses that reason about how far a
+        corrupted run progressed.
+    """
+
+    #: Short category label used in reports.
+    category = "hardware-exception"
+
+    def __init__(self, message: str, *, dynamic_index: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.dynamic_index = dynamic_index
+
+
+class SegmentationFault(HardwareFault):
+    """Access to an address outside every mapped memory segment."""
+
+    category = "segmentation-fault"
+
+
+class MisalignedAccessFault(HardwareFault):
+    """Access whose address is not aligned to the accessed type's size."""
+
+    category = "misaligned-access"
+
+
+class ArithmeticFault(HardwareFault):
+    """Integer division or remainder by zero (SIGFPE on real hardware)."""
+
+    category = "arithmetic-fault"
+
+
+class AbortFault(HardwareFault):
+    """The program aborted itself (assert failure, explicit ``abort()``)."""
+
+    category = "abort"
+
+
+class InvalidJumpFault(HardwareFault):
+    """Control transferred to a non-existent target.
+
+    On real hardware a corrupted branch may land in unmapped or non-code
+    memory and trap; the VM raises this when a corrupted value is used where
+    a valid control-flow decision is impossible (for example a call frame
+    that cannot be resolved).
+    """
+
+    category = "invalid-jump"
+
+
+class HangDetected(Exception):
+    """The watchdog limit on dynamic instructions was exceeded.
+
+    Note: this is *not* a :class:`HardwareFault`; hangs form their own
+    outcome category in the paper's classification.
+    """
+
+    def __init__(self, executed: int, limit: int) -> None:
+        super().__init__(
+            f"program exceeded the watchdog limit "
+            f"({executed} dynamic instructions, limit {limit})"
+        )
+        self.executed = executed
+        self.limit = limit

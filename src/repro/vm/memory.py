@@ -1,0 +1,209 @@
+"""Segmented byte-addressable memory for the MiniIR virtual machine.
+
+The layout mimics a conventional process address space:
+
+* a **null guard** region (low addresses) that is never mapped, so that
+  corrupted pointers landing near zero raise a segmentation fault;
+* a **globals** segment holding module-level variables;
+* a **heap** segment used by the ``__malloc`` intrinsic;
+* a **stack** segment used by ``alloca`` — grown per call frame with a bump
+  pointer and released on return.
+
+All accesses are checked:
+
+* an address outside every mapped segment raises
+  :class:`~repro.vm.faults.SegmentationFault`;
+* an address that is not aligned to the accessed type's natural alignment
+  raises :class:`~repro.vm.faults.MisalignedAccessFault` (the paper lists
+  misaligned accesses as one of the hardware exceptions LLFI observes).
+
+Scalars are stored little-endian in two's-complement / IEEE-754 formats, so
+a bit flipped in a register and then stored round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.ir.types import FloatType, IntType, IRType, PointerType
+from repro.vm import bitops
+from repro.vm.faults import MisalignedAccessFault, SegmentationFault
+
+RuntimeScalar = Union[int, float]
+
+#: Default segment layout (base address, size in bytes).
+DEFAULT_LAYOUT: Dict[str, Tuple[int, int]] = {
+    "globals": (0x0001_0000, 1 << 20),
+    "heap": (0x1000_0000, 1 << 22),
+    "stack": (0x7000_0000, 1 << 20),
+}
+
+#: Addresses below this value are never mapped (null-pointer guard).
+NULL_GUARD_LIMIT = 0x1000
+
+
+@dataclass
+class MemorySegment:
+    """A contiguous mapped region of the simulated address space."""
+
+    name: str
+    base: int
+    size: int
+    data: bytearray = field(default_factory=bytearray)
+    #: Bump-allocation cursor (offset from ``base``).
+    cursor: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            self.data = bytearray(self.size)
+        if len(self.data) != self.size:
+            raise ValueError(
+                f"segment {self.name}: data length {len(self.data)} != size {self.size}"
+            )
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.base <= address and address + length <= self.end
+
+    def allocate(self, size: int, align: int = 8) -> int:
+        """Bump-allocate ``size`` bytes aligned to ``align``; return address."""
+        if size < 0:
+            raise ValueError("allocation size must be non-negative")
+        offset = self.cursor
+        if align > 0 and offset % align:
+            offset += align - (offset % align)
+        if offset + size > self.size:
+            raise MemoryError(
+                f"segment {self.name} exhausted: "
+                f"requested {size} bytes at offset {offset}, size {self.size}"
+            )
+        self.cursor = offset + size
+        return self.base + offset
+
+
+class Memory:
+    """The simulated address space: a set of segments with checked access."""
+
+    def __init__(self, layout: Optional[Dict[str, Tuple[int, int]]] = None) -> None:
+        layout = dict(layout or DEFAULT_LAYOUT)
+        self.segments: Dict[str, MemorySegment] = {}
+        for name, (base, size) in layout.items():
+            self.add_segment(name, base, size)
+        #: Count of bytes read/written — used by analyses and tests.
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- segment management ---------------------------------------------------
+    def add_segment(self, name: str, base: int, size: int) -> MemorySegment:
+        if base < NULL_GUARD_LIMIT:
+            raise ValueError(f"segment {name} overlaps the null guard region")
+        for other in self.segments.values():
+            if base < other.end and other.base < base + size:
+                raise ValueError(f"segment {name} overlaps segment {other.name}")
+        segment = MemorySegment(name, base, size)
+        self.segments[name] = segment
+        return segment
+
+    def segment(self, name: str) -> MemorySegment:
+        return self.segments[name]
+
+    def find_segment(self, address: int, length: int = 1) -> Optional[MemorySegment]:
+        for segment in self.segments.values():
+            if segment.contains(address, length):
+                return segment
+        return None
+
+    # -- allocation -----------------------------------------------------------
+    def allocate(self, segment_name: str, size: int, align: int = 8) -> int:
+        return self.segments[segment_name].allocate(size, align)
+
+    def stack_mark(self) -> int:
+        """Record the current stack cursor (call-frame entry)."""
+        return self.segments["stack"].cursor
+
+    def stack_release(self, mark: int) -> None:
+        """Pop the stack back to a previously recorded mark (call-frame exit)."""
+        self.segments["stack"].cursor = mark
+
+    # -- raw byte access --------------------------------------------------------
+    def _locate(self, address: int, length: int, *, write: bool) -> Tuple[MemorySegment, int]:
+        if address < NULL_GUARD_LIMIT:
+            raise SegmentationFault(
+                f"{'write' if write else 'read'} of {length} bytes at "
+                f"0x{address:x} hits the null guard page"
+            )
+        segment = self.find_segment(address, length)
+        if segment is None:
+            raise SegmentationFault(
+                f"{'write' if write else 'read'} of {length} bytes at "
+                f"0x{address:x} is outside every mapped segment"
+            )
+        return segment, address - segment.base
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        segment, offset = self._locate(address, length, write=False)
+        self.bytes_read += length
+        return bytes(segment.data[offset : offset + length])
+
+    def write_bytes(self, address: int, payload: bytes) -> None:
+        segment, offset = self._locate(address, len(payload), write=True)
+        self.bytes_written += len(payload)
+        segment.data[offset : offset + len(payload)] = payload
+
+    # -- typed scalar access ------------------------------------------------------
+    @staticmethod
+    def _check_alignment(address: int, ir_type: IRType) -> None:
+        align = ir_type.alignment()
+        if align > 1 and address % align:
+            raise MisalignedAccessFault(
+                f"access of {ir_type} at 0x{address:x} is not {align}-byte aligned"
+            )
+
+    def read_scalar(self, address: int, ir_type: IRType) -> RuntimeScalar:
+        """Read a typed scalar; raises on unmapped or misaligned addresses."""
+        self._check_alignment(address, ir_type)
+        size = ir_type.size_bytes()
+        raw = self.read_bytes(address, size)
+        if isinstance(ir_type, IntType):
+            unsigned = int.from_bytes(raw, "little", signed=False)
+            return ir_type.wrap(unsigned)
+        if isinstance(ir_type, FloatType):
+            fmt = "<d" if ir_type.width == 64 else "<f"
+            return struct.unpack(fmt, raw)[0]
+        if isinstance(ir_type, PointerType):
+            return int.from_bytes(raw, "little", signed=False)
+        raise TypeError(f"cannot read a scalar of type {ir_type}")
+
+    def write_scalar(self, address: int, value: RuntimeScalar, ir_type: IRType) -> None:
+        """Write a typed scalar; raises on unmapped or misaligned addresses."""
+        self._check_alignment(address, ir_type)
+        size = ir_type.size_bytes()
+        if isinstance(ir_type, IntType):
+            raw = ir_type.to_unsigned(int(value)).to_bytes(size, "little", signed=False)
+        elif isinstance(ir_type, FloatType):
+            fmt = "<d" if ir_type.width == 64 else "<f"
+            raw = struct.pack(fmt, bitops.canonicalize(value, ir_type))
+        elif isinstance(ir_type, PointerType):
+            raw = (int(value) & ((1 << 64) - 1)).to_bytes(size, "little", signed=False)
+        else:
+            raise TypeError(f"cannot write a scalar of type {ir_type}")
+        self.write_bytes(address, raw)
+
+    # -- bulk helpers ----------------------------------------------------------------
+    def write_array(self, address: int, values, element_type: IRType) -> None:
+        """Write a sequence of scalars starting at ``address``."""
+        stride = element_type.size_bytes()
+        for index, value in enumerate(values):
+            self.write_scalar(address + index * stride, value, element_type)
+
+    def read_array(self, address: int, count: int, element_type: IRType) -> List[RuntimeScalar]:
+        """Read ``count`` scalars starting at ``address``."""
+        stride = element_type.size_bytes()
+        return [
+            self.read_scalar(address + index * stride, element_type) for index in range(count)
+        ]

@@ -1,0 +1,142 @@
+"""Golden-trace collection (fault-free profiling runs).
+
+LLFI's workflow has two phases: a *profiling* run of the uninstrumented
+program that records every dynamic instruction, followed by injection runs
+that pick a time–location pair from that profile.  :class:`TraceCollector`
+implements the profiling phase for MiniIR and :class:`GoldenTrace` is its
+result: a compact, indexable record of the dynamic execution that the
+injection techniques (:mod:`repro.injection.techniques`) enumerate to build
+the candidate error space of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.instructions import Instruction
+
+
+@dataclass(frozen=True)
+class DynamicInstructionRecord:
+    """One dynamic instruction of the golden run.
+
+    Attributes
+    ----------
+    dynamic_index:
+        Position in the dynamic instruction stream (0-based).
+    function_name:
+        Name of the function the instruction belongs to.
+    static_index:
+        The instruction's static index within its function.
+    opcode:
+        Instruction opcode (e.g. ``"add"``, ``"load"``, ``"icmp slt"``).
+    source_register_bits:
+        Bit widths of the register *source* operands actually read by the
+        instruction — the inject-on-read targets.
+    destination_bits:
+        Bit width of the destination register, or ``None`` when the
+        instruction produces no register result (e.g. ``store``) — the
+        inject-on-write target.
+    destination_is_pointer:
+        True when the produced value is an address.  Used by analyses that
+        reason about the data/address mix of a workload.
+    """
+
+    dynamic_index: int
+    function_name: str
+    static_index: int
+    opcode: str
+    source_register_bits: Tuple[int, ...]
+    destination_bits: Optional[int]
+    destination_is_pointer: bool
+
+    @property
+    def has_destination(self) -> bool:
+        return self.destination_bits is not None
+
+    @property
+    def source_count(self) -> int:
+        return len(self.source_register_bits)
+
+
+class GoldenTrace:
+    """The complete dynamic instruction stream of a fault-free run."""
+
+    def __init__(
+        self,
+        records: Sequence[DynamicInstructionRecord],
+        output: Tuple,
+        return_value,
+    ) -> None:
+        self.records: List[DynamicInstructionRecord] = list(records)
+        #: The fault-free program output (golden output for SDC comparison).
+        self.output = output
+        #: The fault-free return value of the entry function.
+        self.return_value = return_value
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, index: int) -> DynamicInstructionRecord:
+        return self.records[index]
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def dynamic_instruction_count(self) -> int:
+        return len(self.records)
+
+    def records_with_destination(self) -> List[DynamicInstructionRecord]:
+        """Records usable as inject-on-write times."""
+        return [record for record in self.records if record.has_destination]
+
+    def records_with_sources(self) -> List[DynamicInstructionRecord]:
+        """Records usable as inject-on-read times."""
+        return [record for record in self.records if record.source_count > 0]
+
+    def pointer_destination_fraction(self) -> float:
+        """Fraction of destination registers that hold addresses."""
+        with_destination = self.records_with_destination()
+        if not with_destination:
+            return 0.0
+        pointer_count = sum(1 for record in with_destination if record.destination_is_pointer)
+        return pointer_count / len(with_destination)
+
+
+class TraceCollector:
+    """Collects :class:`DynamicInstructionRecord` objects during execution.
+
+    Passed to :meth:`repro.vm.interpreter.Interpreter.run` as the
+    ``trace_collector`` argument; the interpreter calls :meth:`record` once
+    per executed instruction.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[DynamicInstructionRecord] = []
+
+    def record(self, dynamic_index: int, instruction: Instruction) -> None:
+        from repro.ir.types import PointerType
+
+        destination = instruction.destination()
+        sources = tuple(
+            register.type.bits or 0 for register in instruction.source_registers()
+        )
+        self.records.append(
+            DynamicInstructionRecord(
+                dynamic_index=dynamic_index,
+                function_name=instruction.parent.parent.name if instruction.parent else "?",
+                static_index=instruction.static_index,
+                opcode=instruction.opcode,
+                source_register_bits=sources,
+                destination_bits=destination.type.bits if destination is not None else None,
+                destination_is_pointer=(
+                    destination is not None and isinstance(destination.type, PointerType)
+                ),
+            )
+        )
+
+    def build(self, output: Tuple, return_value) -> GoldenTrace:
+        """Finalise the collected records into a :class:`GoldenTrace`."""
+        return GoldenTrace(self.records, output, return_value)

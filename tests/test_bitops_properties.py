@@ -1,0 +1,113 @@
+"""Property-based tests for typed bit manipulation (the heart of the injector)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import BOOL, F32, F64, I16, I32, I64, I8, PointerType
+from repro.vm import bitops
+
+INT_TYPES = (BOOL, I8, I16, I32, I64)
+FLOAT_TYPES = (F32, F64)
+POINTER = PointerType(I32)
+
+
+def int_values(type_):
+    return st.integers(min_value=type_.min_value(), max_value=type_.max_value())
+
+
+class TestBitWidth:
+    def test_widths(self):
+        assert bitops.bit_width(BOOL) == 1
+        assert bitops.bit_width(I32) == 32
+        assert bitops.bit_width(F32) == 32
+        assert bitops.bit_width(F64) == 64
+        assert bitops.bit_width(POINTER) == 64
+
+    def test_void_like_types_rejected(self):
+        from repro.ir.types import VOID
+
+        with pytest.raises(TypeError):
+            bitops.bit_width(VOID)
+
+
+class TestIntegerFlips:
+    @given(st.data())
+    def test_flip_twice_is_identity(self, data):
+        for type_ in INT_TYPES:
+            value = data.draw(int_values(type_), label=f"value:{type_}")
+            bit = data.draw(st.integers(0, type_.width - 1), label=f"bit:{type_}")
+            once = bitops.flip_bit(value, type_, bit)
+            twice = bitops.flip_bit(once, type_, bit)
+            assert twice == value
+
+    @given(st.data())
+    def test_flip_changes_exactly_one_bit(self, data):
+        for type_ in INT_TYPES:
+            value = data.draw(int_values(type_), label=f"value:{type_}")
+            bit = data.draw(st.integers(0, type_.width - 1), label=f"bit:{type_}")
+            flipped = bitops.flip_bit(value, type_, bit)
+            xor = bitops.value_to_bits(value, type_) ^ bitops.value_to_bits(flipped, type_)
+            assert xor == 1 << bit
+
+    @given(st.data())
+    def test_roundtrip_bits(self, data):
+        for type_ in INT_TYPES:
+            value = data.draw(int_values(type_))
+            assert bitops.bits_to_value(bitops.value_to_bits(value, type_), type_) == value
+
+    def test_out_of_range_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.flip_bit(1, I8, 8)
+        with pytest.raises(ValueError):
+            bitops.flip_bit(1, I8, -1)
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1), st.sets(st.integers(0, 31), max_size=8))
+    def test_multi_flip_equals_xor_mask(self, value, bits):
+        flipped = bitops.flip_bits(value, I32, bits)
+        mask = 0
+        for bit in bits:
+            mask ^= 1 << bit
+        assert bitops.value_to_bits(flipped, I32) == bitops.value_to_bits(value, I32) ^ mask
+
+
+class TestFloatFlips:
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=64), st.integers(0, 63))
+    def test_f64_flip_twice_is_identity(self, value, bit):
+        once = bitops.flip_bit(value, F64, bit)
+        twice = bitops.flip_bit(once, F64, bit)
+        assert bitops.value_to_bits(twice, F64) == bitops.value_to_bits(value, F64)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32), st.integers(0, 31))
+    def test_f32_flip_twice_is_identity(self, value, bit):
+        once = bitops.flip_bit(value, F32, bit)
+        twice = bitops.flip_bit(once, F32, bit)
+        assert bitops.value_to_bits(twice, F32) == bitops.value_to_bits(value, F32)
+
+    def test_sign_bit_flip_negates(self):
+        assert bitops.flip_bit(1.0, F64, 63) == -1.0
+        assert bitops.flip_bit(-2.5, F64, 63) == 2.5
+
+    def test_f32_overflow_becomes_infinity(self):
+        bits = bitops.float_to_bits(1e300, 32)
+        assert math.isinf(bitops.bits_to_float(bits, 32))
+
+    def test_nan_comparison_uses_bit_patterns(self):
+        assert bitops.values_equal(math.nan, math.nan, F64)
+        assert not bitops.values_equal(0.0, -0.0, F64)
+
+
+class TestCanonicalize:
+    @given(st.integers(min_value=-(2**70), max_value=2**70))
+    def test_int_canonicalization_wraps(self, value):
+        canonical = bitops.canonicalize(value, I32)
+        assert I32.min_value() <= canonical <= I32.max_value()
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_f32_canonicalization_is_idempotent(self, value):
+        once = bitops.canonicalize(value, F32)
+        assert bitops.canonicalize(once, F32) == once
+
+    def test_pointer_canonicalization_masks_to_64_bits(self):
+        assert bitops.canonicalize(2**70 + 5, POINTER) == (2**70 + 5) % 2**64

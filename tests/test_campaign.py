@@ -1,0 +1,217 @@
+"""Tests for campaign configuration, planning, execution and result storage."""
+
+import random
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    ExperimentScale,
+    ResultStore,
+    SMOKE_SCALE,
+)
+from repro.campaign.plan import (
+    full_paper_grid,
+    multi_register_campaigns,
+    same_register_campaigns,
+    single_bit_campaigns,
+)
+from repro.campaign.results import CampaignResult, ExperimentRecord
+from repro.errors import AnalysisError, ConfigurationError
+from repro.frontend import compile_program
+from repro.injection import ExperimentRunner, Outcome
+from repro.injection.faultmodel import win_size_by_index
+
+
+TINY_PROGRAM = '''
+def main() -> "i64":
+    total = 0
+    for i in range(12):
+        scratch[i % 4] = i * 7
+        total += scratch[i % 4]
+    output(total)
+    return total
+'''
+
+
+@pytest.fixture(scope="module")
+def tiny_provider():
+    program = compile_program("tiny", [TINY_PROGRAM], {"scratch": ("i32", [0, 0, 0, 0])})
+    runner = ExperimentRunner(program)
+
+    def provider(name):
+        assert name == "tiny"
+        return runner
+
+    return provider
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        program="tiny",
+        technique="inject-on-write",
+        max_mbf=1,
+        win_size=win_size_by_index("w1"),
+        experiments=25,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+class TestConfig:
+    def test_campaign_id_is_stable_and_readable(self):
+        config = tiny_config(max_mbf=3, win_size=win_size_by_index("w6"))
+        assert config.campaign_id == "tiny/inject-on-write/mbf=3/win=w6:RND(11-100)"
+
+    def test_seed_is_deterministic_and_identity_sensitive(self):
+        a = tiny_config()
+        b = tiny_config()
+        c = tiny_config(max_mbf=2)
+        d = tiny_config(master_seed=99)
+        assert a.seed == b.seed
+        assert a.seed != c.seed
+        assert a.seed != d.seed
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_config(max_mbf=0)
+        with pytest.raises(ConfigurationError):
+            tiny_config(experiments=0)
+        with pytest.raises(ConfigurationError):
+            tiny_config(technique="inject-on-hope")
+        with pytest.raises(ConfigurationError):
+            ExperimentScale("bad", experiments_per_campaign=0)
+
+    def test_scale_substitution(self):
+        config = tiny_config().with_scale(ExperimentScale("s", 7))
+        assert config.experiments == 7
+        assert config.program == "tiny"
+
+
+class TestPlans:
+    def test_single_bit_plan(self):
+        configs = single_bit_campaigns(["a", "b"], SMOKE_SCALE)
+        assert len(configs) == 4
+        assert all(config.is_single_bit for config in configs)
+
+    def test_same_register_plan_uses_zero_window(self):
+        configs = same_register_campaigns(["a"], SMOKE_SCALE)
+        assert len(configs) == 20  # 2 techniques x 10 max-MBF values
+        assert all(config.win_size.label == "0" for config in configs)
+
+    def test_multi_register_plan_excludes_zero_window(self):
+        configs = multi_register_campaigns(["a"], SMOKE_SCALE)
+        assert len(configs) == 160  # 2 techniques x 10 max-MBF x 8 win-sizes
+        assert all(config.win_size.label != "0" for config in configs)
+
+    def test_full_grid_matches_paper_count(self):
+        configs = full_paper_grid(["a"], SMOKE_SCALE)
+        assert len(configs) == 182
+        ids = {config.campaign_id for config in configs}
+        assert len(ids) == 182  # no duplicates
+
+    def test_plan_respects_technique_filter(self):
+        configs = single_bit_campaigns(["a"], SMOKE_SCALE, techniques=["inject-on-read"])
+        assert len(configs) == 1
+        assert configs[0].technique == "inject-on-read"
+
+
+class TestRunner:
+    def test_run_campaign_counts_every_experiment(self, tiny_provider):
+        runner = CampaignRunner(tiny_provider)
+        result = runner.run_campaign(tiny_config(experiments=30))
+        assert result.experiments == 30
+        assert result.outcome_counts.total == 30
+        assert len(result.records) == 30
+        assert sum(result.activated_histogram.values()) == 30
+
+    def test_run_campaign_is_deterministic(self, tiny_provider):
+        runner = CampaignRunner(tiny_provider)
+        first = runner.run_campaign(tiny_config(experiments=25))
+        second = runner.run_campaign(tiny_config(experiments=25))
+        assert first.outcome_counts.as_dict() == second.outcome_counts.as_dict()
+        assert [r.to_tuple() for r in first.records] == [r.to_tuple() for r in second.records]
+
+    def test_random_win_size_resolved_within_range(self, tiny_provider):
+        runner = CampaignRunner(tiny_provider)
+        config = tiny_config(max_mbf=3, win_size=win_size_by_index("w4"), experiments=10)
+        result = runner.run_campaign(config)
+        assert 2 <= result.resolved_win_size <= 10
+
+    def test_run_campaigns_skips_existing(self, tiny_provider):
+        runner = CampaignRunner(tiny_provider)
+        config = tiny_config(experiments=10)
+        store = runner.run_campaigns([config])
+        original = store.get(config)
+        store2 = runner.run_campaigns([config], store)
+        assert store2.get(config) is original
+        assert len(store2) == 1
+
+    def test_progress_callback(self, tiny_provider):
+        seen = []
+        runner = CampaignRunner(tiny_provider, progress=seen.append)
+        runner.run_campaign(tiny_config(experiments=5))
+        assert len(seen) == 1 and "tiny" in seen[0]
+
+
+class TestResultStore:
+    def _result(self, tiny_provider, **overrides):
+        runner = CampaignRunner(tiny_provider)
+        return runner.run_campaign(tiny_config(**overrides))
+
+    def test_store_queries(self, tiny_provider):
+        store = ResultStore()
+        store.add(self._result(tiny_provider, experiments=10))
+        store.add(self._result(tiny_provider, experiments=10, max_mbf=3))
+        store.add(
+            self._result(
+                tiny_provider, experiments=10, max_mbf=3, win_size=win_size_by_index("w3")
+            )
+        )
+        assert len(store) == 3
+        assert store.programs() == ["tiny"]
+        single = store.single_bit("tiny", "inject-on-write")
+        assert single.config.is_single_bit
+        assert len(store.multi_bit("tiny", "inject-on-write")) == 2
+        assert len(store.multi_bit("tiny", "inject-on-write", same_register=True)) == 1
+        assert len(store.multi_bit("tiny", "inject-on-write", same_register=False)) == 1
+
+    def test_missing_campaign_raises(self):
+        store = ResultStore()
+        with pytest.raises(AnalysisError):
+            store.get("nope")
+        with pytest.raises(AnalysisError):
+            store.single_bit("tiny", "inject-on-read")
+
+    def test_json_roundtrip(self, tiny_provider, tmp_path):
+        store = ResultStore()
+        store.add(self._result(tiny_provider, experiments=15))
+        store.add(self._result(tiny_provider, experiments=15, max_mbf=5))
+        path = tmp_path / "results.json"
+        store.save(path)
+        loaded = ResultStore.load(path)
+        assert len(loaded) == 2
+        for campaign_id in store.campaign_ids():
+            original = store.get(campaign_id)
+            restored = loaded.get(campaign_id)
+            assert restored.outcome_counts.as_dict() == original.outcome_counts.as_dict()
+            assert restored.activated_histogram == original.activated_histogram
+            assert [r.to_tuple() for r in restored.records] == [
+                r.to_tuple() for r in original.records
+            ]
+
+    def test_sdc_estimate_and_percentages(self, tiny_provider):
+        result = self._result(tiny_provider, experiments=40)
+        total = (
+            result.benign_percentage
+            + result.detection_percentage
+            + result.sdc_percentage
+        )
+        assert total == pytest.approx(100.0)
+        estimate = result.sdc_estimate()
+        assert 0.0 <= estimate.lower <= estimate.point <= estimate.upper <= 1.0
+
+    def test_experiment_record_roundtrip(self):
+        record = ExperimentRecord(12, None, Outcome.SDC, 3)
+        assert ExperimentRecord.from_tuple(record.to_tuple()) == record

@@ -1,0 +1,130 @@
+"""End-to-end integration tests of the figure/table harness at a tiny scale.
+
+These use the two cheapest workloads (bfs, crc32) and very small campaigns so
+the whole module stays fast; the benchmark harness in ``benchmarks/`` runs
+the same entry points at a larger scale and asserts the paper's trends.
+"""
+
+import pytest
+
+from repro.campaign import ExperimentScale
+from repro.experiments import (
+    ExperimentSession,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.injection.faultmodel import WIN_SIZE_SPECS, win_size_by_index
+
+PROGRAMS = ["bfs", "crc32"]
+TINY = ExperimentScale("tiny", experiments_per_campaign=20)
+SMALL_WINDOWS = (win_size_by_index("w2"), win_size_by_index("w7"))
+
+
+@pytest.fixture(scope="module")
+def session():
+    return ExperimentSession(scale=TINY)
+
+
+class TestFigureHarness:
+    def test_figure1(self, session):
+        result = figure1(session, PROGRAMS)
+        assert set(result.data) == {"inject-on-read", "inject-on-write"}
+        for technique, per_program in result.data.items():
+            assert set(per_program) == set(PROGRAMS)
+            for program, entries in per_program.items():
+                total = entries["benign"] + entries["detection"] + entries["sdc"]
+                assert total == pytest.approx(100.0)
+        assert "crc32" in result.text
+
+    def test_figure2(self, session):
+        result = figure2(session, PROGRAMS, max_mbf_values=(2, 30))
+        for per_program in result.data.values():
+            for entries in per_program.values():
+                assert entries["single_bit"] is not None
+                assert set(entries["by_max_mbf"]) == {2, 30}
+
+    def test_figure3(self, session):
+        result = figure3(session, PROGRAMS, win_size_specs=SMALL_WINDOWS)
+        for technique, entry in result.data.items():
+            assert entry["histogram"], technique
+            assert 0.0 <= entry["fraction_at_most_10"] <= 1.0
+            assert entry["mean"] >= 1.0
+
+    def test_figure4_and_5(self, session):
+        read = figure4(session, PROGRAMS, max_mbf_values=(2, 3), win_size_specs=SMALL_WINDOWS)
+        write = figure5(session, PROGRAMS, max_mbf_values=(2, 3), win_size_specs=SMALL_WINDOWS)
+        assert set(read.data["inject-on-read"]) == set(PROGRAMS)
+        assert set(write.data["inject-on-write"]) == set(PROGRAMS)
+        expected_clusters = {
+            "mbf=2,win=1",
+            "mbf=2,win=100",
+            "mbf=3,win=1",
+            "mbf=3,win=100",
+        }
+        for per_program in (read.data["inject-on-read"], write.data["inject-on-write"]):
+            for entries in per_program.values():
+                # The session's store may hold additional clusters from other
+                # figures; the requested grid must be present at minimum.
+                assert expected_clusters <= set(entries["by_cluster"])
+
+
+class TestTableHarness:
+    def test_table1_static_grid(self):
+        result = table1()
+        kinds = {row["kind"] for row in result.rows}
+        assert kinds == {"max-MBF", "win-size"}
+        assert len(result.rows) == 19  # 10 max-MBF values + 9 win-size specs
+        assert "RND(101-1000)" in result.text
+
+    def test_table2_candidate_counts(self):
+        result = table2(PROGRAMS)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["inject_on_read_candidates"] >= row["inject_on_write_candidates"]
+            assert row["dynamic_instructions"] > 0
+        assert "read candidates" in result.text
+
+    def test_table3(self, session):
+        result = table3(
+            session, PROGRAMS, max_mbf_values=(2, 3), win_size_specs=SMALL_WINDOWS
+        )
+        assert len(result.rows) == 4  # 2 programs x 2 techniques
+        for row in result.rows:
+            assert row["max_mbf"] in (2, 3)
+            assert 0.0 <= row["sdc_percentage"] <= 100.0
+
+    def test_table4(self, session):
+        result = table4(
+            session,
+            ["crc32"],
+            max_mbf_values=(2,),
+            win_size_specs=SMALL_WINDOWS,
+            locations_per_class=8,
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert 0.0 <= row["transition1_percentage"] <= 100.0
+            assert 0.0 <= row["transition2_percentage"] <= 100.0
+        assert "Tran. I %" in result.text
+
+
+class TestSessionCaching:
+    def test_cache_roundtrip(self, tmp_path):
+        cache = tmp_path / "store.json"
+        first = ExperimentSession(scale=TINY, cache_path=cache)
+        figure1(first, ["crc32"])
+        assert cache.exists()
+        campaigns_before = len(first.store)
+
+        second = ExperimentSession(scale=TINY, cache_path=cache)
+        assert len(second.store) == campaigns_before
+        # Re-running the same figure must not add campaigns (all cache hits).
+        figure1(second, ["crc32"])
+        assert len(second.store) == campaigns_before

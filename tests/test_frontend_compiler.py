@@ -1,0 +1,301 @@
+"""Tests for the restricted-Python frontend compiler."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.frontend import ProgramCompiler, compile_program
+from repro.ir.verifier import verify_module
+from repro.vm import Interpreter
+
+
+def run_source(functions, globals_=None, entry="main", args=()):
+    program = compile_program("test", functions, globals_, entry=entry)
+    interpreter = Interpreter(program.module, entry=program.entry)
+    return interpreter.run(list(args))
+
+
+class TestBasicLowering:
+    def test_arithmetic_and_return(self):
+        source = '''
+def main() -> "i64":
+    a = 6
+    b = 7
+    return a * b
+'''
+        assert run_source([source]).return_value == 42
+
+    def test_float_arithmetic(self):
+        source = '''
+def main() -> "f64":
+    x = 1.5
+    y = 2.0
+    return x * y + 1.0
+'''
+        assert run_source([source]).return_value == 4.0
+
+    def test_if_else(self):
+        source = '''
+def main() -> "i64":
+    x = 10
+    if x > 5:
+        return 1
+    else:
+        return 2
+'''
+        assert run_source([source]).return_value == 1
+
+    def test_if_else_false_branch_executes_else_body(self):
+        # Regression test: the else body must run when the condition is false
+        # (an early lowering bug branched straight to the merge block).
+        source = '''
+def main() -> "i64":
+    total = 0
+    for i in range(6):
+        if i % 2 == 1:
+            total += 100
+        else:
+            total += 1
+    return total
+'''
+        assert run_source([source]).return_value == 303
+
+    def test_elif_chain(self):
+        source = '''
+def classify(x: "i64") -> "i64":
+    if x < 0:
+        return 1
+    elif x == 0:
+        return 2
+    elif x < 10:
+        return 3
+    else:
+        return 4
+
+def main() -> "i64":
+    return classify(-3) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50)
+'''
+        assert run_source([source]).return_value == 1234
+
+    def test_while_loop(self):
+        source = '''
+def main() -> "i64":
+    total = 0
+    i = 0
+    while i < 10:
+        total += i
+        i += 1
+    return total
+'''
+        assert run_source([source]).return_value == 45
+
+    def test_for_range_loop(self):
+        source = '''
+def main() -> "i64":
+    total = 0
+    for i in range(1, 11):
+        total += i
+    return total
+'''
+        assert run_source([source]).return_value == 55
+
+    def test_for_with_step_and_break_continue(self):
+        source = '''
+def main() -> "i64":
+    total = 0
+    for i in range(0, 100, 2):
+        if i == 10:
+            continue
+        if i > 20:
+            break
+        total += i
+    return total
+'''
+        assert run_source([source]).return_value == 0 + 2 + 4 + 6 + 8 + 12 + 14 + 16 + 18 + 20
+
+    def test_boolean_short_circuit(self):
+        # The second operand would divide by zero if evaluated.
+        source = '''
+def main() -> "i64":
+    x = 0
+    if x != 0 and 10 // x > 1:
+        return 1
+    return 2
+'''
+        assert run_source([source]).return_value == 2
+
+    def test_ternary_and_min_max_abs(self):
+        source = '''
+def main() -> "i64":
+    a = -5
+    b = 3
+    c = a if a > b else b
+    return c + min(a, b) + max(a, b) + abs(a)
+'''
+        assert run_source([source]).return_value == 3 + (-5) + 3 + 5
+
+
+class TestArraysAndGlobals:
+    def test_local_array_store_load(self):
+        source = '''
+def main() -> "i64":
+    buf = array("i32", 8)
+    for i in range(8):
+        buf[i] = i * i
+    total = 0
+    for i in range(8):
+        total += buf[i]
+    return total
+'''
+        assert run_source([source]).return_value == sum(i * i for i in range(8))
+
+    def test_global_array(self):
+        source = '''
+def main() -> "i64":
+    total = 0
+    for i in range(5):
+        total += data[i]
+    return total
+'''
+        result = run_source([source], {"data": ("i32", [1, 2, 3, 4, 5])})
+        assert result.return_value == 15
+
+    def test_narrow_element_wraparound(self):
+        source = '''
+def main() -> "i64":
+    buf = array("i8", 1)
+    buf[0] = 200
+    return buf[0]
+'''
+        # 200 stored in an i8 reads back as -56 (two's complement).
+        assert run_source([source]).return_value == -56
+
+    def test_malloc(self):
+        source = '''
+def main() -> "i64":
+    buf = malloc("i64", 4)
+    buf[0] = 11
+    buf[3] = 31
+    return buf[0] + buf[3]
+'''
+        assert run_source([source]).return_value == 42
+
+    def test_output_intrinsic(self):
+        source = '''
+def main() -> "i64":
+    output(7)
+    output(2.5)
+    return 0
+'''
+        result = run_source([source])
+        assert len(result.output) == 2
+        assert result.output[0][0] == "i64"
+        assert result.output[1][0] == "f64"
+
+
+class TestFunctionsAndCalls:
+    def test_user_function_call(self):
+        helper = '''
+def square(x: "i64") -> "i64":
+    return x * x
+'''
+        main = '''
+def main() -> "i64":
+    return square(6) + square(2)
+'''
+        assert run_source([helper, main]).return_value == 40
+
+    def test_recursion(self):
+        source = '''
+def fib(n: "i64") -> "i64":
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+def main() -> "i64":
+    return fib(10)
+'''
+        assert run_source([source]).return_value == 55
+
+    def test_pointer_parameters(self):
+        fill = '''
+def fill(buf: "i32*", n: "i64") -> None:
+    for i in range(n):
+        buf[i] = i + 1
+'''
+        main = '''
+def main() -> "i64":
+    buf = array("i32", 6)
+    fill(buf, 6)
+    total = 0
+    for i in range(6):
+        total += buf[i]
+    return total
+'''
+        assert run_source([fill, main]).return_value == 21
+
+    def test_math_builtins(self):
+        source = '''
+def main() -> "f64":
+    return sqrt(16.0) + fabs(-2.0) + pow(2.0, 3.0)
+'''
+        assert run_source([source]).return_value == pytest.approx(14.0)
+
+    def test_assert_failure_is_abort(self):
+        source = '''
+def main() -> "i64":
+    x = 1
+    assert x == 2
+    return 0
+'''
+        result = run_source([source])
+        assert not result.completed
+        assert result.fault.category == "abort"
+
+
+class TestDiagnostics:
+    def test_missing_annotation_rejected(self):
+        source = '''
+def main(x) -> "i64":
+    return x
+'''
+        with pytest.raises(CompilationError):
+            compile_program("bad", [source])
+
+    def test_unknown_call_rejected(self):
+        source = '''
+def main() -> "i64":
+    return mystery(1)
+'''
+        with pytest.raises(CompilationError):
+            compile_program("bad", [source])
+
+    def test_unsupported_statement_rejected(self):
+        source = '''
+def main() -> "i64":
+    with open("x") as f:
+        pass
+    return 0
+'''
+        with pytest.raises(CompilationError):
+            compile_program("bad", [source])
+
+    def test_undefined_variable_rejected(self):
+        source = '''
+def main() -> "i64":
+    return undefined_thing
+'''
+        with pytest.raises(CompilationError):
+            compile_program("bad", [source])
+
+    def test_compiled_modules_verify(self):
+        source = '''
+def main() -> "i64":
+    total = 0
+    for i in range(4):
+        if i % 2 == 0:
+            total += i
+    return total
+'''
+        program = compile_program("verified", [source])
+        verify_module(program.module)
+        assert program.instruction_count() > 0

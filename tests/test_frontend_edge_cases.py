@@ -1,0 +1,198 @@
+"""Edge-case tests for the frontend language features the benchmarks rely on."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.frontend import compile_program
+from repro.vm import Interpreter
+
+
+def run(source, globals_=None, args=()):
+    program = compile_program("edge", [source] if isinstance(source, str) else source, globals_)
+    return Interpreter(program.module).run(list(args))
+
+
+class TestStatements:
+    def test_annotated_declaration(self):
+        source = '''
+def main() -> "i64":
+    counter: "i32" = 250
+    counter = counter + 10
+    return counter
+'''
+        assert run(source).return_value == 260
+
+    def test_augmented_assignment_on_subscript(self):
+        source = '''
+def main() -> "i64":
+    buf = array("i32", 3)
+    buf[1] = 5
+    buf[1] += 7
+    buf[1] *= 2
+    return buf[1]
+'''
+        assert run(source).return_value == 24
+
+    def test_docstring_and_pass_are_ignored(self):
+        source = '''
+def main() -> "i64":
+    """This docstring must not generate code."""
+    pass
+    return 11
+'''
+        assert run(source).return_value == 11
+
+    def test_while_with_break(self):
+        source = '''
+def main() -> "i64":
+    i = 0
+    while 1:
+        i += 1
+        if i == 9:
+            break
+    return i
+'''
+        assert run(source).return_value == 9
+
+    def test_chained_assignment_rejected(self):
+        with pytest.raises(CompilationError, match="chained assignment"):
+            compile_program("bad", ['''
+def main() -> "i64":
+    a = b = 1
+    return a
+'''])
+
+    def test_tuple_unpacking_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_program("bad", ['''
+def main() -> "i64":
+    a, b = 1, 2
+    return a
+'''])
+
+    def test_assignment_to_global_rejected(self):
+        with pytest.raises(CompilationError, match="global array"):
+            compile_program(
+                "bad",
+                ['''
+def main() -> "i64":
+    table = 1
+    return table
+'''],
+                {"table": ("i32", [1, 2, 3])},
+            )
+
+    def test_while_else_rejected(self):
+        with pytest.raises(CompilationError, match="while/else"):
+            compile_program("bad", ['''
+def main() -> "i64":
+    while 0:
+        pass
+    else:
+        pass
+    return 0
+'''])
+
+
+class TestExpressions:
+    def test_three_way_boolean_or(self):
+        source = '''
+def check(x: "i64") -> "i64":
+    if x == 1 or x == 5 or x == 9:
+        return 1
+    return 0
+
+def main() -> "i64":
+    return check(1) * 100 + check(5) * 10 + check(7)
+'''
+        assert run(source).return_value == 110
+
+    def test_unary_invert_and_negative_literals(self):
+        source = '''
+def main() -> "i64":
+    a = ~5
+    b = -12
+    return a + b
+'''
+        assert run(source).return_value == (~5) + (-12)
+
+    def test_pow_operator_uses_float_semantics(self):
+        source = '''
+def main() -> "f64":
+    return 2 ** 10 + 0.0
+'''
+        assert run(source).return_value == pytest.approx(1024.0)
+
+    def test_conversion_builtins(self):
+        source = '''
+def main() -> "i64":
+    a = int(3.7)
+    b = float(5)
+    c = 1 if bool(7) else 0
+    return a * 100 + int(b) * 10 + c
+'''
+        assert run(source).return_value == 351
+
+    def test_pointer_arithmetic(self):
+        source = '''
+def second_half_sum(data: "i32*", n: "i64") -> "i64":
+    half = data + n // 2
+    total = 0
+    for i in range(n // 2):
+        total += half[i]
+    return total
+
+def main() -> "i64":
+    buf = array("i32", 8)
+    for i in range(8):
+        buf[i] = i
+    return second_half_sum(buf, 8)
+'''
+        assert run(source).return_value == 4 + 5 + 6 + 7
+
+    def test_mixed_int_float_comparison(self):
+        source = '''
+def main() -> "i64":
+    x = 2.5
+    if x > 2:
+        return 1
+    return 0
+'''
+        assert run(source).return_value == 1
+
+    def test_division_is_float_and_floordiv_is_int(self):
+        source = '''
+def main() -> "f64":
+    a = 7 / 2
+    b = 7 // 2
+    return a + b
+'''
+        assert run(source).return_value == pytest.approx(3.5 + 3)
+
+    def test_call_result_feeds_condition(self):
+        source = '''
+def is_even(x: "i64") -> "i64":
+    return 1 if x % 2 == 0 else 0
+
+def main() -> "i64":
+    count = 0
+    for i in range(10):
+        if is_even(i):
+            count += 1
+    return count
+'''
+        assert run(source).return_value == 5
+
+    def test_keyword_arguments_rejected(self):
+        with pytest.raises(CompilationError, match="keyword"):
+            compile_program("bad", ['''
+def main() -> "i64":
+    return min(a=1, b=2)
+'''])
+
+    def test_float_modulo_rejected(self):
+        with pytest.raises(CompilationError, match="not supported on floats"):
+            compile_program("bad", ['''
+def main() -> "f64":
+    return 5.5 % 2.0
+'''])

@@ -1,0 +1,259 @@
+"""Tests for the fault model, injection techniques, injector and experiments."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frontend import compile_program
+from repro.injection import (
+    FaultSpec,
+    INJECT_ON_READ,
+    INJECT_ON_WRITE,
+    MAX_MBF_VALUES,
+    Outcome,
+    OutcomeCounts,
+    SINGLE_BIT_MAX_MBF,
+    WIN_SIZE_SPECS,
+    ExperimentRunner,
+    FaultInjector,
+    profile_program,
+    technique_by_name,
+)
+from repro.injection.faultmodel import (
+    MultiBitCluster,
+    WinSizeSpec,
+    full_cluster_grid,
+    multi_register_clusters,
+    same_register_clusters,
+    win_size_by_index,
+)
+
+
+SIMPLE_PROGRAM = '''
+def main() -> "i64":
+    total = 0
+    for i in range(20):
+        buf[i % 5] = i * 3
+        total += buf[i % 5]
+    output(total)
+    output(buf[2])
+    return total
+'''
+
+
+@pytest.fixture(scope="module")
+def simple_runner():
+    program = compile_program(
+        "simple", [SIMPLE_PROGRAM], {"buf": ("i32", [0, 0, 0, 0, 0])}
+    )
+    return ExperimentRunner(program)
+
+
+class TestTableOneGrid:
+    def test_max_mbf_values_match_paper(self):
+        assert MAX_MBF_VALUES == (2, 3, 4, 5, 6, 7, 8, 9, 10, 30)
+        assert SINGLE_BIT_MAX_MBF == 1
+
+    def test_win_size_specs_match_paper(self):
+        labels = [spec.label for spec in WIN_SIZE_SPECS]
+        assert labels == [
+            "0",
+            "1",
+            "4",
+            "RND(2-10)",
+            "10",
+            "RND(11-100)",
+            "100",
+            "RND(101-1000)",
+            "1000",
+        ]
+
+    def test_random_spec_resolution_in_range(self):
+        rng = random.Random(3)
+        spec = win_size_by_index("w4")
+        for _ in range(50):
+            assert 2 <= spec.resolve(rng) <= 10
+
+    def test_fixed_spec_resolution(self):
+        assert win_size_by_index("w7").resolve(random.Random(0)) == 100
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WinSizeSpec("bad")
+        with pytest.raises(ConfigurationError):
+            WinSizeSpec("bad", low=5, high=2)
+
+    def test_full_grid_size(self):
+        # 10 max-MBF values x 9 win-size specs = 90 clusters per technique;
+        # plus the single-bit campaign per technique -> 91; x2 = 182 (paper).
+        assert len(full_cluster_grid()) == 90
+        campaigns_per_program = 2 * (1 + len(full_cluster_grid()))
+        assert campaigns_per_program == 182
+
+    def test_same_register_and_multi_register_split(self):
+        same = same_register_clusters()
+        multi = multi_register_clusters()
+        assert len(same) == 10
+        assert all(cluster.is_same_register for cluster in same)
+        assert len(multi) == 80
+        assert not any(cluster.is_same_register for cluster in multi)
+
+    def test_cluster_labels(self):
+        cluster = MultiBitCluster(3, win_size_by_index("w6"))
+        assert cluster.label == "mbf=3,win=RND(11-100)"
+        assert not cluster.is_single_bit
+
+
+class TestTechniques:
+    def test_candidate_counts_read_exceeds_write(self, simple_runner):
+        golden = simple_runner.golden
+        read_count = INJECT_ON_READ.candidate_instruction_count(golden)
+        write_count = INJECT_ON_WRITE.candidate_instruction_count(golden)
+        # Stores have sources but no destination, so read >= write strictly
+        # for this store-heavy program (Table II's trend).
+        assert read_count > write_count > 0
+
+    def test_error_space_size_counts_bits(self, simple_runner):
+        golden = simple_runner.golden
+        assert INJECT_ON_READ.error_space_size(golden) >= INJECT_ON_READ.candidate_instruction_count(golden)
+
+    def test_sampled_candidates_are_valid(self, simple_runner):
+        rng = random.Random(11)
+        golden = simple_runner.golden
+        for technique in (INJECT_ON_READ, INJECT_ON_WRITE):
+            for _ in range(50):
+                candidate = technique.sample_candidate(golden, rng)
+                assert 0 <= candidate.dynamic_index < len(golden)
+                assert candidate.register_bits in (1, 8, 16, 32, 64)
+                if technique is INJECT_ON_WRITE:
+                    assert candidate.slot is None
+
+    def test_technique_by_name(self):
+        assert technique_by_name("inject-on-read") is INJECT_ON_READ
+        assert technique_by_name("inject-on-write") is INJECT_ON_WRITE
+        with pytest.raises(ConfigurationError):
+            technique_by_name("inject-on-wish")
+
+
+class TestOutcomeCounts:
+    def test_fractions(self):
+        counts = OutcomeCounts()
+        counts.add(Outcome.SDC, 10)
+        counts.add(Outcome.BENIGN, 60)
+        counts.add(Outcome.DETECTED_HW_EXCEPTION, 25)
+        counts.add(Outcome.HANG, 3)
+        counts.add(Outcome.NO_OUTPUT, 2)
+        assert counts.total == 100
+        assert counts.sdc_fraction == pytest.approx(0.10)
+        assert counts.detection_fraction == pytest.approx(0.30)
+        assert counts.resilience == pytest.approx(0.90)
+
+    def test_merge_and_roundtrip(self):
+        a = OutcomeCounts({Outcome.SDC: 1, Outcome.BENIGN: 2})
+        b = OutcomeCounts({Outcome.SDC: 3})
+        merged = a.merge(b)
+        assert merged.count(Outcome.SDC) == 4
+        assert OutcomeCounts.from_mapping(merged.as_dict()).as_dict() == merged.as_dict()
+
+    def test_empty_counts(self):
+        empty = OutcomeCounts()
+        assert empty.sdc_fraction == 0.0
+        assert empty.detection_fraction == 0.0
+
+
+class TestFaultSpecAndInjector:
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("inject-on-read", 0, 0, max_mbf=0, win_size=1, seed=1)
+        with pytest.raises(ConfigurationError):
+            FaultSpec("inject-on-read", 0, 0, max_mbf=1, win_size=-1, seed=1)
+        with pytest.raises(ConfigurationError):
+            FaultInjector(FaultSpec("inject-on-teleport", 0, 0, max_mbf=1, win_size=1, seed=1))
+
+    def test_single_bit_flip_changes_value(self, simple_runner):
+        rng = random.Random(5)
+        spec = simple_runner.sample_spec(INJECT_ON_WRITE, max_mbf=1, win_size=0, rng=rng)
+        result = simple_runner.run_spec(spec)
+        assert result.activated_errors == 1
+        record = result.injections[0]
+        assert record.before_bits != record.after_bits
+        # Exactly one bit differs.
+        assert bin(record.before_bits ^ record.after_bits).count("1") == 1
+
+    def test_same_register_mode_flips_distinct_bits(self, simple_runner):
+        rng = random.Random(7)
+        spec = simple_runner.sample_spec(INJECT_ON_WRITE, max_mbf=5, win_size=0, rng=rng)
+        result = simple_runner.run_spec(spec)
+        assert 1 <= result.activated_errors <= 5
+        bits = [record.bit for record in result.injections]
+        assert len(bits) == len(set(bits))
+        dynamic_indices = {record.dynamic_index for record in result.injections}
+        assert len(dynamic_indices) == 1
+
+    def test_multi_register_mode_respects_window(self, simple_runner):
+        rng = random.Random(9)
+        for _ in range(20):
+            spec = simple_runner.sample_spec(INJECT_ON_WRITE, max_mbf=4, win_size=5, rng=rng)
+            result = simple_runner.run_spec(spec)
+            indices = [record.dynamic_index for record in result.injections]
+            for earlier, later in zip(indices, indices[1:]):
+                assert later - earlier >= 5
+
+    def test_activated_errors_bounded_by_max_mbf(self, simple_runner):
+        rng = random.Random(13)
+        for _ in range(20):
+            spec = simple_runner.sample_spec(INJECT_ON_READ, max_mbf=30, win_size=1, rng=rng)
+            result = simple_runner.run_spec(spec)
+            assert result.activated_errors <= 30
+
+    def test_determinism_same_spec_same_outcome(self, simple_runner):
+        rng = random.Random(17)
+        spec = simple_runner.sample_spec(INJECT_ON_WRITE, max_mbf=3, win_size=2, rng=rng)
+        first = simple_runner.run_spec(spec)
+        second = simple_runner.run_spec(spec)
+        assert first.outcome == second.outcome
+        assert [r.bit for r in first.injections] == [r.bit for r in second.injections]
+
+
+class TestExperimentClassification:
+    def test_golden_trace_profile(self, simple_runner):
+        golden = simple_runner.golden
+        assert golden.dynamic_instruction_count > 50
+        assert len(golden.output) == 2
+
+    def test_outcome_distribution_is_plausible(self, simple_runner):
+        rng = random.Random(23)
+        counts = OutcomeCounts()
+        for _ in range(150):
+            result = simple_runner.run_sampled(
+                INJECT_ON_WRITE, max_mbf=1, win_size=0, rng=rng
+            )
+            counts.add(result.outcome)
+        assert counts.total == 150
+        # Single bit flips must produce at least some benign results and at
+        # least some failures; an injector that always (or never) corrupts
+        # the output would be broken.
+        assert counts.count(Outcome.BENIGN) > 0
+        assert counts.count(Outcome.SDC) + counts.count(Outcome.DETECTED_HW_EXCEPTION) > 0
+
+    def test_profile_rejects_crashing_program(self):
+        crashing = '''
+def main() -> "i64":
+    x = 0
+    return 10 // x
+'''
+        program = compile_program("crashing", [crashing])
+        with pytest.raises(RuntimeError):
+            profile_program(program)
+
+    def test_pinned_first_candidate_is_respected(self, simple_runner):
+        rng = random.Random(29)
+        candidate = INJECT_ON_WRITE.sample_candidate(simple_runner.golden, rng)
+        spec = simple_runner.sample_spec(
+            INJECT_ON_WRITE, max_mbf=1, win_size=0, rng=rng, first_candidate=candidate
+        )
+        assert spec.first_dynamic_index == candidate.dynamic_index
+        result = simple_runner.run_spec(spec)
+        if result.injections:
+            assert result.injections[0].dynamic_index == candidate.dynamic_index

@@ -1,0 +1,113 @@
+"""Property-style invariants of the fault-injection pipeline.
+
+These tests drive many randomly-seeded experiments on one workload and check
+invariants that must hold for *every* experiment regardless of outcome —
+the kind of guarantees the analysis layer silently relies on.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.frontend import compile_program
+from repro.injection import (
+    ExperimentRunner,
+    INJECT_ON_READ,
+    INJECT_ON_WRITE,
+    Outcome,
+)
+
+WORKLOAD = '''
+def mix(value: "i64", salt: "i64") -> "i64":
+    hashed = value * 31 + salt
+    hashed = hashed ^ (hashed >> 7)
+    return hashed
+
+def main() -> "i64":
+    state = 1
+    for i in range(25):
+        state = mix(state, table[i % 6])
+        buffer[i % 6] = state % 251
+    total = 0
+    for i in range(6):
+        total += buffer[i]
+    output(total)
+    output(state)
+    return total
+'''
+
+
+@pytest.fixture(scope="module")
+def workload():
+    program = compile_program(
+        "invariants",
+        [WORKLOAD],
+        {"table": ("i32", [3, 17, 29, 41, 53, 67]), "buffer": ("i32", [0] * 6)},
+    )
+    return ExperimentRunner(program)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    max_mbf=st.sampled_from([1, 2, 3, 5, 10, 30]),
+    win_size=st.sampled_from([0, 1, 4, 10, 100]),
+    technique_index=st.integers(min_value=0, max_value=1),
+)
+def test_every_experiment_obeys_core_invariants(workload, seed, max_mbf, win_size, technique_index):
+    technique = (INJECT_ON_READ, INJECT_ON_WRITE)[technique_index]
+    rng = random.Random(seed)
+    result = workload.run_sampled(technique, max_mbf=max_mbf, win_size=win_size, rng=rng)
+
+    # 1. The outcome is always one of the five paper categories.
+    assert isinstance(result.outcome, Outcome)
+
+    # 2. Activated errors never exceed the plan, and every activation is recorded.
+    assert 0 <= result.activated_errors <= max_mbf
+    assert len(result.injections) == result.activated_errors
+
+    # 3. Every recorded flip changed exactly one bit of the target register.
+    for record in result.injections:
+        assert bin(record.before_bits ^ record.after_bits).count("1") == 1
+        assert record.access == technique.access
+
+    # 4. Injection times are non-decreasing and respect the window when > 0.
+    indices = [record.dynamic_index for record in result.injections]
+    assert indices == sorted(indices)
+    if win_size > 0:
+        for earlier, later in zip(indices, indices[1:]):
+            assert later - earlier >= win_size
+    if win_size == 0 and result.injections:
+        assert len(set(indices)) == 1
+
+    # 5. A faulty run never executes more instructions than the watchdog allows.
+    assert result.dynamic_instructions <= workload.limits.max_dynamic_instructions
+
+    # 6. Outcome-specific consistency.
+    if result.outcome is Outcome.DETECTED_HW_EXCEPTION:
+        assert result.fault_category is not None
+    if result.outcome is Outcome.BENIGN:
+        assert result.fault_category is None
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_zero_activation_experiments_are_benign(workload, seed):
+    """If no flip was performed the run must match the golden run exactly."""
+    rng = random.Random(seed)
+    result = workload.run_sampled(INJECT_ON_WRITE, max_mbf=1, win_size=0, rng=rng)
+    if result.activated_errors == 0:
+        assert result.outcome is Outcome.BENIGN
+        assert result.dynamic_instructions == workload.golden.dynamic_instruction_count
+
+
+def test_single_bit_flip_of_unused_high_bit_can_be_benign(workload):
+    """Sanity: benign outcomes actually occur (the program masks some bits)."""
+    rng = random.Random(123)
+    outcomes = [
+        workload.run_sampled(INJECT_ON_WRITE, max_mbf=1, win_size=0, rng=rng).outcome
+        for _ in range(60)
+    ]
+    assert Outcome.BENIGN in outcomes
+    assert Outcome.SDC in outcomes

@@ -1,0 +1,226 @@
+"""Integration tests: build small IR functions and execute them on the VM."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    Constant,
+    F64,
+    Function,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    VOID,
+    verify_module,
+)
+from repro.ir.printer import print_module
+from repro.vm import ExecutionLimits, Interpreter
+
+
+def build_add_module():
+    module = Module("add")
+    function = Function("main", I64, [I64, I64], ["a", "b"])
+    module.add_function(function)
+    builder = IRBuilder(function, function.add_block("entry"))
+    total = builder.add(function.arguments[0], function.arguments[1])
+    builder.call("__output", [total], VOID)
+    builder.ret(total)
+    module.finalize()
+    return module
+
+
+def build_loop_module(iterations):
+    """sum(0..iterations-1) via an explicit loop with a phi node."""
+    module = Module("loop")
+    function = Function("main", I64)
+    module.add_function(function)
+    entry = function.add_block("entry")
+    header = function.add_block("header")
+    body = function.add_block("body")
+    done = function.add_block("done")
+
+    builder = IRBuilder(function, entry)
+    builder.branch(header)
+
+    builder.position_at_end(header)
+    index_phi = builder.phi(I64, "i")
+    total_phi = builder.phi(I64, "total")
+    index_phi.add_incoming(Constant(I64, 0), entry)
+    total_phi.add_incoming(Constant(I64, 0), entry)
+    finished = builder.icmp("sge", index_phi.result, Constant(I64, iterations))
+    builder.cond_branch(finished, done, body)
+
+    builder.position_at_end(body)
+    new_total = builder.add(total_phi.result, index_phi.result)
+    new_index = builder.add(index_phi.result, Constant(I64, 1))
+    index_phi.add_incoming(new_index, body)
+    total_phi.add_incoming(new_total, body)
+    builder.branch(header)
+
+    builder.position_at_end(done)
+    builder.ret(total_phi.result)
+    module.finalize()
+    return module
+
+
+class TestBuilderBasics:
+    def test_add_module_verifies(self):
+        module = build_add_module()
+        verify_module(module)
+
+    def test_add_module_prints(self):
+        text = print_module(build_add_module())
+        assert "define i64 @main(i64 %a, i64 %b)" in text
+        assert "call @__output" in text
+
+    def test_run_add(self):
+        interpreter = Interpreter(build_add_module())
+        result = interpreter.run([19, 23])
+        assert result.completed
+        assert result.return_value == 42
+        assert result.output == (("i64", 42),)
+
+    def test_loop_with_phi(self):
+        module = build_loop_module(10)
+        verify_module(module)
+        result = Interpreter(module).run()
+        assert result.completed
+        assert result.return_value == sum(range(10))
+
+
+class TestArithmeticSemantics:
+    def _run_binop(self, opcode, lhs, rhs, type_=I64):
+        module = Module("binop")
+        function = Function("main", type_)
+        module.add_function(function)
+        builder = IRBuilder(function, function.add_block("entry"))
+        value = builder.binop(opcode, Constant(type_, lhs), Constant(type_, rhs))
+        builder.ret(value)
+        module.finalize()
+        return Interpreter(module).run()
+
+    def test_wrapping_add(self):
+        result = self._run_binop("add", 2**31 - 1, 1, I32)
+        assert result.return_value == -(2**31)
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert self._run_binop("sdiv", -7, 2).return_value == -3
+        assert self._run_binop("srem", -7, 2).return_value == -1
+
+    def test_division_by_zero_raises_hardware_fault(self):
+        result = self._run_binop("sdiv", 1, 0)
+        assert not result.completed
+        assert result.fault is not None
+        assert result.fault.category == "arithmetic-fault"
+
+    def test_shift_amount_is_masked(self):
+        # A 64-bit shift by 65 behaves like a shift by 1 (hardware masking).
+        assert self._run_binop("shl", 1, 65).return_value == 2
+
+    def test_float_division_by_zero_does_not_trap(self):
+        module = Module("fdiv")
+        function = Function("main", F64)
+        module.add_function(function)
+        builder = IRBuilder(function, function.add_block("entry"))
+        value = builder.fdiv(Constant(F64, 1.0), Constant(F64, 0.0))
+        builder.ret(value)
+        module.finalize()
+        result = Interpreter(module).run()
+        assert result.completed
+        assert result.return_value == float("inf")
+
+
+class TestMemorySemantics:
+    def build_store_load(self):
+        module = Module("mem")
+        function = Function("main", I32)
+        module.add_function(function)
+        builder = IRBuilder(function, function.add_block("entry"))
+        slot = builder.alloca(I32)
+        builder.store(Constant(I32, 77), slot)
+        value = builder.load(slot)
+        builder.ret(value)
+        module.finalize()
+        return module
+
+    def test_store_then_load(self):
+        result = Interpreter(self.build_store_load()).run()
+        assert result.completed and result.return_value == 77
+
+    def test_global_initialization(self):
+        module = Module("globals")
+        module.add_global("table", __import__("repro.ir.types", fromlist=["ArrayType"]).ArrayType(I32, 3), [5, 6, 7])
+        function = Function("main", I32)
+        module.add_function(function)
+        builder = IRBuilder(function, function.add_block("entry"))
+        base = builder.gep(module.get_global("table"), Constant(I64, 2), I32)
+        value = builder.load(base)
+        builder.ret(value)
+        module.finalize()
+        result = Interpreter(module).run()
+        assert result.completed and result.return_value == 7
+
+    def test_wild_load_segfaults(self):
+        module = Module("wild")
+        function = Function("main", I32)
+        module.add_function(function)
+        builder = IRBuilder(function, function.add_block("entry"))
+        pointer = builder.cast("inttoptr", Constant(I64, 0x10), __import__("repro.ir.types", fromlist=["PointerType"]).PointerType(I32))
+        value = builder.load(pointer)
+        builder.ret(value)
+        module.finalize()
+        result = Interpreter(module).run()
+        assert not result.completed
+        assert result.fault.category == "segmentation-fault"
+
+
+class TestControlAndLimits:
+    def test_hang_detection(self):
+        module = Module("spin")
+        function = Function("main", VOID)
+        module.add_function(function)
+        entry = function.add_block("entry")
+        loop = function.add_block("loop")
+        builder = IRBuilder(function, entry)
+        builder.branch(loop)
+        builder.position_at_end(loop)
+        builder.branch(loop)
+        module.finalize()
+        result = Interpreter(module, limits=ExecutionLimits(max_dynamic_instructions=500)).run()
+        assert not result.completed
+        assert result.hang
+
+    def test_call_between_functions(self):
+        module = Module("calls")
+        helper = Function("double_it", I64, [I64], ["x"])
+        module.add_function(helper)
+        builder = IRBuilder(helper, helper.add_block("entry"))
+        builder.ret(builder.add(helper.arguments[0], helper.arguments[0]))
+
+        main = Function("main", I64)
+        module.add_function(main)
+        builder = IRBuilder(main, main.add_block("entry"))
+        result = builder.call(helper, [Constant(I64, 21)])
+        builder.ret(result)
+        module.finalize()
+        verify_module(module)
+        assert Interpreter(module).run().return_value == 42
+
+    def test_abort_intrinsic(self):
+        module = Module("abort")
+        function = Function("main", VOID)
+        module.add_function(function)
+        builder = IRBuilder(function, function.add_block("entry"))
+        builder.call("__abort", [], VOID)
+        builder.ret()
+        module.finalize()
+        result = Interpreter(module).run()
+        assert not result.completed
+        assert result.fault.category == "abort"
+
+    def test_entry_argument_mismatch_is_host_error(self):
+        from repro.errors import ExecutionSetupError
+
+        with pytest.raises(ExecutionSetupError):
+            Interpreter(build_add_module()).run([1])

@@ -1,0 +1,134 @@
+"""Unit tests for the MiniIR type system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import (
+    ArrayType,
+    BOOL,
+    F32,
+    F64,
+    FloatType,
+    I16,
+    I32,
+    I64,
+    I8,
+    IntType,
+    PointerType,
+    VOID,
+    common_int_type,
+    parse_type,
+    scalar_types,
+)
+
+
+class TestIntType:
+    def test_valid_widths(self):
+        for width in (1, 8, 16, 32, 64):
+            assert IntType(width).width == width
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(13)
+
+    def test_size_bytes(self):
+        assert BOOL.size_bytes() == 1
+        assert I8.size_bytes() == 1
+        assert I16.size_bytes() == 2
+        assert I32.size_bytes() == 4
+        assert I64.size_bytes() == 8
+
+    def test_ranges(self):
+        assert I8.min_value() == -128
+        assert I8.max_value() == 127
+        assert I8.unsigned_max() == 255
+        assert I32.min_value() == -(2**31)
+        assert I32.max_value() == 2**31 - 1
+
+    def test_wrap_two_complement(self):
+        assert I8.wrap(255) == -1
+        assert I8.wrap(128) == -128
+        assert I8.wrap(127) == 127
+        assert I8.wrap(-129) == 127
+        assert I32.wrap(2**31) == -(2**31)
+
+    def test_to_unsigned_roundtrip(self):
+        assert I8.to_unsigned(-1) == 255
+        assert I8.wrap(I8.to_unsigned(-1)) == -1
+
+    @given(st.integers(min_value=-(2**70), max_value=2**70))
+    def test_wrap_always_in_range(self, value):
+        for type_ in (I8, I16, I32, I64):
+            wrapped = type_.wrap(value)
+            assert type_.min_value() <= wrapped <= type_.max_value()
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_wrap_is_identity_in_range(self, value):
+        assert I32.wrap(value) == value
+
+    def test_equality_and_hash(self):
+        assert IntType(32) == I32
+        assert hash(IntType(32)) == hash(I32)
+        assert IntType(32) != IntType(64)
+
+
+class TestFloatPointerArray:
+    def test_float_widths(self):
+        assert F32.size_bytes() == 4
+        assert F64.size_bytes() == 8
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+    def test_pointer_is_64_bit(self):
+        ptr = PointerType(I32)
+        assert ptr.bits == 64
+        assert ptr.size_bytes() == 8
+        assert str(ptr) == "i32*"
+
+    def test_array_size(self):
+        array = ArrayType(I32, 10)
+        assert array.size_bytes() == 40
+        assert array.alignment() == 4
+        assert str(array) == "[10 x i32]"
+
+    def test_array_of_void_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(VOID, 4)
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeError):
+            VOID.size_bytes()
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("i1", BOOL),
+            ("i8", I8),
+            ("i32", I32),
+            ("i64", I64),
+            ("f32", F32),
+            ("f64", F64),
+            ("void", VOID),
+            ("i32*", PointerType(I32)),
+            ("f64*", PointerType(F64)),
+            ("i32**", PointerType(PointerType(I32))),
+            ("[4 x i32]", ArrayType(I32, 4)),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_type(text) == expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            parse_type("i5")
+
+    def test_common_int_type(self):
+        assert common_int_type(I8, I32) == I32
+        assert common_int_type(I64, I16) == I64
+
+    def test_scalar_types_listing(self):
+        kinds = scalar_types()
+        assert BOOL in kinds and F64 in kinds
+        assert all(t.bits is not None for t in kinds)

@@ -1,0 +1,239 @@
+"""Tests for the MiniIR verifier and the textual printer."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    Constant,
+    F64,
+    Function,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    VOID,
+    VerificationError,
+    verify_function,
+    verify_module,
+)
+from repro.ir.instructions import BinaryOp, Compare, Phi, Return, Store
+from repro.ir.printer import print_function, print_instruction, print_module
+from repro.ir.types import PointerType
+from repro.ir.values import VirtualRegister
+
+
+def make_function(return_type=I64):
+    module = Module("m")
+    function = Function("f", return_type)
+    module.add_function(function)
+    return module, function
+
+
+class TestVerifierCatchesBrokenIR:
+    def test_unterminated_block(self):
+        module, function = make_function()
+        builder = IRBuilder(function, function.add_block("entry"))
+        builder.add(Constant(I64, 1), Constant(I64, 2))
+        with pytest.raises(VerificationError, match="not terminated"):
+            verify_module(module)
+
+    def test_empty_function(self):
+        module, function = make_function()
+        with pytest.raises(VerificationError, match="no basic blocks"):
+            verify_module(module)
+
+    def test_empty_module(self):
+        with pytest.raises(VerificationError, match="no functions"):
+            verify_module(Module("empty"))
+
+    def test_type_mismatch_in_binop(self):
+        module, function = make_function()
+        block = function.add_block("entry")
+        result = function.new_register(I64)
+        block.append(BinaryOp("add", Constant(I64, 1), Constant(I32, 2), result))
+        block.append(Return(Constant(I64, 0)))
+        with pytest.raises(VerificationError, match="mismatched operand types"):
+            verify_function(function, module)
+
+    def test_float_opcode_on_integers(self):
+        module, function = make_function()
+        block = function.add_block("entry")
+        result = function.new_register(I64)
+        block.append(BinaryOp("fadd", Constant(I64, 1), Constant(I64, 2), result))
+        block.append(Return(Constant(I64, 0)))
+        with pytest.raises(VerificationError, match="float opcode"):
+            verify_function(function, module)
+
+    def test_store_through_non_pointer(self):
+        module, function = make_function(VOID)
+        block = function.add_block("entry")
+        block.append(Store(Constant(I64, 1), Constant(I64, 0x1000)))
+        block.append(Return())
+        with pytest.raises(VerificationError, match="non-pointer"):
+            verify_function(function, module)
+
+    def test_return_type_mismatch(self):
+        module, function = make_function(I64)
+        block = function.add_block("entry")
+        block.append(Return(Constant(F64, 1.0)))
+        with pytest.raises(VerificationError, match="return type"):
+            verify_function(function, module)
+
+    def test_void_function_returning_value(self):
+        module, function = make_function(VOID)
+        block = function.add_block("entry")
+        block.append(Return(Constant(I64, 1)))
+        with pytest.raises(VerificationError, match="void function returns"):
+            verify_function(function, module)
+
+    def test_use_of_undefined_register(self):
+        module, function = make_function()
+        block = function.add_block("entry")
+        ghost = VirtualRegister(I64, "ghost")
+        result = function.new_register(I64)
+        block.append(BinaryOp("add", ghost, Constant(I64, 1), result))
+        block.append(Return(result))
+        with pytest.raises(VerificationError, match="undefined register"):
+            verify_function(function, module)
+
+    def test_call_to_unknown_function(self):
+        module, function = make_function()
+        builder = IRBuilder(function, function.add_block("entry"))
+        builder.call("missing", [], I64)
+        builder.ret(Constant(I64, 0))
+        with pytest.raises(VerificationError, match="unknown function"):
+            verify_module(module)
+
+    def test_call_argument_count_mismatch(self):
+        module = Module("m")
+        callee = Function("callee", I64, [I64], ["x"])
+        module.add_function(callee)
+        builder = IRBuilder(callee, callee.add_block("entry"))
+        builder.ret(callee.arguments[0])
+
+        caller = Function("caller", I64)
+        module.add_function(caller)
+        builder = IRBuilder(caller, caller.add_block("entry"))
+        value = builder.call(callee, [])
+        builder.ret(value)
+        with pytest.raises(VerificationError, match="passes 0 args"):
+            verify_module(module)
+
+    def test_phi_with_no_incoming(self):
+        module, function = make_function()
+        block = function.add_block("entry")
+        phi = Phi(I64, function.new_register(I64))
+        block.append(phi)
+        block.append(Return(phi.result))
+        with pytest.raises(VerificationError, match="no incoming"):
+            verify_function(function, module)
+
+    def test_phi_after_non_phi(self):
+        module, function = make_function()
+        block = function.add_block("entry")
+        result = function.new_register(I64)
+        block.append(BinaryOp("add", Constant(I64, 1), Constant(I64, 2), result))
+        phi = Phi(I64, function.new_register(I64))
+        phi.add_incoming(Constant(I64, 0), block)
+        block.append(phi)
+        block.append(Return(result))
+        with pytest.raises(VerificationError, match="after non-phi"):
+            verify_function(function, module)
+
+    def test_conditional_branch_on_non_bool(self):
+        module, function = make_function(VOID)
+        entry = function.add_block("entry")
+        target = function.add_block("target")
+        builder = IRBuilder(function, entry)
+        builder.cond_branch(Constant(I64, 1), target, target)
+        builder.position_at_end(target)
+        builder.ret()
+        with pytest.raises(VerificationError, match="non-i1"):
+            verify_module(module)
+
+    def test_compare_result_must_be_bool(self):
+        module, function = make_function()
+        block = function.add_block("entry")
+        bad_result = function.new_register(I64)
+        block.append(Compare("eq", Constant(I64, 1), Constant(I64, 1), bad_result))
+        block.append(Return(Constant(I64, 0)))
+        with pytest.raises(VerificationError, match="result must be i1"):
+            verify_function(function, module)
+
+    def test_error_collects_multiple_messages(self):
+        module, function = make_function()
+        block = function.add_block("entry")
+        result = function.new_register(I64)
+        block.append(BinaryOp("add", Constant(I64, 1), Constant(I32, 2), result))
+        # No terminator either -> at least two messages.
+        try:
+            verify_function(function, module)
+        except VerificationError as error:
+            assert len(error.messages) >= 2
+        else:  # pragma: no cover
+            pytest.fail("expected a VerificationError")
+
+
+class TestPrinter:
+    def build_sample(self):
+        module = Module("sample")
+        module.add_global("lut", __import__("repro.ir.types", fromlist=["ArrayType"]).ArrayType(I32, 4), [1, 2, 3, 4], constant=True)
+        function = Function("compute", I64, [I64, PointerType(F64)], ["n", "data"])
+        module.add_function(function)
+        builder = IRBuilder(function, function.add_block("entry"))
+        doubled = builder.add(function.arguments[0], function.arguments[0])
+        pointer = builder.gep(function.arguments[1], doubled)
+        loaded = builder.load(pointer)
+        as_int = builder.fptosi(loaded, I64)
+        flag = builder.icmp("sgt", as_int, Constant(I64, 0))
+        selected = builder.select(flag, as_int, doubled)
+        builder.call("__output", [selected], VOID)
+        builder.ret(selected)
+        module.finalize()
+        return module, function
+
+    def test_function_rendering_contains_key_constructs(self):
+        module, function = self.build_sample()
+        text = print_function(function)
+        assert "define i64 @compute(i64 %n, f64* %data)" in text
+        assert "getelementptr" in text
+        assert "fptosi" in text
+        assert "icmp sgt" in text
+        assert "select" in text
+        assert "call @__output" in text
+        assert text.strip().endswith("}")
+
+    def test_module_rendering_includes_globals(self):
+        module, _ = self.build_sample()
+        text = print_module(module)
+        assert "@lut = constant [4 x i32] [1, 2, 3, 4]" in text
+        assert "; module sample" in text
+
+    def test_every_instruction_prints_one_line(self):
+        module, function = self.build_sample()
+        for instruction in function.instructions():
+            line = print_instruction(instruction)
+            assert "\n" not in line
+            assert line.strip()
+
+    def test_phi_and_branches_print(self):
+        module = Module("loops")
+        function = Function("f", I64)
+        module.add_function(function)
+        entry = function.add_block("entry")
+        header = function.add_block("header")
+        builder = IRBuilder(function, entry)
+        builder.branch(header)
+        builder.position_at_end(header)
+        phi = builder.phi(I64, "acc")
+        phi.add_incoming(Constant(I64, 0), entry)
+        phi.add_incoming(phi.result, header)
+        done = builder.icmp("sge", phi.result, Constant(I64, 5))
+        exit_block = builder.append_block("exit")
+        builder.cond_branch(done, exit_block, header)
+        builder.position_at_end(exit_block)
+        builder.ret(phi.result)
+        text = print_function(function)
+        assert "phi i64 [ 0, %entry ], [ %acc" in text
+        assert "br i1" in text
+        assert "br label %header" in text

@@ -1,0 +1,134 @@
+"""Tests for the segmented memory model and its hardware-exception behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import F32, F64, I16, I32, I64, I8, PointerType
+from repro.vm.faults import MisalignedAccessFault, SegmentationFault
+from repro.vm.memory import DEFAULT_LAYOUT, Memory, MemorySegment, NULL_GUARD_LIMIT
+
+
+class TestSegments:
+    def test_default_layout(self):
+        memory = Memory()
+        assert set(memory.segments) == {"globals", "heap", "stack"}
+
+    def test_segment_allocation_alignment(self):
+        segment = MemorySegment("s", base=0x1000, size=256)
+        first = segment.allocate(3, align=8)
+        second = segment.allocate(8, align=8)
+        assert first == 0x1000
+        assert second == 0x1008
+
+    def test_segment_exhaustion(self):
+        segment = MemorySegment("s", base=0x1000, size=16)
+        segment.allocate(16)
+        with pytest.raises(MemoryError):
+            segment.allocate(1)
+
+    def test_overlapping_segments_rejected(self):
+        memory = Memory()
+        base, size = DEFAULT_LAYOUT["heap"]
+        with pytest.raises(ValueError):
+            memory.add_segment("clash", base + 16, 64)
+
+    def test_null_guard_segment_rejected(self):
+        memory = Memory()
+        with pytest.raises(ValueError):
+            memory.add_segment("null", NULL_GUARD_LIMIT // 2, 64)
+
+    def test_stack_mark_release(self):
+        memory = Memory()
+        mark = memory.stack_mark()
+        memory.allocate("stack", 128)
+        assert memory.stack_mark() != mark
+        memory.stack_release(mark)
+        assert memory.stack_mark() == mark
+
+
+class TestAccessChecks:
+    def test_null_pointer_access_faults(self):
+        memory = Memory()
+        with pytest.raises(SegmentationFault):
+            memory.read_scalar(0, I32)
+        with pytest.raises(SegmentationFault):
+            memory.write_scalar(8, 1, I64)
+
+    def test_unmapped_access_faults(self):
+        memory = Memory()
+        with pytest.raises(SegmentationFault):
+            memory.read_scalar(0xDEAD_BEEF_0000, I32)
+
+    def test_misaligned_access_faults(self):
+        memory = Memory()
+        base = memory.allocate("heap", 64, align=8)
+        with pytest.raises(MisalignedAccessFault):
+            memory.read_scalar(base + 1, I32)
+        with pytest.raises(MisalignedAccessFault):
+            memory.write_scalar(base + 2, 1.0, F64)
+
+    def test_byte_access_never_misaligned(self):
+        memory = Memory()
+        base = memory.allocate("heap", 16, align=8)
+        memory.write_scalar(base + 3, 42, I8)
+        assert memory.read_scalar(base + 3, I8) == 42
+
+    def test_access_straddling_segment_end_faults(self):
+        memory = Memory()
+        segment = memory.segment("heap")
+        last_valid = segment.end - 4
+        memory.write_scalar(last_valid, 7, I32)
+        assert memory.read_scalar(last_valid, I32) == 7
+        with pytest.raises(SegmentationFault):
+            memory.read_bytes(segment.end - 2, 8)
+
+
+class TestTypedRoundTrips:
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_i32_roundtrip(self, value):
+        memory = Memory()
+        address = memory.allocate("heap", 4, align=4)
+        memory.write_scalar(address, value, I32)
+        assert memory.read_scalar(address, I32) == value
+
+    @given(st.integers(min_value=-(2**15), max_value=2**15 - 1))
+    def test_i16_roundtrip(self, value):
+        memory = Memory()
+        address = memory.allocate("heap", 2, align=2)
+        memory.write_scalar(address, value, I16)
+        assert memory.read_scalar(address, I16) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_f64_roundtrip(self, value):
+        memory = Memory()
+        address = memory.allocate("heap", 8, align=8)
+        memory.write_scalar(address, value, F64)
+        assert memory.read_scalar(address, F64) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_f32_roundtrip(self, value):
+        memory = Memory()
+        address = memory.allocate("heap", 4, align=4)
+        memory.write_scalar(address, value, F32)
+        assert memory.read_scalar(address, F32) == pytest.approx(value, rel=1e-6, abs=1e-30)
+
+    def test_pointer_roundtrip(self):
+        memory = Memory()
+        pointer_type = PointerType(I32)
+        address = memory.allocate("heap", 8, align=8)
+        memory.write_scalar(address, 0x7000_0010, pointer_type)
+        assert memory.read_scalar(address, pointer_type) == 0x7000_0010
+
+    def test_array_helpers(self):
+        memory = Memory()
+        address = memory.allocate("heap", 40, align=8)
+        memory.write_array(address, [1, 2, 3, 4, 5], I32)
+        assert memory.read_array(address, 5, I32) == [1, 2, 3, 4, 5]
+
+    def test_access_counters(self):
+        memory = Memory()
+        address = memory.allocate("heap", 8, align=8)
+        memory.write_scalar(address, 3, I64)
+        memory.read_scalar(address, I64)
+        assert memory.bytes_written == 8
+        assert memory.bytes_read == 8

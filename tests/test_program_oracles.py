@@ -1,0 +1,156 @@
+"""Golden-output oracle checks for the remaining benchmark programs.
+
+test_programs.py already validates qsort, crc32, sha, histo, dijkstra, bfs,
+fft and spmv against host-side oracles; this module covers the rest (the
+susan family, ifft, sad, stringsearch, basicmath) so every workload's golden
+output is pinned to an independently-computed expectation, not just to
+"whatever the VM produced".
+"""
+
+import struct
+
+import pytest
+
+from repro.programs import registry
+from repro.programs.inputs import block_image_pair, rectangle_image
+from repro.programs.mibench.susan import BRIGHTNESS_THRESHOLD, HEIGHT, WIDTH
+from repro.programs.parboil import sad as sad_module
+
+
+def golden_ints(name):
+    return [bits for _type, bits in registry.get_experiment_runner(name).golden.output]
+
+
+def as_double(bits):
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+def similar(center, neighbour):
+    return 1 if abs(neighbour - center) <= BRIGHTNESS_THRESHOLD else 0
+
+
+class TestSusanOracles:
+    @pytest.fixture(scope="class")
+    def image(self):
+        return rectangle_image(WIDTH, HEIGHT)
+
+    def test_smoothing_checksum(self, image):
+        checksum = 0
+        smoothed = list(image)
+        for row in range(1, HEIGHT - 1):
+            for col in range(1, WIDTH - 1):
+                center = image[row * WIDTH + col]
+                weighted_sum = 0
+                weight_total = 0
+                for dr in (-1, 0, 1):
+                    for dc in (-1, 0, 1):
+                        neighbour = image[(row + dr) * WIDTH + (col + dc)]
+                        weight = similar(center, neighbour) * 2 + 1
+                        weighted_sum += neighbour * weight
+                        weight_total += weight
+                smoothed[row * WIDTH + col] = weighted_sum // weight_total
+                checksum += smoothed[row * WIDTH + col]
+        output = golden_ints("susan_smoothing")
+        assert output[0] == checksum
+        assert output[1] == smoothed[(HEIGHT // 2) * WIDTH + WIDTH // 2]
+
+    def test_edges_count(self, image):
+        edge_count = 0
+        for row in range(1, HEIGHT - 1):
+            for col in range(1, WIDTH - 1):
+                center = image[row * WIDTH + col]
+                usan = sum(
+                    similar(center, image[(row + dr) * WIDTH + (col + dc)])
+                    for dr in (-1, 0, 1)
+                    for dc in (-1, 0, 1)
+                    if not (dr == 0 and dc == 0)
+                )
+                if usan < 6:
+                    edge_count += 1
+        assert golden_ints("susan_edges")[0] == edge_count
+        assert edge_count > 0  # the rectangle must produce edges
+
+    def test_corners_count(self, image):
+        corner_count = 0
+        for row in range(2, HEIGHT - 2):
+            for col in range(2, WIDTH - 2):
+                center = image[row * WIDTH + col]
+                usan = 0
+                for dr in range(-2, 3):
+                    for dc in range(-2, 3):
+                        if (dr or dc) and dr * dr + dc * dc <= 4:
+                            usan += similar(center, image[(row + dr) * WIDTH + (col + dc)])
+                if usan < 6:
+                    corner_count += 1
+        assert golden_ints("susan_corners")[0] == corner_count
+
+
+class TestSignalOracles:
+    def test_ifft_reconstruction_error_is_tiny(self):
+        output = registry.get_experiment_runner("ifft").golden.output
+        error = as_double(output[0][1])
+        assert 0.0 <= error < 1e-9
+
+    def test_basicmath_root_count_and_angles(self):
+        from repro.programs.mibench.basicmath import CUBIC_SETS
+
+        output = registry.get_experiment_runner("basicmath").golden.output
+        total_roots = output[0][1]
+        # Every cubic has at least one real root and at most three.
+        assert CUBIC_SETS <= total_roots <= 3 * CUBIC_SETS
+        angle_sum = as_double(output[3][1])
+        expected = sum(d * 3.141592653589793 / 180.0 for d in range(0, 360, 30))
+        assert angle_sum == pytest.approx(expected, rel=1e-12)
+
+
+class TestSadOracle:
+    def test_best_sad_matches_host_search(self):
+        width, height, block, search = (
+            sad_module.WIDTH,
+            sad_module.HEIGHT,
+            sad_module.BLOCK,
+            sad_module.SEARCH_RANGE,
+        )
+        current, reference = block_image_pair(width, height, seed=4242)
+
+        def block_sad(block_row, block_col, dy, dx):
+            total = 0
+            for r in range(block):
+                for c in range(block):
+                    cr, cc = block_row + r, block_col + c
+                    rr = min(max(cr + dy, 0), height - 1)
+                    rc = min(max(cc + dx, 0), width - 1)
+                    total += abs(current[cr * width + cc] - reference[rr * width + rc])
+            return total
+
+        best_sum = 0
+        for brow in range(height // block):
+            for bcol in range(width // block):
+                best = min(
+                    block_sad(brow * block, bcol * block, dy, dx)
+                    for dy in range(-search, search + 1)
+                    for dx in range(-search, search + 1)
+                )
+                best_sum += best
+        assert golden_ints("sad")[0] == best_sum
+
+
+class TestStringsearchOracle:
+    def test_positions_match_python_find(self):
+        from repro.programs.mibench.stringsearch import PATTERNS, PHRASE_LENGTH, _build_inputs
+
+        phrases, _patterns, _lengths, _stride = _build_inputs()
+        found = 0
+        position_sum = 0
+        for phrase_index in range(len(PATTERNS)):
+            phrase = bytes(
+                phrases[phrase_index * PHRASE_LENGTH : (phrase_index + 1) * PHRASE_LENGTH]
+            ).decode("latin-1").lower()
+            for pattern in PATTERNS:
+                position = phrase.find(pattern.lower())
+                if position >= 0:
+                    found += 1
+                    position_sum += position + phrase_index * 100
+        output = golden_ints("stringsearch")
+        assert output[0] == found
+        assert output[1] == position_sum

@@ -1,0 +1,248 @@
+"""Tests for the 15 benchmark programs (Table II workloads)."""
+
+import pytest
+
+from repro.injection import INJECT_ON_READ, INJECT_ON_WRITE, profile_program
+from repro.ir.verifier import verify_module
+from repro.programs import registry
+from repro.programs.inputs import (
+    adjacency_matrix,
+    ascii_text,
+    dense_vector,
+    edge_list_graph,
+    embed_word,
+    lcg_sequence,
+    rectangle_image,
+    sound_samples,
+    sparse_matrix_coo,
+)
+
+ALL_PROGRAMS = registry.all_program_names()
+
+
+class TestRegistry:
+    def test_fifteen_programs(self):
+        assert len(ALL_PROGRAMS) == 15
+        assert len(set(ALL_PROGRAMS)) == 15
+
+    def test_suite_split_matches_paper(self):
+        assert len(registry.mibench_program_names()) == 11
+        assert len(registry.parboil_program_names()) == 4
+
+    def test_expected_names_present(self):
+        expected = {
+            "basicmath",
+            "qsort",
+            "susan_corners",
+            "susan_edges",
+            "susan_smoothing",
+            "fft",
+            "ifft",
+            "crc32",
+            "dijkstra",
+            "sha",
+            "stringsearch",
+            "bfs",
+            "histo",
+            "sad",
+            "spmv",
+        }
+        assert set(ALL_PROGRAMS) == expected
+
+    def test_unknown_program_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            registry.get_program("doom")
+
+    def test_build_is_cached(self):
+        assert registry.build_program("crc32") is registry.build_program("crc32")
+        assert registry.get_experiment_runner("crc32") is registry.get_experiment_runner("crc32")
+
+
+@pytest.mark.parametrize("name", ALL_PROGRAMS)
+class TestEveryProgram:
+    def test_module_verifies(self, name):
+        program = registry.build_program(name)
+        verify_module(program.module)
+
+    def test_golden_run_completes_with_output(self, name):
+        golden = registry.get_experiment_runner(name).golden
+        assert golden.dynamic_instruction_count > 500
+        assert len(golden.output) >= 2
+
+    def test_golden_run_is_deterministic(self, name):
+        program = registry.get_program(name).build()
+        first = profile_program(program)
+        second = profile_program(registry.get_program(name).build())
+        assert first.output == second.output
+        assert first.dynamic_instruction_count == second.dynamic_instruction_count
+
+    def test_candidate_counts_read_at_least_write(self, name):
+        golden = registry.get_experiment_runner(name).golden
+        read_count = INJECT_ON_READ.candidate_instruction_count(golden)
+        write_count = INJECT_ON_WRITE.candidate_instruction_count(golden)
+        assert read_count >= write_count > 0
+
+
+class TestProgramSpecificGoldenValues:
+    """Spot checks of each workload's semantics against a host-side oracle."""
+
+    def test_qsort_sorts(self):
+        from repro.programs.mibench.qsort import ELEMENT_COUNT
+
+        golden = registry.get_experiment_runner("qsort").golden
+        values = sorted(lcg_sequence(seed=42, count=ELEMENT_COUNT, modulus=10_000))
+        expected_checksum = sum(value * (index + 1) for index, value in enumerate(values))
+        checksum, first, last, inversions = [bits for _type, bits in golden.output]
+        assert checksum == expected_checksum
+        assert first == values[0]
+        assert last == values[-1]
+        assert inversions == 0
+
+    def test_crc32_matches_binascii(self):
+        import binascii
+
+        from repro.programs.mibench.crc32 import MESSAGE_BYTES
+
+        golden = registry.get_experiment_runner("crc32").golden
+        message = bytes(value & 0xFF for value in sound_samples(MESSAGE_BYTES, seed=77))
+        assert golden.output[0][1] == binascii.crc32(message)
+
+    def test_sha_matches_hashlib(self):
+        import hashlib
+
+        from repro.programs.mibench.sha import MESSAGE_LENGTH
+
+        golden = registry.get_experiment_runner("sha").golden
+        message = bytes(ascii_text(seed=99, length=MESSAGE_LENGTH))
+        digest = hashlib.sha1(message).digest()
+        words = [int.from_bytes(digest[i : i + 4], "big") for i in range(0, 20, 4)]
+        assert [bits for _t, bits in golden.output[:5]] == words
+
+    def test_histo_counts_every_sample(self):
+        from repro.programs.parboil.histo import HIST_HEIGHT, HIST_WIDTH, SAMPLE_COUNT
+
+        golden = registry.get_experiment_runner("histo").golden
+        samples = lcg_sequence(seed=888, count=SAMPLE_COUNT, modulus=HIST_WIDTH * HIST_HEIGHT * 3)
+        bins = [0] * (HIST_WIDTH * HIST_HEIGHT)
+        for value in samples:
+            row = (value // HIST_WIDTH) % HIST_HEIGHT
+            col = value % HIST_WIDTH
+            if bins[row * HIST_WIDTH + col] < 255:
+                bins[row * HIST_WIDTH + col] += 1
+        expected_checksum = sum(count * (index + 1) for index, count in enumerate(bins))
+        assert golden.output[0][1] == expected_checksum
+
+    def test_dijkstra_distances_match_networkx(self):
+        import networkx as nx
+
+        from repro.programs.mibench.dijkstra import INFINITY, NODE_COUNT
+
+        matrix = adjacency_matrix(NODE_COUNT, seed=1234)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(NODE_COUNT))
+        for row in range(NODE_COUNT):
+            for col in range(NODE_COUNT):
+                weight = matrix[row * NODE_COUNT + col]
+                if weight > 0:
+                    graph.add_edge(row, col, weight=weight)
+        lengths = nx.single_source_dijkstra_path_length(graph, 0, weight="weight")
+        expected_total = sum(length for node, length in lengths.items() if length < INFINITY)
+        golden = registry.get_experiment_runner("dijkstra").golden
+        assert golden.output[0][1] == expected_total
+        assert golden.output[1][1] == len(lengths)
+
+    def test_bfs_costs_match_networkx(self):
+        import networkx as nx
+
+        from repro.programs.parboil.bfs import NODE_COUNT
+
+        offsets, edges = edge_list_graph(NODE_COUNT, seed=555)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(NODE_COUNT))
+        for node in range(NODE_COUNT):
+            for index in range(offsets[node], offsets[node + 1]):
+                graph.add_edge(node, edges[index])
+        lengths = nx.single_source_shortest_path_length(graph, 0)
+        golden = registry.get_experiment_runner("bfs").golden
+        visited, cost_sum, max_cost, last_cost = [bits for _t, bits in golden.output]
+        assert visited == len(lengths)
+        assert cost_sum == sum(length for length in lengths.values() if length > 0)
+        assert max_cost == max(lengths.values())
+
+    def test_fft_energy_conserved(self):
+        """Parseval: FFT bin energy equals N x time-domain energy."""
+        import struct
+
+        from repro.programs.mibench.fft import POINTS, _wave_samples
+
+        golden = registry.get_experiment_runner("fft").golden
+        energy_bits = golden.output[0][1]
+        energy = struct.unpack("<d", struct.pack("<Q", energy_bits))[0]
+        time_energy = sum(sample * sample for sample in _wave_samples())
+        assert energy == pytest.approx(POINTS * time_energy, rel=1e-9)
+
+    def test_spmv_matches_numpy(self):
+        import struct
+
+        import numpy as np
+
+        from repro.programs.parboil.spmv import COLS, NONZEROS, ROWS
+
+        rows, cols, values = sparse_matrix_coo(ROWS, COLS, NONZEROS, seed=2020)
+        vector = np.array(dense_vector(COLS, seed=2021))
+        matrix = np.zeros((ROWS, COLS))
+        for r, c, v in zip(rows, cols, values):
+            matrix[r, c] += v
+        first = matrix @ vector
+        golden = registry.get_experiment_runner("spmv").golden
+        first_checksum = struct.unpack("<d", struct.pack("<Q", golden.output[0][1]))[0]
+        assert first_checksum == pytest.approx(first.sum(), rel=1e-9)
+
+    def test_stringsearch_finds_every_pattern(self):
+        golden = registry.get_experiment_runner("stringsearch").golden
+        found_count = golden.output[0][1]
+        # Each of the 3 embedded patterns is found at least in its own phrase.
+        assert found_count >= 3
+
+
+class TestInputGenerators:
+    def test_lcg_is_deterministic(self):
+        assert lcg_sequence(1, 10, 100) == lcg_sequence(1, 10, 100)
+        assert lcg_sequence(1, 10, 100) != lcg_sequence(2, 10, 100)
+
+    def test_rectangle_image_has_two_brightness_levels(self):
+        image = rectangle_image(8, 8)
+        assert len(image) == 64
+        assert max(image) > 150
+        assert min(image) < 60
+
+    def test_embed_word(self):
+        text = ascii_text(seed=1, length=20)
+        embedded = embed_word(text, "abc", 5)
+        assert embedded[5:8] == [ord("a"), ord("b"), ord("c")]
+        assert len(embedded) == 20
+
+    def test_adjacency_matrix_is_connected_ring(self):
+        nodes = 6
+        matrix = adjacency_matrix(nodes, seed=3)
+        for node in range(nodes):
+            assert matrix[node * nodes + (node + 1) % nodes] > 0
+            assert matrix[node * nodes + node] == 0
+
+    def test_edge_list_graph_offsets_are_monotonic(self):
+        offsets, edges = edge_list_graph(10, seed=4)
+        assert offsets[0] == 0
+        assert offsets[-1] == len(edges)
+        assert all(b >= a for a, b in zip(offsets, offsets[1:]))
+        assert all(0 <= target < 10 for target in edges)
+
+    def test_sparse_matrix_covers_every_row(self):
+        rows, cols, values = sparse_matrix_coo(8, 8, 20, seed=5)
+        assert set(range(8)) <= set(rows)
+        assert len(rows) == len(cols) == len(values)
+
+    def test_sound_samples_are_16_bit(self):
+        samples = sound_samples(32, seed=6)
+        assert all(-32768 <= s <= 32767 for s in samples)

@@ -1,0 +1,73 @@
+"""Tests for the statistical helpers (proportions, confidence intervals)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import (
+    normal_proportion_interval,
+    percentage_point_difference,
+    proportion_difference_significant,
+    wilson_proportion_interval,
+)
+
+
+class TestIntervals:
+    def test_point_estimate(self):
+        estimate = normal_proportion_interval(25, 100)
+        assert estimate.point == pytest.approx(0.25)
+        assert estimate.percentage == pytest.approx(25.0)
+
+    def test_normal_interval_matches_textbook_value(self):
+        estimate = normal_proportion_interval(50, 100)
+        # 0.5 +/- 1.96 * sqrt(0.25/100) = 0.5 +/- 0.098
+        assert estimate.lower == pytest.approx(0.402, abs=1e-3)
+        assert estimate.upper == pytest.approx(0.598, abs=1e-3)
+
+    def test_wilson_interval_is_inside_unit_range_at_extremes(self):
+        low = wilson_proportion_interval(0, 50)
+        high = wilson_proportion_interval(50, 50)
+        assert low.lower == pytest.approx(0.0, abs=1e-12)
+        assert low.upper > 0.0
+        assert high.upper == pytest.approx(1.0, abs=1e-12)
+        assert high.lower < 1.0
+
+    def test_zero_trials(self):
+        estimate = wilson_proportion_interval(0, 0)
+        assert estimate.point == 0.0
+        assert estimate.half_width == 0.0
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            normal_proportion_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_proportion_interval(-1, 3)
+
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=500))
+    def test_intervals_bracket_the_point(self, successes, trials):
+        successes = min(successes, trials)
+        for interval in (
+            normal_proportion_interval(successes, trials),
+            wilson_proportion_interval(successes, trials),
+        ):
+            assert 0.0 <= interval.lower <= interval.point <= interval.upper <= 1.0
+
+    @given(st.integers(min_value=1, max_value=100))
+    def test_wilson_width_shrinks_with_more_trials(self, successes):
+        small = wilson_proportion_interval(successes, 100)
+        large = wilson_proportion_interval(successes * 10, 1000)
+        assert large.half_width <= small.half_width + 1e-12
+
+
+class TestComparisons:
+    def test_significant_difference(self):
+        assert proportion_difference_significant(80, 100, 20, 100)
+
+    def test_insignificant_difference(self):
+        assert not proportion_difference_significant(50, 100, 52, 100)
+
+    def test_zero_trials_never_significant(self):
+        assert not proportion_difference_significant(0, 0, 5, 10)
+
+    def test_percentage_point_difference(self):
+        assert percentage_point_difference(30, 100, 10, 100) == pytest.approx(20.0)
+        assert percentage_point_difference(1, 10, 3, 10) == pytest.approx(-20.0)

@@ -1,0 +1,247 @@
+"""Additional VM semantics tests: casts, selects, intrinsics, limits, hooks."""
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionSetupError
+from repro.frontend import compile_program
+from repro.ir import BOOL, Constant, F32, F64, Function, I16, I32, I64, I8, IRBuilder, Module, VOID
+from repro.ir.types import PointerType
+from repro.vm import ExecutionLimits, Interpreter
+from repro.vm.interpreter import _MATH_INTRINSICS
+
+
+def run_expression(build_body, return_type=I64, args=(), arg_types=()):
+    module = Module("expr")
+    function = Function("main", return_type, list(arg_types))
+    module.add_function(function)
+    builder = IRBuilder(function, function.add_block("entry"))
+    value = build_body(builder, function)
+    builder.ret(value)
+    module.finalize()
+    return Interpreter(module).run(list(args))
+
+
+class TestCasts:
+    def test_trunc_and_sext_roundtrip(self):
+        result = run_expression(
+            lambda b, f: b.sext(b.trunc(Constant(I64, 0x1234), I16), I64)
+        )
+        assert result.return_value == 0x1234
+
+    def test_trunc_discards_high_bits(self):
+        result = run_expression(lambda b, f: b.trunc(Constant(I64, 0x1FF), I8))
+        assert result.return_value == I8.wrap(0x1FF)
+        assert run_expression(lambda b, f: b.trunc(Constant(I64, 0x1FF), I8), I8).return_value == -1
+
+    def test_zext_treats_source_as_unsigned(self):
+        result = run_expression(
+            lambda b, f: b.zext(b.trunc(Constant(I64, -1), I8), I64)
+        )
+        assert result.return_value == 255
+
+    def test_sitofp_and_fptosi(self):
+        result = run_expression(
+            lambda b, f: b.fptosi(b.sitofp(Constant(I64, -7), F64), I64)
+        )
+        assert result.return_value == -7
+
+    def test_fptosi_of_nan_and_infinity_does_not_trap(self):
+        module = Module("nan")
+        function = Function("main", I32)
+        module.add_function(function)
+        builder = IRBuilder(function, function.add_block("entry"))
+        nan = builder.fdiv(Constant(F64, 0.0), Constant(F64, 0.0))
+        as_int = builder.fptosi(nan, I32)
+        builder.ret(as_int)
+        module.finalize()
+        result = Interpreter(module).run()
+        assert result.completed
+        assert result.return_value == 0
+
+    def test_bitcast_preserves_bits(self):
+        result = run_expression(
+            lambda b, f: b.cast("bitcast", Constant(F64, 1.0), I64), I64
+        )
+        assert result.return_value == 0x3FF0000000000000
+
+    def test_ptrtoint_and_inttoptr(self):
+        def body(builder, function):
+            slot = builder.alloca(I32)
+            as_int = builder.cast("ptrtoint", slot, I64)
+            back = builder.cast("inttoptr", as_int, PointerType(I32))
+            builder.store(Constant(I32, 99), back)
+            return builder.load(slot)
+
+        assert run_expression(body, I32).return_value == 99
+
+
+class TestComparisonsAndSelect:
+    def test_unsigned_comparison(self):
+        # -1 as unsigned i32 is the largest value, so ult 0 is false and ugt is true.
+        result = run_expression(
+            lambda b, f: b.select(
+                b.icmp("ugt", Constant(I32, -1), Constant(I32, 5)),
+                Constant(I64, 1),
+                Constant(I64, 0),
+            )
+        )
+        assert result.return_value == 1
+
+    def test_nan_compares_not_equal(self):
+        def body(builder, function):
+            nan = builder.fdiv(Constant(F64, 0.0), Constant(F64, 0.0))
+            equal = builder.fcmp("eq", nan, nan)
+            return builder.select(equal, Constant(I64, 1), Constant(I64, 0))
+
+        assert run_expression(body).return_value == 0
+
+    def test_select_evaluates_to_correct_arm(self):
+        result = run_expression(
+            lambda b, f: b.select(b.const_bool(False), Constant(I64, 10), Constant(I64, 20))
+        )
+        assert result.return_value == 20
+
+
+class TestIntrinsics:
+    def test_math_intrinsic_table_is_total(self):
+        for name, function in _MATH_INTRINSICS.items():
+            assert callable(function), name
+
+    def test_sqrt_of_negative_is_nan_not_a_trap(self):
+        assert math.isnan(_MATH_INTRINSICS["__sqrt"](-1.0))
+
+    def test_log_and_exp_guards(self):
+        assert _MATH_INTRINSICS["__log"](0.0) == -math.inf
+        assert math.isnan(_MATH_INTRINSICS["__log"](-3.0))
+        # exp of a huge argument saturates to a large finite value or infinity
+        # instead of raising OverflowError.
+        assert _MATH_INTRINSICS["__exp"](1e9) >= 1e300
+
+    def test_trig_of_huge_argument_is_finite_or_nan(self):
+        value = _MATH_INTRINSICS["__sin"](1e300)
+        assert math.isnan(value) or -1.0 <= value <= 1.0
+
+    def test_acos_domain_guard(self):
+        assert math.isnan(_MATH_INTRINSICS["__acos"](2.0))
+        assert _MATH_INTRINSICS["__acos"](1.0) == 0.0
+
+    def test_pow_guard(self):
+        assert math.isnan(_MATH_INTRINSICS["__pow"](-1.0, 0.5))
+
+    def test_exit_intrinsic_completes_run(self):
+        source = '''
+def main() -> "i64":
+    output(1)
+    exit(7)
+    output(2)
+    return 0
+'''
+        program = compile_program("exiting", [source])
+        result = Interpreter(program.module).run()
+        assert result.completed
+        assert result.return_value == 7
+        assert len(result.output) == 1
+
+    def test_unknown_intrinsic_is_host_error(self):
+        module = Module("bad")
+        function = Function("main", VOID)
+        module.add_function(function)
+        builder = IRBuilder(function, function.add_block("entry"))
+        builder.call("__teleport", [], VOID)
+        builder.ret()
+        module.finalize()
+        with pytest.raises(ExecutionSetupError):
+            Interpreter(module).run()
+
+    def test_malloc_rejects_huge_request(self):
+        source = '''
+def main() -> "i64":
+    buf = malloc("i64", 100000000000)
+    return buf[0]
+'''
+        program = compile_program("hugemalloc", [source])
+        result = Interpreter(program.module).run()
+        assert not result.completed
+        assert result.fault.category == "segmentation-fault"
+
+
+class TestLimitsAndHooks:
+    def test_recursion_overflow_is_segmentation_fault(self):
+        source = '''
+def recurse(n: "i64") -> "i64":
+    return recurse(n + 1)
+
+def main() -> "i64":
+    return recurse(0)
+'''
+        program = compile_program("deep", [source])
+        result = Interpreter(program.module, limits=ExecutionLimits(max_call_depth=40)).run()
+        assert not result.completed
+        assert result.fault.category == "segmentation-fault"
+
+    def test_limits_from_golden_length(self):
+        limits = ExecutionLimits.for_golden_length(1000, multiplier=7)
+        assert limits.max_dynamic_instructions == 7000
+        assert ExecutionLimits.for_golden_length(10).max_dynamic_instructions >= 1000
+
+    def test_write_hook_sees_every_destination(self):
+        source = '''
+def main() -> "i64":
+    total = 0
+    for i in range(5):
+        total += i
+    output(total)
+    return total
+'''
+        program = compile_program("hooked", [source])
+        seen = []
+
+        def write_hook(dynamic_index, instruction, register, value):
+            seen.append((dynamic_index, register.type.bits))
+            return value
+
+        result = Interpreter(program.module, write_hook=write_hook).run()
+        assert result.completed
+        assert seen, "write hook never fired"
+        # Dynamic indices are strictly increasing and within the run length.
+        indices = [index for index, _bits in seen]
+        assert indices == sorted(indices)
+        assert indices[-1] < result.dynamic_instructions
+
+    def test_read_hook_can_corrupt_a_value(self):
+        source = '''
+def main() -> "i64":
+    x = 40
+    y = x + 2
+    output(y)
+    return y
+'''
+        program = compile_program("corrupt", [source])
+
+        flipped = {"done": False}
+
+        def read_hook(dynamic_index, instruction, slot, register, value):
+            if not flipped["done"] and instruction.opcode == "add" and value == 40:
+                flipped["done"] = True
+                return value ^ 0b1000
+            return value
+
+        result = Interpreter(program.module, read_hook=read_hook).run()
+        assert result.completed
+        assert flipped["done"]
+        assert result.return_value != 42
+
+    def test_output_records_type_and_bits(self):
+        source = '''
+def main() -> "i64":
+    output(-1)
+    output(0.5)
+    return 0
+'''
+        program = compile_program("types", [source])
+        result = Interpreter(program.module).run()
+        (int_type, int_bits), (float_type, float_bits) = result.output
+        assert int_type == "i64" and int_bits == 2**64 - 1
+        assert float_type == "f64" and float_bits == 0x3FE0000000000000
