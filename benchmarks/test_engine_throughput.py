@@ -1,0 +1,57 @@
+"""Throughput benchmark: experiments/sec for serial vs. multiprocess engines.
+
+Records an experiments-per-second figure in ``extra_info`` for each engine so
+future optimisation PRs have a perf trajectory to beat.  Size knobs:
+
+``REPRO_BENCH_ENGINE_EXPERIMENTS``
+    Experiments in the measured campaign (default 240).
+``REPRO_BENCH_ENGINE_JOBS``
+    Worker-pool size for the multiprocess engine (default: CPU count, capped
+    at 4 to keep CI machines honest).
+"""
+
+from __future__ import annotations
+
+import os
+
+from bench_config import run_once
+
+from repro.campaign import CampaignConfig
+from repro.campaign.engine import MultiprocessEngine, SerialEngine, registry_provider
+from repro.injection.faultmodel import win_size_by_index
+
+PROGRAM = "crc32"
+EXPERIMENTS = int(os.environ.get("REPRO_BENCH_ENGINE_EXPERIMENTS", "240"))
+JOBS = int(os.environ.get("REPRO_BENCH_ENGINE_JOBS", str(min(os.cpu_count() or 1, 4))))
+
+
+def engine_config() -> CampaignConfig:
+    return CampaignConfig(
+        program=PROGRAM,
+        technique="inject-on-write",
+        max_mbf=3,
+        win_size=win_size_by_index("w3"),
+        experiments=EXPERIMENTS,
+    )
+
+
+def record_throughput(benchmark, result) -> None:
+    assert result.experiments == EXPERIMENTS
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["experiments"] = EXPERIMENTS
+    benchmark.extra_info["experiments_per_second"] = round(EXPERIMENTS / mean, 1)
+
+
+def test_serial_engine_throughput(benchmark):
+    registry_provider(PROGRAM)  # compile + profile outside the timed region
+    engine = SerialEngine()
+    result = run_once(benchmark, engine.run, engine_config(), provider=registry_provider)
+    record_throughput(benchmark, result)
+
+
+def test_multiprocess_engine_throughput(benchmark):
+    registry_provider(PROGRAM)  # forked workers inherit the compiled workload
+    engine = MultiprocessEngine(jobs=JOBS)
+    benchmark.extra_info["jobs"] = JOBS
+    result = run_once(benchmark, engine.run, engine_config(), provider=registry_provider)
+    record_throughput(benchmark, result)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Parallel campaigns: saturate the machine, keep the results bit-identical.
+
+This example demonstrates the execution-engine subsystem:
+
+1. run one campaign grid through the serial engine and through a
+   multiprocess worker pool, and verify the results match bit for bit;
+2. stream per-experiment progress (throughput + ETA) while a campaign runs;
+3. checkpoint a sweep mid-way and resume it from the checkpoint file.
+
+Run with::
+
+    python examples/parallel_campaign.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    MultiprocessEngine,
+    ResultStore,
+    SerialEngine,
+)
+from repro.injection.faultmodel import win_size_by_index
+
+JOBS = 4
+EXPERIMENTS = 150
+
+GRID = [
+    CampaignConfig(
+        program="crc32",
+        technique=technique,
+        max_mbf=max_mbf,
+        win_size=win_size_by_index(win_index),
+        experiments=EXPERIMENTS,
+    )
+    for technique in ("inject-on-read", "inject-on-write")
+    for max_mbf, win_index in ((1, "w1"), (3, "w4"), (30, "w7"))
+]
+
+
+def signature(result):
+    """Everything that must match between serial and parallel execution."""
+    return (
+        result.resolved_win_size,
+        result.outcome_counts.as_dict(),
+        result.activated_histogram,
+        [record.to_tuple() for record in result.records],
+    )
+
+
+def show_progress(progress) -> None:
+    eta = progress.eta_seconds
+    eta_text = f"{eta:.1f}s" if eta is not None else "?"
+    print(
+        f"    {progress.done}/{progress.total} experiments "
+        f"({progress.experiments_per_second:.0f}/s, ETA {eta_text})",
+        end="\r",
+    )
+
+
+def compare_engines() -> None:
+    print(f"1. serial vs. multiprocess ({JOBS} jobs) on {len(GRID)} campaigns")
+    started = time.perf_counter()
+    serial_store = CampaignRunner(engine=SerialEngine()).run_campaigns(GRID)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel_store = CampaignRunner(engine=MultiprocessEngine(JOBS)).run_campaigns(GRID)
+    parallel_seconds = time.perf_counter() - started
+
+    experiments = len(GRID) * EXPERIMENTS
+    print(f"   serial:       {experiments / serial_seconds:7.0f} experiments/s")
+    print(f"   multiprocess: {experiments / parallel_seconds:7.0f} experiments/s")
+    for config in GRID:
+        assert signature(serial_store.get(config)) == signature(parallel_store.get(config))
+    print("   results are bit-identical across engines\n")
+
+
+def stream_progress() -> None:
+    print("2. streaming progress with throughput and ETA")
+    runner = CampaignRunner(
+        engine=MultiprocessEngine(JOBS), experiment_progress=show_progress
+    )
+    runner.run_campaign(GRID[1])
+    print("\n   done\n")
+
+
+def checkpointed_sweep() -> None:
+    print("3. mid-sweep checkpointing and resume")
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "sweep.json"
+        first_half, second_half = GRID[:3], GRID
+        runner = CampaignRunner(engine=MultiprocessEngine(JOBS))
+        runner.run_campaigns(first_half, checkpoint_path=checkpoint)
+        print(f"   interrupted after {len(ResultStore.load(checkpoint))} campaigns")
+
+        resumed = ResultStore.load(checkpoint)
+        runner.run_campaigns(second_half, resumed, checkpoint_path=checkpoint)
+        print(f"   resumed sweep finished with {len(resumed)} campaigns "
+              f"(only {len(second_half) - len(first_half)} ran again)")
+
+
+def main() -> None:
+    compare_engines()
+    stream_progress()
+    checkpointed_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -27,9 +27,13 @@ from repro.campaign import (
     BENCH_SCALE,
     CampaignConfig,
     CampaignRunner,
+    EngineProgress,
+    ExecutionEngine,
     ExperimentScale,
+    MultiprocessEngine,
     PAPER_SCALE,
     ResultStore,
+    SerialEngine,
     SMOKE_SCALE,
 )
 from repro.errors import (
@@ -59,6 +63,8 @@ __all__ = [
     "CampaignRunner",
     "CompilationError",
     "ConfigurationError",
+    "EngineProgress",
+    "ExecutionEngine",
     "ExecutionSetupError",
     "ExperimentRunner",
     "ExperimentScale",
@@ -66,12 +72,14 @@ __all__ = [
     "FaultSpec",
     "INJECT_ON_READ",
     "INJECT_ON_WRITE",
+    "MultiprocessEngine",
     "Outcome",
     "OutcomeCounts",
     "PAPER_SCALE",
     "profile_program",
     "ReproError",
     "ResultStore",
+    "SerialEngine",
     "SMOKE_SCALE",
     "__version__",
 ]

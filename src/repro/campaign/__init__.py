@@ -9,6 +9,8 @@ provides:
   (SMOKE / BENCH / PAPER), and deterministic seeding;
 * :mod:`repro.campaign.plan` — helpers that expand a program list into the
   campaign grids behind each figure of the paper;
+* :mod:`repro.campaign.engine` — pluggable execution engines (serial and
+  multiprocess worker pool) with deterministic per-experiment seeding;
 * :mod:`repro.campaign.runner` — executes campaigns and collects results;
 * :mod:`repro.campaign.results` — per-campaign aggregates and a queryable,
   JSON-serialisable result store.
@@ -20,6 +22,12 @@ from repro.campaign.config import (
     ExperimentScale,
     PAPER_SCALE,
     SMOKE_SCALE,
+)
+from repro.campaign.engine import (
+    EngineProgress,
+    ExecutionEngine,
+    MultiprocessEngine,
+    SerialEngine,
 )
 from repro.campaign.plan import (
     full_paper_grid,
@@ -35,12 +43,16 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "CampaignRunner",
+    "EngineProgress",
+    "ExecutionEngine",
     "ExperimentScale",
     "full_paper_grid",
     "multi_register_campaigns",
+    "MultiprocessEngine",
     "PAPER_SCALE",
     "ResultStore",
     "same_register_campaigns",
+    "SerialEngine",
     "single_bit_campaigns",
     "SMOKE_SCALE",
 ]

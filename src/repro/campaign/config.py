@@ -9,6 +9,7 @@ re-running any subset of campaigns reproduces the same numbers.
 from __future__ import annotations
 
 import hashlib
+import random
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -96,6 +97,30 @@ class CampaignConfig:
             f"{self.master_seed}|{self.campaign_id}".encode("utf-8")
         ).digest()
         return int.from_bytes(digest[:8], "little")
+
+    def experiment_seed(self, index: int) -> int:
+        """Deterministic seed for experiment ``index`` of this campaign.
+
+        Seeds are derived independently per index (not drawn from one
+        sequential stream), so experiments may run in any order — or on any
+        process of a worker pool — and still sample exactly the same faults,
+        and any single experiment can be replayed in isolation by its index.
+        """
+        if index < 0:
+            raise ConfigurationError("experiment index must be non-negative")
+        digest = hashlib.sha256(
+            f"{self.master_seed}|{self.campaign_id}|experiment={index}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def resolve_win_size(self) -> int:
+        """Resolve the win-size spec to a concrete dynamic distance.
+
+        Random ranges (w4/w6/w8) resolve once per campaign from the campaign
+        seed alone, independent of the experiment stream, so serial and
+        parallel executions agree on the resolved window.
+        """
+        return self.win_size.resolve(random.Random(self.seed))
 
     def describe(self) -> str:
         model = "single bit-flip" if self.is_single_bit else self.cluster.label

@@ -1,0 +1,321 @@
+"""Pluggable campaign execution engines.
+
+A campaign is an embarrassingly parallel bag of experiments: every experiment
+is fully determined by ``CampaignConfig.experiment_seed(index)``, so the only
+shared state a worker needs is the compiled workload and its golden trace.
+This module exploits that with two interchangeable backends:
+
+* :class:`SerialEngine` — runs every experiment in-process, in index order;
+* :class:`MultiprocessEngine` — fans chunked experiment batches out to a
+  worker pool; each worker builds the compiled workload + golden trace once
+  (LLFI's profile-once/inject-many split, batch-dispatched) and returns
+  picklable partial :class:`~repro.campaign.results.CampaignResult` objects
+  that the parent merges in submission order.
+
+Because seeds are derived per experiment index rather than drawn from one
+sequential stream, both engines produce bit-identical results for the same
+configuration, and any experiment can be replayed in isolation by index.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.campaign.config import CampaignConfig
+from repro.campaign.results import CampaignResult
+from repro.errors import ConfigurationError
+from repro.injection.experiment import ExperimentRunner
+from repro.injection.techniques import technique_by_name
+
+#: A provider maps a program name to a ready-to-use ExperimentRunner.
+RunnerProvider = Callable[[str], ExperimentRunner]
+
+
+def registry_provider(program_name: str) -> ExperimentRunner:
+    """Resolve programs through the benchmark registry (imported lazily)."""
+    from repro.programs.registry import get_experiment_runner
+
+    return get_experiment_runner(program_name)
+
+
+class CachingProvider:
+    """Caches one ExperimentRunner per workload around any provider.
+
+    Picklable as long as the wrapped provider is: the cache is dropped when
+    the wrapper crosses a process boundary (compiled workloads are heavy and
+    each worker profiles its own), so the default registry provider survives
+    even ``spawn``-based pools.  Under ``fork``, workers inherit a warmed
+    cache and skip compilation entirely.
+    """
+
+    def __init__(self, provider: Optional[RunnerProvider] = None) -> None:
+        self._provider = provider or registry_provider
+        self._cache: dict = {}
+
+    def __call__(self, program_name: str) -> ExperimentRunner:
+        if program_name not in self._cache:
+            self._cache[program_name] = self._provider(program_name)
+        return self._cache[program_name]
+
+    def __getstate__(self):
+        return {"_provider": self._provider, "_cache": {}}
+
+
+@dataclass(frozen=True)
+class EngineProgress:
+    """A progress snapshot emitted while a campaign executes."""
+
+    campaign_id: str
+    done: int
+    total: int
+    elapsed_seconds: float
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+    @property
+    def experiments_per_second(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.done / self.elapsed_seconds
+
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        rate = self.experiments_per_second
+        if rate <= 0.0:
+            return None
+        return (self.total - self.done) / rate
+
+
+ProgressCallback = Callable[[EngineProgress], None]
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware, e.g. inside containers)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def run_experiment_batch(
+    runner: ExperimentRunner,
+    config: CampaignConfig,
+    resolved_win_size: int,
+    start: int,
+    count: int,
+    *,
+    keep_records: bool = True,
+) -> CampaignResult:
+    """Run experiments ``start .. start+count`` and return a partial result.
+
+    Each experiment draws its own RNG from the campaign's derived seed for
+    that index, so batches may execute in any order, on any process, and
+    still reproduce exactly the same faults.
+    """
+    technique = technique_by_name(config.technique)
+    partial = CampaignResult(config=config, resolved_win_size=resolved_win_size)
+    for index in range(start, start + count):
+        experiment = runner.run_seeded(
+            technique,
+            max_mbf=config.max_mbf,
+            win_size=resolved_win_size,
+            seed=config.experiment_seed(index),
+        )
+        partial.add_experiment(
+            outcome=experiment.outcome,
+            activated_errors=experiment.activated_errors,
+            first_dynamic_index=experiment.spec.first_dynamic_index,
+            first_slot=experiment.spec.first_slot,
+            keep_record=keep_records,
+        )
+    return partial
+
+
+class ExecutionEngine:
+    """Interface every campaign execution backend implements."""
+
+    #: Short name used in progress messages and benchmark labels.
+    name: str = "?"
+
+    def run(
+        self,
+        config: CampaignConfig,
+        *,
+        provider: RunnerProvider,
+        keep_records: bool = True,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> CampaignResult:
+        """Execute every experiment of one campaign and aggregate the outcome."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources held by the engine (pools, workers)."""
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class SerialEngine(ExecutionEngine):
+    """Runs experiments one after another in the calling process."""
+
+    name = "serial"
+
+    def __init__(self, *, progress_interval: int = 25) -> None:
+        if progress_interval < 1:
+            raise ConfigurationError("progress_interval must be positive")
+        self._interval = progress_interval
+
+    def run(
+        self,
+        config: CampaignConfig,
+        *,
+        provider: RunnerProvider,
+        keep_records: bool = True,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> CampaignResult:
+        runner = provider(config.program)
+        resolved = config.resolve_win_size()
+        result = CampaignResult(config=config, resolved_win_size=resolved)
+        started = time.monotonic()
+        done = 0
+        while done < config.experiments:
+            count = min(self._interval, config.experiments - done)
+            result.merge(
+                run_experiment_batch(
+                    runner, config, resolved, done, count, keep_records=keep_records
+                )
+            )
+            done += count
+            if on_progress is not None:
+                on_progress(
+                    EngineProgress(
+                        campaign_id=config.campaign_id,
+                        done=done,
+                        total=config.experiments,
+                        elapsed_seconds=time.monotonic() - started,
+                    )
+                )
+        return result
+
+
+# -- multiprocess worker plumbing ---------------------------------------------------
+#
+# Workers are initialised once per process: the provider compiles the workload
+# and profiles the golden trace, then every batch reuses it.  Module-level
+# state is required because multiprocessing initialisers cannot return values.
+
+_WORKER_RUNNER: Optional[ExperimentRunner] = None
+
+
+def _initialise_worker(provider: Optional[RunnerProvider], program_name: str) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = (provider or registry_provider)(program_name)
+
+
+def _run_worker_batch(
+    task: Tuple[CampaignConfig, int, int, int, bool]
+) -> CampaignResult:
+    config, resolved_win_size, start, count, keep_records = task
+    assert _WORKER_RUNNER is not None, "worker pool was not initialised"
+    return run_experiment_batch(
+        _WORKER_RUNNER, config, resolved_win_size, start, count, keep_records=keep_records
+    )
+
+
+class MultiprocessEngine(ExecutionEngine):
+    """Fans experiment batches out to a ``multiprocessing`` worker pool.
+
+    Each worker process holds exactly one compiled workload + golden trace;
+    experiments are dispatched as contiguous index chunks and the partial
+    results are merged in submission order, so the assembled campaign result
+    is bit-identical to a :class:`SerialEngine` run of the same config.
+
+    The default start method is ``fork`` where available (Linux), which lets
+    workers inherit already-compiled workloads and makes arbitrary provider
+    callables (closures included) usable.  Under ``spawn`` the provider must
+    be picklable; the default registry provider is.
+    """
+
+    name = "multiprocess"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        resolved_jobs = jobs if jobs is not None else available_cpus()
+        if resolved_jobs < 1:
+            raise ConfigurationError("a worker pool needs at least one job")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError("chunk_size must be positive")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.jobs = resolved_jobs
+        self._chunk_size = chunk_size
+        self._start_method = start_method
+
+    def _batches(self, total: int) -> List[Tuple[int, int]]:
+        chunk = self._chunk_size
+        if chunk is None:
+            # Aim for ~4 batches per worker so stragglers rebalance, capped to
+            # keep per-batch IPC payloads small.
+            chunk = max(1, min(64, -(-total // (self.jobs * 4))))
+        return [(start, min(chunk, total - start)) for start in range(0, total, chunk)]
+
+    def run(
+        self,
+        config: CampaignConfig,
+        *,
+        provider: RunnerProvider,
+        keep_records: bool = True,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> CampaignResult:
+        resolved = config.resolve_win_size()
+        result = CampaignResult(config=config, resolved_win_size=resolved)
+        batches = self._batches(config.experiments)
+        tasks = [
+            (config, resolved, start, count, keep_records) for start, count in batches
+        ]
+        context = multiprocessing.get_context(self._start_method)
+        if self._start_method == "fork":
+            # Compile + profile in the parent first: forked workers inherit
+            # the warmed provider cache instead of each rebuilding it.
+            provider(config.program)
+        started = time.monotonic()
+        done = 0
+        with context.Pool(
+            processes=min(self.jobs, len(batches)),
+            initializer=_initialise_worker,
+            initargs=(provider, config.program),
+        ) as pool:
+            # imap yields partials in submission order, which keeps the merged
+            # record stream identical to a serial run.
+            for partial in pool.imap(_run_worker_batch, tasks):
+                result.merge(partial)
+                done += partial.experiments
+                if on_progress is not None:
+                    on_progress(
+                        EngineProgress(
+                            campaign_id=config.campaign_id,
+                            done=done,
+                            total=config.experiments,
+                            elapsed_seconds=time.monotonic() - started,
+                        )
+                    )
+        return result

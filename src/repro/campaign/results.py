@@ -11,6 +11,7 @@ campaign sweeps can be cached on disk.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
@@ -77,6 +78,31 @@ class CampaignResult:
                 ExperimentRecord(first_dynamic_index, first_slot, outcome, activated_errors)
             )
 
+    def merge(self, other: "CampaignResult") -> "CampaignResult":
+        """Fold a partial result of the *same* campaign into this one.
+
+        Parallel engines split a campaign into chunked batches; merging the
+        picklable partials in submission order reassembles the exact record
+        stream a serial run produces.
+        """
+        if other.config.campaign_id != self.config.campaign_id:
+            raise AnalysisError(
+                f"cannot merge results of campaign {other.config.campaign_id!r} "
+                f"into {self.config.campaign_id!r}"
+            )
+        if other.resolved_win_size != self.resolved_win_size:
+            raise AnalysisError(
+                f"cannot merge partials with different resolved win-sizes "
+                f"({self.resolved_win_size} != {other.resolved_win_size})"
+            )
+        self.outcome_counts = self.outcome_counts.merge(other.outcome_counts)
+        for activated, count in other.activated_histogram.items():
+            self.activated_histogram[activated] = (
+                self.activated_histogram.get(activated, 0) + count
+            )
+        self.records.extend(other.records)
+        return self
+
     # -- derived quantities ----------------------------------------------------------
     @property
     def experiments(self) -> int:
@@ -114,7 +140,9 @@ class CampaignResult:
             "master_seed": self.config.master_seed,
             "resolved_win_size": self.resolved_win_size,
             "outcomes": self.outcome_counts.as_dict(),
-            "activated_histogram": {str(k): v for k, v in self.activated_histogram.items()},
+            "activated_histogram": {
+                str(k): self.activated_histogram[k] for k in sorted(self.activated_histogram)
+            },
             "records": [record.to_tuple() for record in self.records],
         }
 
@@ -227,8 +255,20 @@ class ResultStore:
 
     # -- persistence ---------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
-        payload = {"version": 1, "campaigns": [result.to_dict() for result in self]}
-        Path(path).write_text(json.dumps(payload, indent=2))
+        """Write the store to ``path`` atomically, in canonical form.
+
+        Campaigns are ordered by id and histogram keys numerically, so the
+        bytes depend only on the contents — save → load → save is byte-stable
+        and serial/parallel sweeps of the same grid produce identical files.
+        The write goes through a temporary sibling file and an atomic rename
+        so mid-sweep checkpoints never leave a truncated store behind.
+        """
+        ordered = [self._results[key] for key in sorted(self._results)]
+        payload = {"version": 1, "campaigns": [result.to_dict() for result in ordered]}
+        path = Path(path)
+        tmp_path = path.with_name(path.name + ".tmp")
+        tmp_path.write_text(json.dumps(payload, indent=2))
+        os.replace(tmp_path, path)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ResultStore":

@@ -2,79 +2,78 @@
 
 The runner caches one :class:`~repro.injection.experiment.ExperimentRunner`
 per workload (compiling the program and profiling its golden trace exactly
-once), then executes campaigns sequentially.  Everything is seeded from the
-campaign configuration so results are reproducible run-to-run.
+once in this process), and delegates per-experiment execution to a pluggable
+:class:`~repro.campaign.engine.ExecutionEngine` — serial by default, a
+multiprocess worker pool when throughput matters.  Seeding is derived per
+experiment index from the campaign configuration, so every engine produces
+bit-identical results for the same seed.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Callable, Dict, Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
 
 from repro.campaign.config import CampaignConfig
+from repro.campaign.engine import (
+    CachingProvider,
+    ExecutionEngine,
+    ProgressCallback,
+    RunnerProvider,
+    SerialEngine,
+    registry_provider,
+)
 from repro.campaign.results import CampaignResult, ResultStore
 from repro.injection.experiment import ExperimentRunner
-from repro.injection.techniques import technique_by_name
 
-#: A provider maps a program name to a ready-to-use ExperimentRunner.
-RunnerProvider = Callable[[str], ExperimentRunner]
+#: Called with each finished campaign result as a sweep streams along.
+ResultCallback = Callable[[CampaignResult], None]
 
-
-def _default_provider(program_name: str) -> ExperimentRunner:
-    """Resolve programs through the benchmark registry (imported lazily)."""
-    from repro.programs.registry import get_experiment_runner
-
-    return get_experiment_runner(program_name)
+# Backwards-compatible alias; the canonical definition lives in the engine module.
+_default_provider = registry_provider
 
 
 class CampaignRunner:
-    """Executes campaigns and accumulates their results in a store."""
+    """Executes campaigns through an execution engine and accumulates results."""
 
     def __init__(
         self,
         provider: Optional[RunnerProvider] = None,
         *,
+        engine: Optional[ExecutionEngine] = None,
         keep_records: bool = True,
         progress: Optional[Callable[[str], None]] = None,
+        experiment_progress: Optional[ProgressCallback] = None,
     ) -> None:
-        self._provider = provider or _default_provider
+        # The caching wrapper is shared with the engine: it keeps one compiled
+        # workload per program in this process and stays picklable (cache
+        # dropped) when a spawn-based pool ships it to workers.
+        self._provider = CachingProvider(provider)
+        self._engine = engine if engine is not None else SerialEngine()
         self._keep_records = keep_records
         self._progress = progress
-        self._experiment_runners: Dict[str, ExperimentRunner] = {}
+        self._experiment_progress = experiment_progress
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        return self._engine
 
     # -- workload management --------------------------------------------------------
     def experiment_runner(self, program_name: str) -> ExperimentRunner:
         """The cached per-workload experiment runner (golden trace included)."""
-        if program_name not in self._experiment_runners:
-            self._experiment_runners[program_name] = self._provider(program_name)
-        return self._experiment_runners[program_name]
+        return self._provider(program_name)
 
     # -- campaign execution -----------------------------------------------------------
     def run_campaign(self, config: CampaignConfig) -> CampaignResult:
         """Run every experiment of one campaign and aggregate the outcomes."""
         if self._progress is not None:
             self._progress(config.describe())
-        workload = self.experiment_runner(config.program)
-        technique = technique_by_name(config.technique)
-        rng = random.Random(config.seed)
-        resolved_win_size = config.win_size.resolve(rng)
-        result = CampaignResult(config=config, resolved_win_size=resolved_win_size)
-
-        for _ in range(config.experiments):
-            experiment = workload.run_sampled(
-                technique,
-                max_mbf=config.max_mbf,
-                win_size=resolved_win_size,
-                rng=rng,
-            )
-            result.add_experiment(
-                outcome=experiment.outcome,
-                activated_errors=experiment.activated_errors,
-                first_dynamic_index=experiment.spec.first_dynamic_index,
-                first_slot=experiment.spec.first_slot,
-                keep_record=self._keep_records,
-            )
-        return result
+        return self._engine.run(
+            config,
+            provider=self._provider,
+            keep_records=self._keep_records,
+            on_progress=self._experiment_progress,
+        )
 
     def run_campaigns(
         self,
@@ -82,11 +81,38 @@ class CampaignRunner:
         store: Optional[ResultStore] = None,
         *,
         skip_existing: bool = True,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+        on_result: Optional[ResultCallback] = None,
     ) -> ResultStore:
-        """Run many campaigns, reusing any results already in ``store``."""
+        """Run many campaigns, reusing any results already in ``store``.
+
+        When ``checkpoint_path`` is given, the store is persisted to disk
+        after every ``checkpoint_every`` freshly completed campaigns, so a
+        long sweep that is interrupted mid-way resumes from the last
+        checkpoint instead of restarting.  ``on_result`` streams each
+        completed campaign result to the caller as the sweep progresses
+        (invoked after the checkpoint covering it, if any, is written).
+        """
         store = store if store is not None else ResultStore()
+        checkpoint = Path(checkpoint_path) if checkpoint_path is not None else None
+        completed_since_checkpoint = 0
         for config in configs:
             if skip_existing and config in store:
                 continue
-            store.add(self.run_campaign(config))
+            result = self.run_campaign(config)
+            store.add(result)
+            completed_since_checkpoint += 1
+            if checkpoint is not None and completed_since_checkpoint >= checkpoint_every:
+                self._checkpoint(store, checkpoint)
+                completed_since_checkpoint = 0
+            if on_result is not None:
+                on_result(result)
+        if checkpoint is not None and completed_since_checkpoint > 0:
+            self._checkpoint(store, checkpoint)
         return store
+
+    @staticmethod
+    def _checkpoint(store: ResultStore, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        store.save(path)

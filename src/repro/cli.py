@@ -5,12 +5,15 @@ Usage (after ``pip install -e .``, or via ``python -m repro``)::
     python -m repro list-programs
     python -m repro table 2
     python -m repro figure 1 --programs crc32,dijkstra --experiments 100
+    python -m repro figure 1 --jobs 4 --experiments 2000
     python -m repro figure 5 --programs basicmath,crc32 --max-mbf 2,3,30
     python -m repro table 4 --programs crc32 --experiments 80 --cache results.json
 
 Every command prints the same text tables the benchmark harness produces.
 Campaign results can be cached to a JSON file with ``--cache`` so repeated
-invocations only run what is missing.
+invocations only run what is missing.  ``--jobs N`` fans experiments out to a
+worker pool (results are bit-identical to a serial run of the same seed), and
+``--checkpoint`` persists the store mid-sweep so interrupted runs resume.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.campaign import ExperimentScale
+from repro.campaign import EngineProgress, ExperimentScale
 from repro.experiments import (
     ExperimentSession,
     figure1,
@@ -61,7 +64,14 @@ def _parse_win_sizes(text: Optional[str]):
 
 def _build_session(args: argparse.Namespace) -> ExperimentSession:
     scale = ExperimentScale("cli", experiments_per_campaign=args.experiments)
-    return ExperimentSession(scale=scale, cache_path=args.cache, progress=_progress(args))
+    return ExperimentSession(
+        scale=scale,
+        cache_path=args.cache,
+        checkpoint_path=args.checkpoint,
+        jobs=args.jobs,
+        progress=_progress(args),
+        experiment_progress=_experiment_progress(args),
+    )
 
 
 def _progress(args: argparse.Namespace):
@@ -70,6 +80,25 @@ def _progress(args: argparse.Namespace):
 
     def report(message: str) -> None:
         print(f"  running {message}", file=sys.stderr)
+
+    return report
+
+
+def _experiment_progress(args: argparse.Namespace):
+    """Within-campaign progress line with throughput and ETA (stderr)."""
+    if args.quiet:
+        return None
+
+    def report(progress: EngineProgress) -> None:
+        eta = progress.eta_seconds
+        eta_text = f"{eta:.0f}s" if eta is not None else "?"
+        line = (
+            f"    {progress.done}/{progress.total} experiments "
+            f"({100.0 * progress.fraction:3.0f}%, "
+            f"{progress.experiments_per_second:.0f}/s, ETA {eta_text})"
+        )
+        end = "\n" if progress.done >= progress.total else "\r"
+        print(line, end=end, file=sys.stderr, flush=True)
 
     return report
 
@@ -93,6 +122,19 @@ def build_parser() -> argparse.ArgumentParser:
             "--win-sizes", help="comma-separated win-size indices, e.g. w2,w7 (default: Table I)"
         )
         sub.add_argument("--cache", help="JSON file to cache campaign results across runs")
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for campaign execution (default 1 = serial; "
+            "results are identical to a serial run for the same seed)",
+        )
+        sub.add_argument(
+            "--checkpoint",
+            help="JSON file to checkpoint the result store to after every "
+            "completed campaign; interrupted sweeps resume from it "
+            "(defaults to --cache when given)",
+        )
         sub.add_argument("--quiet", action="store_true", help="suppress per-campaign progress")
 
     figure_parser = subparsers.add_parser("figure", help="regenerate a figure (1-5)")

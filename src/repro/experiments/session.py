@@ -6,8 +6,15 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 from repro.campaign.config import CampaignConfig, ExperimentScale, SMOKE_SCALE
+from repro.campaign.engine import (
+    ExecutionEngine,
+    MultiprocessEngine,
+    ProgressCallback,
+    SerialEngine,
+)
 from repro.campaign.results import ResultStore
 from repro.campaign.runner import CampaignRunner
+from repro.errors import ConfigurationError
 
 
 class ExperimentSession:
@@ -17,6 +24,15 @@ class ExperimentSession:
     grids; running them through one session means each campaign executes at
     most once.  A session can also persist its store to disk so repeated
     benchmark invocations do not re-run identical campaigns.
+
+    ``jobs`` selects the execution engine: 1 (the default) runs campaigns
+    serially in-process, larger values fan experiments out to a multiprocess
+    worker pool; pass ``engine`` to supply a custom backend (mutually
+    exclusive with ``jobs``).  Long sweeps checkpoint the store to
+    ``checkpoint_path`` (falling back to ``cache_path``) after every
+    ``checkpoint_every`` completed campaigns; a new session loads the store
+    back from the cache or, failing that, the checkpoint, so interrupted
+    runs resume from the last checkpoint.
     """
 
     def __init__(
@@ -25,22 +41,59 @@ class ExperimentSession:
         scale: ExperimentScale = SMOKE_SCALE,
         store: Optional[ResultStore] = None,
         cache_path: Optional[Union[str, Path]] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+        jobs: int = 1,
+        engine: Optional[ExecutionEngine] = None,
         progress: Optional[Callable[[str], None]] = None,
+        experiment_progress: Optional[ProgressCallback] = None,
     ) -> None:
+        if jobs < 1:
+            raise ConfigurationError("jobs must be at least 1")
+        if engine is not None and jobs != 1:
+            raise ConfigurationError(
+                "jobs and engine are mutually exclusive; size the worker pool "
+                "on the engine instead"
+            )
+        if checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be at least 1")
         self.scale = scale
         self.cache_path = Path(cache_path) if cache_path is not None else None
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
         if store is not None:
             self.store = store
         elif self.cache_path is not None and self.cache_path.exists():
             self.store = ResultStore.load(self.cache_path)
+        elif self.checkpoint_path is not None and self.checkpoint_path.exists():
+            self.store = ResultStore.load(self.checkpoint_path)
         else:
             self.store = ResultStore()
-        self.runner = CampaignRunner(progress=progress)
+        if engine is None:
+            engine = MultiprocessEngine(jobs) if jobs > 1 else SerialEngine()
+        self.runner = CampaignRunner(
+            engine=engine,
+            progress=progress,
+            experiment_progress=experiment_progress,
+        )
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        return self.runner.engine
 
     def ensure(self, configs: Sequence[CampaignConfig]) -> ResultStore:
         """Run any of ``configs`` not yet in the store; return the store."""
         scaled = [config.with_scale(self.scale) for config in configs]
-        self.runner.run_campaigns(scaled, self.store, skip_existing=True)
+        checkpoint = self.checkpoint_path or self.cache_path
+        self.runner.run_campaigns(
+            scaled,
+            self.store,
+            skip_existing=True,
+            checkpoint_path=checkpoint,
+            checkpoint_every=self.checkpoint_every,
+        )
         if self.cache_path is not None:
             self.cache_path.parent.mkdir(parents=True, exist_ok=True)
             self.store.save(self.cache_path)

@@ -168,6 +168,31 @@ class ExperimentRunner:
         )
         return self.run_spec(spec)
 
+    def run_seeded(
+        self,
+        technique: InjectionTechnique,
+        *,
+        max_mbf: int = SINGLE_BIT_MAX_MBF,
+        win_size: int = 0,
+        seed: int,
+        first_candidate: Optional[InjectionCandidate] = None,
+    ) -> ExperimentResult:
+        """Run one experiment from a self-contained seed.
+
+        The experiment's entire randomness (candidate location, bit choices,
+        follow-up slots) derives from ``seed`` alone, so a campaign that
+        assigns one derived seed per experiment index can execute its
+        experiments in any order or process and replay any of them alone.
+        """
+        rng = random.Random(seed)
+        return self.run_sampled(
+            technique,
+            max_mbf=max_mbf,
+            win_size=win_size,
+            rng=rng,
+            first_candidate=first_candidate,
+        )
+
     # -- outcome classification -----------------------------------------------------------
     def classify(self, execution: ExecutionResult) -> Outcome:
         """Map a VM execution result onto the paper's five outcome categories."""

@@ -201,6 +201,38 @@ class TestResultStore:
                 r.to_tuple() for r in original.records
             ]
 
+    def test_json_roundtrip_is_byte_stable(self, tiny_provider, tmp_path):
+        """save -> load -> save produces identical bytes (canonical form)."""
+        store = ResultStore()
+        store.add(self._result(tiny_provider, experiments=12, max_mbf=5))
+        store.add(
+            self._result(
+                tiny_provider, experiments=12, max_mbf=3, win_size=win_size_by_index("w4")
+            )
+        )
+        store.add(self._result(tiny_provider, experiments=12))
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        store.save(first)
+        ResultStore.load(first).save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_save_is_insertion_order_independent(self, tiny_provider, tmp_path):
+        results = [
+            self._result(tiny_provider, experiments=10),
+            self._result(tiny_provider, experiments=10, max_mbf=3),
+        ]
+        forward, backward = ResultStore(), ResultStore()
+        for result in results:
+            forward.add(result)
+        for result in reversed(results):
+            backward.add(result)
+        forward.save(tmp_path / "forward.json")
+        backward.save(tmp_path / "backward.json")
+        assert (tmp_path / "forward.json").read_bytes() == (
+            tmp_path / "backward.json"
+        ).read_bytes()
+
     def test_sdc_estimate_and_percentages(self, tiny_provider):
         result = self._result(tiny_provider, experiments=40)
         total = (

@@ -128,3 +128,20 @@ class TestSessionCaching:
         # Re-running the same figure must not add campaigns (all cache hits).
         figure1(second, ["crc32"])
         assert len(second.store) == campaigns_before
+
+    def test_checkpoint_only_session_resumes(self, tmp_path):
+        """A session given only a checkpoint path loads the store back from it."""
+        checkpoint = tmp_path / "checkpoint.json"
+        first = ExperimentSession(scale=TINY, checkpoint_path=checkpoint)
+        figure1(first, ["crc32"])
+        assert checkpoint.exists()
+
+        resumed = ExperimentSession(scale=TINY, checkpoint_path=checkpoint)
+        assert len(resumed.store) == len(first.store) > 0
+
+    def test_jobs_and_engine_are_mutually_exclusive(self):
+        from repro.campaign import SerialEngine
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExperimentSession(scale=TINY, jobs=4, engine=SerialEngine())
