@@ -45,11 +45,18 @@ def registry_provider(program_name: str) -> ExperimentRunner:
 class CachingProvider:
     """Caches one ExperimentRunner per workload around any provider.
 
+    A cached runner bundles everything a worker needs per workload: the
+    compiled module, its decoded executable form
+    (:attr:`~repro.injection.experiment.ExperimentRunner.decoded`) and the
+    golden trace — so compile, decode and profile all happen once per
+    process, and every experiment only pays for execution.
+
     Picklable as long as the wrapped provider is: the cache is dropped when
     the wrapper crosses a process boundary (compiled workloads are heavy and
     each worker profiles its own), so the default registry provider survives
     even ``spawn``-based pools.  Under ``fork``, workers inherit a warmed
-    cache and skip compilation entirely.
+    cache — decoded program and golden trace included — and skip all three
+    steps entirely.
     """
 
     def __init__(self, provider: Optional[RunnerProvider] = None) -> None:
@@ -213,9 +220,10 @@ class SerialEngine(ExecutionEngine):
 
 # -- multiprocess worker plumbing ---------------------------------------------------
 #
-# Workers are initialised once per process: the provider compiles the workload
-# and profiles the golden trace, then every batch reuses it.  Module-level
-# state is required because multiprocessing initialisers cannot return values.
+# Workers are initialised once per process: the provider compiles the
+# workload, decodes it into executable form and profiles the golden trace,
+# then every batch reuses all three.  Module-level state is required because
+# multiprocessing initialisers cannot return values.
 
 _WORKER_RUNNER: Optional[ExperimentRunner] = None
 
@@ -294,8 +302,9 @@ class MultiprocessEngine(ExecutionEngine):
         ]
         context = multiprocessing.get_context(self._start_method)
         if self._start_method == "fork":
-            # Compile + profile in the parent first: forked workers inherit
-            # the warmed provider cache instead of each rebuilding it.
+            # Compile + decode + profile in the parent first: forked workers
+            # inherit the warmed provider cache (decoded program and golden
+            # trace included) instead of each rebuilding it.
             provider(config.program)
         started = time.monotonic()
         done = 0

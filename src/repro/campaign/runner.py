@@ -1,8 +1,9 @@
 """Campaign execution: run every experiment of one or more campaigns.
 
 The runner caches one :class:`~repro.injection.experiment.ExperimentRunner`
-per workload (compiling the program and profiling its golden trace exactly
-once in this process), and delegates per-experiment execution to a pluggable
+per workload (compiling the program, decoding it into its executable form
+and profiling its golden trace exactly once in this process), and delegates
+per-experiment execution to a pluggable
 :class:`~repro.campaign.engine.ExecutionEngine` — serial by default, a
 multiprocess worker pool when throughput matters.  Seeding is derived per
 experiment index from the campaign configuration, so every engine produces

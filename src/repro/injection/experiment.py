@@ -9,21 +9,56 @@ does:
    candidate space, executes the program once with a
    :class:`~repro.injection.injector.FaultInjector` installed, and classifies
    the outcome against the golden output per §III-E.
+
+The runner lowers the workload into its decoded executable form
+(:mod:`repro.vm.program`) exactly once; the profiling run and every faulty
+run share that one artifact, so per-experiment cost is execution only.  The
+``backend`` knob selects the tree-walking
+:class:`~repro.vm.reference.ReferenceInterpreter` instead — the seam the
+differential test suite uses to prove both paths produce bit-identical
+results.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
+from repro.errors import ConfigurationError
 from repro.frontend.compiler import CompiledProgram
 from repro.injection.faultmodel import FaultSpec, InjectionRecord, SINGLE_BIT_MAX_MBF
 from repro.injection.injector import FaultInjector
 from repro.injection.outcome import Outcome
 from repro.injection.techniques import InjectionCandidate, InjectionTechnique
 from repro.vm.interpreter import ExecutionLimits, ExecutionResult, Interpreter
+from repro.vm.program import DecodedProgram, decode_module
+from repro.vm.reference import ReferenceInterpreter
 from repro.vm.trace import GoldenTrace, TraceCollector
+
+#: Execution backends an experiment can run on.  ``"decoded"`` is the
+#: production hot path; ``"reference"`` walks the IR tree and exists for
+#: differential verification.
+BACKENDS = ("decoded", "reference")
+
+
+def _make_interpreter(
+    program: CompiledProgram,
+    backend: str,
+    decoded: Optional[DecodedProgram] = None,
+    **kwargs,
+):
+    if backend == "decoded":
+        return Interpreter(
+            decoded if decoded is not None else decode_module(program.module),
+            entry=program.entry,
+            **kwargs,
+        )
+    if backend == "reference":
+        return ReferenceInterpreter(program.module, entry=program.entry, **kwargs)
+    raise ConfigurationError(
+        f"unknown execution backend {backend!r}; expected one of {BACKENDS}"
+    )
 
 
 def profile_program(
@@ -31,6 +66,8 @@ def profile_program(
     args: Sequence = (),
     *,
     limits: Optional[ExecutionLimits] = None,
+    backend: str = "decoded",
+    decoded: Optional[DecodedProgram] = None,
 ) -> GoldenTrace:
     """Run the program fault-free and collect its golden trace.
 
@@ -38,9 +75,10 @@ def profile_program(
     without any injected fault is a benchmark bug, not an experiment outcome.
     """
     collector = TraceCollector()
-    interpreter = Interpreter(
-        program.module,
-        entry=program.entry,
+    interpreter = _make_interpreter(
+        program,
+        backend,
+        decoded,
         limits=limits or ExecutionLimits(),
         trace_collector=collector,
     )
@@ -80,9 +118,10 @@ class ExperimentResult:
 class ExperimentRunner:
     """Runs fault-injection experiments for one workload.
 
-    A *workload* is a compiled program plus its (fixed) input; the golden
-    trace is computed once and reused by every experiment, mirroring LLFI's
-    profile-then-inject workflow.
+    A *workload* is a compiled program plus its (fixed) input; the program is
+    decoded and the golden trace profiled exactly once, then reused by every
+    experiment — mirroring LLFI's profile-then-inject workflow with the
+    decode step amortised the same way.
     """
 
     def __init__(
@@ -92,10 +131,22 @@ class ExperimentRunner:
         args: Sequence = (),
         golden: Optional[GoldenTrace] = None,
         watchdog_multiplier: int = 12,
+        backend: str = "decoded",
     ) -> None:
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown execution backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.program = program
+        self.backend = backend
+        #: The shared decoded artifact (None on the reference backend).
+        self.decoded: Optional[DecodedProgram] = (
+            decode_module(program.module) if backend == "decoded" else None
+        )
         self.args = list(args)
-        self.golden = golden or profile_program(program, self.args)
+        self.golden = golden or profile_program(
+            program, self.args, backend=backend, decoded=self.decoded
+        )
         self.watchdog_multiplier = watchdog_multiplier
         self.limits = ExecutionLimits.for_golden_length(
             self.golden.dynamic_instruction_count, watchdog_multiplier
@@ -131,9 +182,10 @@ class ExperimentRunner:
     def run_spec(self, spec: FaultSpec) -> ExperimentResult:
         """Execute one faulty run and classify its outcome."""
         injector = FaultInjector(spec)
-        interpreter = Interpreter(
-            self.program.module,
-            entry=self.program.entry,
+        interpreter = _make_interpreter(
+            self.program,
+            self.backend,
+            self.decoded,
             limits=self.limits,
             read_hook=injector.read_hook if spec.technique == "inject-on-read" else None,
             write_hook=injector.write_hook if spec.technique == "inject-on-write" else None,

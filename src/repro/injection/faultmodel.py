@@ -86,12 +86,15 @@ WIN_SIZE_SPECS: Tuple[WinSizeSpec, ...] = (
 )
 
 
+_WIN_SIZE_BY_INDEX = {spec.index: spec for spec in WIN_SIZE_SPECS}
+
+
 def win_size_by_index(index: str) -> WinSizeSpec:
     """Look up a win-size specification by its Table I index (``"w3"``)."""
-    for spec in WIN_SIZE_SPECS:
-        if spec.index == index:
-            return spec
-    raise ConfigurationError(f"unknown win-size index {index!r}")
+    try:
+        return _WIN_SIZE_BY_INDEX[index]
+    except KeyError:
+        raise ConfigurationError(f"unknown win-size index {index!r}") from None
 
 
 @dataclass(frozen=True)

@@ -18,18 +18,26 @@ paper's extended-LLFI semantics:
 * every flip actually performed is recorded as an
   :class:`~repro.injection.faultmodel.InjectionRecord` (an *activated* error),
   which is what the RQ1 analysis of Fig. 3 consumes.
+
+The hooks are slot-indexed and representation-agnostic: ``instruction`` is
+whatever the executing backend passes (a decoded instruction on the hot path,
+an IR instruction on the reference interpreter — both expose ``opcode``) and
+``register`` is always the targeted
+:class:`~repro.ir.values.VirtualRegister`.  Because the hooks fire on every
+eligible register access of a run, their not-yet-scheduled exit path is kept
+to a couple of attribute reads.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.errors import ConfigurationError
 from repro.injection.faultmodel import FaultSpec, InjectionRecord
-from repro.ir.instructions import Instruction
 from repro.ir.values import VirtualRegister
 from repro.vm import bitops
+from repro.vm.interpreter import HookInstruction, RuntimeScalar
 
 
 class FaultInjector:
@@ -45,6 +53,12 @@ class FaultInjector:
         self._next_time = spec.first_dynamic_index
         self._remaining = spec.max_mbf
         self._first_done = False
+        # Hot-path constants, hoisted out of the per-access hook calls.
+        self._is_read = spec.technique == "inject-on-read"
+        self._first_slot = spec.first_slot
+        self._first_index = spec.first_dynamic_index
+        self._same_register = spec.same_register
+        self._step = max(spec.win_size, 1)
 
     # -- public accounting -------------------------------------------------------
     @property
@@ -65,57 +79,60 @@ class FaultInjector:
     def read_hook(
         self,
         dynamic_index: int,
-        instruction: Instruction,
+        instruction: HookInstruction,
         slot: int,
         register: VirtualRegister,
-        value,
-    ):
-        if self.spec.technique != "inject-on-read":
+        value: RuntimeScalar,
+    ) -> RuntimeScalar:
+        if not self._is_read:
             return value
-        return self._maybe_inject(dynamic_index, instruction, slot, register, value, "read")
+        if self._remaining <= 0 or dynamic_index < self._next_time:
+            return value
+        return self._inject(dynamic_index, instruction, slot, register, value, "read")
 
     def write_hook(
         self,
         dynamic_index: int,
-        instruction: Instruction,
+        instruction: HookInstruction,
         register: VirtualRegister,
-        value,
-    ):
-        if self.spec.technique != "inject-on-write":
+        value: RuntimeScalar,
+    ) -> RuntimeScalar:
+        if self._is_read:
             return value
-        return self._maybe_inject(dynamic_index, instruction, None, register, value, "write")
+        if self._remaining <= 0 or dynamic_index < self._next_time:
+            return value
+        return self._inject(dynamic_index, instruction, None, register, value, "write")
 
     # -- injection logic ---------------------------------------------------------------
-    def _maybe_inject(
+    def _inject(
         self,
         dynamic_index: int,
-        instruction: Instruction,
+        instruction: HookInstruction,
         slot: Optional[int],
         register: VirtualRegister,
-        value,
+        value: RuntimeScalar,
         access: str,
-    ):
-        if self.exhausted or dynamic_index < self._next_time:
-            return value
-
+    ) -> RuntimeScalar:
         if not self._first_done:
             # The first injection must land exactly on the location the spec
-            # names.  If this access is earlier-than-scheduled we already
-            # returned above; if it is the scheduled instruction but a
+            # names.  If this access is earlier-than-scheduled the hooks
+            # already returned; if it is the scheduled instruction but a
             # different operand slot, wait for the right slot.
-            if dynamic_index == self.spec.first_dynamic_index:
-                if self.spec.first_slot is not None and slot != self.spec.first_slot:
+            if dynamic_index == self._first_index:
+                if self._first_slot is not None and slot != self._first_slot:
                     return value
             # If the scheduled instruction was skipped (possible only if the
             # spec does not come from the golden trace), fall through and
             # inject at the first eligible access after it.
             self._first_done = True
-            if self.spec.same_register:
-                return self._inject_same_register(dynamic_index, instruction, register, value, access)
+            if self._same_register:
+                return self._inject_same_register(
+                    dynamic_index, instruction, register, value, access
+                )
 
         return self._inject_one(dynamic_index, instruction, register, value, access)
 
-    def _pick_bit(self, register: VirtualRegister, exclude: Optional[set] = None) -> int:
+    def _pick_bit(self, register: VirtualRegister, exclude: Optional[Set[int]] = None) -> int:
         width = bitops.bit_width(register.type)
         if exclude and len(exclude) >= width:
             exclude = None
@@ -127,11 +144,11 @@ class FaultInjector:
     def _record(
         self,
         dynamic_index: int,
-        instruction: Instruction,
+        instruction: HookInstruction,
         register: VirtualRegister,
         bit: int,
-        before,
-        after,
+        before: RuntimeScalar,
+        after: RuntimeScalar,
         access: str,
     ) -> None:
         self.injections.append(
@@ -149,30 +166,30 @@ class FaultInjector:
     def _inject_one(
         self,
         dynamic_index: int,
-        instruction: Instruction,
+        instruction: HookInstruction,
         register: VirtualRegister,
-        value,
+        value: RuntimeScalar,
         access: str,
-    ):
+    ) -> RuntimeScalar:
         bit = self._pick_bit(register)
         corrupted = bitops.flip_bit(value, register.type, bit)
         self._record(dynamic_index, instruction, register, bit, value, corrupted, access)
         self._remaining -= 1
-        self._next_time = dynamic_index + max(self.spec.win_size, 1)
+        self._next_time = dynamic_index + self._step
         return corrupted
 
     def _inject_same_register(
         self,
         dynamic_index: int,
-        instruction: Instruction,
+        instruction: HookInstruction,
         register: VirtualRegister,
-        value,
+        value: RuntimeScalar,
         access: str,
-    ):
+    ) -> RuntimeScalar:
         """win-size = 0: flip ``max_mbf`` distinct bits of this one register."""
         width = bitops.bit_width(register.type)
         flips = min(self._remaining, width)
-        chosen: set = set()
+        chosen: Set[int] = set()
         corrupted = value
         for _ in range(flips):
             bit = self._pick_bit(register, exclude=chosen)

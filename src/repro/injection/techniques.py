@@ -163,13 +163,15 @@ INJECT_ON_WRITE = InjectOnWrite()
 #: Both techniques, in the order the paper lists them.
 TECHNIQUES: Tuple[InjectionTechnique, ...] = (INJECT_ON_READ, INJECT_ON_WRITE)
 
+_TECHNIQUES_BY_NAME = {technique.name: technique for technique in TECHNIQUES}
+
 
 def technique_by_name(name: str) -> InjectionTechnique:
-    """Resolve a technique by its configuration name."""
-    for technique in TECHNIQUES:
-        if technique.name == name:
-            return technique
-    raise ConfigurationError(
-        f"unknown injection technique {name!r}; expected one of "
-        f"{[t.name for t in TECHNIQUES]}"
-    )
+    """Resolve a technique by its configuration name (constant-time)."""
+    try:
+        return _TECHNIQUES_BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown injection technique {name!r}; expected one of "
+            f"{[t.name for t in TECHNIQUES]}"
+        ) from None

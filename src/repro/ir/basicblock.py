@@ -28,6 +28,9 @@ class BasicBlock:
             )
         instruction.parent = self
         self.instructions.append(instruction)
+        if self.parent is not None:
+            # Static numbering (and any decoded form) is stale now.
+            self.parent._finalized = False
         return instruction
 
     @property

@@ -97,6 +97,25 @@ class Instruction:
     def replace_operand(self, index: int, new_value: Value) -> None:
         """Replace operand ``index`` (used by the frontend's phi fix-ups)."""
         self.operands[index] = new_value
+        self._invalidate_static_views()
+
+    def _invalidate_static_views(self) -> None:
+        """Drop cached trace metadata and force a re-decode of the module.
+
+        Operand rewrites change neither instruction counts nor static
+        numbering, so the decode cache on the module must be dropped
+        explicitly — a later ``finalize()`` would otherwise make the stale
+        decoded program look valid again.
+        """
+        self._static_meta = None
+        block = self.parent
+        if block is not None:
+            function = block.parent
+            if function is not None:
+                function._finalized = False
+                module = function.parent
+                if module is not None:
+                    module._decoded_program = None
 
     def describe(self) -> str:
         """Short human-readable description used in traces and errors."""
@@ -302,6 +321,7 @@ class Phi(Instruction):
         self._incoming_blocks[block.name] = block
         if value not in self.operands:
             self.operands.append(value)
+        self._invalidate_static_views()
 
     def incoming_pairs(self) -> List[Tuple[Value, "BasicBlock"]]:
         return [(self.incoming[name], self._incoming_blocks[name]) for name in self.incoming]

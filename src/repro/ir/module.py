@@ -61,9 +61,21 @@ class Module:
 
     # -- bulk operations ----------------------------------------------------
     def finalize(self) -> None:
-        """Assign static instruction indices in every function."""
+        """Assign static instruction indices in every function.
+
+        Already-finalized functions are skipped, so calling this on an
+        unchanged module (as every interpreter construction does) is cheap.
+        Structural mutations — adding blocks, appending instructions,
+        rewriting operands — mark the owning function non-finalized again.
+        """
         for function in self.functions.values():
-            function.finalize()
+            if not function.is_finalized:
+                function.finalize()
+
+    @property
+    def is_finalized(self) -> bool:
+        """True when every function has up-to-date static numbering."""
+        return all(function.is_finalized for function in self.functions.values())
 
     def all_instructions(self) -> Iterator:
         for function in self.functions.values():

@@ -15,6 +15,7 @@ from repro.errors import ConfigurationError
 from repro.frontend.compiler import CompiledProgram
 from repro.injection.experiment import ExperimentRunner
 from repro.programs.definition import ProgramDefinition
+from repro.vm.program import DecodedProgram, decode_module
 from repro.programs.mibench import basicmath, crc32, dijkstra, fft, qsort, sha, stringsearch, susan
 from repro.programs.parboil import bfs, histo, sad, spmv
 
@@ -72,6 +73,12 @@ def build_program(name: str) -> CompiledProgram:
 
 
 @lru_cache(maxsize=None)
+def get_decoded_program(name: str) -> DecodedProgram:
+    """The decoded executable form of a benchmark (cached per process)."""
+    return decode_module(build_program(name).module)
+
+
+@lru_cache(maxsize=None)
 def get_experiment_runner(name: str) -> ExperimentRunner:
-    """A ready-to-use experiment runner (golden trace profiled, cached)."""
+    """A ready-to-use experiment runner (decoded + golden trace, cached)."""
     return ExperimentRunner(build_program(name))

@@ -14,6 +14,13 @@ needs:
 * a dynamic-instruction watchdog detects hangs;
 * program output is collected into an output buffer compared bit-wise
   against a golden run to detect silent data corruptions.
+
+Execution has two backends sharing one semantic contract:
+:class:`Interpreter` drives the decode-once representation of
+:mod:`repro.vm.program` (the campaign hot path — registers numbered into
+flat frames, handlers pre-bound, phi moves precomputed per edge), while
+:class:`~repro.vm.reference.ReferenceInterpreter` walks the IR tree directly
+and serves as the oracle for the differential test suite.
 """
 
 from repro.vm.faults import (
@@ -26,12 +33,34 @@ from repro.vm.faults import (
     SegmentationFault,
 )
 from repro.vm.memory import Memory, MemorySegment
-from repro.vm.interpreter import ExecutionLimits, ExecutionResult, Interpreter
-from repro.vm.trace import DynamicInstructionRecord, GoldenTrace, TraceCollector
+from repro.vm.program import (
+    DecodedFunction,
+    DecodedInstruction,
+    DecodedProgram,
+    decode_module,
+)
+from repro.vm.interpreter import (
+    ExecutionLimits,
+    ExecutionResult,
+    Interpreter,
+    ReadHook,
+    WriteHook,
+)
+from repro.vm.reference import ReferenceInterpreter
+from repro.vm.trace import (
+    DynamicInstructionRecord,
+    GoldenTrace,
+    StaticInstructionMeta,
+    TraceCollector,
+)
 
 __all__ = [
     "AbortFault",
     "ArithmeticFault",
+    "DecodedFunction",
+    "DecodedInstruction",
+    "DecodedProgram",
+    "decode_module",
     "DynamicInstructionRecord",
     "ExecutionLimits",
     "ExecutionResult",
@@ -43,6 +72,10 @@ __all__ = [
     "Memory",
     "MemorySegment",
     "MisalignedAccessFault",
+    "ReadHook",
+    "ReferenceInterpreter",
     "SegmentationFault",
+    "StaticInstructionMeta",
     "TraceCollector",
+    "WriteHook",
 ]

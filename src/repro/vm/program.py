@@ -1,0 +1,1167 @@
+"""Decode-once executable program representation (the VM hot path).
+
+A fault-injection campaign executes the same workload thousands of times —
+one golden profiling run plus one faulty run per experiment.  Walking the IR
+tree on every run pays for ``isinstance`` dispatch, type-keyed handler
+lookup, ``id(register)`` frame hashing and phi scans on every executed
+instruction.  This module performs that work **once**, lowering a finalized
+:class:`~repro.ir.module.Module` into a dense, slot-indexed form that the
+driver in :mod:`repro.vm.interpreter` executes directly:
+
+* every virtual register of a function is numbered into a flat frame array
+  (``frame[slot]`` instead of ``registers[id(register)]``);
+* every operand is pre-resolved to a ``(kind, slot-or-constant, register,
+  hook-slot, canonicalizer)`` record, so operand fetch is a tuple index;
+* every instruction gets a pre-bound handler and pre-extracted immutable
+  facts (wrap functions, strides, value types, intrinsic bindings), so the
+  inner loop performs no ``isinstance`` checks at all;
+* phi moves are precomputed per ``(predecessor, successor)`` control-flow
+  edge;
+* terminators are pre-classified into small integer kinds the driver
+  switches on;
+* each instruction carries its (shared) static trace metadata, so golden
+  profiling is a single list append per tick.
+
+Decoding is deterministic and side-effect free with respect to execution
+state: a :class:`DecodedProgram` is immutable and shared — the golden-trace
+profiling run and every injection run of a campaign execute the same decoded
+artifact.  :func:`decode_module` caches the decoded form on the module and
+re-decodes automatically when the module is structurally modified.
+
+Behavioural contract: executing a decoded program is **bit-identical** to
+the reference tree-walking interpreter — same golden traces, same hook call
+sequence (and therefore identical injected faults for identical seeds), same
+fault classification.  ``tests/test_decoded_differential.py`` enforces this
+across every registry program.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionSetupError
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    Compare,
+    CondBranch,
+    GetElementPtr,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.module import Module
+from repro.ir.types import FloatType, IntType, IRType, PointerType, I64
+from repro.ir.values import Constant, GlobalVariable, Value, VirtualRegister
+from repro.vm import bitops
+from repro.vm.faults import (
+    AbortFault,
+    ArithmeticFault,
+    HardwareFault,
+    MisalignedAccessFault,
+    SegmentationFault,
+)
+from repro.vm.runtime import MATH_INTRINSICS, ProgramExit, RuntimeScalar, guard_float
+from repro.vm.trace import StaticInstructionMeta, static_meta
+
+_MASK64 = (1 << 64) - 1
+
+#: Sentinel stored in frame slots that have not been written yet.
+UNDEFINED = object()
+
+# Operand kinds (first element of an operand record).
+OP_CONSTANT = 0
+OP_REGISTER = 1
+OP_GLOBAL = 2
+
+#: A pre-resolved operand: ``(kind, payload, register, hook_slot, canon)``.
+#: ``payload`` is the constant value, the frame slot, or the global index;
+#: ``hook_slot`` is the operand's index among the instruction's register
+#: operands (the inject-on-read slot); ``canon`` re-canonicalizes a value the
+#: read hook may have replaced.
+OperandRecord = Tuple[int, object, Optional[VirtualRegister], int, Optional[Callable]]
+
+# Instruction kinds the driver loop switches on.
+KIND_SIMPLE = 0
+KIND_BRANCH = 1
+KIND_COND_BRANCH = 2
+KIND_RETURN = 3
+KIND_UNREACHABLE = 4
+
+
+# --------------------------------------------------------------------------- canonicalizers
+def _canon_f32(value: RuntimeScalar) -> float:
+    # Round-trip through 32-bit storage so f32 arithmetic stays f32.
+    return bitops.bits_to_float(bitops.float_to_bits(float(value), 32), 32)
+
+
+def _canon_pointer(value: RuntimeScalar) -> int:
+    return int(value) & _MASK64
+
+
+def canonicalizer_for(ir_type: IRType) -> Callable[[RuntimeScalar], RuntimeScalar]:
+    """A pre-bound equivalent of ``bitops.canonicalize(value, ir_type)``."""
+    if isinstance(ir_type, IntType):
+        wrap = ir_type.wrap
+
+        def canon_int(value: RuntimeScalar, _wrap=wrap) -> int:
+            return _wrap(int(value))
+
+        return canon_int
+    if isinstance(ir_type, FloatType):
+        if ir_type.width == 32:
+            return _canon_f32
+        return float
+    if isinstance(ir_type, PointerType):
+        return _canon_pointer
+
+    def canon_invalid(value: RuntimeScalar, _type=ir_type) -> RuntimeScalar:
+        raise TypeError(f"cannot canonicalise a value of type {_type}")
+
+    return canon_invalid
+
+
+# --------------------------------------------------------------------------- decoded objects
+class DecodedInstruction:
+    """One pre-decoded instruction: handler plus pre-extracted facts.
+
+    Instances are plain data — all execution state lives on the driver.  The
+    object intentionally exposes ``opcode`` (and the originating ``result``
+    register through ``result_reg``) so injection hooks written against the
+    IR instruction interface keep working unchanged.
+    """
+
+    __slots__ = (
+        "kind",
+        "handler",
+        "opcode",
+        "operands",
+        "dest_slot",
+        "result_reg",
+        "canon",
+        "canon_in",
+        "meta",
+        "func_name",
+        "operation",
+        "to_unsigned",
+        "nan_flag",
+        "compare_fn",
+        "element_size",
+        "element_align",
+        "value_type",
+        "mem_size",
+        "mem_align",
+        "loader",
+        "storer",
+        "stride",
+        "callee",
+        "intrinsic_fn",
+        "target",
+        "if_true",
+        "if_false",
+        "ret_type",
+        "error_message",
+    )
+
+    def __init__(self, opcode: str, meta: StaticInstructionMeta, func_name: str) -> None:
+        self.kind = KIND_SIMPLE
+        self.handler = None
+        self.opcode = opcode
+        self.operands: Tuple[OperandRecord, ...] = ()
+        self.dest_slot = -1
+        self.result_reg: Optional[VirtualRegister] = None
+        self.canon: Optional[Callable] = None
+        self.canon_in: Optional[Callable] = None
+        self.meta = meta
+        self.func_name = func_name
+        self.operation = None
+        self.to_unsigned = None
+        self.nan_flag = False
+        self.compare_fn = None
+        self.element_size = 0
+        self.element_align = 1
+        self.value_type: Optional[IRType] = None
+        self.mem_size = 0
+        self.mem_align = 1
+        self.loader = None
+        self.storer = None
+        self.stride = 0
+        self.callee: Optional["DecodedFunction"] = None
+        self.intrinsic_fn = None
+        self.target: Optional["DecodedBlock"] = None
+        self.if_true: Optional["DecodedBlock"] = None
+        self.if_false: Optional["DecodedBlock"] = None
+        self.ret_type: Optional[IRType] = None
+        self.error_message: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DecodedInstruction {self.opcode} @{self.func_name}>"
+
+
+class DecodedBlock:
+    """One basic block in decoded form."""
+
+    __slots__ = ("index", "name", "code", "code_len", "phi_count", "phi_edges")
+
+    def __init__(self, index: int, name: str) -> None:
+        self.index = index
+        self.name = name
+        #: Non-phi instructions in order, terminator (pre-classified) last.
+        self.code: Tuple[DecodedInstruction, ...] = ()
+        self.code_len = 0
+        self.phi_count = 0
+        #: pred block index (-1 = function entry) ->
+        #: ``(moves, failure_message)``; ``moves`` is a tuple of
+        #: ``(operand_record, phi_din)`` pairs, truncated before the first
+        #: phi lacking an incoming value for that predecessor (in which case
+        #: ``failure_message`` carries the fault text).
+        self.phi_edges: Dict[int, Tuple[Tuple[Tuple[OperandRecord, DecodedInstruction], ...], Optional[str]]] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DecodedBlock %{self.name} ({self.code_len} instructions)>"
+
+
+class DecodedFunction:
+    """One function in decoded form: dense frame plus decoded blocks."""
+
+    __slots__ = (
+        "name",
+        "frame_size",
+        "arg_count",
+        "arg_canons",
+        "blocks",
+        "entry",
+        "return_type",
+        "function",
+    )
+
+    def __init__(self, function: Function) -> None:
+        self.name = function.name
+        self.frame_size = 0
+        self.arg_count = len(function.arguments)
+        #: Per-argument canonicalizers; argument ``i`` lives in frame slot ``i``.
+        self.arg_canons: Tuple[Callable, ...] = ()
+        self.blocks: Tuple[DecodedBlock, ...] = ()
+        self.entry: Optional[DecodedBlock] = None
+        self.return_type = function.return_type
+        #: The IR function this was decoded from (debugging / introspection).
+        self.function = function
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DecodedFunction @{self.name} ({self.frame_size} slots, "
+            f"{len(self.blocks)} blocks)>"
+        )
+
+
+class DecodedProgram:
+    """A module lowered to its dense executable form.
+
+    Immutable once built; the interpreter only reads it, so one decoded
+    program is shared by the profiling run and every injection run of a
+    campaign (and, under ``fork``-based pools, by every worker process).
+    """
+
+    def __init__(self, module: Module) -> None:
+        if not module.is_finalized:
+            module.finalize()
+        self.module = module
+        #: Globals in materialisation order; operand records index into this.
+        self.global_variables: Tuple[GlobalVariable, ...] = tuple(module.globals.values())
+        self._global_index: Dict[str, int] = {
+            name: index for index, name in enumerate(module.globals)
+        }
+        # Two passes: create shells first so calls can bind their callee
+        # directly to the decoded function, then decode the bodies.
+        self.functions: Dict[str, DecodedFunction] = {
+            name: DecodedFunction(function) for name, function in module.functions.items()
+        }
+        for name, function in module.functions.items():
+            _FunctionDecoder(self, function, self.functions[name]).decode()
+        self.signature = module_signature(module)
+
+    def has_function(self, name: str) -> bool:
+        return name in self.functions
+
+    def get_function(self, name: str) -> DecodedFunction:
+        return self.functions[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DecodedProgram {self.module.name}: {len(self.functions)} functions>"
+
+
+def module_signature(module: Module) -> Tuple:
+    """A cheap structural fingerprint used to validate the decode cache."""
+    return (
+        tuple(
+            (name, function.instruction_count(), len(function.blocks))
+            for name, function in module.functions.items()
+        ),
+        tuple(module.globals),
+    )
+
+
+def decode_module(module: Module) -> DecodedProgram:
+    """Decode ``module``, reusing the cached decoded form when still valid.
+
+    The cache lives on the module object itself and is invalidated whenever
+    the module is structurally modified (adding blocks, appending or
+    rewriting instructions marks the module non-finalized, which forces a
+    re-decode here).
+    """
+    cached: Optional[DecodedProgram] = getattr(module, "_decoded_program", None)
+    if (
+        cached is not None
+        and module.is_finalized
+        and cached.signature == module_signature(module)
+    ):
+        return cached
+    program = DecodedProgram(module)
+    module._decoded_program = program
+    return program
+
+
+# --------------------------------------------------------------------------- read helpers
+def _read_op(vm, frame, din: DecodedInstruction, op: OperandRecord):
+    """Fetch one pre-resolved operand, applying the inject-on-read hook."""
+    kind = op[0]
+    if kind == OP_REGISTER:
+        value = frame[op[1]]
+        if value is UNDEFINED:
+            raise ExecutionSetupError(
+                f"register {op[2].short_name()} used before definition in "
+                f"@{din.func_name}"
+            )
+        hook = vm.read_hook
+        if hook is not None:
+            value = hook(vm.dynamic_index - 1, din, op[3], op[2], value)
+            value = op[4](value)
+        return value
+    if kind == OP_CONSTANT:
+        return op[1]
+    return vm.global_values[op[1]]
+
+
+def _finish(vm, frame, din: DecodedInstruction, value):
+    """Store an (already canonical) result, applying the write hook."""
+    hook = vm.write_hook
+    if hook is not None:
+        value = hook(vm.dynamic_index - 1, din, din.result_reg, value)
+        value = din.canon(value)
+    frame[din.dest_slot] = value
+
+
+# --------------------------------------------------------------------------- handlers
+#
+# The hottest handlers inline the no-hook register/constant operand fetch;
+# undefined slots and active read hooks fall back to _read_op, which raises
+# or applies the hook with identical semantics.
+
+
+def _h_int_binop(vm, frame, din):
+    op0, op1 = din.operands
+    kind = op0[0]
+    if kind == 1:
+        lhs = frame[op0[1]]
+        if lhs is UNDEFINED or vm.read_hook is not None:
+            lhs = _read_op(vm, frame, din, op0)
+    elif kind == 0:
+        lhs = op0[1]
+    else:
+        lhs = vm.global_values[op0[1]]
+    kind = op1[0]
+    if kind == 1:
+        rhs = frame[op1[1]]
+        if rhs is UNDEFINED or vm.read_hook is not None:
+            rhs = _read_op(vm, frame, din, op1)
+    elif kind == 0:
+        rhs = op1[1]
+    else:
+        rhs = vm.global_values[op1[1]]
+    value = din.operation(vm, int(lhs), int(rhs))
+    if vm.write_hook is None:
+        frame[din.dest_slot] = value
+    else:
+        _finish(vm, frame, din, value)
+
+
+def _h_float_binop(vm, frame, din):
+    op0, op1 = din.operands
+    kind = op0[0]
+    if kind == 1:
+        lhs = frame[op0[1]]
+        if lhs is UNDEFINED or vm.read_hook is not None:
+            lhs = _read_op(vm, frame, din, op0)
+    else:
+        lhs = op0[1] if kind == 0 else vm.global_values[op0[1]]
+    kind = op1[0]
+    if kind == 1:
+        rhs = frame[op1[1]]
+        if rhs is UNDEFINED or vm.read_hook is not None:
+            rhs = _read_op(vm, frame, din, op1)
+    else:
+        rhs = op1[1] if kind == 0 else vm.global_values[op1[1]]
+    value = din.canon(din.operation(float(lhs), float(rhs)))
+    if vm.write_hook is None:
+        frame[din.dest_slot] = value
+    else:
+        _finish(vm, frame, din, value)
+
+
+def _h_compare(vm, frame, din):
+    op0, op1 = din.operands
+    kind = op0[0]
+    if kind == 1:
+        lhs = frame[op0[1]]
+        if lhs is UNDEFINED or vm.read_hook is not None:
+            lhs = _read_op(vm, frame, din, op0)
+    else:
+        lhs = op0[1] if kind == 0 else vm.global_values[op0[1]]
+    kind = op1[0]
+    if kind == 1:
+        rhs = frame[op1[1]]
+        if rhs is UNDEFINED or vm.read_hook is not None:
+            rhs = _read_op(vm, frame, din, op1)
+    else:
+        rhs = op1[1] if kind == 0 else vm.global_values[op1[1]]
+    to_unsigned = din.to_unsigned
+    if to_unsigned is not None:
+        lhs = to_unsigned(int(lhs))
+        rhs = to_unsigned(int(rhs))
+    if (isinstance(lhs, float) and math.isnan(lhs)) or (
+        isinstance(rhs, float) and math.isnan(rhs)
+    ):
+        result = din.nan_flag
+    else:
+        result = din.compare_fn(lhs, rhs)
+    value = 1 if result else 0
+    if vm.write_hook is None:
+        frame[din.dest_slot] = value
+    else:
+        _finish(vm, frame, din, value)
+
+
+def _h_cast(vm, frame, din):
+    value = din.canon(din.operation(_read_op(vm, frame, din, din.operands[0])))
+    if vm.write_hook is None:
+        frame[din.dest_slot] = value
+    else:
+        _finish(vm, frame, din, value)
+
+
+def _h_alloca(vm, frame, din):
+    count = int(_read_op(vm, frame, din, din.operands[0]))
+    if count < 0 or count > (1 << 24):
+        raise SegmentationFault(
+            f"alloca of {count} elements exceeds the stack segment",
+            dynamic_index=vm.dynamic_index,
+        )
+    size = din.element_size * count
+    try:
+        address = vm.memory.allocate("stack", size, din.element_align)
+    except MemoryError as exhausted:
+        raise SegmentationFault(
+            f"stack exhausted: {exhausted}", dynamic_index=vm.dynamic_index
+        ) from None
+    if vm.write_hook is None:
+        frame[din.dest_slot] = address
+    else:
+        _finish(vm, frame, din, address)
+
+
+def _h_load(vm, frame, din):
+    op0 = din.operands[0]
+    if op0[0] == 1:
+        address = frame[op0[1]]
+        if address is UNDEFINED or vm.read_hook is not None:
+            address = _read_op(vm, frame, din, op0)
+    else:
+        address = op0[1] if op0[0] == 0 else vm.global_values[op0[1]]
+    address = int(address)
+    align = din.mem_align
+    if align > 1 and address % align:
+        raise MisalignedAccessFault(
+            f"access of {din.value_type} at 0x{address:x} is not "
+            f"{align}-byte aligned",
+            dynamic_index=vm.dynamic_index,
+        )
+    try:
+        raw = vm.memory.read_bytes(address, din.mem_size)
+    except HardwareFault as fault:
+        fault.dynamic_index = vm.dynamic_index
+        raise
+    value = din.loader(raw)
+    if vm.write_hook is None:
+        frame[din.dest_slot] = value
+    else:
+        _finish(vm, frame, din, value)
+
+
+def _h_load_generic(vm, frame, din):
+    # Non-scalar load types take the reference path (and its TypeError).
+    address = int(_read_op(vm, frame, din, din.operands[0]))
+    try:
+        value = vm.memory.read_scalar(address, din.value_type)
+    except HardwareFault as fault:
+        fault.dynamic_index = vm.dynamic_index
+        raise
+    if vm.write_hook is None:
+        frame[din.dest_slot] = value
+    else:
+        _finish(vm, frame, din, value)
+
+
+def _h_store(vm, frame, din):
+    op0, op1 = din.operands
+    kind = op0[0]
+    if kind == 1:
+        value = frame[op0[1]]
+        if value is UNDEFINED or vm.read_hook is not None:
+            value = _read_op(vm, frame, din, op0)
+    else:
+        value = op0[1] if kind == 0 else vm.global_values[op0[1]]
+    kind = op1[0]
+    if kind == 1:
+        address = frame[op1[1]]
+        if address is UNDEFINED or vm.read_hook is not None:
+            address = _read_op(vm, frame, din, op1)
+    else:
+        address = op1[1] if kind == 0 else vm.global_values[op1[1]]
+    address = int(address)
+    align = din.mem_align
+    if align > 1 and address % align:
+        raise MisalignedAccessFault(
+            f"access of {din.value_type} at 0x{address:x} is not "
+            f"{align}-byte aligned",
+            dynamic_index=vm.dynamic_index,
+        )
+    try:
+        vm.memory.write_bytes(address, din.storer(value))
+    except HardwareFault as fault:
+        fault.dynamic_index = vm.dynamic_index
+        raise
+
+
+def _h_store_generic(vm, frame, din):
+    value = _read_op(vm, frame, din, din.operands[0])
+    address = int(_read_op(vm, frame, din, din.operands[1]))
+    try:
+        vm.memory.write_scalar(address, value, din.value_type)
+    except HardwareFault as fault:
+        fault.dynamic_index = vm.dynamic_index
+        raise
+
+
+def _h_gep(vm, frame, din):
+    op0, op1 = din.operands
+    kind = op0[0]
+    if kind == 1:
+        base = frame[op0[1]]
+        if base is UNDEFINED or vm.read_hook is not None:
+            base = _read_op(vm, frame, din, op0)
+    else:
+        base = op0[1] if kind == 0 else vm.global_values[op0[1]]
+    kind = op1[0]
+    if kind == 1:
+        index = frame[op1[1]]
+        if index is UNDEFINED or vm.read_hook is not None:
+            index = _read_op(vm, frame, din, op1)
+    else:
+        index = op1[1] if kind == 0 else vm.global_values[op1[1]]
+    address = (int(base) + int(index) * din.stride) & _MASK64
+    if vm.write_hook is None:
+        frame[din.dest_slot] = address
+    else:
+        _finish(vm, frame, din, address)
+
+
+def _h_select(vm, frame, din):
+    condition = _read_op(vm, frame, din, din.operands[0])
+    value = din.canon(
+        _read_op(vm, frame, din, din.operands[1 if condition else 2])
+    )
+    if vm.write_hook is None:
+        frame[din.dest_slot] = value
+    else:
+        _finish(vm, frame, din, value)
+
+
+def _h_call(vm, frame, din):
+    operands = din.operands
+    args = [_read_op(vm, frame, din, op) for op in operands]
+    callee = din.callee
+    if callee is not None:
+        value = vm._run_function(callee, args)
+    else:
+        value = din.intrinsic_fn(vm, args)
+    if din.dest_slot >= 0:
+        if value is None:
+            value = 0
+        _finish(vm, frame, din, din.canon(value))
+
+
+def _h_call_unknown(vm, frame, din):
+    # The reference semantics read (and hook) every argument before the
+    # unknown-callee error is raised; keep that ordering.
+    for op in din.operands:
+        _read_op(vm, frame, din, op)
+    raise ExecutionSetupError(din.error_message)
+
+
+def _h_unsupported(vm, frame, din):
+    raise ExecutionSetupError(din.error_message)
+
+
+# --------------------------------------------------------------------------- operation factories
+def _int_operation(opcode: str, type_: IRType):
+    """Pre-bound integer/pointer arithmetic closure ``(vm, lhs, rhs) -> int``.
+
+    Mirrors the reference interpreter's ``_int_binop`` exactly, including the
+    C-style ``int(lhs / rhs)`` truncation and the fault messages.
+    """
+    if isinstance(type_, PointerType):
+        width = 64
+        wrap = _canon_pointer_wrap
+        to_unsigned = _canon_pointer_wrap
+    else:
+        assert isinstance(type_, IntType)
+        width = type_.width
+        wrap = type_.wrap
+        to_unsigned = type_.to_unsigned
+    min_signed = -(1 << (width - 1))
+
+    if opcode == "add":
+        return lambda vm, lhs, rhs: wrap(lhs + rhs)
+    if opcode == "sub":
+        return lambda vm, lhs, rhs: wrap(lhs - rhs)
+    if opcode == "mul":
+        return lambda vm, lhs, rhs: wrap(lhs * rhs)
+    if opcode == "and":
+        return lambda vm, lhs, rhs: wrap(lhs & rhs)
+    if opcode == "or":
+        return lambda vm, lhs, rhs: wrap(lhs | rhs)
+    if opcode == "xor":
+        return lambda vm, lhs, rhs: wrap(lhs ^ rhs)
+    if opcode == "shl":
+        return lambda vm, lhs, rhs: wrap(to_unsigned(lhs) << (to_unsigned(rhs) % width))
+    if opcode == "lshr":
+        return lambda vm, lhs, rhs: wrap(to_unsigned(lhs) >> (to_unsigned(rhs) % width))
+    if opcode == "ashr":
+        return lambda vm, lhs, rhs: wrap(lhs >> (to_unsigned(rhs) % width))
+    if opcode == "sdiv":
+
+        def sdiv(vm, lhs, rhs):
+            if rhs == 0:
+                raise ArithmeticFault(
+                    "integer sdiv by zero", dynamic_index=vm.dynamic_index
+                )
+            if width > 1 and lhs == min_signed and rhs == -1:
+                raise ArithmeticFault(
+                    "signed division overflow", dynamic_index=vm.dynamic_index
+                )
+            return wrap(int(lhs / rhs))  # C-style truncation toward zero
+
+        return sdiv
+    if opcode == "srem":
+
+        def srem(vm, lhs, rhs):
+            if rhs == 0:
+                raise ArithmeticFault(
+                    "integer srem by zero", dynamic_index=vm.dynamic_index
+                )
+            if width > 1 and lhs == min_signed and rhs == -1:
+                raise ArithmeticFault(
+                    "signed remainder overflow", dynamic_index=vm.dynamic_index
+                )
+            return wrap(lhs - int(lhs / rhs) * rhs)
+
+        return srem
+    if opcode == "udiv":
+
+        def udiv(vm, lhs, rhs):
+            if rhs == 0:
+                raise ArithmeticFault(
+                    "integer udiv by zero", dynamic_index=vm.dynamic_index
+                )
+            return wrap(to_unsigned(lhs) // to_unsigned(rhs))
+
+        return udiv
+    if opcode == "urem":
+
+        def urem(vm, lhs, rhs):
+            if rhs == 0:
+                raise ArithmeticFault(
+                    "integer urem by zero", dynamic_index=vm.dynamic_index
+                )
+            return wrap(to_unsigned(lhs) % to_unsigned(rhs))
+
+        return urem
+
+    def unhandled(vm, lhs, rhs, _opcode=opcode):
+        raise ExecutionSetupError(f"unhandled integer opcode {_opcode}")
+
+    return unhandled
+
+
+def _canon_pointer_wrap(value: int) -> int:
+    return value & _MASK64
+
+
+def _float_operation(opcode: str):
+    """Pre-bound float arithmetic closure ``(lhs, rhs) -> float``."""
+    if opcode == "fadd":
+        return lambda lhs, rhs: guard_float(lhs + rhs)
+    if opcode == "fsub":
+        return lambda lhs, rhs: guard_float(lhs - rhs)
+    if opcode == "fmul":
+
+        def fmul(lhs, rhs):
+            try:
+                return guard_float(lhs * rhs)
+            except OverflowError:
+                return math.inf if (lhs > 0) == (rhs > 0) else -math.inf
+
+        return fmul
+    if opcode == "fdiv":
+
+        def fdiv(lhs, rhs):
+            if rhs == 0.0:
+                if lhs == 0.0 or math.isnan(lhs):
+                    return math.nan
+                return math.inf if lhs > 0 else -math.inf
+            try:
+                return guard_float(lhs / rhs)
+            except OverflowError:
+                return math.inf if (lhs > 0) == (rhs > 0) else -math.inf
+
+        return fdiv
+    if opcode == "frem":
+
+        def frem(lhs, rhs):
+            if rhs == 0.0:
+                return math.nan
+            return math.fmod(lhs, rhs)
+
+        return frem
+
+    def unhandled(lhs, rhs, _opcode=opcode):
+        raise ExecutionSetupError(f"unhandled float opcode {_opcode}")
+
+    return unhandled
+
+
+_STRUCT_F64 = struct.Struct("<d")
+_STRUCT_F32 = struct.Struct("<f")
+
+
+def _scalar_loader(ir_type: IRType):
+    """Pre-bound ``raw bytes -> runtime value`` decoder for one scalar type.
+
+    Matches ``Memory.read_scalar`` bit for bit; returns ``None`` for
+    non-scalar types (which keep the generic path and its TypeError).
+    """
+    if isinstance(ir_type, IntType):
+        wrap = ir_type.wrap
+        return lambda raw: wrap(int.from_bytes(raw, "little"))
+    if isinstance(ir_type, FloatType):
+        unpack = _STRUCT_F64.unpack if ir_type.width == 64 else _STRUCT_F32.unpack
+        return lambda raw: unpack(raw)[0]
+    if isinstance(ir_type, PointerType):
+        return lambda raw: int.from_bytes(raw, "little")
+    return None
+
+
+def _scalar_storer(ir_type: IRType):
+    """Pre-bound ``runtime value -> raw bytes`` encoder for one scalar type.
+
+    Matches ``Memory.write_scalar`` bit for bit; returns ``None`` for
+    non-scalar types.
+    """
+    if isinstance(ir_type, IntType):
+        to_unsigned = ir_type.to_unsigned
+        size = ir_type.size_bytes()
+        return lambda value: to_unsigned(int(value)).to_bytes(size, "little")
+    if isinstance(ir_type, FloatType):
+        pack = _STRUCT_F64.pack if ir_type.width == 64 else _STRUCT_F32.pack
+        canon = canonicalizer_for(ir_type)
+        return lambda value: pack(canon(value))
+    if isinstance(ir_type, PointerType):
+        return lambda value: (int(value) & _MASK64).to_bytes(8, "little")
+    return None
+
+
+_COMPARE_FUNCTIONS = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "slt": operator.lt,
+    "ult": operator.lt,
+    "sle": operator.le,
+    "ule": operator.le,
+    "sgt": operator.gt,
+    "ugt": operator.gt,
+    "sge": operator.ge,
+    "uge": operator.ge,
+}
+
+
+def _cast_operation(instruction: Cast):
+    """Pre-bound cast closure ``(value) -> result`` (reference semantics)."""
+    source_type = instruction.value.type
+    target = instruction.to_type
+    opcode = instruction.opcode
+
+    if opcode in ("trunc", "zext", "sext"):
+        assert isinstance(target, IntType)
+        wrap = target.wrap
+        if opcode == "zext" and isinstance(source_type, IntType):
+            to_unsigned = source_type.to_unsigned
+            return lambda value: wrap(int(to_unsigned(int(value))))
+        return lambda value: wrap(int(value))
+    if opcode == "sitofp":
+        return lambda value: float(int(value))
+    if opcode == "fptosi":
+        assert isinstance(target, IntType)
+        wrap = target.wrap
+        max_value = target.max_value()
+        min_value = target.min_value()
+
+        def fptosi(value):
+            fvalue = float(value)
+            if math.isnan(fvalue):
+                return 0
+            if math.isinf(fvalue):
+                return max_value if fvalue > 0 else min_value
+            return wrap(int(fvalue))
+
+        return fptosi
+    if opcode in ("fpext", "fptrunc"):
+        return float
+    if opcode == "ptrtoint":
+        assert isinstance(target, IntType)
+        wrap = target.wrap
+        return lambda value: wrap(int(value))
+    if opcode == "inttoptr":
+        return lambda value: int(value) & _MASK64
+    if opcode == "bitcast":
+        return lambda value: bitops.bits_to_value(
+            bitops.value_to_bits(value, source_type), target
+        )
+
+    def unhandled(value, _opcode=opcode):  # pragma: no cover - guarded by Cast
+        raise ExecutionSetupError(f"unhandled cast opcode {_opcode}")
+
+    return unhandled
+
+
+def _intrinsic_binding(name: str, instruction: Call):
+    """Pre-bound intrinsic closure ``(vm, args) -> value``."""
+    if name == "__output":
+        operand_type = instruction.operands[0].type if instruction.operands else I64
+        type_name = str(operand_type)
+
+        def output(vm, args):
+            vm.output.append((type_name, bitops.value_to_bits(args[0], operand_type)))
+            return None
+
+        return output
+    if name == "__abort":
+
+        def abort(vm, args):
+            raise AbortFault("program called abort()", dynamic_index=vm.dynamic_index)
+
+        return abort
+    if name == "__assert":
+
+        def assert_(vm, args):
+            if not args[0]:
+                raise AbortFault("assertion failed", dynamic_index=vm.dynamic_index)
+            return None
+
+        return assert_
+    if name == "__exit":
+
+        def exit_(vm, args):
+            raise ProgramExit(int(args[0]) if args else 0)
+
+        return exit_
+    if name == "__malloc":
+
+        def malloc(vm, args):
+            size = int(args[0])
+            if size < 0 or size > (1 << 26):
+                raise SegmentationFault(
+                    f"malloc of {size} bytes rejected", dynamic_index=vm.dynamic_index
+                )
+            try:
+                return vm.memory.allocate("heap", size, 8)
+            except MemoryError as exhausted:
+                raise SegmentationFault(
+                    f"heap exhausted: {exhausted}", dynamic_index=vm.dynamic_index
+                ) from None
+
+        return malloc
+    if name in MATH_INTRINSICS:
+        fn = MATH_INTRINSICS[name]
+
+        def math_intrinsic(vm, args, _fn=fn):
+            return _fn(*[float(a) for a in args])
+
+        return math_intrinsic
+
+    def unknown(vm, args, _name=name):
+        raise ExecutionSetupError(f"unknown intrinsic {_name}")
+
+    return unknown
+
+
+# --------------------------------------------------------------------------- the decoder
+class _FunctionDecoder:
+    """Decodes one IR function into its :class:`DecodedFunction` shell."""
+
+    def __init__(
+        self, program: DecodedProgram, function: Function, decoded: DecodedFunction
+    ) -> None:
+        self.program = program
+        self.function = function
+        self.decoded = decoded
+        self._slots: Dict[int, int] = {}
+        self._slot_count = 0
+
+    # -- register numbering -------------------------------------------------
+    def _slot_of(self, register: VirtualRegister) -> int:
+        key = id(register)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = self._slot_count
+            self._slots[key] = slot
+            self._slot_count += 1
+        return slot
+
+    # -- operand resolution -------------------------------------------------
+    def _operand(self, value: Value, hook_slot: int) -> OperandRecord:
+        if isinstance(value, Constant):
+            return (OP_CONSTANT, value.value, None, -1, None)
+        if isinstance(value, GlobalVariable):
+            return (OP_GLOBAL, self.program._global_index[value.name], None, -1, None)
+        if isinstance(value, VirtualRegister):
+            return (
+                OP_REGISTER,
+                self._slot_of(value),
+                value,
+                hook_slot,
+                canonicalizer_for(value.type),
+            )
+        raise ExecutionSetupError(f"cannot evaluate operand {value!r}")
+
+    def _operands(self, instruction: Instruction) -> Tuple[OperandRecord, ...]:
+        records: List[OperandRecord] = []
+        hook_slot = 0
+        for value in instruction.operands:
+            records.append(self._operand(value, hook_slot))
+            if isinstance(value, VirtualRegister):
+                hook_slot += 1
+        return tuple(records)
+
+    # -- instruction decoding -----------------------------------------------
+    def _new_din(self, instruction: Instruction) -> DecodedInstruction:
+        din = DecodedInstruction(
+            instruction.opcode, static_meta(instruction), self.function.name
+        )
+        result = instruction.result
+        if result is not None:
+            din.dest_slot = self._slot_of(result)
+            din.result_reg = result
+            din.canon = canonicalizer_for(result.type)
+        return din
+
+    def _decode_instruction(
+        self, instruction: Instruction, blocks_by_id: Dict[int, DecodedBlock]
+    ) -> DecodedInstruction:
+        din = self._new_din(instruction)
+
+        if isinstance(instruction, Branch):
+            din.kind = KIND_BRANCH
+            din.target = blocks_by_id[id(instruction.target)]
+            return din
+        if isinstance(instruction, CondBranch):
+            din.kind = KIND_COND_BRANCH
+            din.operands = self._operands(instruction)
+            din.if_true = blocks_by_id[id(instruction.if_true)]
+            din.if_false = blocks_by_id[id(instruction.if_false)]
+            return din
+        if isinstance(instruction, Return):
+            din.kind = KIND_RETURN
+            din.operands = self._operands(instruction)
+            din.ret_type = self.function.return_type
+            return din
+        if isinstance(instruction, Unreachable):
+            din.kind = KIND_UNREACHABLE
+            return din
+
+        din.operands = self._operands(instruction)
+        if isinstance(instruction, BinaryOp):
+            result_type = instruction.result.type
+            if isinstance(result_type, FloatType):
+                din.handler = _h_float_binop
+                din.operation = _float_operation(instruction.opcode)
+            else:
+                din.handler = _h_int_binop
+                din.operation = _int_operation(instruction.opcode, result_type)
+        elif isinstance(instruction, Compare):
+            din.handler = _h_compare
+            predicate = instruction.predicate
+            if predicate in ("ult", "ule", "ugt", "uge") and not instruction.is_float:
+                operand_type = instruction.lhs.type
+                if isinstance(operand_type, IntType):
+                    din.to_unsigned = operand_type.to_unsigned
+            din.nan_flag = predicate == "ne"
+            din.compare_fn = _COMPARE_FUNCTIONS[predicate]
+        elif isinstance(instruction, Cast):
+            din.handler = _h_cast
+            din.operation = _cast_operation(instruction)
+        elif isinstance(instruction, Alloca):
+            din.handler = _h_alloca
+            element = instruction.allocated_type
+            din.element_size = element.size_bytes()
+            din.element_align = max(element.alignment(), 1)
+        elif isinstance(instruction, Load):
+            value_type = instruction.result.type
+            din.value_type = value_type
+            din.loader = _scalar_loader(value_type)
+            if din.loader is not None:
+                din.handler = _h_load
+                din.mem_size = value_type.size_bytes()
+                din.mem_align = value_type.alignment()
+            else:
+                din.handler = _h_load_generic
+        elif isinstance(instruction, Store):
+            value_type = instruction.value.type
+            din.value_type = value_type
+            din.storer = _scalar_storer(value_type)
+            if din.storer is not None:
+                din.handler = _h_store
+                din.mem_align = value_type.alignment()
+            else:
+                din.handler = _h_store_generic
+        elif isinstance(instruction, GetElementPtr):
+            din.handler = _h_gep
+            din.stride = instruction.element_type.size_bytes()
+        elif isinstance(instruction, Select):
+            din.handler = _h_select
+        elif isinstance(instruction, Call):
+            self._decode_call(instruction, din)
+        else:
+            # Includes phi nodes not at the head of their block: the reference
+            # interpreter has no straight-line handler for them either.
+            din.handler = _h_unsupported
+            din.error_message = (
+                f"no interpreter handler for {type(instruction).__name__}"
+            )
+        return din
+
+    def _decode_call(self, instruction: Call, din: DecodedInstruction) -> None:
+        if instruction.is_intrinsic:
+            din.handler = _h_call
+            din.intrinsic_fn = _intrinsic_binding(instruction.callee_name, instruction)
+            return
+        name = instruction.callee_name
+        callee = self.program.functions.get(name)
+        if callee is None:
+            din.handler = _h_call_unknown
+            din.error_message = f"call to unknown function @{name}"
+            return
+        din.handler = _h_call
+        din.callee = callee
+
+    def _decode_phi(self, phi: Phi) -> DecodedInstruction:
+        din = self._new_din(phi)
+        din.canon_in = canonicalizer_for(phi.type)
+        return din
+
+    # -- whole-function decode ------------------------------------------------
+    def decode(self) -> None:
+        function = self.function
+        decoded = self.decoded
+
+        # Arguments occupy the first slots, in declaration order.
+        for argument in function.arguments:
+            self._slot_of(argument)
+        decoded.arg_canons = tuple(
+            canonicalizer_for(argument.type) for argument in function.arguments
+        )
+
+        shells = [DecodedBlock(index, block.name) for index, block in enumerate(function.blocks)]
+        blocks_by_id = {
+            id(block): shell for block, shell in zip(function.blocks, shells)
+        }
+
+        phi_lists: List[List[Tuple[Phi, DecodedInstruction]]] = []
+        for block, shell in zip(function.blocks, shells):
+            instructions = block.instructions
+            position = 0
+            phis: List[Tuple[Phi, DecodedInstruction]] = []
+            while position < len(instructions) and isinstance(instructions[position], Phi):
+                phi = instructions[position]
+                phis.append((phi, self._decode_phi(phi)))
+                position += 1
+            shell.phi_count = len(phis)
+            phi_lists.append(phis)
+            code = tuple(
+                self._decode_instruction(instruction, blocks_by_id)
+                for instruction in instructions[position:]
+            )
+            shell.code = code
+            shell.code_len = len(code)
+
+        # Control-flow predecessors (needed for per-edge phi moves).
+        predecessors: Dict[int, List[int]] = {shell.index: [] for shell in shells}
+        for shell in shells:
+            if not shell.code:
+                continue
+            terminator = shell.code[-1]
+            if terminator.kind == KIND_BRANCH:
+                targets = [terminator.target]
+            elif terminator.kind == KIND_COND_BRANCH:
+                targets = [terminator.if_true, terminator.if_false]
+            else:
+                targets = []
+            for target in targets:
+                if shell.index not in predecessors[target.index]:
+                    predecessors[target.index].append(shell.index)
+
+        blocks_by_index = {shell.index: shell for shell in shells}
+        names_by_index = {
+            shell.index: block.name for block, shell in zip(function.blocks, shells)
+        }
+        for block, shell, phis in zip(function.blocks, shells, phi_lists):
+            if not phis:
+                continue
+            edge_keys = predecessors[shell.index] + [-1]
+            for pred_index in edge_keys:
+                pred_name = names_by_index.get(pred_index)
+                moves: List[Tuple[OperandRecord, DecodedInstruction]] = []
+                failure: Optional[str] = None
+                for phi, phi_din in phis:
+                    if pred_name is None or pred_name not in phi.incoming:
+                        failure = (
+                            f"phi {phi.describe()!r} has no incoming value for the "
+                            f"executed predecessor"
+                        )
+                        break
+                    moves.append((self._operand(phi.incoming[pred_name], -1), phi_din))
+                shell.phi_edges[pred_index] = (tuple(moves), failure)
+
+        decoded.blocks = tuple(shells)
+        decoded.entry = shells[0] if shells else None
+        decoded.frame_size = self._slot_count

@@ -1,0 +1,158 @@
+"""Execution primitives shared by both MiniIR execution backends.
+
+The VM has two interchangeable execution paths — the decode-once driver in
+:mod:`repro.vm.interpreter` (the production hot path) and the tree-walking
+:class:`~repro.vm.reference.ReferenceInterpreter` (the semantic oracle the
+differential test suite compares against).  Everything both paths must agree
+on, bit for bit, lives here:
+
+* :class:`ExecutionLimits` / :class:`ExecutionResult` — run bounds and the
+  classified outcome of one VM run;
+* the ``__exit`` control-flow exception and the float-guard helpers;
+* the math intrinsic table (``__sqrt``, ``__sin``, …) with the paper's
+  "hardware returns a value instead of trapping" conventions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.vm.faults import HardwareFault
+
+RuntimeScalar = Union[int, float]
+
+#: One entry of the program output buffer: ``(type_name, bit_pattern)``.
+OutputEntry = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ExecutionLimits:
+    """Bounds the VM enforces on a single run.
+
+    ``max_dynamic_instructions`` is the hang watchdog.  LLFI sets its
+    watchdog to one or two orders of magnitude above the fault-free run
+    time; campaign code computes this limit from the golden trace via
+    :meth:`for_golden_length`.
+    """
+
+    max_dynamic_instructions: int = 2_000_000
+    max_call_depth: int = 256
+
+    @classmethod
+    def for_golden_length(cls, golden_length: int, multiplier: int = 20) -> "ExecutionLimits":
+        """A watchdog sized relative to the fault-free dynamic length."""
+        return cls(max_dynamic_instructions=max(1000, golden_length * multiplier))
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one VM run (fault-free or with injections)."""
+
+    #: True when the program ran to completion (reached a top-level return
+    #: or called ``__exit``); False when a fault or hang ended the run.
+    completed: bool
+    #: The program output buffer: a tuple of ``(type_name, bit_pattern)``.
+    output: Tuple[OutputEntry, ...]
+    #: Return value of the entry function (None if void or not completed).
+    return_value: Optional[RuntimeScalar]
+    #: Number of dynamic instructions executed.
+    dynamic_instructions: int
+    #: The simulated hardware exception that ended the run, if any.
+    fault: Optional[HardwareFault] = None
+    #: True when the watchdog fired.
+    hang: bool = False
+
+    @property
+    def raised_hardware_exception(self) -> bool:
+        return self.fault is not None
+
+    @property
+    def produced_output(self) -> bool:
+        return len(self.output) > 0
+
+
+class ProgramExit(Exception):
+    """Internal control-flow exception for the ``__exit`` intrinsic."""
+
+    def __init__(self, code: int) -> None:
+        super().__init__(f"program exit with code {code}")
+        self.code = code
+
+
+def guard_float(value: float) -> float:
+    """Clamp pathological float results (overflow to inf rather than raise)."""
+    try:
+        if value > 1e308:
+            return math.inf
+        if value < -1e308:
+            return -math.inf
+    except TypeError:  # pragma: no cover - defensive
+        return value
+    return value
+
+
+def _safe_sqrt(x: float) -> float:
+    return math.sqrt(x) if x >= 0 else math.nan
+
+
+def _safe_log(x: float) -> float:
+    if x > 0:
+        return math.log(x)
+    return -math.inf if x == 0 else math.nan
+
+
+def _safe_exp(x: float) -> float:
+    try:
+        return math.exp(min(x, 700.0))
+    except OverflowError:  # pragma: no cover - min() prevents this
+        return math.inf
+
+
+def _safe_pow(x: float, y: float) -> float:
+    try:
+        result = math.pow(x, y)
+    except (OverflowError, ValueError):
+        return math.nan
+    return guard_float(result)
+
+
+def _safe_trig(fn: Callable[[float], float]) -> Callable[[float], float]:
+    def wrapper(x: float) -> float:
+        if math.isnan(x) or math.isinf(x):
+            return math.nan
+        # Very large arguments lose all precision; hardware returns a value,
+        # so reduce the argument instead of raising.
+        if abs(x) > 1e15:
+            x = math.fmod(x, 2 * math.pi)
+        return fn(x)
+
+    return wrapper
+
+
+def _safe_asin(x: float) -> float:
+    return math.asin(x) if -1.0 <= x <= 1.0 else math.nan
+
+
+def _safe_acos(x: float) -> float:
+    return math.acos(x) if -1.0 <= x <= 1.0 else math.nan
+
+
+MATH_INTRINSICS: Dict[str, Callable[..., float]] = {
+    "__sqrt": _safe_sqrt,
+    "__sin": _safe_trig(math.sin),
+    "__cos": _safe_trig(math.cos),
+    "__tan": _safe_trig(math.tan),
+    "__atan": math.atan,
+    "__asin": _safe_asin,
+    "__acos": _safe_acos,
+    "__fabs": abs,
+    "__floor": lambda x: math.floor(x) if math.isfinite(x) else x,
+    "__ceil": lambda x: math.ceil(x) if math.isfinite(x) else x,
+    "__log": _safe_log,
+    "__exp": _safe_exp,
+    "__pow": _safe_pow,
+    "__fmin": min,
+    "__fmax": max,
+}

@@ -7,6 +7,13 @@ implements the profiling phase for MiniIR and :class:`GoldenTrace` is its
 result: a compact, indexable record of the dynamic execution that the
 injection techniques (:mod:`repro.injection.techniques`) enumerate to build
 the candidate error space of Table II.
+
+Everything a :class:`DynamicInstructionRecord` carries apart from its dynamic
+index is *static* — derivable from the instruction alone.  That static part
+is computed once per static instruction as a :class:`StaticInstructionMeta`
+(cached on the instruction, shared with the decoded program representation of
+:mod:`repro.vm.program`), so recording one executed instruction costs a
+single list append instead of re-deriving operand types on every tick.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.ir.instructions import Instruction
+from repro.ir.types import PointerType
 
 
 @dataclass(frozen=True)
@@ -60,6 +68,69 @@ class DynamicInstructionRecord:
         return len(self.source_register_bits)
 
 
+class StaticInstructionMeta:
+    """The static part of a :class:`DynamicInstructionRecord`.
+
+    One instance exists per static instruction; both execution backends
+    append it to the trace on every tick, and the dynamic index is implied by
+    the append position.
+    """
+
+    __slots__ = (
+        "function_name",
+        "static_index",
+        "opcode",
+        "source_register_bits",
+        "destination_bits",
+        "destination_is_pointer",
+    )
+
+    def __init__(self, instruction: Instruction) -> None:
+        destination = instruction.destination()
+        self.function_name = (
+            instruction.parent.parent.name if instruction.parent else "?"
+        )
+        self.static_index = instruction.static_index
+        self.opcode = instruction.opcode
+        self.source_register_bits = tuple(
+            register.type.bits or 0 for register in instruction.source_registers()
+        )
+        self.destination_bits = destination.type.bits if destination is not None else None
+        self.destination_is_pointer = destination is not None and isinstance(
+            destination.type, PointerType
+        )
+
+    def record_at(self, dynamic_index: int) -> DynamicInstructionRecord:
+        return DynamicInstructionRecord(
+            dynamic_index=dynamic_index,
+            function_name=self.function_name,
+            static_index=self.static_index,
+            opcode=self.opcode,
+            source_register_bits=self.source_register_bits,
+            destination_bits=self.destination_bits,
+            destination_is_pointer=self.destination_is_pointer,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StaticInstructionMeta {self.opcode} @{self.function_name}"
+            f"#{self.static_index}>"
+        )
+
+
+def static_meta(instruction: Instruction) -> StaticInstructionMeta:
+    """The (cached) static trace metadata of an instruction.
+
+    The cache is invalidated when the function is re-finalised with a
+    different static numbering (e.g. after instructions were inserted).
+    """
+    meta = getattr(instruction, "_static_meta", None)
+    if meta is None or meta.static_index != instruction.static_index:
+        meta = StaticInstructionMeta(instruction)
+        instruction._static_meta = meta
+    return meta
+
+
 class GoldenTrace:
     """The complete dynamic instruction stream of a fault-free run."""
 
@@ -74,6 +145,10 @@ class GoldenTrace:
         self.output = output
         #: The fault-free return value of the entry function.
         self.return_value = return_value
+        # Candidate-record views are scanned once per *experiment* by the
+        # sampling code, so they are computed lazily and cached.
+        self._with_destination: Optional[List[DynamicInstructionRecord]] = None
+        self._with_sources: Optional[List[DynamicInstructionRecord]] = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -89,12 +164,20 @@ class GoldenTrace:
         return len(self.records)
 
     def records_with_destination(self) -> List[DynamicInstructionRecord]:
-        """Records usable as inject-on-write times."""
-        return [record for record in self.records if record.has_destination]
+        """Records usable as inject-on-write times (cached)."""
+        if self._with_destination is None:
+            self._with_destination = [
+                record for record in self.records if record.destination_bits is not None
+            ]
+        return self._with_destination
 
     def records_with_sources(self) -> List[DynamicInstructionRecord]:
-        """Records usable as inject-on-read times."""
-        return [record for record in self.records if record.source_count > 0]
+        """Records usable as inject-on-read times (cached)."""
+        if self._with_sources is None:
+            self._with_sources = [
+                record for record in self.records if record.source_register_bits
+            ]
+        return self._with_sources
 
     def pointer_destination_fraction(self) -> float:
         """Fraction of destination registers that hold addresses."""
@@ -106,36 +189,37 @@ class GoldenTrace:
 
 
 class TraceCollector:
-    """Collects :class:`DynamicInstructionRecord` objects during execution.
+    """Collects the dynamic instruction stream during execution.
 
-    Passed to :meth:`repro.vm.interpreter.Interpreter.run` as the
-    ``trace_collector`` argument; the interpreter calls :meth:`record` once
-    per executed instruction.
+    Passed to the interpreter as the ``trace_collector`` argument.  The
+    decoded execution path appends pre-built :class:`StaticInstructionMeta`
+    objects through the bound :attr:`append_meta` fast path; the reference
+    interpreter calls the legacy :meth:`record` signature.  Both produce
+    bit-identical golden traces.
     """
 
+    __slots__ = ("_metas", "append_meta")
+
     def __init__(self) -> None:
-        self.records: List[DynamicInstructionRecord] = []
+        self._metas: List[StaticInstructionMeta] = []
+        #: Bound-method fast path used by the decoded interpreter's tick.
+        self.append_meta = self._metas.append
 
     def record(self, dynamic_index: int, instruction: Instruction) -> None:
-        from repro.ir.types import PointerType
+        """Record one executed instruction (legacy per-instruction signature).
 
-        destination = instruction.destination()
-        sources = tuple(
-            register.type.bits or 0 for register in instruction.source_registers()
-        )
-        self.records.append(
-            DynamicInstructionRecord(
-                dynamic_index=dynamic_index,
-                function_name=instruction.parent.parent.name if instruction.parent else "?",
-                static_index=instruction.static_index,
-                opcode=instruction.opcode,
-                source_register_bits=sources,
-                destination_bits=destination.type.bits if destination is not None else None,
-                destination_is_pointer=(
-                    destination is not None and isinstance(destination.type, PointerType)
-                ),
-            )
-        )
+        ``dynamic_index`` is implied by the append position — the interpreter
+        calls this exactly once per tick, starting at zero.
+        """
+        self._metas.append(static_meta(instruction))
+
+    def __len__(self) -> int:
+        return len(self._metas)
+
+    @property
+    def records(self) -> List[DynamicInstructionRecord]:
+        """The collected stream, materialised as full dynamic records."""
+        return [meta.record_at(index) for index, meta in enumerate(self._metas)]
 
     def build(self, output: Tuple, return_value) -> GoldenTrace:
         """Finalise the collected records into a :class:`GoldenTrace`."""

@@ -1,0 +1,241 @@
+"""Differential suite: decoded execution is bit-identical to the IR walker.
+
+The decode-once representation (:mod:`repro.vm.program`) claims bit-identical
+behaviour to the reference tree-walking interpreter.  These tests enforce the
+claim at every level the campaign stack depends on:
+
+* golden traces (records, output, return value) across **every** registry
+  program;
+* hook call sequences (dynamic index, slot, register, value) on both hooks;
+* per-experiment injection results (specs, outcomes, activated errors, the
+  individual :class:`~repro.injection.faultmodel.InjectionRecord` flips) for
+  fixed seeds;
+* campaign :class:`~repro.campaign.results.ResultStore` files, byte for byte.
+
+It also pins the decode-cache contract: one decode per unchanged module,
+invalidation on structural mutation.
+"""
+
+import random
+
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignRunner, ResultStore
+from repro.frontend import compile_program
+from repro.injection import ExperimentRunner, TECHNIQUES, profile_program
+from repro.injection.faultmodel import win_size_by_index
+from repro.programs import registry
+from repro.vm import (
+    Interpreter,
+    ReferenceInterpreter,
+    TraceCollector,
+    decode_module,
+)
+
+ALL_PROGRAMS = registry.all_program_names()
+
+#: Subset used for the (more expensive) injection/campaign differentials:
+#: both suites, integer- and float-heavy, data- and address-dominated.
+INJECTION_PROGRAMS = ["crc32", "fft", "dijkstra", "qsort"]
+
+
+def _profile(backend: str, name: str):
+    program = registry.build_program(name)
+    return profile_program(program, backend=backend)
+
+
+# --------------------------------------------------------------------- golden traces
+@pytest.mark.parametrize("name", ALL_PROGRAMS)
+def test_golden_trace_bit_identical(name):
+    decoded = _profile("decoded", name)
+    reference = _profile("reference", name)
+    assert decoded.output == reference.output
+    assert decoded.return_value == reference.return_value
+    assert len(decoded) == len(reference)
+    assert decoded.records == reference.records
+
+
+# --------------------------------------------------------------------- hook sequences
+def test_hook_sequences_bit_identical():
+    """Both backends fire both hooks at the same times with the same data."""
+    program = registry.build_program("fft")
+    decoded = decode_module(program.module)
+
+    def run(make_interpreter):
+        reads, writes = [], []
+
+        def read_hook(dynamic_index, instruction, slot, register, value):
+            reads.append((dynamic_index, instruction.opcode, slot, register.name, value))
+            return value
+
+        def write_hook(dynamic_index, instruction, register, value):
+            writes.append((dynamic_index, instruction.opcode, register.name, value))
+            return value
+
+        result = make_interpreter(read_hook, write_hook).run()
+        assert result.completed
+        return reads, writes
+
+    decoded_reads, decoded_writes = run(
+        lambda rh, wh: Interpreter(decoded, entry=program.entry, read_hook=rh, write_hook=wh)
+    )
+    reference_reads, reference_writes = run(
+        lambda rh, wh: ReferenceInterpreter(
+            program.module, entry=program.entry, read_hook=rh, write_hook=wh
+        )
+    )
+    assert decoded_reads == reference_reads
+    assert decoded_writes == reference_writes
+
+
+def test_trace_collection_through_decoded_fast_path():
+    """The collector's meta fast path and legacy record() agree."""
+    program = registry.build_program("bfs")
+    decoded = decode_module(program.module)
+    fast, legacy = TraceCollector(), TraceCollector()
+    Interpreter(decoded, entry=program.entry, trace_collector=fast).run()
+    ReferenceInterpreter(program.module, entry=program.entry, trace_collector=legacy).run()
+    assert len(fast) == len(legacy)
+    assert fast.records == legacy.records
+
+
+# --------------------------------------------------------------------- injections
+def _experiment_results(runner: ExperimentRunner, seeds):
+    results = []
+    for technique in TECHNIQUES:
+        for max_mbf, win_size in ((1, 0), (4, 0), (5, 3)):
+            for seed in seeds:
+                results.append(
+                    runner.run_seeded(
+                        technique, max_mbf=max_mbf, win_size=win_size, seed=seed
+                    )
+                )
+    return results
+
+
+@pytest.mark.parametrize("name", INJECTION_PROGRAMS)
+def test_injection_results_bit_identical(name):
+    program = registry.build_program(name)
+    decoded_runner = registry.get_experiment_runner(name)
+    # Golden-trace equality is proven above, so the reference runner may
+    # share the decoded golden trace; this keeps the spec sampling (and the
+    # test runtime) aligned while every faulty run still executes on the
+    # reference backend.
+    reference_runner = ExperimentRunner(
+        program, golden=decoded_runner.golden, backend="reference"
+    )
+    seeds = [random.Random(name).getrandbits(48) for _ in range(3)]
+    decoded_results = _experiment_results(decoded_runner, seeds)
+    reference_results = _experiment_results(reference_runner, seeds)
+    for decoded, reference in zip(decoded_results, reference_results):
+        assert decoded.spec == reference.spec
+        assert decoded.outcome == reference.outcome
+        assert decoded.activated_errors == reference.activated_errors
+        assert decoded.injections == reference.injections
+        assert decoded.dynamic_instructions == reference.dynamic_instructions
+        assert decoded.fault_category == reference.fault_category
+
+
+# --------------------------------------------------------------------- campaign stores
+def test_campaign_result_store_bytes_identical(tmp_path):
+    config = CampaignConfig(
+        program="crc32",
+        technique="inject-on-read",
+        max_mbf=3,
+        win_size=win_size_by_index("w4"),
+        experiments=12,
+    )
+
+    def store_bytes(provider, filename):
+        store = CampaignRunner(provider).run_campaigns([config], ResultStore())
+        path = tmp_path / filename
+        store.save(path)
+        return path.read_bytes()
+
+    def reference_provider(name):
+        return ExperimentRunner(registry.build_program(name), backend="reference")
+
+    decoded_bytes = store_bytes(None, "decoded.json")  # default registry provider
+    reference_bytes = store_bytes(reference_provider, "reference.json")
+    assert decoded_bytes == reference_bytes
+
+
+# --------------------------------------------------------------------- decode cache
+def test_decode_module_caches_per_module():
+    program = compile_program(
+        "cached",
+        [
+            '''
+def main() -> "i64":
+    total = 0
+    for i in range(4):
+        total += i
+    return total
+'''
+        ],
+    )
+    first = decode_module(program.module)
+    second = decode_module(program.module)
+    assert first is second
+    # Two interpreters share one decoded artifact.
+    assert Interpreter(program.module).run().return_value == 6
+    assert decode_module(program.module) is first
+
+
+def test_decode_cache_invalidated_by_mutation():
+    from repro.ir import Constant, Function, I64, IRBuilder, Module
+
+    module = Module("mutable")
+    function = Function("main", I64)
+    module.add_function(function)
+    builder = IRBuilder(function, function.add_block("entry"))
+    builder.ret(Constant(I64, 1))
+    module.finalize()
+
+    first = decode_module(module)
+    assert Interpreter(module).run().return_value == 1
+
+    # Structurally extend the module: a fresh function makes it non-finalized
+    # and must force a re-decode.
+    extra = Function("helper", I64)
+    module.add_function(extra)
+    extra_builder = IRBuilder(extra, extra.add_block("entry"))
+    extra_builder.ret(Constant(I64, 2))
+    assert not module.is_finalized
+    second = decode_module(module)
+    assert second is not first
+    assert Interpreter(module).run().return_value == 1
+
+
+def test_decode_cache_invalidated_by_operand_rewrite():
+    """Count-preserving mutations must also force a re-decode.
+
+    replace_operand changes no instruction/block/global counts, and an
+    interleaved finalize() (any reference-interpreter construction does one)
+    restores is_finalized — the decode cache must still be dropped.
+    """
+    from repro.ir import Constant, Function, I64, IRBuilder, Module
+
+    module = Module("rewrite")
+    function = Function("main", I64)
+    module.add_function(function)
+    builder = IRBuilder(function, function.add_block("entry"))
+    value = builder.add(Constant(I64, 1), Constant(I64, 1))
+    builder.ret(value)
+    module.finalize()
+
+    assert Interpreter(module).run().return_value == 2
+    value.definer.replace_operand(1, Constant(I64, 41))
+    # A reference interpreter construction re-finalizes the module in between.
+    assert ReferenceInterpreter(module).run().return_value == 42
+    assert Interpreter(module).run().return_value == 42
+
+
+def test_experiment_runner_rejects_unknown_backend():
+    from repro.errors import ConfigurationError
+
+    program = registry.build_program("crc32")
+    with pytest.raises(ConfigurationError):
+        ExperimentRunner(program, backend="jit")
+    with pytest.raises(ConfigurationError):
+        profile_program(program, backend="jit")
