@@ -3,9 +3,12 @@
 Measures runs/sec of the decode-once VM driver — plain, with golden-trace
 collection, and with (no-op) injection hooks installed — against the
 reference tree-walking interpreter, and asserts the decoded hot path keeps
-its headline speedup.  The numbers are written to ``BENCH_interpreter.json``
-at the repository root so the perf trajectory is tracked across PRs (CI
-prints the file on every run).
+its headline speedup.  A second section measures fault-injection experiment
+throughput on a *late-injection* workload (first flip in the last quarter of
+the golden run, where the skippable prefix is longest) with checkpoint
+fast-forwarding on vs. off.  The numbers are written to
+``BENCH_interpreter.json`` at the repository root so the perf trajectory is
+tracked across PRs (CI prints the file on every run).
 
 Knobs:
 
@@ -18,21 +21,29 @@ Knobs:
     flake-resistant sanity floor for plain test runs on loaded machines; the
     dedicated CI perf step enforces the real 2.0 bar (measured headroom is
     ~3x).
+``REPRO_BENCH_MIN_FF_SPEEDUP``
+    Required fast-forward-vs-scratch experiment throughput speedup on the
+    late-injection workload (default 1.5; CI enforces the same bar, measured
+    headroom is several x).
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import time
 from pathlib import Path
 
+from repro.injection.experiment import ExperimentRunner
+from repro.injection.faultmodel import FaultSpec
 from repro.programs import registry
 from repro.vm import Interpreter, ReferenceInterpreter, TraceCollector
 
 PROGRAM = os.environ.get("REPRO_BENCH_INTERPRETER_PROGRAM", "crc32")
 SECONDS = float(os.environ.get("REPRO_BENCH_INTERPRETER_SECONDS", "0.4"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.5"))
+MIN_FF_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_FF_SPEEDUP", "1.5"))
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_interpreter.json"
 
@@ -66,6 +77,46 @@ def _noop_write_hook(dynamic_index, instruction, register, value):
     return value
 
 
+def _late_injection_specs(runner: ExperimentRunner, count: int = 16):
+    """Inject-on-write specs whose first flip lies in the last golden quarter."""
+    golden = runner.golden
+    threshold = golden.dynamic_instruction_count * 3 // 4
+    late = [
+        record
+        for record in golden.records_with_destination()
+        if record.dynamic_index >= threshold
+    ]
+    stride = max(1, len(late) // count)
+    return [
+        FaultSpec(
+            technique="inject-on-write",
+            first_dynamic_index=record.dynamic_index,
+            first_slot=None,
+            max_mbf=1,
+            win_size=0,
+            seed=seed,
+        )
+        for seed, record in enumerate(late[::stride][:count])
+    ]
+
+
+def _experiments_per_second(runner: ExperimentRunner, specs, min_seconds: float = SECONDS) -> float:
+    runner.run_spec(specs[0])  # warm-up (builds checkpoints / interpreter)
+
+    def measure_once() -> float:
+        cycle = itertools.cycle(specs)
+        runs = 0
+        started = time.perf_counter()
+        while True:
+            runner.run_spec(next(cycle))
+            runs += 1
+            elapsed = time.perf_counter() - started
+            if elapsed >= min_seconds:
+                return runs / elapsed
+
+    return max(measure_once(), measure_once())
+
+
 def test_interpreter_throughput():
     program = registry.build_program(PROGRAM)
     decoded = registry.get_decoded_program(PROGRAM)
@@ -90,6 +141,20 @@ def test_interpreter_throughput():
     }
     speedup = rates["decoded"] / rates["reference"]
 
+    # Fault-injection experiment throughput: checkpoint fast-forward vs.
+    # from-scratch prefix replay on a late-injection workload.
+    ff_runner = ExperimentRunner(program, fast_forward=True)
+    scratch_runner = ExperimentRunner(
+        program, golden=ff_runner.golden, fast_forward=False
+    )
+    late_specs = _late_injection_specs(ff_runner)
+    experiment_rates = {
+        "fast_forward": _experiments_per_second(ff_runner, late_specs),
+        "from_scratch": _experiments_per_second(scratch_runner, late_specs),
+    }
+    ff_speedup = experiment_rates["fast_forward"] / experiment_rates["from_scratch"]
+    checkpoints = ff_runner._checkpoint_store()
+
     golden_length = registry.get_experiment_runner(PROGRAM).golden.dynamic_instruction_count
     payload = {
         "program": PROGRAM,
@@ -99,6 +164,14 @@ def test_interpreter_throughput():
             key: round(rate * golden_length) for key, rate in rates.items()
         },
         "speedup_decoded_vs_reference": round(speedup, 2),
+        "late_injection_experiments_per_second": {
+            key: round(rate, 2) for key, rate in experiment_rates.items()
+        },
+        "speedup_fast_forward": round(ff_speedup, 2),
+        "checkpoints": {
+            "count": len(checkpoints),
+            "interval_ticks": checkpoints.interval,
+        },
         "measurement_seconds_per_config": SECONDS,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -107,4 +180,10 @@ def test_interpreter_throughput():
         f"decoded interpreter is only {speedup:.2f}x the reference "
         f"({rates['decoded']:.1f} vs {rates['reference']:.1f} runs/s); "
         f"expected at least {MIN_SPEEDUP}x"
+    )
+    assert ff_speedup >= MIN_FF_SPEEDUP, (
+        f"fast-forward is only {ff_speedup:.2f}x from-scratch execution "
+        f"({experiment_rates['fast_forward']:.1f} vs "
+        f"{experiment_rates['from_scratch']:.1f} experiments/s on the "
+        f"late-injection workload); expected at least {MIN_FF_SPEEDUP}x"
     )

@@ -27,6 +27,7 @@ from repro.campaign.engine import (
     EngineProgress,
     ExecutionEngine,
     MultiprocessEngine,
+    RegistryProvider,
     SerialEngine,
 )
 from repro.campaign.plan import (
@@ -50,6 +51,7 @@ __all__ = [
     "multi_register_campaigns",
     "MultiprocessEngine",
     "PAPER_SCALE",
+    "RegistryProvider",
     "ResultStore",
     "same_register_campaigns",
     "SerialEngine",

@@ -28,7 +28,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.campaign.config import CampaignConfig
 from repro.campaign.results import CampaignResult
 from repro.errors import ConfigurationError
-from repro.injection.experiment import ExperimentRunner
+from repro.injection.experiment import ExperimentResult, ExperimentRunner
 from repro.injection.techniques import technique_by_name
 
 #: A provider maps a program name to a ready-to-use ExperimentRunner.
@@ -40,6 +40,28 @@ def registry_provider(program_name: str) -> ExperimentRunner:
     from repro.programs.registry import get_experiment_runner
 
     return get_experiment_runner(program_name)
+
+
+@dataclass(frozen=True)
+class RegistryProvider:
+    """A registry provider with execution knobs, picklable for worker pools.
+
+    ``fast_forward`` / ``checkpoint_interval`` parameterise the
+    :class:`~repro.injection.experiment.ExperimentRunner` each worker builds
+    (the CLI's ``--no-fast-forward`` / ``--checkpoint-interval`` land here).
+    """
+
+    fast_forward: bool = True
+    checkpoint_interval: Optional[int] = None
+
+    def __call__(self, program_name: str) -> ExperimentRunner:
+        from repro.programs.registry import get_experiment_runner
+
+        return get_experiment_runner(
+            program_name,
+            fast_forward=self.fast_forward,
+            checkpoint_interval=self.checkpoint_interval,
+        )
 
 
 class CachingProvider:
@@ -124,16 +146,30 @@ def run_experiment_batch(
     Each experiment draws its own RNG from the campaign's derived seed for
     that index, so batches may execute in any order, on any process, and
     still reproduce exactly the same faults.
+
+    Execution order within the batch is an implementation detail the results
+    cannot observe: specs are sampled up front and *executed* sorted by first
+    injection tick — consecutive experiments then restore from the same
+    fast-forward checkpoint — while aggregation happens in submission order
+    (a stable sort merged back), so the partial result is byte-identical to
+    naive index-order execution.
     """
     technique = technique_by_name(config.technique)
     partial = CampaignResult(config=config, resolved_win_size=resolved_win_size)
-    for index in range(start, start + count):
-        experiment = runner.run_seeded(
+    specs = [
+        runner.seeded_spec(
             technique,
             max_mbf=config.max_mbf,
             win_size=resolved_win_size,
             seed=config.experiment_seed(index),
         )
+        for index in range(start, start + count)
+    ]
+    order = sorted(range(len(specs)), key=lambda j: specs[j].first_dynamic_index)
+    results: List[Optional[ExperimentResult]] = [None] * len(specs)
+    for j in order:
+        results[j] = runner.run_spec(specs[j])
+    for experiment in results:
         partial.add_experiment(
             outcome=experiment.outcome,
             activated_errors=experiment.activated_errors,

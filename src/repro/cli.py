@@ -14,6 +14,9 @@ Campaign results can be cached to a JSON file with ``--cache`` so repeated
 invocations only run what is missing.  ``--jobs N`` fans experiments out to a
 worker pool (results are bit-identical to a serial run of the same seed), and
 ``--checkpoint`` persists the store mid-sweep so interrupted runs resume.
+Experiments fast-forward over their fault-free prefix by restoring VM
+checkpoints; ``--no-fast-forward`` disables this and ``--checkpoint-interval``
+pins the checkpoint spacing (both change runtime only, never results).
 """
 
 from __future__ import annotations
@@ -62,6 +65,13 @@ def _parse_win_sizes(text: Optional[str]):
     return [win_size_by_index(index.strip()) for index in text.split(",")]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
 def _build_session(args: argparse.Namespace) -> ExperimentSession:
     scale = ExperimentScale("cli", experiments_per_campaign=args.experiments)
     return ExperimentSession(
@@ -69,6 +79,8 @@ def _build_session(args: argparse.Namespace) -> ExperimentSession:
         cache_path=args.cache,
         checkpoint_path=args.checkpoint,
         jobs=args.jobs,
+        fast_forward=not args.no_fast_forward,
+        checkpoint_interval=args.checkpoint_interval,
         progress=_progress(args),
         experiment_progress=_experiment_progress(args),
     )
@@ -134,6 +146,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="JSON file to checkpoint the result store to after every "
             "completed campaign; interrupted sweeps resume from it "
             "(defaults to --cache when given)",
+        )
+        sub.add_argument(
+            "--no-fast-forward",
+            action="store_true",
+            help="replay every experiment's fault-free prefix from scratch "
+            "instead of restoring VM checkpoints (slower; results are "
+            "bit-identical either way)",
+        )
+        sub.add_argument(
+            "--checkpoint-interval",
+            type=_positive_int,
+            default=None,
+            metavar="TICKS",
+            help="starting spacing (dynamic instructions) between VM "
+            "checkpoints during golden profiling (default: auto-tuned from "
+            "the golden run length; the snapshot budget applies either way)",
         )
         sub.add_argument("--quiet", action="store_true", help="suppress per-campaign progress")
 

@@ -10,6 +10,7 @@ from repro.campaign.engine import (
     ExecutionEngine,
     MultiprocessEngine,
     ProgressCallback,
+    RegistryProvider,
     SerialEngine,
 )
 from repro.campaign.results import ResultStore
@@ -28,7 +29,9 @@ class ExperimentSession:
     ``jobs`` selects the execution engine: 1 (the default) runs campaigns
     serially in-process, larger values fan experiments out to a multiprocess
     worker pool; pass ``engine`` to supply a custom backend (mutually
-    exclusive with ``jobs``).  Long sweeps checkpoint the store to
+    exclusive with ``jobs``).  ``fast_forward`` / ``checkpoint_interval``
+    control checkpoint/restore fast-forwarding of each experiment's golden
+    prefix (on by default; results are bit-identical either way).  Long sweeps checkpoint the store to
     ``checkpoint_path`` (falling back to ``cache_path``) after every
     ``checkpoint_every`` completed campaigns; a new session loads the store
     back from the cache or, failing that, the checkpoint, so interrupted
@@ -45,6 +48,8 @@ class ExperimentSession:
         checkpoint_every: int = 1,
         jobs: int = 1,
         engine: Optional[ExecutionEngine] = None,
+        fast_forward: bool = True,
+        checkpoint_interval: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
         experiment_progress: Optional[ProgressCallback] = None,
     ) -> None:
@@ -74,6 +79,9 @@ class ExperimentSession:
         if engine is None:
             engine = MultiprocessEngine(jobs) if jobs > 1 else SerialEngine()
         self.runner = CampaignRunner(
+            RegistryProvider(
+                fast_forward=fast_forward, checkpoint_interval=checkpoint_interval
+            ),
             engine=engine,
             progress=progress,
             experiment_progress=experiment_progress,

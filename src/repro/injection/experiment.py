@@ -17,6 +17,15 @@ run share that one artifact, so per-experiment cost is execution only.  The
 :class:`~repro.vm.reference.ReferenceInterpreter` instead — the seam the
 differential test suite uses to prove both paths produce bit-identical
 results.
+
+On the decoded backend the runner additionally *fast-forwards*: the
+profiling run records VM checkpoints (:mod:`repro.vm.snapshot`) every few
+hundred ticks, and each experiment restores the latest checkpoint at or
+before its first injection index instead of re-executing the shared golden
+prefix — turning per-experiment cost from O(full run) into O(interval +
+faulty suffix).  Fast-forwarded results are bit-identical to from-scratch
+execution (the differential suite enforces this); ``fast_forward=False``
+disables the optimisation entirely.
 """
 
 from __future__ import annotations
@@ -34,6 +43,11 @@ from repro.injection.techniques import InjectionCandidate, InjectionTechnique
 from repro.vm.interpreter import ExecutionLimits, ExecutionResult, Interpreter
 from repro.vm.program import DecodedProgram, decode_module
 from repro.vm.reference import ReferenceInterpreter
+from repro.vm.snapshot import (
+    DEFAULT_MAX_CHECKPOINTS,
+    CheckpointStore,
+    golden_with_checkpoints,
+)
 from repro.vm.trace import GoldenTrace, TraceCollector
 
 #: Execution backends an experiment can run on.  ``"decoded"`` is the
@@ -132,6 +146,9 @@ class ExperimentRunner:
         golden: Optional[GoldenTrace] = None,
         watchdog_multiplier: int = 12,
         backend: str = "decoded",
+        fast_forward: bool = True,
+        checkpoint_interval: Optional[int] = None,
+        max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
     ) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
@@ -144,9 +161,29 @@ class ExperimentRunner:
             decode_module(program.module) if backend == "decoded" else None
         )
         self.args = list(args)
-        self.golden = golden or profile_program(
-            program, self.args, backend=backend, decoded=self.decoded
-        )
+        #: Fast-forward only exists on the decoded driver; the reference
+        #: backend always replays from scratch (it is the oracle).
+        self.fast_forward = bool(fast_forward) and backend == "decoded"
+        self.checkpoint_interval = checkpoint_interval
+        self.max_checkpoints = max_checkpoints
+        self._checkpoints: Optional[CheckpointStore] = None
+        self._ff_interpreter: Optional[Interpreter] = None
+        if golden is not None:
+            self.golden = golden
+        elif self.fast_forward:
+            # One checkpointed profiling run yields both the golden trace and
+            # the snapshots (cached on the module, shared across runners).
+            self.golden, self._checkpoints = golden_with_checkpoints(
+                program.module,
+                entry=program.entry,
+                args=tuple(self.args),
+                checkpoint_interval=checkpoint_interval,
+                max_checkpoints=max_checkpoints,
+            )
+        else:
+            self.golden = profile_program(
+                program, self.args, backend=backend, decoded=self.decoded
+            )
         self.watchdog_multiplier = watchdog_multiplier
         self.limits = ExecutionLimits.for_golden_length(
             self.golden.dynamic_instruction_count, watchdog_multiplier
@@ -178,19 +215,99 @@ class ExperimentRunner:
             seed=rng.getrandbits(48),
         )
 
-    # -- execution ----------------------------------------------------------------------
-    def run_spec(self, spec: FaultSpec) -> ExperimentResult:
-        """Execute one faulty run and classify its outcome."""
-        injector = FaultInjector(spec)
-        interpreter = _make_interpreter(
-            self.program,
-            self.backend,
-            self.decoded,
-            limits=self.limits,
-            read_hook=injector.read_hook if spec.technique == "inject-on-read" else None,
-            write_hook=injector.write_hook if spec.technique == "inject-on-write" else None,
+    def seeded_spec(
+        self,
+        technique: InjectionTechnique,
+        *,
+        max_mbf: int = SINGLE_BIT_MAX_MBF,
+        win_size: int = 0,
+        seed: int,
+        first_candidate: Optional[InjectionCandidate] = None,
+    ) -> FaultSpec:
+        """The fault spec a self-contained ``seed`` deterministically expands to.
+
+        Sampling a spec is cheap and running it is not, which lets callers
+        (the campaign engines) sample a whole batch up front and execute it
+        in injection-tick order so consecutive experiments restore from the
+        same checkpoint.
+        """
+        return self.sample_spec(
+            technique,
+            max_mbf=max_mbf,
+            win_size=win_size,
+            rng=random.Random(seed),
+            first_candidate=first_candidate,
         )
-        execution = interpreter.run(self.args)
+
+    # -- execution ----------------------------------------------------------------------
+    def _checkpoint_store(self) -> Optional[CheckpointStore]:
+        """The (lazily built) checkpoint store matching this runner's decode.
+
+        The module-level cache in :mod:`repro.vm.snapshot` invalidates stored
+        checkpoints together with the decode cache; a runner whose own
+        decoded artifact went stale (module mutated after construction)
+        simply stops fast-forwarding rather than mixing numberings.
+        """
+        if self.decoded is None:
+            return None
+        store = self._checkpoints
+        if store is not None and store.program is self.decoded:
+            return store
+        _golden, store = golden_with_checkpoints(
+            self.program.module,
+            entry=self.program.entry,
+            args=tuple(self.args),
+            checkpoint_interval=self.checkpoint_interval,
+            max_checkpoints=self.max_checkpoints,
+        )
+        self._checkpoints = store
+        return store if store.program is self.decoded else None
+
+    def run_spec(self, spec: FaultSpec, *, fast_forward: Optional[bool] = None) -> ExperimentResult:
+        """Execute one faulty run and classify its outcome.
+
+        ``fast_forward`` overrides the runner-level setting for this one run
+        (the escape hatch the differential suite compares both paths with).
+        """
+        injector = FaultInjector(spec)
+        read_hook = injector.read_hook if spec.technique == "inject-on-read" else None
+        write_hook = injector.write_hook if spec.technique == "inject-on-write" else None
+        use_fast_forward = (
+            self.fast_forward
+            if fast_forward is None
+            else bool(fast_forward) and self.backend == "decoded"
+        )
+        execution: Optional[ExecutionResult] = None
+        if use_fast_forward:
+            store = self._checkpoint_store()
+            snapshot = (
+                store.latest_at(spec.first_dynamic_index) if store is not None else None
+            )
+            if snapshot is not None:
+                interpreter = self._ff_interpreter
+                if interpreter is None:
+                    # One long-lived driver is reused by every fast-forwarded
+                    # experiment; restore() rewinds all of its state.
+                    interpreter = self._ff_interpreter = Interpreter(
+                        self.decoded, entry=self.program.entry, limits=self.limits
+                    )
+                interpreter.read_hook = read_hook
+                interpreter.write_hook = write_hook
+                try:
+                    execution = interpreter.resume(snapshot)
+                finally:
+                    interpreter.read_hook = None
+                    interpreter.write_hook = None
+        if execution is None:
+            interpreter = _make_interpreter(
+                self.program,
+                self.backend,
+                self.decoded,
+                limits=self.limits,
+                read_hook=read_hook,
+                write_hook=write_hook,
+            )
+            execution = interpreter.run(self.args)
         outcome = self.classify(execution)
         return ExperimentResult(
             spec=spec,

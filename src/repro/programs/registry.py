@@ -79,6 +79,19 @@ def get_decoded_program(name: str) -> DecodedProgram:
 
 
 @lru_cache(maxsize=None)
-def get_experiment_runner(name: str) -> ExperimentRunner:
-    """A ready-to-use experiment runner (decoded + golden trace, cached)."""
-    return ExperimentRunner(build_program(name))
+def get_experiment_runner(
+    name: str,
+    fast_forward: bool = True,
+    checkpoint_interval: "int | None" = None,
+) -> ExperimentRunner:
+    """A ready-to-use experiment runner, cached per configuration.
+
+    With ``fast_forward`` (the default) the runner's warm-up also captures
+    the workload's VM checkpoints, cached alongside the golden trace — under
+    a ``fork``-based pool, workers inherit all of it.
+    """
+    return ExperimentRunner(
+        build_program(name),
+        fast_forward=fast_forward,
+        checkpoint_interval=checkpoint_interval,
+    )

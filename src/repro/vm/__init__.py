@@ -32,7 +32,7 @@ from repro.vm.faults import (
     MisalignedAccessFault,
     SegmentationFault,
 )
-from repro.vm.memory import Memory, MemorySegment
+from repro.vm.memory import Memory, MemorySegment, MemoryState
 from repro.vm.program import (
     DecodedFunction,
     DecodedInstruction,
@@ -47,6 +47,14 @@ from repro.vm.interpreter import (
     WriteHook,
 )
 from repro.vm.reference import ReferenceInterpreter
+from repro.vm.snapshot import (
+    CheckpointingInterpreter,
+    CheckpointStore,
+    FrameSnapshot,
+    VMSnapshot,
+    capture_checkpoints,
+    golden_with_checkpoints,
+)
 from repro.vm.trace import (
     DynamicInstructionRecord,
     GoldenTrace,
@@ -57,6 +65,9 @@ from repro.vm.trace import (
 __all__ = [
     "AbortFault",
     "ArithmeticFault",
+    "capture_checkpoints",
+    "CheckpointingInterpreter",
+    "CheckpointStore",
     "DecodedFunction",
     "DecodedInstruction",
     "DecodedProgram",
@@ -64,18 +75,22 @@ __all__ = [
     "DynamicInstructionRecord",
     "ExecutionLimits",
     "ExecutionResult",
+    "FrameSnapshot",
     "GoldenTrace",
+    "golden_with_checkpoints",
     "HangDetected",
     "HardwareFault",
     "Interpreter",
     "InvalidJumpFault",
     "Memory",
     "MemorySegment",
+    "MemoryState",
     "MisalignedAccessFault",
     "ReadHook",
     "ReferenceInterpreter",
     "SegmentationFault",
     "StaticInstructionMeta",
     "TraceCollector",
+    "VMSnapshot",
     "WriteHook",
 ]

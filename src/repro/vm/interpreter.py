@@ -63,6 +63,7 @@ from repro.vm.program import (
     DecodedFunction,
     DecodedInstruction,
     DecodedProgram,
+    _finish,
     _read_op,
     decode_module,
 )
@@ -168,8 +169,12 @@ class Interpreter:
                 f"entry @{self.entry} takes {len(entry_function.function.arguments)} "
                 f"arguments, got {len(args)}"
             )
+        return self._execute(lambda: self._run_function(entry_function, list(args)))
+
+    def _execute(self, thunk) -> ExecutionResult:
+        """Run ``thunk`` and classify how the execution ended."""
         try:
-            return_value = self._run_function(entry_function, list(args))
+            return_value = thunk()
             return ExecutionResult(
                 completed=True,
                 output=tuple(self.output),
@@ -202,6 +207,62 @@ class Interpreter:
                 hang=True,
             )
 
+    # ------------------------------------------------------------------ fast-forward
+    def restore(self, snapshot) -> None:
+        """Reset all execution state to a captured :class:`~repro.vm.snapshot.VMSnapshot`.
+
+        The snapshot must originate from the *same* :class:`DecodedProgram`
+        object — frame slot numbering and block indices are decode-specific,
+        so a snapshot never survives a re-decode (the stale-cache guard).
+        """
+        if snapshot.program is not self.program:
+            raise ExecutionSetupError(
+                "snapshot was captured from a different decoded program; "
+                "re-capture checkpoints after the module was re-decoded"
+            )
+        self.memory.restore_state(snapshot.memory)
+        self.output = list(snapshot.output)
+        self.dynamic_index = snapshot.tick
+        self._call_depth = 0
+
+    def resume(self, snapshot) -> ExecutionResult:
+        """Restore ``snapshot`` and execute the remaining suffix of the run.
+
+        The resumed execution is bit-identical to the suffix of a from-scratch
+        run: the dynamic-instruction counter continues at the snapshot tick,
+        hooks fire with the same indices and values, and the final
+        :class:`ExecutionResult` matches field for field.
+        """
+        self.restore(snapshot)
+        return self._execute(lambda: self._resume_level(snapshot.frames, 0))
+
+    def _resume_level(self, frames, level: int) -> Optional[RuntimeScalar]:
+        """Rebuild one captured call-stack level and continue executing it.
+
+        Outer levels are suspended mid-``call``: their callee (the next level)
+        is resumed first, then the call completes exactly like ``_h_call``
+        and the block continues after it.  The innermost level simply resumes
+        at its captured instruction.
+        """
+        record = frames[level]
+        dfunc = record.dfunc
+        self._call_depth += 1
+        frame = list(record.frame)
+        try:
+            block = dfunc.blocks[record.block_index]
+            if level + 1 < len(frames):
+                value = self._resume_level(frames, level + 1)
+                din = block.code[record.position]
+                if din.dest_slot >= 0:
+                    if value is None:
+                        value = 0
+                    _finish(self, frame, din, din.canon(value))
+                return self._block_loop(frame, block, -1, record.position + 1, True)
+            return self._block_loop(frame, block, -1, record.position, True)
+        finally:
+            self.memory.stack_release(record.stack_mark)
+            self._call_depth -= 1
+
     # ------------------------------------------------------------------ frames
     def _run_function(
         self, dfunc: DecodedFunction, args: List[RuntimeScalar]
@@ -229,16 +290,26 @@ class Interpreter:
         block = dfunc.entry
         if block is None:
             raise ExecutionSetupError(f"function @{dfunc.name} has no blocks")
-        previous = -1
+        return self._block_loop(frame, block, -1, 0, False)
+
+    def _block_loop(
+        self, frame: List, block, previous: int, position: int, skip_phis: bool
+    ) -> Optional[RuntimeScalar]:
+        """The driver inner loop, entered at ``(block, position)``.
+
+        A normal run enters at the entry block, position 0.  Fast-forward
+        resume enters mid-block with ``skip_phis`` set, because the captured
+        position is always past the block's phi moves.
+        """
         limit = self.limits.max_dynamic_instructions
         trace = self._trace_append
 
         while True:
-            if block.phi_count:
+            if block.phi_count and not skip_phis:
                 self._run_phis(block, previous, frame, trace)
+            skip_phis = False
 
             code = block.code
-            position = 0
             code_len = block.code_len
             while position < code_len:
                 din = code[position]
@@ -282,6 +353,7 @@ class Interpreter:
                     f"control fell off the end of block %{block.name}",
                     dynamic_index=self.dynamic_index,
                 )
+            position = 0
 
     def _run_phis(self, block, previous: int, frame: List, trace) -> None:
         """Execute the precomputed phi moves of one control-flow edge.

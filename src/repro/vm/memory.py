@@ -24,6 +24,7 @@ a bit flipped in a register and then stored round-trips exactly.
 from __future__ import annotations
 
 import struct
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -54,6 +55,10 @@ class MemorySegment:
     data: bytearray = field(default_factory=bytearray)
     #: Bump-allocation cursor (offset from ``base``).
     cursor: int = 0
+    #: Highest offset ever written through :meth:`Memory.write_bytes`.
+    #: Bytes at or beyond this offset are guaranteed still zero, which lets
+    #: snapshot restore re-zero only the dirty prefix of a segment.
+    high_water: int = 0
 
     def __post_init__(self) -> None:
         if not self.data:
@@ -86,12 +91,44 @@ class MemorySegment:
         return self.base + offset
 
 
+@dataclass(frozen=True)
+class MemoryState:
+    """A compact snapshot of one :class:`Memory`'s mutable state.
+
+    Per segment only the dirty prefix (bytes up to the high-water mark,
+    trailing zeros stripped) is stored, so snapshots of a mostly-empty
+    address space cost kilobytes, not the mapped megabytes.  The payloads
+    are immutable ``bytes``, so snapshots can be shared freely between
+    restores (and between forked worker processes).
+    """
+
+    #: Per segment, in base-address order: ``(name, base, payload, cursor)``.
+    segments: Tuple[Tuple[str, int, bytes, int], ...]
+    bytes_read: int
+    bytes_written: int
+
+
+_ZERO_BLOCK = bytes(1 << 12)
+
+
+def _zeros(length: int) -> memoryview:
+    """A shared all-zero buffer of ``length`` bytes (grown on demand)."""
+    global _ZERO_BLOCK
+    if len(_ZERO_BLOCK) < length:
+        _ZERO_BLOCK = bytes(length)
+    return memoryview(_ZERO_BLOCK)[:length]
+
+
 class Memory:
     """The simulated address space: a set of segments with checked access."""
 
     def __init__(self, layout: Optional[Dict[str, Tuple[int, int]]] = None) -> None:
         layout = dict(layout or DEFAULT_LAYOUT)
         self.segments: Dict[str, MemorySegment] = {}
+        #: Segments sorted by base address plus the parallel base list the
+        #: bisect-based address lookup searches.
+        self._ordered: List[MemorySegment] = []
+        self._bases: List[int] = []
         for name, (base, size) in layout.items():
             self.add_segment(name, base, size)
         #: Count of bytes read/written — used by analyses and tests.
@@ -107,20 +144,62 @@ class Memory:
                 raise ValueError(f"segment {name} overlaps segment {other.name}")
         segment = MemorySegment(name, base, size)
         self.segments[name] = segment
+        index = bisect_right(self._bases, base)
+        self._ordered.insert(index, segment)
+        self._bases.insert(index, base)
         return segment
 
     def segment(self, name: str) -> MemorySegment:
         return self.segments[name]
 
     def find_segment(self, address: int, length: int = 1) -> Optional[MemorySegment]:
-        # Inlined bounds check: this runs once per memory access and the
-        # attribute-light form is measurably faster than contains()/end.
-        end = address + length
-        for segment in self.segments.values():
-            base = segment.base
-            if base <= address and end <= base + segment.size:
+        # Segments are disjoint and sorted by base, so the only candidate is
+        # the one with the largest base <= address: one bisect, one check.
+        index = bisect_right(self._bases, address) - 1
+        if index >= 0:
+            segment = self._ordered[index]
+            if address + length <= segment.base + segment.size:
                 return segment
         return None
+
+    # -- snapshot support -------------------------------------------------------
+    def capture_state(self) -> MemoryState:
+        """Snapshot all mutable memory state (compact; see :class:`MemoryState`)."""
+        segments = []
+        for segment in self._ordered:
+            payload = bytes(memoryview(segment.data)[: segment.high_water])
+            segments.append(
+                (segment.name, segment.base, payload.rstrip(b"\x00"), segment.cursor)
+            )
+        return MemoryState(tuple(segments), self.bytes_read, self.bytes_written)
+
+    def restore_state(self, state: MemoryState) -> None:
+        """Restore a previously captured state onto this (same-layout) memory.
+
+        Every byte that may have changed since the capture — up to each
+        segment's current high-water mark — is rewritten or re-zeroed, so the
+        restored address space is bit-identical to the captured one even when
+        a faulty run scribbled over it in between.
+        """
+        if len(state.segments) != len(self._ordered):
+            raise ValueError("memory layout mismatch: segment count differs")
+        for (name, base, payload, cursor), segment in zip(state.segments, self._ordered):
+            if segment.name != name or segment.base != base:
+                raise ValueError(
+                    f"memory layout mismatch: expected segment {name}@0x{base:x}, "
+                    f"found {segment.name}@0x{segment.base:x}"
+                )
+            length = len(payload)
+            data = segment.data
+            if length:
+                data[:length] = payload
+            high = segment.high_water
+            if high > length:
+                data[length:high] = _zeros(high - length)
+            segment.cursor = cursor
+            segment.high_water = length
+        self.bytes_read = state.bytes_read
+        self.bytes_written = state.bytes_written
 
     # -- allocation -----------------------------------------------------------
     def allocate(self, segment_name: str, size: int, align: int = 8) -> int:
@@ -150,28 +229,32 @@ class Memory:
         return segment, address - segment.base
 
     def read_bytes(self, address: int, length: int) -> bytes:
-        # Hot path: the locate loop is inlined (one call per memory access).
+        # Hot path: the bisect locate is inlined (one call per memory access).
         if address >= NULL_GUARD_LIMIT:
-            end = address + length
-            for segment in self.segments.values():
-                base = segment.base
-                if base <= address and end <= base + segment.size:
+            index = bisect_right(self._bases, address) - 1
+            if index >= 0:
+                segment = self._ordered[index]
+                offset = address - segment.base
+                end = offset + length
+                if end <= segment.size:
                     self.bytes_read += length
-                    offset = address - base
-                    return bytes(segment.data[offset : offset + length])
+                    return bytes(segment.data[offset:end])
         self._locate(address, length, write=False)
         raise AssertionError("unreachable")  # pragma: no cover
 
     def write_bytes(self, address: int, payload: bytes) -> None:
         length = len(payload)
         if address >= NULL_GUARD_LIMIT:
-            end = address + length
-            for segment in self.segments.values():
-                base = segment.base
-                if base <= address and end <= base + segment.size:
+            index = bisect_right(self._bases, address) - 1
+            if index >= 0:
+                segment = self._ordered[index]
+                offset = address - segment.base
+                end = offset + length
+                if end <= segment.size:
                     self.bytes_written += length
-                    offset = address - base
-                    segment.data[offset : offset + length] = payload
+                    segment.data[offset:end] = payload
+                    if end > segment.high_water:
+                        segment.high_water = end
                     return
         self._locate(address, length, write=True)
         raise AssertionError("unreachable")  # pragma: no cover

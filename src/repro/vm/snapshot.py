@@ -1,0 +1,418 @@
+"""VM snapshot/restore: checkpoints of the decoded driver at a dynamic tick.
+
+Every fault-injection experiment pins its first flip at a dynamic instruction
+index taken from the golden trace, so all ticks before it are bit-identical
+to the fault-free run the campaign already profiled.  This module makes that
+prefix free to skip:
+
+* :class:`VMSnapshot` captures everything mutable about an in-flight
+  :class:`~repro.vm.interpreter.Interpreter` — the call stack (one
+  :class:`FrameSnapshot` per live function invocation, frames frozen as
+  tuples), the dirty prefix of every memory segment
+  (:meth:`~repro.vm.memory.Memory.capture_state`), the output buffer and the
+  dynamic-instruction counter.  Snapshots are immutable and
+  copy-on-write-friendly: restoring never mutates the snapshot, so one
+  snapshot serves every experiment whose injection time lies at or after it;
+* :class:`CheckpointingInterpreter` is the profiling-run driver: it executes
+  identically to the base interpreter (same ticks, trace and result) while
+  maintaining an explicit shadow of the Python call recursion, and captures a
+  snapshot every *K* ticks under a fixed snapshot budget
+  (:data:`DEFAULT_MAX_CHECKPOINTS`): whenever the budget overflows, every
+  other snapshot is dropped and the interval doubles — bounding capture
+  memory at a spacing proportional to the golden length.  ``K`` starts at a
+  fine default (auto-tune) or at an explicit ``checkpoint_interval``;
+* :class:`CheckpointStore` holds the captured snapshots sorted by tick with
+  an O(log n) ``latest_at`` lookup;
+* :func:`golden_with_checkpoints` runs one checkpointed profiling run and
+  caches ``(GoldenTrace, CheckpointStore)`` on the module object, keyed like
+  the decode cache and invalidated with it: the cache entry pins the
+  :class:`~repro.vm.program.DecodedProgram` it was captured from, so a
+  structural mutation of the module (which forces a re-decode) also forces a
+  re-capture.  Frame slot numbering and block indices are decode-specific —
+  a snapshot must never be applied across a re-decode, and
+  :meth:`Interpreter.restore` enforces the same identity check.
+
+Restoring is implemented by :meth:`~repro.vm.interpreter.Interpreter.resume`:
+the captured call stack is rebuilt by re-entering one Python frame per level
+(outer levels complete their suspended ``call`` exactly like ``_h_call``
+does), after which the ordinary inner loop executes the remaining suffix.
+The differential suite proves resumed runs bit-identical to from-scratch
+runs for every registry program.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ExecutionSetupError
+from repro.ir.module import Module
+from repro.vm import bitops
+from repro.vm.faults import (
+    AbortFault,
+    HangDetected,
+    InvalidJumpFault,
+    SegmentationFault,
+)
+from repro.vm.interpreter import Interpreter
+from repro.vm.memory import MemoryState
+from repro.vm.program import (
+    KIND_BRANCH,
+    KIND_COND_BRANCH,
+    KIND_RETURN,
+    KIND_SIMPLE,
+    UNDEFINED,
+    DecodedFunction,
+    DecodedProgram,
+    _read_op,
+    decode_module,
+)
+from repro.vm.runtime import ExecutionLimits, ExecutionResult, RuntimeScalar
+from repro.vm.trace import GoldenTrace, TraceCollector
+
+#: Upper bound on snapshots kept per golden run when auto-tuning.
+DEFAULT_MAX_CHECKPOINTS = 32
+
+#: Starting checkpoint spacing (in dynamic ticks) when auto-tuning.
+DEFAULT_INITIAL_INTERVAL = 64
+
+
+class FrameSnapshot:
+    """One live function invocation, frozen at a capture point.
+
+    ``block_index``/``position`` name the *next* instruction of this level:
+    for the innermost level the one about to execute, for every outer level
+    the ``call`` it is suspended in.
+    """
+
+    __slots__ = ("dfunc", "block_index", "position", "frame", "stack_mark")
+
+    def __init__(
+        self,
+        dfunc: DecodedFunction,
+        block_index: int,
+        position: int,
+        frame: Tuple,
+        stack_mark: int,
+    ) -> None:
+        self.dfunc = dfunc
+        self.block_index = block_index
+        self.position = position
+        self.frame = frame
+        self.stack_mark = stack_mark
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FrameSnapshot @{self.dfunc.name} block={self.block_index} "
+            f"position={self.position}>"
+        )
+
+
+class VMSnapshot:
+    """Complete mutable VM state at one dynamic tick of a fault-free run."""
+
+    __slots__ = ("tick", "frames", "memory", "output", "program")
+
+    def __init__(
+        self,
+        tick: int,
+        frames: Tuple[FrameSnapshot, ...],
+        memory: MemoryState,
+        output: Tuple,
+        program: DecodedProgram,
+    ) -> None:
+        self.tick = tick
+        self.frames = frames
+        self.memory = memory
+        self.output = output
+        #: The decoded program this snapshot's slot/block numbering belongs
+        #: to.  ``Interpreter.restore`` refuses snapshots whose program is not
+        #: the interpreter's own (identity, not equality — see module docs).
+        self.program = program
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VMSnapshot tick={self.tick} depth={len(self.frames)}>"
+
+
+class CheckpointStore:
+    """Snapshots of one golden run, sorted by tick, with bisect lookup."""
+
+    __slots__ = ("program", "entry", "args_key", "interval", "snapshots", "ticks")
+
+    def __init__(
+        self,
+        program: DecodedProgram,
+        entry: str,
+        args_key: Tuple,
+        interval: int,
+        snapshots: Sequence[VMSnapshot],
+    ) -> None:
+        self.program = program
+        self.entry = entry
+        self.args_key = args_key
+        #: Final (possibly auto-tuned) spacing between checkpoints.
+        self.interval = interval
+        self.snapshots: List[VMSnapshot] = list(snapshots)
+        self.ticks: List[int] = [snapshot.tick for snapshot in self.snapshots]
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def latest_at(self, tick: int) -> Optional[VMSnapshot]:
+        """The snapshot with the largest tick ``<= tick``, or None (O(log n))."""
+        index = bisect_right(self.ticks, tick) - 1
+        return self.snapshots[index] if index >= 0 else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CheckpointStore {len(self.snapshots)} snapshots, "
+            f"interval={self.interval}>"
+        )
+
+
+class _LiveFrame:
+    """Mutable shadow of one in-flight function invocation (capture only)."""
+
+    __slots__ = ("dfunc", "frame", "stack_mark", "block_index", "position")
+
+    def __init__(self, dfunc: DecodedFunction, frame: List, stack_mark: int) -> None:
+        self.dfunc = dfunc
+        self.frame = frame
+        self.stack_mark = stack_mark
+        self.block_index = 0
+        self.position = 0
+
+
+class CheckpointingInterpreter(Interpreter):
+    """A driver that captures :class:`VMSnapshot`\\ s every *K* ticks.
+
+    Execution is bit-identical to the base :class:`Interpreter` — same tick
+    sequence, trace, hooks and result — at the cost of shadow-stack
+    bookkeeping per instruction, which is why this driver is used for the
+    once-per-workload profiling run only, never for experiments.
+    """
+
+    def __init__(
+        self,
+        program: Union[DecodedProgram, Module],
+        *,
+        checkpoint_interval: Optional[int] = None,
+        max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
+        **kwargs,
+    ) -> None:
+        super().__init__(program, **kwargs)
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ExecutionSetupError("checkpoint_interval must be positive")
+        if max_checkpoints < 2:
+            raise ExecutionSetupError("max_checkpoints must be at least 2")
+        #: Starting spacing; an explicit interval pins the starting point but
+        #: the snapshot budget still applies (thinning doubles the spacing),
+        #: so capture memory stays bounded on arbitrarily long golden runs.
+        self.interval = checkpoint_interval or DEFAULT_INITIAL_INTERVAL
+        self._max_checkpoints = max_checkpoints
+        self._next_checkpoint = self.interval
+        self._live: List[_LiveFrame] = []
+        #: Captured snapshots, in tick order.
+        self.snapshots: List[VMSnapshot] = []
+
+    # -- capture ------------------------------------------------------------
+    def _capture(self, block, position: int) -> None:
+        live = self._live
+        frames = [
+            FrameSnapshot(
+                shadow.dfunc,
+                shadow.block_index,
+                shadow.position,
+                tuple(shadow.frame),
+                shadow.stack_mark,
+            )
+            for shadow in live[:-1]
+        ]
+        top = live[-1]
+        frames.append(
+            FrameSnapshot(
+                top.dfunc, block.index, position, tuple(top.frame), top.stack_mark
+            )
+        )
+        self.snapshots.append(
+            VMSnapshot(
+                tick=self.dynamic_index,
+                frames=tuple(frames),
+                memory=self.memory.capture_state(),
+                output=tuple(self.output),
+                program=self.program,
+            )
+        )
+        if len(self.snapshots) > self._max_checkpoints:
+            # Budget exceeded: keep every other snapshot and space the rest
+            # twice as far apart — interval converges to O(length / budget).
+            del self.snapshots[1::2]
+            self.interval *= 2
+        self._next_checkpoint = self.dynamic_index + self.interval
+
+    # -- driver overrides ----------------------------------------------------
+    def _run_function(
+        self, dfunc: DecodedFunction, args: List[RuntimeScalar]
+    ) -> Optional[RuntimeScalar]:
+        if self._call_depth >= self.limits.max_call_depth:
+            raise SegmentationFault(
+                f"call depth exceeded {self.limits.max_call_depth} (stack overflow)",
+                dynamic_index=self.dynamic_index,
+            )
+        self._call_depth += 1
+        stack_mark = self.memory.stack_mark()
+        frame: List = [UNDEFINED] * dfunc.frame_size
+        self._live.append(_LiveFrame(dfunc, frame, stack_mark))
+        try:
+            slot = 0
+            for canon, actual in zip(dfunc.arg_canons, args):
+                frame[slot] = canon(actual)
+                slot += 1
+            return self._run_blocks(dfunc, frame)
+        finally:
+            self._live.pop()
+            self.memory.stack_release(stack_mark)
+            self._call_depth -= 1
+
+    def _block_loop(
+        self, frame: List, block, previous: int, position: int, skip_phis: bool
+    ) -> Optional[RuntimeScalar]:
+        # A copy of the base inner loop with two additions per instruction:
+        # the checkpoint trigger and the shadow-stack position update (so an
+        # outer level suspended in a call knows where to resume).  Keeping the
+        # additions out of the base loop keeps experiments at full speed.
+        limit = self.limits.max_dynamic_instructions
+        trace = self._trace_append
+        shadow = self._live[-1]
+
+        while True:
+            if block.phi_count and not skip_phis:
+                self._run_phis(block, previous, frame, trace)
+            skip_phis = False
+
+            code = block.code
+            code_len = block.code_len
+            while position < code_len:
+                din = code[position]
+                index = self.dynamic_index
+                if index >= self._next_checkpoint:
+                    self._capture(block, position)
+                if index >= limit:
+                    raise HangDetected(index, limit)
+                if trace is not None:
+                    trace(din.meta)
+                self.dynamic_index = index + 1
+
+                kind = din.kind
+                if kind == KIND_SIMPLE:
+                    shadow.block_index = block.index
+                    shadow.position = position
+                    din.handler(self, frame, din)
+                    position += 1
+                    continue
+                if kind == KIND_BRANCH:
+                    previous, block = block.index, din.target
+                    break
+                if kind == KIND_COND_BRANCH:
+                    condition = _read_op(self, frame, din, din.operands[0])
+                    previous, block = (
+                        block.index,
+                        din.if_true if condition else din.if_false,
+                    )
+                    break
+                if kind == KIND_RETURN:
+                    if not din.operands:
+                        return None
+                    value = _read_op(self, frame, din, din.operands[0])
+                    return bitops.canonicalize(value, din.ret_type)
+                raise AbortFault(
+                    "executed an unreachable instruction",
+                    dynamic_index=self.dynamic_index,
+                )
+            else:
+                raise InvalidJumpFault(
+                    f"control fell off the end of block %{block.name}",
+                    dynamic_index=self.dynamic_index,
+                )
+            position = 0
+
+
+def capture_checkpoints(
+    program: Union[DecodedProgram, Module],
+    *,
+    entry: str = "main",
+    args: Sequence[RuntimeScalar] = (),
+    limits: Optional[ExecutionLimits] = None,
+    checkpoint_interval: Optional[int] = None,
+    max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
+    trace_collector: Optional[TraceCollector] = None,
+) -> Tuple[CheckpointStore, ExecutionResult]:
+    """Run the program fault-free and capture its checkpoint snapshots.
+
+    Raises if the run does not complete (a program that crashes without any
+    injected fault is a benchmark bug, exactly like golden profiling).
+    """
+    interpreter = CheckpointingInterpreter(
+        program,
+        entry=entry,
+        limits=limits or ExecutionLimits(),
+        trace_collector=trace_collector,
+        checkpoint_interval=checkpoint_interval,
+        max_checkpoints=max_checkpoints,
+    )
+    result = interpreter.run(list(args))
+    if not result.completed:
+        detail = result.fault.category if result.fault else "hang"
+        raise RuntimeError(
+            f"fault-free run of {interpreter.module.name} did not complete ({detail})"
+        )
+    store = CheckpointStore(
+        interpreter.program,
+        entry,
+        tuple(args),
+        interpreter.interval,
+        interpreter.snapshots,
+    )
+    return store, result
+
+
+def golden_with_checkpoints(
+    module: Module,
+    *,
+    entry: str = "main",
+    args: Sequence[RuntimeScalar] = (),
+    limits: Optional[ExecutionLimits] = None,
+    checkpoint_interval: Optional[int] = None,
+    max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
+) -> Tuple[GoldenTrace, CheckpointStore]:
+    """One checkpointed profiling run: golden trace plus snapshots, cached.
+
+    The cache lives on the module object next to the decode cache and shares
+    its invalidation: each entry pins the :class:`DecodedProgram` it was
+    captured from, and is rebuilt whenever :func:`decode_module` returns a
+    different object (i.e. after any structural mutation of the module).
+    """
+    decoded = decode_module(module)
+    limits = limits or ExecutionLimits()
+    key = (entry, tuple(args), checkpoint_interval, max_checkpoints, limits)
+    cache = getattr(module, "_checkpoint_cache", None)
+    if cache is None:
+        cache = module._checkpoint_cache = {}
+    cached = cache.get(key)
+    if cached is not None and cached[0] is decoded:
+        return cached[1], cached[2]
+    collector = TraceCollector()
+    store, result = capture_checkpoints(
+        decoded,
+        entry=entry,
+        args=args,
+        limits=limits,
+        checkpoint_interval=checkpoint_interval,
+        max_checkpoints=max_checkpoints,
+        trace_collector=collector,
+    )
+    golden = collector.build(
+        result.output, result.return_value, checkpoint_ticks=tuple(store.ticks)
+    )
+    cache[key] = (decoded, golden, store)
+    return golden, store

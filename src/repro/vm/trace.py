@@ -18,6 +18,7 @@ single list append instead of re-deriving operand types on every tick.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -139,12 +140,19 @@ class GoldenTrace:
         records: Sequence[DynamicInstructionRecord],
         output: Tuple,
         return_value,
+        checkpoint_ticks: Sequence[int] = (),
     ) -> None:
         self.records: List[DynamicInstructionRecord] = list(records)
         #: The fault-free program output (golden output for SDC comparison).
         self.output = output
         #: The fault-free return value of the entry function.
         self.return_value = return_value
+        #: Dynamic ticks at which VM checkpoints were captured during the
+        #: profiling run (sorted ascending; empty when profiling ran without
+        #: checkpointing).  The snapshots themselves live in the
+        #: :class:`~repro.vm.snapshot.CheckpointStore` cached alongside this
+        #: trace — this is the metadata fast-forward scheduling bisects over.
+        self.checkpoint_ticks: Tuple[int, ...] = tuple(checkpoint_ticks)
         # Candidate-record views are scanned once per *experiment* by the
         # sampling code, so they are computed lazily and cached.
         self._with_destination: Optional[List[DynamicInstructionRecord]] = None
@@ -178,6 +186,15 @@ class GoldenTrace:
                 record for record in self.records if record.source_register_bits
             ]
         return self._with_sources
+
+    def latest_checkpoint_at(self, tick: int) -> Optional[int]:
+        """The largest checkpoint tick ``<= tick``, or None (O(log n)).
+
+        Fast-forward execution restores the snapshot captured at this tick
+        and replays only the remaining suffix of the run.
+        """
+        index = bisect_right(self.checkpoint_ticks, tick) - 1
+        return self.checkpoint_ticks[index] if index >= 0 else None
 
     def pointer_destination_fraction(self) -> float:
         """Fraction of destination registers that hold addresses."""
@@ -221,6 +238,8 @@ class TraceCollector:
         """The collected stream, materialised as full dynamic records."""
         return [meta.record_at(index) for index, meta in enumerate(self._metas)]
 
-    def build(self, output: Tuple, return_value) -> GoldenTrace:
+    def build(
+        self, output: Tuple, return_value, checkpoint_ticks: Sequence[int] = ()
+    ) -> GoldenTrace:
         """Finalise the collected records into a :class:`GoldenTrace`."""
-        return GoldenTrace(self.records, output, return_value)
+        return GoldenTrace(self.records, output, return_value, checkpoint_ticks)

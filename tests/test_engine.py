@@ -135,6 +135,36 @@ class TestEngineEquivalence:
         full = SerialEngine().run(config, provider=tiny_provider)
         assert result_signature(merged) == result_signature(full)
 
+    def test_batch_executes_tick_sorted_but_aggregates_in_index_order(self, tiny_runner):
+        """The batch runs experiments by injection tick, results stay indexed."""
+        config = tiny_config(experiments=24)
+        win = config.resolve_win_size()
+        executed = []
+        original_run_spec = tiny_runner.run_spec
+
+        class Recording:
+            def __getattr__(self, attribute):
+                return getattr(tiny_runner, attribute)
+
+            def run_spec(self, spec, **kwargs):
+                executed.append(spec.first_dynamic_index)
+                return original_run_spec(spec, **kwargs)
+
+        partial = run_experiment_batch(Recording(), config, win, 0, 24)
+        assert executed == sorted(executed), "batch must execute in tick order"
+        technique = technique_by_name(config.technique)
+        submitted = [
+            tiny_runner.seeded_spec(
+                technique,
+                max_mbf=config.max_mbf,
+                win_size=win,
+                seed=config.experiment_seed(index),
+            ).first_dynamic_index
+            for index in range(24)
+        ]
+        assert sorted(submitted) == executed
+        assert [record.first_dynamic_index for record in partial.records] == submitted
+
     def test_merge_rejects_mismatched_campaigns(self, tiny_provider):
         a = SerialEngine().run(tiny_config(experiments=4), provider=tiny_provider)
         b = SerialEngine().run(
