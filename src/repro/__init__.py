@@ -10,6 +10,8 @@ errors, rebuilt as a self-contained Python library:
 * :mod:`repro.injection` — the bit-flip fault model (max-MBF / win-size),
   the inject-on-read / inject-on-write techniques, and the experiment driver;
 * :mod:`repro.campaign` — campaign grids, execution and result storage;
+* :mod:`repro.errorspace` — exhaustive error-space enumeration, def-use
+  equivalence pruning and static outcome inference (§IV-C executable);
 * :mod:`repro.programs` — the 15 MiBench / Parboil workloads of Table II;
 * :mod:`repro.analysis` — RQ1–RQ5 analyses and the three pruning layers;
 * :mod:`repro.experiments` — one entry point per table and figure.

@@ -31,12 +31,18 @@ from repro.campaign.engine import (
     SerialEngine,
 )
 from repro.campaign.plan import (
+    ExhaustiveCampaignRequest,
+    exhaustive_campaigns,
     full_paper_grid,
     multi_register_campaigns,
     same_register_campaigns,
     single_bit_campaigns,
 )
-from repro.campaign.results import CampaignResult, ResultStore
+from repro.campaign.results import (
+    CampaignResult,
+    ExhaustiveCampaignResult,
+    ResultStore,
+)
 from repro.campaign.runner import CampaignRunner
 
 __all__ = [
@@ -46,6 +52,9 @@ __all__ = [
     "CampaignRunner",
     "EngineProgress",
     "ExecutionEngine",
+    "ExhaustiveCampaignRequest",
+    "ExhaustiveCampaignResult",
+    "exhaustive_campaigns",
     "ExperimentScale",
     "full_paper_grid",
     "multi_register_campaigns",

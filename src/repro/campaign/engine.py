@@ -23,12 +23,14 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.campaign.config import CampaignConfig
 from repro.campaign.results import CampaignResult
 from repro.errors import ConfigurationError
 from repro.injection.experiment import ExperimentResult, ExperimentRunner
+from repro.injection.faultmodel import FaultSpec
+from repro.injection.outcome import Outcome
 from repro.injection.techniques import technique_by_name
 
 #: A provider maps a program name to a ready-to-use ExperimentRunner.
@@ -180,6 +182,36 @@ def run_experiment_batch(
     return partial
 
 
+def run_error_batch(
+    runner: ExperimentRunner,
+    technique_name: str,
+    errors: Sequence[Tuple[int, Optional[int], int]],
+) -> List[Outcome]:
+    """Execute one batch of exhaustive single-bit errors; outcomes in order.
+
+    Each error is a fully deterministic ``(dynamic_index, slot, bit)``
+    triple (no RNG is consumed: the bit is pinned).  Like sampled batches,
+    execution happens sorted by injection tick so consecutive experiments
+    restore from the same fast-forward checkpoint, and results are merged
+    back to submission order.
+    """
+    order = sorted(range(len(errors)), key=lambda j: errors[j][0])
+    outcomes: List[Optional[Outcome]] = [None] * len(errors)
+    for j in order:
+        dynamic_index, slot, bit = errors[j]
+        spec = FaultSpec(
+            technique=technique_name,
+            first_dynamic_index=dynamic_index,
+            first_slot=slot,
+            max_mbf=1,
+            win_size=0,
+            seed=0,
+            first_bit=bit,
+        )
+        outcomes[j] = runner.run_spec(spec).outcome
+    return outcomes
+
+
 class ExecutionEngine:
     """Interface every campaign execution backend implements."""
 
@@ -196,6 +228,48 @@ class ExecutionEngine:
     ) -> CampaignResult:
         """Execute every experiment of one campaign and aggregate the outcome."""
         raise NotImplementedError
+
+    def run_errors(
+        self,
+        program: str,
+        technique: str,
+        errors: Sequence[Tuple[int, Optional[int], int]],
+        *,
+        provider: RunnerProvider,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> List[Outcome]:
+        """Execute deterministic single-bit errors; outcomes in input order.
+
+        This is the execution path of exhaustive and pruned error-space
+        campaigns (:mod:`repro.errorspace`).  The base implementation runs
+        in-process; pooled engines override it with chunked dispatch.
+        """
+        runner = provider(program)
+        total = len(errors)
+        # Global tick sort first, then contiguous chunks: consecutive
+        # experiments share fast-forward checkpoints across chunk borders.
+        order = sorted(range(total), key=lambda j: errors[j][0])
+        outcomes: List[Optional[Outcome]] = [None] * total
+        started = time.monotonic()
+        done = 0
+        chunk = 256
+        label = f"{program}/{technique}/error-space"
+        for start in range(0, total, chunk):
+            positions = order[start : start + chunk]
+            batch = [errors[j] for j in positions]
+            for position, outcome in zip(positions, run_error_batch(runner, technique, batch)):
+                outcomes[position] = outcome
+            done += len(positions)
+            if on_progress is not None:
+                on_progress(
+                    EngineProgress(
+                        campaign_id=label,
+                        done=done,
+                        total=total,
+                        elapsed_seconds=time.monotonic() - started,
+                    )
+                )
+        return outcomes
 
     def close(self) -> None:
         """Release any resources held by the engine (pools, workers)."""
@@ -277,6 +351,14 @@ def _run_worker_batch(
     return run_experiment_batch(
         _WORKER_RUNNER, config, resolved_win_size, start, count, keep_records=keep_records
     )
+
+
+def _run_worker_error_batch(
+    task: Tuple[str, List[Tuple[int, Optional[int], int]]]
+) -> List[Outcome]:
+    technique, errors = task
+    assert _WORKER_RUNNER is not None, "worker pool was not initialised"
+    return run_error_batch(_WORKER_RUNNER, technique, errors)
 
 
 class MultiprocessEngine(ExecutionEngine):
@@ -364,3 +446,55 @@ class MultiprocessEngine(ExecutionEngine):
                         )
                     )
         return result
+
+    def run_errors(
+        self,
+        program: str,
+        technique: str,
+        errors: Sequence[Tuple[int, Optional[int], int]],
+        *,
+        provider: RunnerProvider,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> List[Outcome]:
+        total = len(errors)
+        if total == 0:
+            return []
+        # Tick-sorted contiguous chunks: every worker's batch is a dense
+        # slice of injection times, maximising checkpoint reuse per process.
+        order = sorted(range(total), key=lambda j: errors[j][0])
+        chunk = self._chunk_size
+        if chunk is None:
+            chunk = max(32, min(512, -(-total // (self.jobs * 4))))
+        tasks = [
+            (technique, [errors[j] for j in order[start : start + chunk]])
+            for start in range(0, total, chunk)
+        ]
+        context = multiprocessing.get_context(self._start_method)
+        if self._start_method == "fork":
+            provider(program)
+        outcomes: List[Optional[Outcome]] = [None] * total
+        started = time.monotonic()
+        done = 0
+        label = f"{program}/{technique}/error-space"
+        with context.Pool(
+            processes=min(self.jobs, len(tasks)),
+            initializer=_initialise_worker,
+            initargs=(provider, program),
+        ) as pool:
+            for task_index, batch_outcomes in enumerate(
+                pool.imap(_run_worker_error_batch, tasks)
+            ):
+                positions = order[task_index * chunk : task_index * chunk + len(batch_outcomes)]
+                for position, outcome in zip(positions, batch_outcomes):
+                    outcomes[position] = outcome
+                done += len(batch_outcomes)
+                if on_progress is not None:
+                    on_progress(
+                        EngineProgress(
+                            campaign_id=label,
+                            done=done,
+                            total=total,
+                            elapsed_seconds=time.monotonic() - started,
+                        )
+                    )
+        return outcomes

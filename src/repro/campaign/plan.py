@@ -6,11 +6,15 @@ Each helper corresponds to a slice of the paper's evaluation:
   program behind Fig. 1 (and the baselines of every later comparison);
 * :func:`same_register_campaigns` — the win-size = 0 grid behind Fig. 2;
 * :func:`multi_register_campaigns` — the win-size > 0 grid behind Figs. 4/5;
-* :func:`full_paper_grid` — all 182 campaigns per program.
+* :func:`full_paper_grid` — all 182 campaigns per program;
+* :func:`exhaustive_campaigns` — full error-space (optionally pruned)
+  single-bit campaigns per program, the §IV-C scalability mode executed by
+  :meth:`repro.experiments.session.ExperimentSession.run_exhaustive`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.campaign.config import CampaignConfig, ExperimentScale, SMOKE_SCALE
@@ -105,6 +109,50 @@ def multi_register_campaigns(
         for technique in _technique_names(techniques)
         for max_mbf in max_mbf_values
         for win_size in win_size_specs
+    ]
+
+
+@dataclass(frozen=True)
+class ExhaustiveCampaignRequest:
+    """One exhaustive (or pruned) single-bit error-space campaign to run.
+
+    ``mode`` selects how much of the space executes: ``"exhaustive"`` runs
+    every error, ``"pruned"`` one representative per def-use equivalence
+    class (statically inferred errors run nothing), ``"budgeted"`` a
+    weighted sample of ``budget`` representatives.  ``validate`` re-runs a
+    seeded fraction of non-representative class members to measure the
+    misprediction rate of the pruning.
+    """
+
+    program: str
+    technique: str = "inject-on-read"
+    mode: str = "pruned"
+    budget: Optional[int] = None
+    validate: float = 0.0
+    seed: int = 2017
+
+
+def exhaustive_campaigns(
+    programs: Sequence[str],
+    *,
+    techniques: Optional[Sequence[str]] = None,
+    mode: str = "pruned",
+    budget: Optional[int] = None,
+    validate: float = 0.0,
+    seed: int = 2017,
+) -> List[ExhaustiveCampaignRequest]:
+    """Exhaustive error-space campaign requests for program × technique."""
+    return [
+        ExhaustiveCampaignRequest(
+            program=program,
+            technique=technique,
+            mode=mode,
+            budget=budget,
+            validate=validate,
+            seed=seed,
+        )
+        for program in programs
+        for technique in _technique_names(techniques)
     ]
 
 

@@ -46,6 +46,108 @@ class ExperimentRecord:
         return cls(index, slot, Outcome(outcome), activated)
 
 
+def exhaustive_campaign_id(
+    program: str, technique: str, mode: str, variant: str = ""
+) -> str:
+    """Store key of one exhaustive error-space campaign (single format)."""
+    base = f"{program}/{technique}/single-bit-exhaustive/{mode}"
+    return f"{base}[{variant}]" if variant else base
+
+
+@dataclass
+class ExhaustiveCampaignResult:
+    """Weighted outcome counts of one exhaustive (or pruned) error-space run.
+
+    Unlike a sampled :class:`CampaignResult`, the counts here cover the
+    *entire* single-bit error space of a workload/technique pair: every
+    error is accounted for exactly once, either by direct execution, by
+    static inference, or by the weight of its equivalence-class
+    representative (see :mod:`repro.errorspace`).  ``executed_experiments``
+    records how many experiments actually ran; the provenance fields make
+    the pruning auditable.
+    """
+
+    program: str
+    technique: str
+    #: "exhaustive" (every error executed), "pruned" (one representative per
+    #: equivalence class) or "budgeted" (weighted sample of representatives).
+    mode: str
+    #: Size of the full single-bit error space (candidates × register bits).
+    total_errors: int
+    #: Number of candidate (instruction, slot) locations — Table II × slots.
+    candidate_count: int
+    executed_experiments: int
+    #: Errors settled by static outcome inference (zero executions).
+    inferred_errors: int
+    #: Weighted counts over the full error space (total == total_errors for
+    #: the exhaustive and pruned modes).
+    outcome_counts: OutcomeCounts = field(default_factory=OutcomeCounts)
+    #: Validation sampler provenance (0/0 when validation was not requested).
+    validation_sampled: int = 0
+    validation_mispredicted: int = 0
+    #: Distinguishes otherwise-identical modes run with different parameters
+    #: (budget/seed/validation fraction); empty for parameter-free runs.
+    variant: str = ""
+
+    @property
+    def campaign_id(self) -> str:
+        return exhaustive_campaign_id(self.program, self.technique, self.mode, self.variant)
+
+    @property
+    def reduction_factor(self) -> float:
+        """How many times fewer experiments ran than the space contains."""
+        if self.executed_experiments <= 0:
+            return float(self.total_errors) if self.total_errors else 1.0
+        return self.total_errors / self.executed_experiments
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.validation_sampled <= 0:
+            return 0.0
+        return self.validation_mispredicted / self.validation_sampled
+
+    @property
+    def sdc_percentage(self) -> float:
+        return 100.0 * self.outcome_counts.sdc_fraction
+
+    def sdc_estimate(self) -> ProportionEstimate:
+        """SDC proportion; for exhaustive coverage the interval is the point."""
+        return wilson_proportion_interval(
+            self.outcome_counts.count(Outcome.SDC), self.outcome_counts.total
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "program": self.program,
+            "technique": self.technique,
+            "mode": self.mode,
+            "total_errors": self.total_errors,
+            "candidate_count": self.candidate_count,
+            "executed_experiments": self.executed_experiments,
+            "inferred_errors": self.inferred_errors,
+            "outcomes": self.outcome_counts.as_dict(),
+            "validation_sampled": self.validation_sampled,
+            "validation_mispredicted": self.validation_mispredicted,
+            **({"variant": self.variant} if self.variant else {}),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExhaustiveCampaignResult":
+        return cls(
+            program=data["program"],
+            technique=data["technique"],
+            mode=data["mode"],
+            total_errors=data["total_errors"],
+            candidate_count=data["candidate_count"],
+            executed_experiments=data["executed_experiments"],
+            inferred_errors=data["inferred_errors"],
+            outcome_counts=OutcomeCounts.from_mapping(data["outcomes"]),
+            validation_sampled=data.get("validation_sampled", 0),
+            validation_mispredicted=data.get("validation_mispredicted", 0),
+            variant=data.get("variant", ""),
+        )
+
+
 @dataclass
 class CampaignResult:
     """Aggregated results of one campaign."""
@@ -171,14 +273,20 @@ class ResultStore:
 
     def __init__(self) -> None:
         self._results: Dict[str, CampaignResult] = {}
+        self._exhaustive: Dict[str, ExhaustiveCampaignResult] = {}
 
     # -- mutation -----------------------------------------------------------------
     def add(self, result: CampaignResult) -> None:
         self._results[result.config.campaign_id] = result
 
+    def add_exhaustive(self, result: ExhaustiveCampaignResult) -> None:
+        self._exhaustive[result.campaign_id] = result
+
     def merge(self, other: "ResultStore") -> None:
         for result in other:
             self.add(result)
+        for result in other.exhaustive_results():
+            self.add_exhaustive(result)
 
     # -- access --------------------------------------------------------------------
     def __len__(self) -> int:
@@ -253,6 +361,24 @@ class ResultStore:
                 seen.append(result.config.program)
         return seen
 
+    # -- exhaustive error-space results -------------------------------------------------
+    def exhaustive_results(self) -> List[ExhaustiveCampaignResult]:
+        return list(self._exhaustive.values())
+
+    def has_exhaustive(
+        self, program: str, technique: str, mode: str, variant: str = ""
+    ) -> bool:
+        return exhaustive_campaign_id(program, technique, mode, variant) in self._exhaustive
+
+    def exhaustive(
+        self, program: str, technique: str, mode: str, variant: str = ""
+    ) -> ExhaustiveCampaignResult:
+        key = exhaustive_campaign_id(program, technique, mode, variant)
+        try:
+            return self._exhaustive[key]
+        except KeyError:
+            raise AnalysisError(f"no exhaustive result recorded for {key!r}") from None
+
     # -- persistence ---------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
         """Write the store to ``path`` atomically, in canonical form.
@@ -265,6 +391,12 @@ class ResultStore:
         """
         ordered = [self._results[key] for key in sorted(self._results)]
         payload = {"version": 1, "campaigns": [result.to_dict() for result in ordered]}
+        if self._exhaustive:
+            # Key added only when present so pre-existing stores stay
+            # byte-identical across load → save.
+            payload["exhaustive_campaigns"] = [
+                self._exhaustive[key].to_dict() for key in sorted(self._exhaustive)
+            ]
         path = Path(path)
         tmp_path = path.with_name(path.name + ".tmp")
         tmp_path.write_text(json.dumps(payload, indent=2))
@@ -276,4 +408,6 @@ class ResultStore:
         store = cls()
         for item in payload.get("campaigns", []):
             store.add(CampaignResult.from_dict(item))
+        for item in payload.get("exhaustive_campaigns", []):
+            store.add_exhaustive(ExhaustiveCampaignResult.from_dict(item))
         return store

@@ -64,6 +64,22 @@ class CampaignRunner:
         """The cached per-workload experiment runner (golden trace included)."""
         return self._provider(program_name)
 
+    # -- error-space execution ---------------------------------------------------------
+    def run_errors(self, program: str, technique: str, errors, on_progress=None):
+        """Execute deterministic single-bit errors through the engine.
+
+        The execution path of exhaustive/pruned campaigns: outcomes come
+        back in input order, and the engine applies the same tick-sorted
+        batching (and, for pools, chunk dispatch) as sampled campaigns.
+        """
+        return self._engine.run_errors(
+            program,
+            technique,
+            errors,
+            provider=self._provider,
+            on_progress=on_progress if on_progress is not None else self._experiment_progress,
+        )
+
     # -- campaign execution -----------------------------------------------------------
     def run_campaign(self, config: CampaignConfig) -> CampaignResult:
         """Run every experiment of one campaign and aggregate the outcomes."""

@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``, or via ``python -m repro``)::
     python -m repro figure 1 --jobs 4 --experiments 2000
     python -m repro figure 5 --programs basicmath,crc32 --max-mbf 2,3,30
     python -m repro table 4 --programs crc32 --experiments 80 --cache results.json
+    python -m repro candidates crc32
+    python -m repro exhaustive crc32 --prune --validate 0.01 --jobs 4
 
 Every command prints the same text tables the benchmark harness produces.
 Campaign results can be cached to a JSON file with ``--cache`` so repeated
@@ -173,6 +175,90 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser.add_argument("number", type=int, choices=(1, 2, 3, 4))
     add_campaign_options(table_parser)
 
+    candidates_parser = subparsers.add_parser(
+        "candidates",
+        help="per-technique candidate and single-bit error-space counts of a program",
+    )
+    candidates_parser.add_argument(
+        "program", help="benchmark program name, or 'all' for every program"
+    )
+
+    exhaustive_parser = subparsers.add_parser(
+        "exhaustive",
+        help="run the full single-bit error space of a program "
+        "(def-use pruned by default)",
+    )
+    exhaustive_parser.add_argument("program", help="benchmark program name")
+    exhaustive_parser.add_argument(
+        "--technique",
+        default="inject-on-read",
+        choices=("inject-on-read", "inject-on-write"),
+        help="injection technique (default inject-on-read)",
+    )
+    prune_group = exhaustive_parser.add_mutually_exclusive_group()
+    prune_group.add_argument(
+        "--prune",
+        dest="prune",
+        action="store_true",
+        default=True,
+        help="execute one representative per def-use equivalence class and "
+        "infer the rest (default)",
+    )
+    prune_group.add_argument(
+        "--no-prune",
+        dest="prune",
+        action="store_false",
+        help="execute every single-bit error of the space",
+    )
+    exhaustive_parser.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="run only a weighted sample of N representatives "
+        "(implies --prune)",
+    )
+    exhaustive_parser.add_argument(
+        "--validate",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="re-run this fraction of non-representative class members and "
+        "report the misprediction rate (pruned mode only)",
+    )
+    exhaustive_parser.add_argument(
+        "--seed", type=int, default=2017, help="seed for budgeted/validation sampling"
+    )
+    exhaustive_parser.add_argument(
+        "--cache", help="JSON file to cache campaign results across runs"
+    )
+    exhaustive_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for campaign execution (default 1 = serial; "
+        "results are identical to a serial run for the same seed)",
+    )
+    exhaustive_parser.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        help="replay every experiment's fault-free prefix from scratch "
+        "instead of restoring VM checkpoints (slower; results are "
+        "bit-identical either way)",
+    )
+    exhaustive_parser.add_argument(
+        "--checkpoint-interval",
+        type=_positive_int,
+        default=None,
+        metavar="TICKS",
+        help="starting spacing (dynamic instructions) between VM "
+        "checkpoints during golden profiling (default: auto-tuned from "
+        "the golden run length; the snapshot budget applies either way)",
+    )
+    exhaustive_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-campaign progress"
+    )
+
     return parser
 
 
@@ -217,6 +303,95 @@ def _run_table(args: argparse.Namespace) -> str:
     return f"{result.name}: {result.description}\n\n{result.text}"
 
 
+def _run_candidates(args: argparse.Namespace) -> str:
+    """``repro candidates``: error-space shape of one (or every) program.
+
+    The printed counts are cross-checked against the Table II expectations:
+    inject-on-read candidates must dominate inject-on-write candidates
+    (stores and branches read registers but define none), and both must be
+    positive for every benchmark.
+    """
+    from repro.errorspace import enumerate_error_space
+    from repro.injection.techniques import TECHNIQUES
+    from repro.programs.registry import get_experiment_runner
+
+    names = all_program_names() if args.program == "all" else [args.program]
+    for name in names:
+        get_program(name)  # raises ConfigurationError on typos
+    lines = [
+        f"{'program':16s} {'technique':16s} {'candidates':>10s} "
+        f"{'locations':>10s} {'error space':>12s}"
+    ]
+    for name in names:
+        runner = get_experiment_runner(name)
+        golden = runner.golden
+        counts = {}
+        for technique in TECHNIQUES:
+            space = enumerate_error_space(golden, technique)
+            counts[technique.name] = technique.candidate_instruction_count(golden)
+            lines.append(
+                f"{name:16s} {technique.name:16s} "
+                f"{counts[technique.name]:10d} {space.candidate_count:10d} "
+                f"{space.size:12d}"
+            )
+        read_count = counts["inject-on-read"]
+        write_count = counts["inject-on-write"]
+        if not (read_count >= write_count > 0):
+            raise SystemExit(
+                f"{name}: candidate counts violate the Table II expectation "
+                f"(read={read_count}, write={write_count})"
+            )
+    lines.append("")
+    lines.append("Table II cross-check: read candidates >= write candidates > 0 for "
+                 f"{len(names)} program(s) [OK]")
+    return "\n".join(lines)
+
+
+def _run_exhaustive(args: argparse.Namespace) -> str:
+    session = ExperimentSession(
+        cache_path=args.cache,
+        jobs=args.jobs,
+        fast_forward=not args.no_fast_forward,
+        checkpoint_interval=args.checkpoint_interval,
+        progress=_progress(args),
+        experiment_progress=_experiment_progress(args),
+    )
+    get_program(args.program)  # raises ConfigurationError on typos
+    if args.budget is not None and not args.prune:
+        raise SystemExit(
+            "repro exhaustive: --budget samples pruned-plan representatives "
+            "and cannot be combined with --no-prune"
+        )
+    mode = "budgeted" if args.budget is not None else ("pruned" if args.prune else "exhaustive")
+    result = session.run_exhaustive(
+        args.program,
+        args.technique,
+        mode=mode,
+        budget=args.budget,
+        validate=args.validate,
+        seed=args.seed,
+    )
+    counts = result.outcome_counts
+    lines = [
+        f"{result.program} / {result.technique} / single-bit {result.mode}",
+        f"  error space        {result.total_errors} errors "
+        f"({result.candidate_count} candidate locations)",
+        f"  executed           {result.executed_experiments} experiments "
+        f"({result.reduction_factor:.2f}x fewer than the space)",
+        f"  inferred           {result.inferred_errors} errors settled statically",
+        "  weighted outcomes  "
+        + ", ".join(f"{k}={v}" for k, v in counts.as_dict().items() if v),
+        f"  SDC                {result.sdc_percentage:.3f}%",
+    ]
+    if result.validation_sampled:
+        lines.append(
+            f"  validation         {result.validation_mispredicted}/"
+            f"{result.validation_sampled} mispredicted "
+            f"({100.0 * result.misprediction_rate:.2f}%)"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list-programs":
@@ -229,6 +404,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "table":
         print(_run_table(args))
+        return 0
+    if args.command == "candidates":
+        print(_run_candidates(args))
+        return 0
+    if args.command == "exhaustive":
+        print(_run_exhaustive(args))
         return 0
     return 2  # pragma: no cover - argparse enforces valid commands
 

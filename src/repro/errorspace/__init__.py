@@ -1,0 +1,58 @@
+"""The executable error-space subsystem (§III-A / §IV-C made operational).
+
+The paper's scalability argument rests on the error space being *structured*:
+inject-on-read collapses every fault between a register's last write and a
+read into one equivalence class, and the outcome of a whole class can be
+inferred from one representative (or, for provably masked or provably
+trapping flips, from no execution at all).  The seed repo only *recommended*
+pruning after a campaign (``analysis/pruning.py``); this package makes the
+error space a first-class object the campaign layer can execute:
+
+* :mod:`repro.errorspace.enumerate` — streams the full per-technique
+  single-bit error space (every candidate × every register bit) from a
+  golden trace in deterministic chunks;
+* :mod:`repro.errorspace.defuse` — reconstructs dynamic def-use intervals
+  from the golden trace and groups inject-on-read candidates that read the
+  same unredefined defining write into equivalence classes;
+* :mod:`repro.errorspace.inference` — statically infers the outcome of
+  errors whose effect is provable from the golden run alone (masked flips,
+  trapping addresses, dead stores, direct output corruption), and expands
+  representative outcomes into weighted campaign counts;
+* :mod:`repro.errorspace.planner` — builds a :class:`PrunedPlan` (one
+  representative experiment per class plus its weight) with ``exact`` and
+  ``budgeted`` modes, plus a seeded validation sampler that measures the
+  misprediction rate of class-representative inheritance.
+"""
+
+from repro.errorspace.enumerate import (
+    ErrorSpace,
+    SingleBitError,
+    enumerate_error_space,
+)
+from repro.errorspace.defuse import DefUseIndex, build_defuse_index
+from repro.errorspace.inference import (
+    OutcomeInference,
+    infer_outcome,
+    validation_sample,
+)
+from repro.errorspace.planner import (
+    EquivalenceClass,
+    PlannedExperiment,
+    PrunedPlan,
+    build_pruned_plan,
+)
+
+__all__ = [
+    "DefUseIndex",
+    "EquivalenceClass",
+    "ErrorSpace",
+    "OutcomeInference",
+    "PlannedExperiment",
+    "PrunedPlan",
+    "SingleBitError",
+    "build_defuse_index",
+    "build_pruned_plan",
+    "enumerate_error_space",
+    "infer_outcome",
+    "validation_sample",
+]

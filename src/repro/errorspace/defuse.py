@@ -1,0 +1,563 @@
+"""Dynamic def-use extraction from the golden trace (§III-A).
+
+The paper's inject-on-read technique is justified by a def-use argument:
+every fault that corrupts a register between its last write (the *defining
+write*) and a read collapses into the same equivalence class as a flip
+injected immediately before that read.  This module makes the def-use
+structure of a golden run explicit so the rest of the error-space subsystem
+can exploit it:
+
+* every dynamic *defining write* of the run becomes a :class:`DefEvent`
+  carrying the golden value it produced;
+* every inject-on-read candidate ``(dynamic index, slot)`` is attributed to
+  the def event it consumes, giving the *def-use intervals* the equivalence
+  classes are built from;
+* every consumption (including phi moves, call argument passing and return
+  values, which are not injection candidates but *do* propagate values) is
+  recorded so outcome inference can replay the dataflow slice of a corrupted
+  value;
+* the run's memory accesses are logged byte-granularly so inference can
+  prove a corrupted store dead.
+
+The extraction *replays* the recorded dynamic instruction stream against the
+module — reconstructing the call stack from call/ret records — rather than
+instrumenting every register access during execution, so the golden trace
+stays as compact as before.  One extra instrumented execution (write hook +
+memory log) supplies the golden values; its cost is one run per workload,
+amortised over hundreds of thousands of enumerated errors.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.frontend.compiler import CompiledProgram
+from repro.ir.instructions import Call, Instruction, Phi
+from repro.ir.values import Constant, VirtualRegister
+from repro.vm import bitops
+from repro.vm.interpreter import ExecutionLimits, Interpreter
+from repro.vm.memory import NULL_GUARD_LIMIT
+from repro.vm.program import DecodedProgram, decode_module
+from repro.vm.trace import GoldenTrace
+
+#: Def-site marker for values that enter an activation as arguments.
+PARAM_SITE = "<param>"
+
+
+@dataclass
+class DefEvent:
+    """One dynamic defining write (or argument binding) of the golden run."""
+
+    def_id: int
+    #: Dynamic index of the defining write, or -1 for argument bindings.
+    tick: int
+    register: VirtualRegister
+    #: Static identity of the write: ``(function, static_index)`` for
+    #: instruction writes, ``(function, PARAM_SITE, register)`` for arguments.
+    site: Tuple
+    #: Golden value the write produced (None when unknown — never inferred).
+    value: object = None
+    #: Dynamic indices of the records that consume this def, in order.
+    use_ticks: List[int] = field(default_factory=list)
+
+
+class DefUseIndex:
+    """Def-use structure of one golden run, queryable by the error space.
+
+    Built by :func:`build_defuse_index`; see the module docstring for what
+    it contains.  All lookups are O(1) dict/array accesses so planning and
+    inference over a few hundred thousand errors stay cheap.
+    """
+
+    def __init__(self, program: CompiledProgram, golden: GoldenTrace, decoded: DecodedProgram) -> None:
+        self.program = program
+        self.golden = golden
+        self.decoded = decoded
+        #: DefEvent per def id.
+        self.defs: List[DefEvent] = []
+        #: (dynamic_index, slot) -> def id, for every inject-on-read candidate
+        #: whose read the VM actually performs at that location.
+        self.read_def: Dict[Tuple[int, int], int] = {}
+        #: Candidates whose hook never fires at the named location (the
+        #: unchosen select operand): the experiment injects at the next
+        #: eligible access instead, so they are never grouped or inferred.
+        self.deferred_reads: set = set()
+        #: record tick -> IR instruction executed at that tick.
+        self.instructions: List[Instruction] = []
+        #: record tick -> tuple of def ids aligned with instruction.operands
+        #: (None for constants/globals/unread operands).
+        self.operand_defs: List[Tuple[Optional[int], ...]] = []
+        #: call tick -> param def ids of the callee activation (arg order).
+        self.call_params: Dict[int, Tuple[int, ...]] = {}
+        #: ret tick -> def id of the caller's call-result register (None at
+        #: top level or for value-discarding calls).
+        self.ret_target: Dict[int, Optional[int]] = {}
+        #: store tick -> (address, size) of the golden store.
+        self.store_span: Dict[int, Tuple[int, int]] = {}
+        #: Memory segments (base, size) mapped during execution; the segment
+        #: map is fixed at interpreter construction, so address validity is a
+        #: static property.
+        self.segments: List[Tuple[int, int]] = []
+        #: Global variable name -> materialised address (deterministic).
+        self.global_addresses: Dict[str, int] = {}
+        # Per-byte memory events in tick order: (tick, payload) with payload
+        # -1 for reads and the written byte value for writes.
+        self._byte_events: Dict[int, List[Tuple[int, int]]] = {}
+        # Initial memory image (post global materialisation, pre execution):
+        # (base, bytes) per segment, base-sorted.
+        self._initial_memory: List[Tuple[int, bytes]] = []
+        # Per-byte (write ticks, written values) bisect index, built lazily.
+        self._write_index: Dict[int, Tuple[List[int], List[int]]] = {}
+
+    # -- queries -------------------------------------------------------------------
+    def def_of_read(self, dynamic_index: int, slot: int) -> Optional[DefEvent]:
+        """The def event consumed by an inject-on-read candidate, if attributed."""
+        def_id = self.read_def.get((dynamic_index, slot))
+        return self.defs[def_id] if def_id is not None else None
+
+    def class_key(self, dynamic_index: int, slot: int) -> Tuple:
+        """Equivalence-class key of an inject-on-read candidate.
+
+        Candidates are grouped when they consume a value produced by the
+        *same static defining write*, carry the *same golden value* and are
+        read at the *same static read site*: their faulty runs differ only
+        in which dynamic instance of the def-use edge the flip lands on.
+        (Grouping by the dynamic def event alone would be strictly sounder
+        but collapses almost nothing once static inference has settled the
+        easy errors; the value+site refinement is what the validation
+        sampler exists to audit.)  Unattributable candidates form singleton
+        classes.
+        """
+        if (dynamic_index, slot) in self.deferred_reads:
+            return ("deferred", dynamic_index, slot)
+        def_id = self.read_def.get((dynamic_index, slot))
+        if def_id is None:
+            return ("unattributed", dynamic_index, slot)
+        event = self.defs[def_id]
+        if event.value is None:
+            return ("unvalued", def_id, dynamic_index, slot)
+        try:
+            value_bits = bitops.value_to_bits(event.value, event.register.type)
+        except (TypeError, ValueError):
+            return ("unvalued", def_id, dynamic_index, slot)
+        instr = self.instructions[dynamic_index]
+        site = (instr.parent.parent.name, instr.static_index, slot)
+        return (event.site, site, value_bits)
+
+    def address_fault(self, address: int, align: int, size: int) -> bool:
+        """True when an access at ``address`` provably raises a hardware fault.
+
+        Mirrors the VM's checks: natural alignment first, then the null
+        guard page and the (static) segment map.
+        """
+        if align > 1 and address % align:
+            return True
+        if address < NULL_GUARD_LIMIT:
+            return True
+        for base, seg_size in self.segments:
+            if base <= address and address + size <= base + seg_size:
+                return False
+        return True
+
+    def store_is_dead(self, tick: int) -> bool:
+        """True when bytes stored at ``tick`` are provably never observed.
+
+        A corrupted store value is benign iff every stored byte is
+        overwritten before (or instead of) being read again — byte-granular,
+        using the golden run's memory access log.  Conservative: any
+        subsequent read of a byte before a covering write counts as live.
+        """
+        span = self.store_span.get(tick)
+        if span is None:
+            return False
+        address, size = span
+        for byte in range(address, address + size):
+            for event_tick, payload in self._byte_events.get(byte, ()):
+                if event_tick <= tick:
+                    continue
+                if payload < 0:
+                    return False
+                break  # overwritten before any read: this byte is dead
+        return True
+
+    def _initial_byte(self, byte: int) -> Optional[int]:
+        for base, payload in self._initial_memory:
+            if base <= byte < base + len(payload):
+                return payload[byte - base]
+        for base, size in self.segments:
+            if base <= byte < base + size:
+                return 0  # mapped but beyond the captured image: still zero
+        return None
+
+    def _write_events(self, byte: int) -> Tuple[List[int], List[int]]:
+        """(ticks, values) of the golden writes to one byte (cached, sorted)."""
+        cached = self._write_index.get(byte)
+        if cached is None:
+            ticks: List[int] = []
+            values: List[int] = []
+            for event_tick, payload in self._byte_events.get(byte, ()):
+                if payload >= 0:
+                    ticks.append(event_tick)
+                    values.append(payload)
+            cached = self._write_index[byte] = (ticks, values)
+        return cached
+
+    def golden_content(self, byte: int, tick: int) -> Optional[int]:
+        """Golden value of one memory byte just before ``tick``.
+
+        Derived from the initial memory image plus the run's write log;
+        None when the byte was never mapped.
+        """
+        ticks, values = self._write_events(byte)
+        position = bisect_right(ticks, tick - 1)
+        if position > 0:
+            return values[position - 1]
+        return self._initial_byte(byte)
+
+    def next_write_after(self, byte: int, tick: int) -> float:
+        """Tick of the first golden write to ``byte`` strictly after ``tick``."""
+        ticks, _values = self._write_events(byte)
+        position = bisect_right(ticks, tick)
+        return ticks[position] if position < len(ticks) else float("inf")
+
+    def read_ticks_between(self, byte: int, start: int, end: float) -> List[int]:
+        """Golden read ticks of ``byte`` in the open interval (start, end)."""
+        ticks: List[int] = []
+        for event_tick, payload in self._byte_events.get(byte, ()):
+            if event_tick <= start:
+                continue
+            if event_tick >= end:
+                break
+            if payload < 0:
+                ticks.append(event_tick)
+        return ticks
+
+    # -- construction helpers (used by build_defuse_index) ---------------------------
+    def _new_def(self, tick: int, register: VirtualRegister, site: Tuple, value) -> int:
+        def_id = len(self.defs)
+        self.defs.append(DefEvent(def_id, tick, register, site, value))
+        return def_id
+
+    def _log_read(self, tick: int, address: int, length: int) -> None:
+        for byte in range(address, address + length):
+            self._byte_events.setdefault(byte, []).append((tick, -1))
+
+    def _log_write(self, tick: int, address: int, payload) -> None:
+        for offset, value in enumerate(payload):
+            self._byte_events.setdefault(address + offset, []).append((tick, value))
+
+
+class _Activation:
+    """One reconstructed call frame during trace replay."""
+
+    __slots__ = ("function", "defs", "pending_result", "previous_block")
+
+    def __init__(self, function_name: str) -> None:
+        self.function = function_name
+        #: register name -> def id (current reaching definition).
+        self.defs: Dict[str, int] = {}
+        #: Caller-side result register to define when this frame returns.
+        self.pending_result: Optional[VirtualRegister] = None
+        #: Name of the block whose terminator we last executed (phi edges).
+        self.previous_block: Optional[str] = None
+
+
+class _WriteLog:
+    """Ordered write-hook values of the instrumented golden execution.
+
+    The write hook fires exactly once per defining write, in an order the
+    replay reproduces (phi groups write after their reads, call results
+    write when the callee returns), so consuming the stream positionally
+    attaches a golden value to every def event.
+    """
+
+    def __init__(self) -> None:
+        self.values: List = []
+        self._cursor = 0
+
+    def hook(self, dynamic_index, instruction, register, value):
+        self.values.append(value)
+        return value
+
+    def next_value(self):
+        if self._cursor >= len(self.values):
+            raise AnalysisError("write-value stream shorter than the replayed defs")
+        value = self.values[self._cursor]
+        self._cursor += 1
+        return value
+
+
+def _instrumented_run(
+    program: CompiledProgram,
+    decoded: DecodedProgram,
+    args: Sequence,
+    golden: GoldenTrace,
+    index: DefUseIndex,
+) -> _WriteLog:
+    """Re-execute the golden run once, logging write values and memory accesses."""
+    log = _WriteLog()
+    limits = ExecutionLimits.for_golden_length(golden.dynamic_instruction_count, 12)
+    interpreter = Interpreter(
+        decoded, entry=program.entry, limits=limits, write_hook=log.hook
+    )
+    memory = interpreter.memory
+    real_read_bytes = memory.read_bytes
+    real_write_bytes = memory.write_bytes
+
+    def read_bytes_logged(address: int, length: int) -> bytes:
+        index._log_read(interpreter.dynamic_index - 1, address, length)
+        return real_read_bytes(address, length)
+
+    def write_bytes_logged(address: int, payload) -> None:
+        index._log_write(interpreter.dynamic_index - 1, address, payload)
+        return real_write_bytes(address, payload)
+
+    # The initial image (globals materialised, stack/heap untouched) plus
+    # the write log determine the golden content of any byte at any tick.
+    # Only the touched prefix is copied; mapped bytes beyond it are zero.
+    index._initial_memory = [
+        (segment.base, bytes(segment.data[: max(segment.high_water, segment.cursor)]))
+        for segment in memory.segments.values()
+    ]
+    memory.read_bytes = read_bytes_logged
+    memory.write_bytes = write_bytes_logged
+    result = interpreter.run(list(args))
+    memory.read_bytes = real_read_bytes
+    memory.write_bytes = real_write_bytes
+    if not result.completed:
+        raise AnalysisError("instrumented golden re-execution did not complete")
+    if result.output != golden.output:
+        raise AnalysisError("instrumented golden re-execution diverged from the trace")
+    index.segments = [
+        (segment.base, segment.size) for segment in interpreter.memory.segments.values()
+    ]
+    index.global_addresses = {
+        name: interpreter.global_address(name) for name in program.module.globals
+    }
+    return log
+
+
+def _static_instruction_table(program: CompiledProgram) -> Dict[str, Dict[int, Instruction]]:
+    table: Dict[str, Dict[int, Instruction]] = {}
+    for name, function in program.module.functions.items():
+        entries: Dict[int, Instruction] = {}
+        for block in function.blocks:
+            for instruction in block.instructions:
+                entries[instruction.static_index] = instruction
+        table[name] = entries
+    return table
+
+
+def build_defuse_index(
+    program: CompiledProgram,
+    golden: GoldenTrace,
+    *,
+    args: Sequence = (),
+    decoded: Optional[DecodedProgram] = None,
+) -> DefUseIndex:
+    """Extract the dynamic def-use structure of one golden run.
+
+    ``args`` must be the same workload input the golden trace was profiled
+    with; the instrumented value-collection run asserts it reproduces the
+    golden output bit-exactly before any of its values are trusted.
+    """
+    decoded = decoded if decoded is not None else decode_module(program.module)
+    index = DefUseIndex(program, golden, decoded)
+    write_log = _instrumented_run(program, decoded, args, golden, index)
+    statics = _static_instruction_table(program)
+    module = program.module
+
+    entry_function = module.get_function(program.entry)
+    stack: List[_Activation] = [_Activation(program.entry)]
+    for position, argument in enumerate(entry_function.arguments):
+        value = None
+        if position < len(args):
+            try:
+                value = bitops.canonicalize(args[position], argument.type)
+            except (TypeError, ValueError):
+                value = args[position]
+        stack[0].defs[argument.name] = index._new_def(
+            -1, argument, (program.entry, PARAM_SITE, argument.name), value
+        )
+
+    # Phi moves on one edge have parallel-assignment semantics: all incoming
+    # values are read before any phi result is written.  Consecutive phi
+    # records therefore resolve their incoming defs against the defs map as
+    # it stood *before* the group, and commit their own defs only when the
+    # group ends (the first non-phi record that follows).
+    pending_phi_defs: List[Tuple[_Activation, str, int]] = []
+
+    def flush_phi_group() -> None:
+        while pending_phi_defs:
+            frame, register_name, def_id = pending_phi_defs.pop()
+            frame.defs[register_name] = def_id
+
+    for record in golden.records:
+        tick = record.dynamic_index
+        activation = stack[-1]
+        instruction = statics[record.function_name][record.static_index]
+        index.instructions.append(instruction)
+
+        if isinstance(instruction, Phi):
+            incoming_def: Optional[int] = None
+            previous = activation.previous_block
+            incoming = instruction.incoming.get(previous) if previous else None
+            operand_ids: List[Optional[int]] = [None] * len(instruction.operands)
+            if isinstance(incoming, VirtualRegister):
+                incoming_def = activation.defs.get(incoming.name)
+                if incoming_def is not None:
+                    index.defs[incoming_def].use_ticks.append(tick)
+                    for position, op in enumerate(instruction.operands):
+                        if op is incoming:
+                            operand_ids[position] = incoming_def
+            def_id = index._new_def(
+                tick,
+                instruction.destination(),
+                (record.function_name, record.static_index),
+                write_log.next_value(),
+            )
+            pending_phi_defs.append(
+                (activation, instruction.destination().name, def_id)
+            )
+            index.operand_defs.append(tuple(operand_ids))
+            continue
+        flush_phi_group()
+
+        # Attribute the register reads this instruction actually performs.
+        source_registers = instruction.source_registers()
+        unread_slots: set = set()
+        if instruction.opcode == "select" and len(instruction.operands) == 3:
+            condition = instruction.operands[0]
+            chosen = None
+            if isinstance(condition, Constant):
+                chosen = 1 if condition.value else 2
+            elif isinstance(condition, VirtualRegister):
+                cond_def = activation.defs.get(condition.name)
+                cond_value = index.defs[cond_def].value if cond_def is not None else None
+                if cond_value is not None:
+                    chosen = 1 if cond_value else 2
+            for slot, register in enumerate(source_registers):
+                position = _register_slot_position(instruction, slot)
+                if chosen is not None and position == (2 if chosen == 1 else 1):
+                    unread_slots.add(slot)
+                elif chosen is None and position in (1, 2):
+                    unread_slots.add(slot)
+
+        operand_ids = [None] * len(instruction.operands)
+        for slot, register in enumerate(source_registers):
+            if slot in unread_slots:
+                index.deferred_reads.add((tick, slot))
+                continue
+            def_id = activation.defs.get(register.name)
+            if def_id is None:
+                # Read of a register this replay never saw defined (cannot
+                # happen for runs the VM completed); leave unattributed.
+                continue
+            index.read_def[(tick, slot)] = def_id
+            index.defs[def_id].use_ticks.append(tick)
+            operand_ids[_register_slot_position(instruction, slot)] = def_id
+        index.operand_defs.append(tuple(operand_ids))
+
+        if instruction.opcode == "store":
+            pointer = instruction.operands[1]
+            address = _operand_value(index, activation, pointer)
+            if address is not None:
+                size = instruction.operands[0].type.size_bytes()
+                index.store_span[tick] = (int(address), size)
+
+        destination = instruction.destination()
+        is_function_call = (
+            isinstance(instruction, Call)
+            and not instruction.is_intrinsic
+            and module.has_function(instruction.callee_name)
+        )
+        if is_function_call:
+            callee = module.get_function(instruction.callee_name)
+            frame = _Activation(instruction.callee_name)
+            param_ids: List[int] = []
+            for position, parameter in enumerate(callee.arguments):
+                value = None
+                if position < len(instruction.operands):
+                    value = _operand_value(index, activation, instruction.operands[position])
+                    if value is not None:
+                        try:
+                            value = bitops.canonicalize(value, parameter.type)
+                        except (TypeError, ValueError):
+                            pass
+                param_id = index._new_def(
+                    tick, parameter, (instruction.callee_name, PARAM_SITE, parameter.name), value
+                )
+                frame.defs[parameter.name] = param_id
+                param_ids.append(param_id)
+            index.call_params[tick] = tuple(param_ids)
+            if destination is not None:
+                activation.pending_result = destination
+            stack.append(frame)
+        elif destination is not None:
+            def_id = index._new_def(
+                tick,
+                destination,
+                (record.function_name, record.static_index),
+                write_log.next_value(),
+            )
+            activation.defs[destination.name] = def_id
+
+        if instruction.opcode == "ret":
+            stack.pop()
+            target: Optional[int] = None
+            if stack:
+                caller = stack[-1]
+                if caller.pending_result is not None:
+                    target = index._new_def(
+                        tick,
+                        caller.pending_result,
+                        (caller.function, "<call-result>", caller.pending_result.name),
+                        write_log.next_value(),
+                    )
+                    caller.defs[caller.pending_result.name] = target
+                    caller.pending_result = None
+            index.ret_target[tick] = target
+        elif instruction.parent is not None and instruction is instruction.parent.terminator:
+            activation.previous_block = instruction.parent.name
+
+    return index
+
+
+def register_slot_position(instruction: Instruction, slot: int) -> Optional[int]:
+    """Operand-list position of the ``slot``-th register operand, or None.
+
+    The slot numbering is the inject-on-read convention shared by the
+    injector hooks, the def-use attribution here and the slice replay's
+    corrupted-operand override — all three must agree, so they all call this
+    one helper.
+    """
+    seen = -1
+    for position, operand in enumerate(instruction.operands):
+        if isinstance(operand, VirtualRegister):
+            seen += 1
+            if seen == slot:
+                return position
+    return None
+
+
+def _register_slot_position(instruction: Instruction, slot: int) -> int:
+    position = register_slot_position(instruction, slot)
+    if position is None:
+        raise AnalysisError(
+            f"instruction {instruction.opcode} has no register operand slot {slot}"
+        )
+    return position
+
+
+def _operand_value(index: DefUseIndex, activation: _Activation, operand) -> object:
+    """Golden value of an operand during replay (None when unknown)."""
+    if isinstance(operand, Constant):
+        return operand.value
+    if isinstance(operand, VirtualRegister):
+        def_id = activation.defs.get(operand.name)
+        if def_id is not None:
+            return index.defs[def_id].value
+    return None

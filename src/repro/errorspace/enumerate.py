@@ -1,0 +1,150 @@
+"""Exhaustive enumeration of the single-bit error space (§III-A).
+
+A *single-bit error* is one element of the space the paper's single bit-flip
+campaigns sample from: a candidate fault location (a dynamic instruction
+plus, for inject-on-read, a source-operand slot) combined with one bit of the
+targeted register.  :class:`ErrorSpace` streams that full space — every
+candidate × every register bit — from a golden trace in a deterministic
+order (dynamic index, then slot, then bit), chunked so campaigns can be
+dispatched to worker pools, checkpointed and resumed without materialising
+hundreds of thousands of specs at once.
+
+The enumeration shares :meth:`repro.vm.trace.GoldenTrace.iter_register_accesses`
+with the injection techniques, so the exhaustive space is *by construction*
+the same space :meth:`InjectionTechnique.sample_candidate` draws from and the
+same counts Table II reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.injection.faultmodel import FaultSpec, SINGLE_BIT_MAX_MBF
+from repro.injection.techniques import InjectionTechnique, technique_by_name
+from repro.vm.trace import GoldenTrace
+
+
+@dataclass(frozen=True)
+class SingleBitError:
+    """One element of the exhaustive single-bit error space.
+
+    ``(dynamic_index, slot, bit)`` fully identifies the error; ``ordinal``
+    is its position in the deterministic enumeration order (used for chunk
+    bookkeeping and seeded sampling).
+    """
+
+    ordinal: int
+    dynamic_index: int
+    #: Source-operand slot (inject-on-read) or ``None`` (inject-on-write).
+    slot: Optional[int]
+    bit: int
+    register_bits: int
+    opcode: str
+
+    def spec(self, technique: str, *, seed: int = 0) -> FaultSpec:
+        """The fully deterministic fault spec this error expands to.
+
+        Single-bit exhaustive experiments draw nothing from the RNG — the
+        bit is pinned via ``first_bit`` — so the seed only matters if the
+        spec is reused for multi-bit follow-ups.
+        """
+        return FaultSpec(
+            technique=technique,
+            first_dynamic_index=self.dynamic_index,
+            first_slot=self.slot,
+            max_mbf=SINGLE_BIT_MAX_MBF,
+            win_size=0,
+            seed=seed,
+            first_bit=self.bit,
+        )
+
+    @property
+    def key(self):
+        """Stable identity used to cross-reference plans and validations."""
+        return (self.dynamic_index, self.slot, self.bit)
+
+
+class ErrorSpace:
+    """The full single-bit error space of one technique over one golden trace."""
+
+    def __init__(self, technique: InjectionTechnique, trace: GoldenTrace) -> None:
+        self.technique = technique
+        self.trace = trace
+        kind = technique.access
+        self._accesses = [
+            access for access in trace.iter_register_accesses() if access.kind == kind
+        ]
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of candidate locations (Table II granularity × slots)."""
+        return len(self._accesses)
+
+    @property
+    def size(self) -> int:
+        """Total number of distinct single-bit errors (candidates × widths)."""
+        return sum(access.bits for access in self._accesses)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def iter_errors(self) -> Iterator[SingleBitError]:
+        """Stream the space in deterministic (tick, slot, bit) order."""
+        ordinal = 0
+        for access in self._accesses:
+            for bit in range(access.bits):
+                yield SingleBitError(
+                    ordinal=ordinal,
+                    dynamic_index=access.dynamic_index,
+                    slot=access.slot,
+                    bit=bit,
+                    register_bits=access.bits,
+                    opcode=access.opcode,
+                )
+                ordinal += 1
+
+    def iter_candidate_errors(self) -> Iterator[SingleBitError]:
+        """Stream one bit-0 error per candidate location.
+
+        The planner groups candidates (bits expand uniformly within a
+        class), so iterating one error per location avoids materialising
+        the full ``candidates × widths`` product.
+        """
+        ordinal = 0
+        for access in self._accesses:
+            yield SingleBitError(
+                ordinal=ordinal,
+                dynamic_index=access.dynamic_index,
+                slot=access.slot,
+                bit=0,
+                register_bits=access.bits,
+                opcode=access.opcode,
+            )
+            ordinal += access.bits
+
+    def chunks(self, chunk_size: int) -> Iterator[List[SingleBitError]]:
+        """Stream the space as deterministic, contiguous chunks.
+
+        Chunking is purely positional, so the same ``chunk_size`` always
+        yields the same partition — the property resumable exhaustive
+        campaigns and worker pools rely on.
+        """
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be positive")
+        chunk: List[SingleBitError] = []
+        for error in self.iter_errors():
+            chunk.append(error)
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+
+def enumerate_error_space(trace: GoldenTrace, technique) -> ErrorSpace:
+    """The exhaustive single-bit error space for a technique (by name or object)."""
+    if isinstance(technique, str):
+        technique = technique_by_name(technique)
+    return ErrorSpace(technique, trace)

@@ -1,0 +1,515 @@
+"""Static outcome inference: prove an error's outcome without executing it.
+
+A single-bit inject-on-read error corrupts exactly one value consumption;
+until the corruption reaches memory, control flow or output, the faulty run
+is the golden run with a handful of known register deltas.  This module
+replays that *dataflow slice* over the def-use index — using the decoded
+program's own operation bindings, so the semantics are the VM's by
+construction — and classifies the error when the slice terminates provably:
+
+* the corruption is **masked** (every consumption produces a bit-identical
+  result, e.g. ``and``-ed out, shifted out, truncated, a comparison that
+  does not cross its boundary) → **Benign**;
+* the corrupted value reaches a memory access whose address provably traps
+  (misaligned, or outside the static segment map) or an operation that
+  provably raises (division by zero, a failing ``assert``) → **Detected by
+  hardware exception**;
+* the corruption lands only in provably dead stores → **Benign**;
+* the corruption reaches ``output`` (and nothing else) → **SDC**.
+
+Anything else — a diverging branch, a live store, a load through a corrupted
+but mapped address — returns ``None``: the error must be executed.  The
+inferred outcomes are exact by construction; ``tests/test_errorspace.py``
+cross-checks them against real executions, and the validation sampler here
+measures the (heuristic) class-representative inheritance on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.errorspace.defuse import DefUseIndex, register_slot_position
+from repro.errorspace.enumerate import SingleBitError
+from repro.injection.outcome import Outcome
+from repro.ir.instructions import Call, Phi
+from repro.ir.types import FloatType
+from repro.ir.values import Constant, GlobalVariable
+from repro.vm import bitops
+from repro.vm.faults import HardwareFault
+
+#: Sentinel: the slice reached an effect we cannot model statically.
+_GIVE_UP = object()
+
+
+class _FakeVM:
+    """Minimal stand-in passed to decoded operation bindings.
+
+    The bindings only touch ``dynamic_index`` (to stamp the faults they
+    raise); anything else they might reach for is deliberately absent so an
+    unexpected dependency fails loudly instead of inferring nonsense.
+    """
+
+    __slots__ = ("dynamic_index",)
+
+    def __init__(self, dynamic_index: int) -> None:
+        self.dynamic_index = dynamic_index
+
+
+class OutcomeInference:
+    """Forward slice replay over one workload's def-use index."""
+
+    def __init__(self, index: DefUseIndex) -> None:
+        self.index = index
+        self._dins = self._decoded_table()
+        # def tick -> def id for instruction-produced defs.  Parameter
+        # bindings share their call's tick but are reached through
+        # call_params, so they are excluded; every remaining tick carries at
+        # most one def (call results are keyed by their ret tick).
+        from repro.errorspace.defuse import PARAM_SITE
+
+        self._def_at_tick: Dict[int, int] = {}
+        for event in index.defs:
+            if event.tick >= 0 and PARAM_SITE not in event.site:
+                self._def_at_tick[event.tick] = event.def_id
+
+    def _decoded_table(self) -> Dict[Tuple[str, int], object]:
+        table: Dict[Tuple[str, int], object] = {}
+        for name, dfunc in self.index.decoded.functions.items():
+            for block in dfunc.blocks:
+                for din in block.code:
+                    table[(name, din.meta.static_index)] = din
+                for moves, _failure in block.phi_edges.values():
+                    for _op, phi_din in moves:
+                        table[(name, phi_din.meta.static_index)] = phi_din
+        return table
+
+    def _din(self, instruction):
+        function = instruction.parent.parent.name
+        return self._dins.get((function, instruction.static_index))
+
+    # -- public API -----------------------------------------------------------------
+    def infer(self, error: SingleBitError) -> Optional[Outcome]:
+        """The provable outcome of one error, or ``None`` (must execute)."""
+        index = self.index
+        key = (error.dynamic_index, error.slot)
+        if error.slot is None or key in index.deferred_reads:
+            return None
+        def_id = index.read_def.get(key)
+        if def_id is None:
+            return None
+        event = index.defs[def_id]
+        if event.value is None:
+            return None
+        register = event.register
+        try:
+            width = bitops.bit_width(register.type)
+            if error.bit >= width:
+                return None
+            corrupted = bitops.canonicalize(
+                bitops.flip_bit(event.value, register.type, error.bit), register.type
+            )
+            if bitops.value_to_bits(corrupted, register.type) == bitops.value_to_bits(
+                event.value, register.type
+            ):
+                # The flip is collapsed by value canonicalization (e.g. a NaN
+                # payload): the consumed value is bit-identical to golden.
+                return Outcome.BENIGN
+        except (TypeError, ValueError):
+            return None
+        return self._replay(error.dynamic_index, error.slot, corrupted)
+
+    # -- slice replay ----------------------------------------------------------------
+
+    #: Bail out of slices whose corruption cone keeps growing — the error is
+    #: executed instead.  Keeps worst-case inference cost bounded: measured
+    #: on crc32, every productive slice (masked flip, trapping address, dead
+    #: store, short output chain) settles within ~10 steps, while cones that
+    #: keep spreading through hot memory essentially never conclude.
+    MAX_STEPS = 48
+
+    def _replay(self, tick: int, slot: int, corrupted) -> Optional[Outcome]:
+        index = self.index
+        instruction = index.instructions[tick]
+        position = register_slot_position(instruction, slot)
+        if position is None:
+            return None
+        injected: Dict[int, object] = {position: corrupted}
+        self._dirty_map: Dict[int, object] = {}
+        #: byte address -> (faulty value, valid-until golden-write tick).
+        self._dirty_mem: Dict[int, Tuple[int, float]] = {}
+        self._heap: List[int] = [tick]
+        self._scheduled = {tick}
+        output_corrupted = False
+        steps = 0
+        while self._heap:
+            steps += 1
+            if steps > self.MAX_STEPS:
+                return None
+            current = heapq.heappop(self._heap)
+            instr = index.instructions[current]
+            overrides = injected if current == tick else None
+            self._newly_dirty: List[int] = []
+            result = self._step(current, instr, self._dirty_map, overrides)
+            if result is _GIVE_UP:
+                return None
+            if isinstance(result, Outcome):
+                return result
+            if result is True:
+                output_corrupted = True
+            # schedule uses of any defs newly dirtied by this step
+            for def_id in self._newly_dirty:
+                for use_tick in index.defs[def_id].use_ticks:
+                    self._schedule(use_tick)
+        return Outcome.SDC if output_corrupted else Outcome.BENIGN
+
+    def _schedule(self, tick: int) -> None:
+        if tick not in self._scheduled:
+            self._scheduled.add(tick)
+            heapq.heappush(self._heap, tick)
+
+    def _operand_values(self, current: int, instr, dirty, overrides):
+        """(values, dirty_positions) of every operand at this instance.
+
+        Returns ``None`` when any needed golden value is unknown.
+        """
+        index = self.index
+        operand_defs = index.operand_defs[current]
+        values: List = []
+        dirty_positions: List[int] = []
+        for pos, operand in enumerate(instr.operands):
+            if overrides and pos in overrides:
+                values.append(overrides[pos])
+                dirty_positions.append(pos)
+                continue
+            def_id = operand_defs[pos] if pos < len(operand_defs) else None
+            if def_id is not None and def_id in dirty:
+                values.append(dirty[def_id])
+                dirty_positions.append(pos)
+                continue
+            values.append(self._golden_operand(current, instr, pos))
+        return values, dirty_positions
+
+    def _golden_operand(self, current: int, instr, pos: int):
+        operand = instr.operands[pos]
+        if isinstance(operand, Constant):
+            return operand.value
+        if isinstance(operand, GlobalVariable):
+            return self.index.global_addresses.get(operand.name)
+        def_id = self.index.operand_defs[current][pos]
+        if def_id is not None:
+            return self.index.defs[def_id].value
+        return None
+
+    def _mark_dirty(self, current: int, value) -> bool:
+        """Record the instruction-at-``current``'s result as corrupted.
+
+        Returns False when the result def cannot be identified (give up).
+        """
+        def_id = self._def_at_tick.get(current)
+        if def_id is None:
+            return False
+        if self.index.defs[def_id].value is None:
+            return False
+        return self._mark_dirty_def(def_id, value)
+
+    def _step(self, current: int, instr, dirty, overrides):
+        """Evaluate one dynamic instruction with corrupted inputs.
+
+        Returns ``_GIVE_UP``, an :class:`Outcome` (the run provably ends in
+        it), ``True`` (output corrupted, run continues) or ``None``.
+        """
+        index = self.index
+        opcode = instr.opcode
+
+        if isinstance(instr, Phi):
+            return self._step_phi(current, instr, dirty)
+
+        gathered = self._operand_values(current, instr, dirty, overrides)
+        values, dirty_positions = gathered
+        if not dirty_positions and opcode != "load":
+            return None  # corruption did not reach this instance after all
+        if any(values[pos] is None for pos in range(len(values))):
+            return _GIVE_UP
+
+        din = self._din(instr)
+        if din is None:
+            return _GIVE_UP
+        vm = _FakeVM(current + 1)
+
+        if opcode == "store":
+            return self._step_store(current, din, values, dirty_positions)
+        if opcode == "load":
+            return self._step_load(current, din, values, dirty_positions)
+        if isinstance(instr, Call):
+            return self._step_call(current, instr, din, values, dirty_positions, vm)
+        if opcode == "ret":
+            return self._step_ret(current, din, values)
+        if opcode == "br.cond":
+            golden = self._golden_operand(current, instr, 0)
+            if golden is None:
+                return _GIVE_UP
+            return None if bool(values[0]) == bool(golden) else _GIVE_UP
+        if opcode == "select":
+            return self._step_select(current, instr, din, values)
+        if opcode == "getelementptr":
+            address = (int(values[0]) + int(values[1]) * din.stride) & ((1 << 64) - 1)
+            return None if self._mark_dirty(current, address) else _GIVE_UP
+        if opcode.startswith("icmp") or opcode.startswith("fcmp"):
+            lhs, rhs = values[0], values[1]
+            to_unsigned = din.to_unsigned
+            if to_unsigned is not None:
+                lhs = to_unsigned(int(lhs))
+                rhs = to_unsigned(int(rhs))
+            if (isinstance(lhs, float) and math.isnan(lhs)) or (
+                isinstance(rhs, float) and math.isnan(rhs)
+            ):
+                result = din.nan_flag
+            else:
+                result = din.compare_fn(lhs, rhs)
+            return None if self._mark_dirty(current, 1 if result else 0) else _GIVE_UP
+        if din.operation is not None and len(values) == 1:  # casts
+            try:
+                result = din.canon(din.operation(values[0]))
+            except HardwareFault:
+                return Outcome.DETECTED_HW_EXCEPTION
+            except (TypeError, ValueError, OverflowError):
+                return _GIVE_UP
+            return None if self._mark_dirty(current, result) else _GIVE_UP
+        if din.operation is not None and len(values) == 2:  # binops
+            result_type = instr.destination().type if instr.destination() else None
+            try:
+                if isinstance(result_type, FloatType):
+                    result = din.canon(din.operation(float(values[0]), float(values[1])))
+                else:
+                    result = din.operation(vm, int(values[0]), int(values[1]))
+            except HardwareFault:
+                return Outcome.DETECTED_HW_EXCEPTION
+            except (TypeError, ValueError, OverflowError, ZeroDivisionError):
+                return _GIVE_UP
+            return None if self._mark_dirty(current, result) else _GIVE_UP
+        return _GIVE_UP
+
+    def _step_phi(self, current: int, instr, dirty):
+        index = self.index
+        operand_defs = index.operand_defs[current]
+        incoming_value = None
+        for pos, def_id in enumerate(operand_defs):
+            if def_id is not None and def_id in dirty:
+                incoming_value = dirty[def_id]
+                break
+        if incoming_value is None:
+            return None
+        try:
+            value = bitops.canonicalize(incoming_value, instr.type)
+        except (TypeError, ValueError):
+            return _GIVE_UP
+        return None if self._mark_dirty(current, value) else _GIVE_UP
+
+    def _step_store(self, current: int, din, values, dirty_positions):
+        index = self.index
+        # The decoded store binds value_type + storer but not mem_size.
+        size = din.value_type.size_bytes() if din.value_type is not None else 0
+        if din.storer is None or size == 0:
+            return _GIVE_UP
+        span = index.store_span.get(current)
+        if span is None:
+            return _GIVE_UP
+        golden_address = span[0]
+        faulty_address = int(values[1])
+        if 1 in dirty_positions and index.address_fault(
+            faulty_address, din.mem_align, size
+        ):
+            return Outcome.DETECTED_HW_EXCEPTION
+        if 1 not in dirty_positions and index.store_is_dead(current):
+            # Fast path: the corrupted value lands only in dead bytes.
+            return None
+        try:
+            payload = din.storer(values[0])
+        except (TypeError, ValueError, OverflowError):
+            return _GIVE_UP
+        # The faulty run writes `payload` at faulty_address; the bytes of the
+        # golden store that the faulty one does not cover keep their
+        # pre-store content (the "missing write").
+        for offset in range(size):
+            if not self._mark_dirty_byte(
+                current, faulty_address + offset, payload[offset]
+            ):
+                return _GIVE_UP
+        if faulty_address != golden_address:
+            for offset in range(size):
+                byte = golden_address + offset
+                if faulty_address <= byte < faulty_address + size:
+                    continue
+                # The golden store covered this byte but the faulty one does
+                # not: the byte keeps the *faulty run's* pre-store content —
+                # an earlier dirty value if one is still live, else golden.
+                entry = self._dirty_mem.get(byte)
+                if entry is not None and current < entry[1]:
+                    stale = entry[0]
+                else:
+                    stale = index.golden_content(byte, current)
+                if stale is None or not self._mark_dirty_byte(current, byte, stale):
+                    return _GIVE_UP
+        return None
+
+    def _mark_dirty_byte(self, current: int, byte: int, faulty_value: int) -> bool:
+        """Record one faulty memory byte; schedule the golden reads of it."""
+        index = self.index
+        golden_after = index.golden_content(byte, current + 1)
+        if golden_after is None:
+            return False
+        valid_until = index.next_write_after(byte, current)
+        if faulty_value == golden_after:
+            self._dirty_mem.pop(byte, None)
+            return True
+        self._dirty_mem[byte] = (faulty_value, valid_until)
+        for read_tick in index.read_ticks_between(byte, current, valid_until):
+            self._schedule(read_tick)
+        return True
+
+    def _step_load(self, current: int, din, values, dirty_positions):
+        index = self.index
+        size = din.mem_size
+        if din.loader is None or size == 0:
+            return _GIVE_UP
+        address = int(values[0])
+        if 0 in dirty_positions and index.address_fault(address, din.mem_align, size):
+            return Outcome.DETECTED_HW_EXCEPTION
+        raw = bytearray(size)
+        for offset in range(size):
+            byte = address + offset
+            entry = self._dirty_mem.get(byte)
+            if entry is not None and current < entry[1]:
+                raw[offset] = entry[0]
+            else:
+                content = index.golden_content(byte, current)
+                if content is None:
+                    return _GIVE_UP
+                raw[offset] = content
+        try:
+            value = din.loader(bytes(raw))
+        except (struct.error, TypeError, ValueError, OverflowError):
+            return _GIVE_UP
+        return None if self._mark_dirty(current, value) else _GIVE_UP
+
+    def _step_call(self, current: int, instr, din, values, dirty_positions, vm):
+        index = self.index
+        if instr.is_intrinsic or din.callee is None:
+            name = instr.callee_name
+            if name == "__output":
+                return True
+            if name == "__assert":
+                golden = self._golden_operand(current, instr, 0)
+                if golden is None:
+                    return _GIVE_UP
+                if bool(values[0]) and bool(golden):
+                    return None
+                return Outcome.DETECTED_HW_EXCEPTION
+            if name == "__exit":
+                try:
+                    int(values[0]) if values else 0
+                except (TypeError, ValueError, OverflowError):
+                    return _GIVE_UP
+                return None
+            if din.intrinsic_fn is not None and name not in ("__malloc", "__abort"):
+                try:
+                    result = din.intrinsic_fn(vm, values)
+                    if instr.destination() is not None:
+                        result = din.canon(result if result is not None else 0)
+                except HardwareFault:
+                    return Outcome.DETECTED_HW_EXCEPTION
+                except (TypeError, ValueError, OverflowError, AttributeError):
+                    return _GIVE_UP
+                if instr.destination() is None:
+                    return _GIVE_UP  # unknown side effects
+                return None if self._mark_dirty(current, result) else _GIVE_UP
+            return _GIVE_UP
+        # direct call into the module: corrupted arguments become corrupted
+        # parameter bindings of the callee activation
+        params = index.call_params.get(current)
+        if params is None:
+            return _GIVE_UP
+        for pos in dirty_positions:
+            if pos >= len(params):
+                return _GIVE_UP
+            event = index.defs[params[pos]]
+            if event.value is None:
+                return _GIVE_UP
+            try:
+                value = bitops.canonicalize(values[pos], event.register.type)
+                same = bitops.value_to_bits(value, event.register.type) == bitops.value_to_bits(
+                    event.value, event.register.type
+                )
+            except (TypeError, ValueError):
+                return _GIVE_UP
+            if not same:
+                self._dirty_map[params[pos]] = value
+                self._newly_dirty.append(params[pos])
+        return None
+
+    def _step_ret(self, current: int, din, values):
+        index = self.index
+        target = index.ret_target.get(current)
+        if target is None:
+            # Top-level return (or a call whose result is discarded): the
+            # return value is not part of the compared program output.
+            return None
+        event = index.defs[target]
+        if event.value is None or not values:
+            return _GIVE_UP
+        try:
+            value = bitops.canonicalize(values[0], din.ret_type)
+            value = bitops.canonicalize(value, event.register.type)
+        except (TypeError, ValueError):
+            return _GIVE_UP
+        if not self._mark_dirty_def(target, value):
+            return _GIVE_UP
+        return None
+
+    def _mark_dirty_def(self, def_id: int, value) -> bool:
+        event = self.index.defs[def_id]
+        try:
+            same = bitops.value_to_bits(value, event.register.type) == bitops.value_to_bits(
+                event.value, event.register.type
+            )
+        except (TypeError, ValueError):
+            return False
+        if not same:
+            self._dirty_map[def_id] = value
+            self._newly_dirty.append(def_id)
+        return True
+
+    def _step_select(self, current: int, instr, din, values):
+        condition = values[0]
+        chosen = values[1] if condition else values[2]
+        if chosen is None:
+            return _GIVE_UP
+        try:
+            result = din.canon(chosen)
+        except (TypeError, ValueError):
+            return _GIVE_UP
+        return None if self._mark_dirty(current, result) else _GIVE_UP
+
+
+def infer_outcome(index: DefUseIndex, error: SingleBitError) -> Optional[Outcome]:
+    """Convenience wrapper: infer one error against a fresh engine."""
+    return OutcomeInference(index).infer(error)
+
+
+def validation_sample(
+    population: List,
+    fraction: float,
+    seed: int,
+    *,
+    max_samples: int = 2000,
+) -> List:
+    """Deterministic sample of non-representative members to re-execute."""
+    if not population or fraction <= 0.0:
+        return []
+    count = min(max(1, int(len(population) * fraction)), max_samples, len(population))
+    rng = random.Random(seed)
+    return rng.sample(population, count)

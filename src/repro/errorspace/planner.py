@@ -1,0 +1,235 @@
+"""Pruned campaign plans over the exhaustive error space (§IV-C executable).
+
+A :class:`PrunedPlan` partitions the full single-bit error space of one
+technique into:
+
+* **inferred errors** — statically settled by
+  :class:`~repro.errorspace.inference.OutcomeInference`; they contribute
+  exact outcome counts and cost zero executions;
+* **equivalence classes** — groups of residual errors that read the same
+  unredefined defining write at the same static read site with the same bit;
+  one representative per class is executed and its outcome credited to every
+  member (weight).  Inject-on-write candidates never share a defining write
+  with another candidate, so their classes are singletons and the planned
+  experiment count equals the Table II error space.
+
+Two execution modes mirror the paper's §IV-C recommendation levels:
+``exact`` runs every representative (full coverage, maximally pruned), and
+``budgeted`` weight-samples representatives for a fixed experiment budget
+(the spot-check mode).  Both are deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.errorspace.defuse import DefUseIndex
+from repro.errorspace.enumerate import ErrorSpace, SingleBitError
+from repro.errorspace.inference import OutcomeInference
+from repro.injection.outcome import Outcome, OutcomeCounts
+
+
+@dataclass(frozen=True)
+class PlannedExperiment:
+    """One experiment of a pruned campaign: a representative plus its weight."""
+
+    class_id: int
+    error: SingleBitError
+    weight: int
+
+
+@dataclass
+class EquivalenceClass:
+    """Residual errors grouped by (defining write, static read site, bit)."""
+
+    class_id: int
+    key: Tuple
+    bit: int
+    representative: SingleBitError
+    #: Non-representative members as (dynamic_index, slot) pairs; together
+    #: with the representative they are the class's ``weight`` errors.
+    members: Tuple[Tuple[int, Optional[int]], ...]
+
+    @property
+    def weight(self) -> int:
+        return 1 + len(self.members)
+
+
+@dataclass
+class PrunedPlan:
+    """An executable pruning of one technique's exhaustive error space."""
+
+    technique: str
+    #: Total number of single-bit errors in the space (candidates × widths).
+    total_errors: int
+    candidate_count: int
+    classes: List[EquivalenceClass] = field(default_factory=list)
+    #: Outcome counts of statically inferred errors (exact, zero executions).
+    inferred_counts: OutcomeCounts = field(default_factory=OutcomeCounts)
+    #: (dynamic_index, slot, bit) -> inferred outcome, for validation lookups.
+    inferred_outcomes: Dict[Tuple, Outcome] = field(default_factory=dict)
+
+    # -- invariants --------------------------------------------------------------
+    @property
+    def inferred_errors(self) -> int:
+        return self.inferred_counts.total
+
+    @property
+    def executed_experiments(self) -> int:
+        """Experiments the exact mode runs (one per residual class)."""
+        return len(self.classes)
+
+    @property
+    def covered_errors(self) -> int:
+        """Errors accounted for by classes and inference (= total_errors)."""
+        return self.inferred_errors + sum(cls.weight for cls in self.classes)
+
+    @property
+    def reduction_factor(self) -> float:
+        """How many times fewer experiments the exact mode executes."""
+        if not self.classes:
+            return float(self.total_errors) if self.total_errors else 1.0
+        return self.total_errors / len(self.classes)
+
+    # -- execution modes ----------------------------------------------------------
+    def exact_experiments(self) -> List[PlannedExperiment]:
+        """All representatives — full-coverage pruned campaign."""
+        return [
+            PlannedExperiment(cls.class_id, cls.representative, cls.weight)
+            for cls in self.classes
+        ]
+
+    def budgeted_experiments(self, budget: int, seed: int) -> List[PlannedExperiment]:
+        """A weighted sample of ``budget`` representatives (with replacement).
+
+        Classes are drawn proportionally to their weight, so the sampled
+        outcome frequencies estimate the same proportions the exact mode
+        reproduces; the draw is deterministic for a given seed.
+        """
+        if budget < 1:
+            raise ConfigurationError("budgeted mode needs a positive experiment budget")
+        if not self.classes:
+            return []
+        rng = random.Random(seed)
+        weights = [cls.weight for cls in self.classes]
+        drawn = rng.choices(range(len(self.classes)), weights=weights, k=budget)
+        residual_weight = sum(weights)
+        share, remainder = divmod(residual_weight, budget)
+        experiments = []
+        for position, class_index in enumerate(drawn):
+            cls = self.classes[class_index]
+            # Spread the residual weight over the draws so the estimated
+            # counts still total the full error space.
+            experiments.append(
+                PlannedExperiment(
+                    cls.class_id, cls.representative, share + (1 if position < remainder else 0)
+                )
+            )
+        return experiments
+
+    def experiments(
+        self, mode: str = "exact", *, budget: Optional[int] = None, seed: int = 0
+    ) -> List[PlannedExperiment]:
+        if mode == "exact":
+            return self.exact_experiments()
+        if mode == "budgeted":
+            if budget is None:
+                raise ConfigurationError("budgeted mode requires a budget")
+            return self.budgeted_experiments(budget, seed)
+        raise ConfigurationError(f"unknown plan mode {mode!r}; expected exact|budgeted")
+
+    # -- outcome expansion ---------------------------------------------------------
+    def expand_counts(
+        self, representative_outcomes: Dict[int, Outcome], experiments: Sequence[PlannedExperiment]
+    ) -> OutcomeCounts:
+        """Weighted counts for the full space from executed representatives."""
+        counts = OutcomeCounts()
+        for planned in experiments:
+            counts.add(representative_outcomes[planned.class_id], planned.weight)
+        return counts.merge(self.inferred_counts)
+
+    def non_representative_members(self) -> List[Tuple[Tuple[int, Optional[int], int], int]]:
+        """All inherited (non-executed, non-inferred) errors with their class.
+
+        Returns ``((dynamic_index, slot, bit), class_id)`` pairs — the
+        population the validation sampler draws from.
+        """
+        members = []
+        for cls in self.classes:
+            for dynamic_index, slot in cls.members:
+                members.append(((dynamic_index, slot, cls.bit), cls.class_id))
+        return members
+
+
+def build_pruned_plan(
+    space: ErrorSpace,
+    index: Optional[DefUseIndex] = None,
+    *,
+    infer: bool = True,
+) -> PrunedPlan:
+    """Partition an error space into inferred errors and equivalence classes.
+
+    ``index`` (the def-use structure) enables both grouping and inference
+    for inject-on-read; without it — and always for inject-on-write — every
+    class is a singleton and the plan degenerates to the full exhaustive
+    campaign.
+    """
+    technique = space.technique.name
+    plan = PrunedPlan(
+        technique=technique,
+        total_errors=space.size,
+        candidate_count=space.candidate_count,
+    )
+    engine = OutcomeInference(index) if (index is not None and infer) else None
+
+    # Group candidates (not yet bits) by their def-use class key.
+    groups: Dict[Tuple, List[SingleBitError]] = {}
+    order: List[Tuple] = []
+    for error in space.iter_candidate_errors():
+        if index is not None and technique == "inject-on-read":
+            key = index.class_key(error.dynamic_index, error.slot)
+        else:
+            key = ("singleton", error.dynamic_index, error.slot)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(error)
+
+    class_id = 0
+    for key in order:
+        members = groups[key]
+        bits = members[0].register_bits
+        for bit in range(bits):
+            residual: List[SingleBitError] = []
+            for candidate in members:
+                error = SingleBitError(
+                    ordinal=candidate.ordinal + bit,
+                    dynamic_index=candidate.dynamic_index,
+                    slot=candidate.slot,
+                    bit=bit,
+                    register_bits=candidate.register_bits,
+                    opcode=candidate.opcode,
+                )
+                outcome = engine.infer(error) if engine is not None else None
+                if outcome is not None:
+                    plan.inferred_counts.add(outcome)
+                    plan.inferred_outcomes[error.key] = outcome
+                else:
+                    residual.append(error)
+            if residual:
+                plan.classes.append(
+                    EquivalenceClass(
+                        class_id=class_id,
+                        key=key,
+                        bit=bit,
+                        representative=residual[0],
+                        members=tuple(
+                            (error.dynamic_index, error.slot) for error in residual[1:]
+                        ),
+                    )
+                )
+                class_id += 1
+    return plan

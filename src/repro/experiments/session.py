@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.campaign.config import CampaignConfig, ExperimentScale, SMOKE_SCALE
 from repro.campaign.engine import (
@@ -13,9 +13,11 @@ from repro.campaign.engine import (
     RegistryProvider,
     SerialEngine,
 )
-from repro.campaign.results import ResultStore
+from repro.campaign.plan import ExhaustiveCampaignRequest
+from repro.campaign.results import ExhaustiveCampaignResult, ResultStore
 from repro.campaign.runner import CampaignRunner
 from repro.errors import ConfigurationError
+from repro.injection.outcome import OutcomeCounts
 
 
 class ExperimentSession:
@@ -86,6 +88,9 @@ class ExperimentSession:
             progress=progress,
             experiment_progress=experiment_progress,
         )
+        #: Pruned plans keyed by (program, technique, infer) — planning costs
+        #: one inference pass over the space, so it is never repeated.
+        self._pruned_plans: Dict = {}
 
     @property
     def engine(self) -> ExecutionEngine:
@@ -110,3 +115,162 @@ class ExperimentSession:
     def experiment_runner(self, program: str):
         """Direct access to a workload's experiment runner (used by Table IV)."""
         return self.runner.experiment_runner(program)
+
+    # -- exhaustive error-space campaigns -----------------------------------------------
+    def defuse_index(self, program: str):
+        """The def-use index of a workload's golden run.
+
+        Delegates to the process-wide registry cache — the index depends
+        only on the compiled program and its golden trace, both of which are
+        identical across execution knobs, so one build serves every session
+        and the benchmark harness alike.
+        """
+        from repro.programs.registry import get_defuse_index
+
+        return get_defuse_index(program)
+
+    def pruned_plan(self, program: str, technique: str = "inject-on-read", *, infer: bool = True):
+        """The (cached) pruned plan of a workload's single-bit error space."""
+        from repro.errorspace import build_pruned_plan, enumerate_error_space
+
+        key = (program, technique, infer)
+        plan = self._pruned_plans.get(key)
+        if plan is None:
+            runner = self.experiment_runner(program)
+            space = enumerate_error_space(runner.golden, technique)
+            index = self.defuse_index(program) if technique == "inject-on-read" else None
+            plan = build_pruned_plan(space, index, infer=infer)
+            self._pruned_plans[key] = plan
+        return plan
+
+    def run_exhaustive(
+        self,
+        program: str,
+        technique: str = "inject-on-read",
+        *,
+        mode: str = "pruned",
+        budget: Optional[int] = None,
+        validate: float = 0.0,
+        seed: int = 2017,
+        infer: bool = True,
+    ) -> ExhaustiveCampaignResult:
+        """Run (or fetch) one exhaustive single-bit error-space campaign.
+
+        ``mode="exhaustive"`` executes every error of the space;
+        ``mode="pruned"`` executes one representative per def-use
+        equivalence class and infers the rest (weighted counts still cover
+        the full space); ``mode="budgeted"`` weight-samples ``budget``
+        representatives.  ``validate`` re-executes a seeded fraction of
+        non-representative members and records the misprediction rate.
+        Results are cached in the session store (and on disk when the
+        session has a cache path).
+        """
+        from repro.errorspace import enumerate_error_space
+        from repro.errorspace.inference import validation_sample
+
+        if mode not in ("exhaustive", "pruned", "budgeted"):
+            raise ConfigurationError(
+                f"unknown exhaustive mode {mode!r}; expected exhaustive|pruned|budgeted"
+            )
+        if validate > 0.0 and mode != "pruned":
+            raise ConfigurationError(
+                "validation re-runs non-representative class members and only "
+                "applies to the pruned mode; drop --validate or use --prune"
+            )
+        # Parameterised runs are cached under a distinguishing variant so a
+        # different budget/seed/validation request never returns stale data.
+        parts = []
+        if mode == "budgeted":
+            parts.append(f"budget={budget},seed={seed}")
+        elif mode == "pruned" and validate > 0.0:
+            parts.append(f"validate={validate},seed={seed}")
+        if mode != "exhaustive" and not infer:
+            parts.append("noinfer")
+        variant = ";".join(parts)
+        if self.store.has_exhaustive(program, technique, mode, variant):
+            return self.store.exhaustive(program, technique, mode, variant)
+        runner = self.experiment_runner(program)
+        space = enumerate_error_space(runner.golden, technique)
+        validation_sampled = 0
+        validation_mispredicted = 0
+        if mode == "exhaustive":
+            errors = [(e.dynamic_index, e.slot, e.bit) for e in space.iter_errors()]
+            outcomes = self.runner.run_errors(program, technique, errors)
+            counts = OutcomeCounts()
+            counts.update(outcomes)
+            result = ExhaustiveCampaignResult(
+                program=program,
+                technique=technique,
+                mode=mode,
+                total_errors=space.size,
+                candidate_count=space.candidate_count,
+                executed_experiments=len(errors),
+                inferred_errors=0,
+                outcome_counts=counts,
+                variant=variant,
+            )
+        else:
+            plan = self.pruned_plan(program, technique, infer=infer)
+            planned = plan.experiments(
+                "exact" if mode == "pruned" else "budgeted", budget=budget, seed=seed
+            )
+            # Budgeted draws sample classes with replacement; execute each
+            # distinct representative once and reuse its outcome.
+            unique_errors = []
+            position_of = {}
+            for p in planned:
+                key = (p.error.dynamic_index, p.error.slot, p.error.bit)
+                if key not in position_of:
+                    position_of[key] = len(unique_errors)
+                    unique_errors.append(key)
+            unique_outcomes = self.runner.run_errors(program, technique, unique_errors)
+            errors = unique_errors
+            representative_outcomes = {
+                p.class_id: unique_outcomes[
+                    position_of[(p.error.dynamic_index, p.error.slot, p.error.bit)]
+                ]
+                for p in planned
+            }
+            counts = plan.expand_counts(representative_outcomes, planned)
+            if validate > 0.0 and mode == "pruned":
+                population = plan.non_representative_members()
+                sample = validation_sample(population, validate, seed)
+                sample_errors = [member for member, _class_id in sample]
+                actual = self.runner.run_errors(program, technique, sample_errors)
+                for (member, class_id), outcome in zip(sample, actual):
+                    validation_sampled += 1
+                    if representative_outcomes[class_id] is not outcome:
+                        validation_mispredicted += 1
+            result = ExhaustiveCampaignResult(
+                program=program,
+                technique=technique,
+                mode=mode,
+                total_errors=space.size,
+                candidate_count=space.candidate_count,
+                executed_experiments=len(errors),
+                inferred_errors=plan.inferred_errors,
+                outcome_counts=counts,
+                validation_sampled=validation_sampled,
+                validation_mispredicted=validation_mispredicted,
+                variant=variant,
+            )
+        self.store.add_exhaustive(result)
+        if self.cache_path is not None:
+            self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+            self.store.save(self.cache_path)
+        return result
+
+    def ensure_exhaustive(
+        self, requests: Sequence[ExhaustiveCampaignRequest]
+    ) -> ResultStore:
+        """Run any exhaustive campaign requests not yet in the store."""
+        for request in requests:
+            self.run_exhaustive(
+                request.program,
+                request.technique,
+                mode=request.mode,
+                budget=request.budget,
+                validate=request.validate,
+                seed=request.seed,
+            )
+        return self.store

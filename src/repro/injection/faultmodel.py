@@ -182,6 +182,12 @@ class FaultSpec:
     #: Seed for the per-experiment RNG that picks bit positions and the
     #: slots of follow-up injections.
     seed: int
+    #: Fixed bit position for the *first* flip, or ``None`` to draw it from
+    #: the experiment RNG.  Exhaustive error-space enumeration
+    #: (:mod:`repro.errorspace`) pins the bit so every single-bit error of a
+    #: candidate is a distinct, deterministic experiment; sampled campaigns
+    #: leave it unset.
+    first_bit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_mbf < 1:
@@ -190,6 +196,8 @@ class FaultSpec:
             raise ConfigurationError("win-size must be non-negative")
         if self.first_dynamic_index < 0:
             raise ConfigurationError("first injection time must be non-negative")
+        if self.first_bit is not None and self.first_bit < 0:
+            raise ConfigurationError("first bit position must be non-negative")
 
     @property
     def is_single_bit(self) -> bool:

@@ -59,6 +59,9 @@ class FaultInjector:
         self._first_index = spec.first_dynamic_index
         self._same_register = spec.same_register
         self._step = max(spec.win_size, 1)
+        #: Pinned bit for the first flip (exhaustive enumeration); consumed
+        #: by the first injection, subsequent flips always draw from the RNG.
+        self._forced_bit = spec.first_bit
 
     # -- public accounting -------------------------------------------------------
     @property
@@ -134,6 +137,11 @@ class FaultInjector:
 
     def _pick_bit(self, register: VirtualRegister, exclude: Optional[Set[int]] = None) -> int:
         width = bitops.bit_width(register.type)
+        forced = self._forced_bit
+        if forced is not None:
+            self._forced_bit = None
+            if forced < width and not (exclude and forced in exclude):
+                return forced
         if exclude and len(exclude) >= width:
             exclude = None
         while True:

@@ -92,19 +92,16 @@ class InjectOnRead(InjectionTechnique):
     access = "read"
 
     def candidates(self, trace: GoldenTrace) -> List[InjectionCandidate]:
-        result: List[InjectionCandidate] = []
-        for record in trace.records:
-            for slot, bits in enumerate(record.source_register_bits):
-                if bits:
-                    result.append(
-                        InjectionCandidate(
-                            dynamic_index=record.dynamic_index,
-                            slot=slot,
-                            register_bits=bits,
-                            opcode=record.opcode,
-                        )
-                    )
-        return result
+        return [
+            InjectionCandidate(
+                dynamic_index=access.dynamic_index,
+                slot=access.slot,
+                register_bits=access.bits,
+                opcode=access.opcode,
+            )
+            for access in trace.iter_register_accesses()
+            if access.kind == "read"
+        ]
 
     def candidate_instruction_count(self, trace: GoldenTrace) -> int:
         return sum(1 for record in trace.records if record.source_count > 0)
@@ -132,13 +129,13 @@ class InjectOnWrite(InjectionTechnique):
     def candidates(self, trace: GoldenTrace) -> List[InjectionCandidate]:
         return [
             InjectionCandidate(
-                dynamic_index=record.dynamic_index,
+                dynamic_index=access.dynamic_index,
                 slot=None,
-                register_bits=record.destination_bits,
-                opcode=record.opcode,
+                register_bits=access.bits,
+                opcode=access.opcode,
             )
-            for record in trace.records
-            if record.destination_bits
+            for access in trace.iter_register_accesses()
+            if access.kind == "write"
         ]
 
     def candidate_instruction_count(self, trace: GoldenTrace) -> int:

@@ -79,6 +79,21 @@ def get_decoded_program(name: str) -> DecodedProgram:
 
 
 @lru_cache(maxsize=None)
+def get_defuse_index(name: str):
+    """The dynamic def-use index of a benchmark's golden run (cached).
+
+    Built once per process from the cached experiment runner's golden trace;
+    the error-space planner and the ``repro exhaustive`` mode share it.
+    """
+    from repro.errorspace.defuse import build_defuse_index
+
+    runner = get_experiment_runner(name)
+    return build_defuse_index(
+        runner.program, runner.golden, args=runner.args, decoded=runner.decoded
+    )
+
+
+@lru_cache(maxsize=None)
 def get_experiment_runner(
     name: str,
     fast_forward: bool = True,

@@ -20,10 +20,25 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.ir.instructions import Instruction
 from repro.ir.types import PointerType
+
+
+class RegisterAccess(NamedTuple):
+    """One register access of the golden run — the unit of the error space.
+
+    ``slot`` is the source-operand index for reads and ``None`` for the
+    destination write; ``bits`` is the accessed register's width, i.e. how
+    many single bit-flip errors the access expands to.
+    """
+
+    dynamic_index: int
+    kind: str  # "read" | "write"
+    slot: Optional[int]
+    bits: int
+    opcode: str
 
 
 @dataclass(frozen=True)
@@ -157,6 +172,7 @@ class GoldenTrace:
         # sampling code, so they are computed lazily and cached.
         self._with_destination: Optional[List[DynamicInstructionRecord]] = None
         self._with_sources: Optional[List[DynamicInstructionRecord]] = None
+        self._register_accesses: Optional[Tuple[RegisterAccess, ...]] = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -186,6 +202,37 @@ class GoldenTrace:
                 record for record in self.records if record.source_register_bits
             ]
         return self._with_sources
+
+    def iter_register_accesses(self) -> Tuple[RegisterAccess, ...]:
+        """Every register access of the run, in execution order (cached).
+
+        This is the one walk both the injection techniques and the
+        error-space enumerator (:mod:`repro.errorspace`) derive their
+        candidate spaces from: each *read* access is an inject-on-read
+        candidate, each *write* access an inject-on-write candidate.
+        """
+        if self._register_accesses is None:
+            accesses: List[RegisterAccess] = []
+            for record in self.records:
+                for slot, bits in enumerate(record.source_register_bits):
+                    if bits:
+                        accesses.append(
+                            RegisterAccess(
+                                record.dynamic_index, "read", slot, bits, record.opcode
+                            )
+                        )
+                if record.destination_bits:
+                    accesses.append(
+                        RegisterAccess(
+                            record.dynamic_index,
+                            "write",
+                            None,
+                            record.destination_bits,
+                            record.opcode,
+                        )
+                    )
+            self._register_accesses = tuple(accesses)
+        return self._register_accesses
 
     def latest_checkpoint_at(self, tick: int) -> Optional[int]:
         """The largest checkpoint tick ``<= tick``, or None (O(log n)).

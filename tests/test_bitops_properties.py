@@ -83,7 +83,17 @@ class TestFloatFlips:
     def test_f32_flip_twice_is_identity(self, value, bit):
         once = bitops.flip_bit(value, F32, bit)
         twice = bitops.flip_bit(once, F32, bit)
-        assert bitops.value_to_bits(twice, F32) == bitops.value_to_bits(value, F32)
+        if math.isnan(once):
+            # A flip that lands on a signaling-NaN pattern is quieted by the
+            # Python float round-trip (the hardware sets the quiet bit), so
+            # the second flip restores the original pattern *up to* bit 22 —
+            # exactly the canonicalization every VM value passes through.
+            quiet_bit = 1 << 22
+            assert bitops.value_to_bits(twice, F32) | quiet_bit == (
+                bitops.value_to_bits(value, F32) | quiet_bit
+            )
+        else:
+            assert bitops.value_to_bits(twice, F32) == bitops.value_to_bits(value, F32)
 
     def test_sign_bit_flip_negates(self):
         assert bitops.flip_bit(1.0, F64, 63) == -1.0

@@ -1,0 +1,445 @@
+"""Property tests for the error-space subsystem (enumeration, def-use
+equivalence pruning, outcome inference).
+
+The load-bearing guarantees:
+
+* the exhaustive enumeration covers exactly the candidate space the
+  injection techniques sample from (Table II counts times register widths);
+* equivalence classes partition the candidate space and class weights plus
+  inferred errors sum to the full error-space size — for all 15 registry
+  programs;
+* statically inferred outcomes match real executions bit for bit (checked
+  exhaustively on a small custom workload, by sampling on crc32);
+* a pruned campaign's weighted counts equal the brute-force exhaustive
+  counts on the small workload;
+* pruned-plan construction and budgeted sampling are deterministic under a
+  fixed seed;
+* exhaustive results round-trip through the ResultStore byte-stably.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.campaign.engine import run_error_batch
+from repro.campaign.results import ExhaustiveCampaignResult, ResultStore
+from repro.errorspace import (
+    build_defuse_index,
+    build_pruned_plan,
+    enumerate_error_space,
+)
+from repro.errorspace.inference import OutcomeInference, validation_sample
+from repro.frontend import compile_program
+from repro.injection import ExperimentRunner, INJECT_ON_READ, INJECT_ON_WRITE
+from repro.injection.outcome import Outcome, OutcomeCounts
+from repro.programs.registry import all_program_names, get_experiment_runner
+
+# A small workload whose full inject-on-read error space can be executed
+# brute-force in a test: a few thousand single-bit errors covering loads,
+# stores, arithmetic, compares, calls and output.
+WORKLOAD = '''
+def scale(value: "i64", factor: "i64") -> "i64":
+    return value * factor + 3
+
+def main() -> "i64":
+    total = 0
+    for i in range(4):
+        total += scale(table[i % 3], i + 1)
+        buffer[i % 3] = total % 97
+    output(total)
+    output(buffer[1])
+    return total
+'''
+
+GLOBALS = {
+    "table": ("i64", [5, 11, 23]),
+    "buffer": ("i64", [0, 0, 0]),
+}
+
+
+@pytest.fixture(scope="module")
+def small_runner():
+    program = compile_program("errorspace_small", [WORKLOAD], GLOBALS)
+    return ExperimentRunner(program)
+
+
+@pytest.fixture(scope="module")
+def small_index(small_runner):
+    return build_defuse_index(
+        small_runner.program,
+        small_runner.golden,
+        args=small_runner.args,
+        decoded=small_runner.decoded,
+    )
+
+
+def brute_force_outcomes(runner, technique_name, space):
+    errors = [(e.dynamic_index, e.slot, e.bit) for e in space.iter_errors()]
+    outcomes = run_error_batch(runner, technique_name, errors)
+    return dict(zip(((t, s, b) for t, s, b in errors), outcomes))
+
+
+# ---------------------------------------------------------------- enumeration
+def test_enumeration_matches_technique_candidate_space(small_runner):
+    golden = small_runner.golden
+    for technique in (INJECT_ON_READ, INJECT_ON_WRITE):
+        space = enumerate_error_space(golden, technique.name)
+        candidates = technique.candidates(golden)
+        assert space.candidate_count == len(candidates)
+        assert space.size == technique.error_space_size(golden)
+        enumerated = list(space.iter_errors())
+        assert len(enumerated) == space.size
+        # deterministic ordering and one error per candidate-bit pair
+        keys = [e.key for e in enumerated]
+        assert len(set(keys)) == len(keys)
+        assert keys == sorted(keys, key=lambda k: (k[0], -1 if k[1] is None else k[1], k[2]))
+        per_candidate = {(c.dynamic_index, c.slot): c.register_bits for c in candidates}
+        for error in enumerated:
+            assert 0 <= error.bit < per_candidate[(error.dynamic_index, error.slot)]
+
+
+def test_chunked_enumeration_is_a_deterministic_partition(small_runner):
+    space = enumerate_error_space(small_runner.golden, "inject-on-read")
+    whole = [e.key for e in space.iter_errors()]
+    for chunk_size in (7, 64, 10_000_000):
+        chunked = [e.key for chunk in space.chunks(chunk_size) for e in chunk]
+        assert chunked == whole
+
+
+# ------------------------------------------------------- partition invariants
+@pytest.mark.parametrize("name", all_program_names())
+def test_classes_partition_candidate_space_all_programs(name):
+    """Def-use class keys partition every program's candidate space."""
+    runner = get_experiment_runner(name)
+    index = build_defuse_index(
+        runner.program, runner.golden, args=runner.args, decoded=runner.decoded
+    )
+    space = enumerate_error_space(runner.golden, "inject-on-read")
+    seen = set()
+    grouped_bits = 0
+    for error in space.iter_candidate_errors():
+        key = index.class_key(error.dynamic_index, error.slot)
+        assert key is not None
+        assert (error.dynamic_index, error.slot) not in seen
+        seen.add((error.dynamic_index, error.slot))
+        grouped_bits += error.register_bits
+    # every candidate grouped exactly once, expansion covers the full space
+    assert len(seen) == space.candidate_count
+    assert grouped_bits == space.size
+
+
+@pytest.mark.parametrize("name", ["bfs", "spmv", "crc32"])
+def test_plan_weights_sum_to_error_space(name):
+    runner = get_experiment_runner(name)
+    index = build_defuse_index(
+        runner.program, runner.golden, args=runner.args, decoded=runner.decoded
+    )
+    for technique in ("inject-on-read", "inject-on-write"):
+        space = enumerate_error_space(runner.golden, technique)
+        plan = build_pruned_plan(space, index, infer=False)
+        assert plan.covered_errors == plan.total_errors == space.size
+        assert plan.inferred_errors == 0
+        assert sum(cls.weight for cls in plan.classes) == space.size
+        if technique == "inject-on-write":
+            # write classes are singletons: Table II counts are preserved
+            assert len(plan.classes) == space.size
+            assert all(cls.weight == 1 for cls in plan.classes)
+        # classes do not overlap
+        members = set()
+        for cls in plan.classes:
+            rep = cls.representative
+            for tick, slot in ((rep.dynamic_index, rep.slot),) + cls.members:
+                assert (tick, slot, cls.bit) not in members
+                members.add((tick, slot, cls.bit))
+        assert len(members) == space.size
+
+
+# ------------------------------------------------------------------ inference
+def test_inferred_outcomes_match_execution_exhaustively(small_runner, small_index):
+    """Every statically inferred outcome equals the real execution outcome."""
+    space = enumerate_error_space(small_runner.golden, "inject-on-read")
+    truth = brute_force_outcomes(small_runner, "inject-on-read", space)
+    engine = OutcomeInference(small_index)
+    inferred = 0
+    for error in space.iter_errors():
+        outcome = engine.infer(error)
+        if outcome is not None:
+            inferred += 1
+            assert outcome is truth[error.key], (
+                f"inference predicted {outcome} but execution produced "
+                f"{truth[error.key]} for error {error.key}"
+            )
+    # the small workload must exercise the inference layers, not skip them
+    assert inferred > space.size // 10
+
+
+def test_pruned_plan_reproduces_brute_force_counts(small_runner, small_index):
+    """Weighted pruned counts equal the unpruned exhaustive counts exactly."""
+    space = enumerate_error_space(small_runner.golden, "inject-on-read")
+    truth = brute_force_outcomes(small_runner, "inject-on-read", space)
+    truth_counts = OutcomeCounts()
+    truth_counts.update(truth.values())
+
+    plan = build_pruned_plan(space, small_index)
+    assert plan.covered_errors == space.size
+    assert plan.executed_experiments < space.size  # it actually prunes
+    planned = plan.exact_experiments()
+    errors = [(p.error.dynamic_index, p.error.slot, p.error.bit) for p in planned]
+    outcomes = run_error_batch(small_runner, "inject-on-read", errors)
+    representative_outcomes = {
+        planned[i].class_id: outcomes[i] for i in range(len(planned))
+    }
+    weighted = plan.expand_counts(representative_outcomes, planned)
+    assert weighted.total == space.size
+    assert weighted.as_dict() == truth_counts.as_dict()
+
+
+def test_inference_sample_matches_execution_on_crc32():
+    runner = get_experiment_runner("crc32")
+    index = build_defuse_index(
+        runner.program, runner.golden, args=runner.args, decoded=runner.decoded
+    )
+    space = enumerate_error_space(runner.golden, "inject-on-read")
+    engine = OutcomeInference(index)
+    rng = random.Random(7)
+    errors = [e for e in space.iter_errors() if rng.random() < 0.002]
+    checked = 0
+    for error in errors:
+        outcome = engine.infer(error)
+        if outcome is None:
+            continue
+        actual = run_error_batch(
+            runner, "inject-on-read", [(error.dynamic_index, error.slot, error.bit)]
+        )[0]
+        assert outcome is actual
+        checked += 1
+        if checked >= 40:
+            break
+    assert checked >= 20
+
+
+# -------------------------------------------------------------- determinism
+def test_pruned_plan_is_deterministic(small_runner):
+    plans = []
+    for _ in range(2):
+        index = build_defuse_index(
+            small_runner.program,
+            small_runner.golden,
+            args=small_runner.args,
+            decoded=small_runner.decoded,
+        )
+        space = enumerate_error_space(small_runner.golden, "inject-on-read")
+        plans.append(build_pruned_plan(space, index))
+    first, second = plans
+    assert [c.key for c in first.classes] == [c.key for c in second.classes]
+    assert [c.representative.key for c in first.classes] == [
+        c.representative.key for c in second.classes
+    ]
+    assert [c.members for c in first.classes] == [c.members for c in second.classes]
+    assert first.inferred_outcomes == second.inferred_outcomes
+
+    budgeted_a = first.budgeted_experiments(13, seed=42)
+    budgeted_b = second.budgeted_experiments(13, seed=42)
+    assert [(p.class_id, p.weight) for p in budgeted_a] == [
+        (p.class_id, p.weight) for p in budgeted_b
+    ]
+    assert sum(p.weight for p in budgeted_a) == sum(c.weight for c in first.classes)
+
+
+def test_validation_sample_is_deterministic():
+    population = [((tick, 0, 1), tick % 7) for tick in range(500)]
+    first = validation_sample(population, 0.1, seed=3)
+    second = validation_sample(population, 0.1, seed=3)
+    other = validation_sample(population, 0.1, seed=4)
+    assert first == second
+    assert len(first) == 50
+    assert first != other
+
+
+def test_phi_swap_parallel_assignment_attribution():
+    """Phi groups resolve incoming defs against the pre-group state.
+
+    A block whose phis read each other's results (a parallel swap) is the
+    adversarial case: sequential def updates during replay would attribute
+    the second phi's read to the first phi's *new* def.  The module swaps
+    two values every iteration; inference must stay exact over the whole
+    space.
+    """
+    from repro.frontend.compiler import CompiledProgram
+    from repro.ir import Constant, Function, IRBuilder, Module
+    from repro.ir.types import I64
+
+    module = Module("phiswap")
+    function = Function("main", I64)
+    module.add_function(function)
+    entry = function.add_block("entry")
+    header = function.add_block("header")
+    body = function.add_block("body")
+    done = function.add_block("done")
+
+    builder = IRBuilder(function, entry)
+    builder.branch(header)
+
+    builder.position_at_end(header)
+    i_phi = builder.phi(I64, "i")
+    a_phi = builder.phi(I64, "a")
+    b_phi = builder.phi(I64, "b")
+    i_phi.add_incoming(Constant(I64, 0), entry)
+    a_phi.add_incoming(Constant(I64, 7), entry)
+    b_phi.add_incoming(Constant(I64, 40), entry)
+    finished = builder.icmp("sge", i_phi.result, Constant(I64, 5))
+    builder.cond_branch(finished, done, body)
+
+    builder.position_at_end(body)
+    new_i = builder.add(i_phi.result, Constant(I64, 1))
+    i_phi.add_incoming(new_i, body)
+    # the swap: each phi's back-edge incoming is the *other* phi's result
+    a_phi.add_incoming(b_phi.result, body)
+    b_phi.add_incoming(a_phi.result, body)
+    builder.branch(header)
+
+    builder.position_at_end(done)
+    total = builder.add(a_phi.result, builder.mul(b_phi.result, Constant(I64, 1000)))
+    builder.call("__output", [total])
+    builder.ret(total)
+    module.finalize()
+
+    runner = ExperimentRunner(CompiledProgram(module, "main"))
+    index = build_defuse_index(
+        runner.program, runner.golden, args=runner.args, decoded=runner.decoded
+    )
+
+    # White-box: on every back-edge phi group, each swap phi's incoming def
+    # must be the def the *previous* group committed — never the def created
+    # by the other phi inside the same group (sequential replay would link
+    # b's read to the a def created one tick earlier in the same group).
+    group_starts = [
+        tick for tick, instr in enumerate(index.instructions) if instr is i_phi
+    ]
+    checked_groups = 0
+    for group_start in group_starts[1:]:  # back edges only (entry reads constants)
+        for offset, phi in ((1, a_phi), (2, b_phi)):
+            tick = group_start + offset
+            assert index.instructions[tick] is phi
+            operand_defs = [d for d in index.operand_defs[tick] if d is not None]
+            assert operand_defs, f"back-edge phi at tick {tick} unattributed"
+            incoming_tick = index.defs[operand_defs[0]].tick
+            assert incoming_tick < group_start, (
+                f"phi at tick {tick} reads a def created inside its own group "
+                f"(def tick {incoming_tick}) — parallel assignment violated"
+            )
+        checked_groups += 1
+    assert checked_groups >= 4
+
+    # And the generic money property still holds on this adversarial module.
+    space = enumerate_error_space(runner.golden, "inject-on-read")
+    truth = brute_force_outcomes(runner, "inject-on-read", space)
+    engine = OutcomeInference(index)
+    inferred = 0
+    for error in space.iter_errors():
+        outcome = engine.infer(error)
+        if outcome is not None:
+            inferred += 1
+            assert outcome is truth[error.key], f"wrong inference at {error.key}"
+    assert inferred > 0
+
+
+# ---------------------------------------------------------------- engine path
+def test_run_errors_serial_and_parallel_agree():
+    """The engine error path returns identical outcomes serial vs pooled."""
+    from repro.campaign.engine import MultiprocessEngine, RegistryProvider, SerialEngine
+
+    runner = get_experiment_runner("crc32")
+    space = enumerate_error_space(runner.golden, "inject-on-read")
+    rng = random.Random(11)
+    errors = [
+        (e.dynamic_index, e.slot, e.bit)
+        for e in space.iter_errors()
+        if rng.random() < 0.0003
+    ][:60]
+    provider = RegistryProvider()
+    serial = SerialEngine().run_errors(
+        "crc32", "inject-on-read", errors, provider=provider
+    )
+    with MultiprocessEngine(2, chunk_size=16) as engine:
+        parallel = engine.run_errors(
+            "crc32", "inject-on-read", errors, provider=provider
+        )
+    assert serial == parallel
+    assert len(serial) == len(errors)
+
+
+def test_session_budgeted_exhaustive_roundtrip(tmp_path):
+    """Budgeted pruned campaigns run end to end and cache in the store."""
+    from repro.experiments import ExperimentSession
+
+    session = ExperimentSession(cache_path=tmp_path / "cache.json")
+    result = session.run_exhaustive(
+        "bfs", "inject-on-read", mode="budgeted", budget=25, infer=False, seed=5
+    )
+    space = enumerate_error_space(
+        get_experiment_runner("bfs").golden, "inject-on-read"
+    )
+    # duplicate draws of the same class execute once
+    assert 0 < result.executed_experiments <= 25
+    assert result.outcome_counts.total == space.size == result.total_errors
+    assert result.inferred_errors == 0
+    # cached: a second identical call returns the stored result
+    again = session.run_exhaustive(
+        "bfs", "inject-on-read", mode="budgeted", budget=25, infer=False, seed=5
+    )
+    assert again is result
+    # ... but different parameters are a different campaign, not a cache hit
+    other = session.run_exhaustive(
+        "bfs", "inject-on-read", mode="budgeted", budget=30, infer=False, seed=5
+    )
+    assert other is not result
+    assert other.campaign_id != result.campaign_id
+    reloaded = ResultStore.load(tmp_path / "cache.json")
+    assert (
+        reloaded.exhaustive(
+            "bfs", "inject-on-read", "budgeted", result.variant
+        ).to_dict()
+        == result.to_dict()
+    )
+
+
+# ------------------------------------------------------------------- storage
+def test_exhaustive_results_roundtrip_byte_stably(tmp_path):
+    counts = OutcomeCounts()
+    counts.add(Outcome.BENIGN, 1000)
+    counts.add(Outcome.SDC, 234)
+    counts.add(Outcome.DETECTED_HW_EXCEPTION, 400)
+    result = ExhaustiveCampaignResult(
+        program="crc32",
+        technique="inject-on-read",
+        mode="pruned",
+        total_errors=1634,
+        candidate_count=40,
+        executed_experiments=300,
+        inferred_errors=500,
+        outcome_counts=counts,
+        validation_sampled=100,
+        validation_mispredicted=1,
+    )
+    store = ResultStore()
+    store.add_exhaustive(result)
+    path = tmp_path / "store.json"
+    store.save(path)
+    first_bytes = path.read_bytes()
+
+    loaded = ResultStore.load(path)
+    reloaded = loaded.exhaustive("crc32", "inject-on-read", "pruned")
+    assert reloaded.to_dict() == result.to_dict()
+    assert reloaded.reduction_factor == pytest.approx(1634 / 300)
+    assert reloaded.misprediction_rate == pytest.approx(0.01)
+    loaded.save(path)
+    assert path.read_bytes() == first_bytes
+
+    # stores without exhaustive results keep their legacy shape
+    empty = ResultStore()
+    empty_path = tmp_path / "legacy.json"
+    empty.save(empty_path)
+    payload = json.loads(empty_path.read_text())
+    assert "exhaustive_campaigns" not in payload
