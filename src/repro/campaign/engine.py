@@ -51,14 +51,26 @@ class RegistryProvider:
     ``fast_forward`` / ``checkpoint_interval`` parameterise the
     :class:`~repro.injection.experiment.ExperimentRunner` each worker builds
     (the CLI's ``--no-fast-forward`` / ``--checkpoint-interval`` land here).
+    ``cache_dir`` points workers at the persistent artifact cache
+    (:mod:`repro.artifacts`), so spawned processes warm up from disk instead
+    of re-deriving golden traces, checkpoints and def-use indices.
     """
 
     fast_forward: bool = True
     checkpoint_interval: Optional[int] = None
+    cache_dir: Optional[str] = None
+
+    def prepare(self) -> None:
+        """Activate this provider's artifact cache in the current process."""
+        if self.cache_dir is not None:
+            from repro import artifacts
+
+            artifacts.configure(self.cache_dir)
 
     def __call__(self, program_name: str) -> ExperimentRunner:
         from repro.programs.registry import get_experiment_runner
 
+        self.prepare()
         return get_experiment_runner(
             program_name,
             fast_forward=self.fast_forward,
@@ -212,6 +224,26 @@ def run_error_batch(
     return outcomes
 
 
+def persist_runner_artifacts(runner: ExperimentRunner) -> None:
+    """Push a warm runner's golden trace + checkpoints into the artifact cache.
+
+    No-op when no cache is active or the runner does not fast-forward.  Called
+    by pooled engines before dispatch, so derivation happens once per host and
+    spawned workers (which share only the disk) warm up from the cache.
+    """
+    if not getattr(runner, "fast_forward", False):
+        return
+    from repro.vm.snapshot import persist_cached_golden
+
+    persist_cached_golden(
+        runner.program.module,
+        entry=runner.program.entry,
+        args=tuple(runner.args),
+        checkpoint_interval=runner.checkpoint_interval,
+        max_checkpoints=runner.max_checkpoints,
+    )
+
+
 class ExecutionEngine:
     """Interface every campaign execution backend implements."""
 
@@ -270,6 +302,15 @@ class ExecutionEngine:
                     )
                 )
         return outcomes
+
+    def plan_infer_map(self, program: str, *, provider: RunnerProvider):
+        """An outcome-inference map for pruned-plan construction, or None.
+
+        None means "infer in-process" (the serial default).  Pooled engines
+        return a callable that chunk-dispatches the inference pass to their
+        workers, so planning scales with ``--jobs`` exactly like execution.
+        """
+        return None
 
     def close(self) -> None:
         """Release any resources held by the engine (pools, workers)."""
@@ -361,6 +402,42 @@ def _run_worker_error_batch(
     return run_error_batch(_WORKER_RUNNER, technique, errors)
 
 
+_WORKER_INFERENCE = None
+
+
+def _initialise_infer_worker(provider, program_name: str) -> None:
+    """Build (or cache-load) the def-use index + inference engine once."""
+    global _WORKER_INFERENCE
+    if provider is not None and hasattr(provider, "prepare"):
+        provider.prepare()
+    from repro.errorspace.inference import OutcomeInference
+    from repro.programs.registry import get_defuse_index
+
+    _WORKER_INFERENCE = OutcomeInference(get_defuse_index(program_name))
+
+
+def _run_worker_infer_batch(
+    errors: List[Tuple[int, Optional[int], int]]
+) -> List[Optional[Outcome]]:
+    engine = _WORKER_INFERENCE
+    assert engine is not None, "inference worker pool was not initialised"
+    from repro.errorspace.enumerate import SingleBitError
+
+    return [
+        engine.infer(
+            SingleBitError(
+                ordinal=0,
+                dynamic_index=dynamic_index,
+                slot=slot,
+                bit=bit,
+                register_bits=0,
+                opcode="",
+            )
+        )
+        for dynamic_index, slot, bit in errors
+    ]
+
+
 class MultiprocessEngine(ExecutionEngine):
     """Fans experiment batches out to a ``multiprocessing`` worker pool.
 
@@ -396,6 +473,25 @@ class MultiprocessEngine(ExecutionEngine):
         self._chunk_size = chunk_size
         self._start_method = start_method
 
+    def _warm_provider(self, provider: RunnerProvider, program: str) -> None:
+        """Warm the parent once before dispatch.
+
+        Under ``fork`` this lets workers inherit the compiled workload,
+        decoded program and golden trace.  Whenever the artifact cache is
+        active — any start method — the warm runner's artifacts are also
+        persisted to disk, so derivation happens once per host and spawned
+        workers load instead of re-deriving.
+        """
+        from repro import artifacts
+
+        if hasattr(provider, "prepare"):
+            provider.prepare()
+        cache_active = artifacts.active_cache() is not None
+        if self._start_method == "fork" or cache_active:
+            runner = provider(program)
+            if cache_active:
+                persist_runner_artifacts(runner)
+
     def _batches(self, total: int) -> List[Tuple[int, int]]:
         chunk = self._chunk_size
         if chunk is None:
@@ -419,11 +515,7 @@ class MultiprocessEngine(ExecutionEngine):
             (config, resolved, start, count, keep_records) for start, count in batches
         ]
         context = multiprocessing.get_context(self._start_method)
-        if self._start_method == "fork":
-            # Compile + decode + profile in the parent first: forked workers
-            # inherit the warmed provider cache (decoded program and golden
-            # trace included) instead of each rebuilding it.
-            provider(config.program)
+        self._warm_provider(provider, config.program)
         started = time.monotonic()
         done = 0
         with context.Pool(
@@ -470,8 +562,7 @@ class MultiprocessEngine(ExecutionEngine):
             for start in range(0, total, chunk)
         ]
         context = multiprocessing.get_context(self._start_method)
-        if self._start_method == "fork":
-            provider(program)
+        self._warm_provider(provider, program)
         outcomes: List[Optional[Outcome]] = [None] * total
         started = time.monotonic()
         done = 0
@@ -498,3 +589,52 @@ class MultiprocessEngine(ExecutionEngine):
                         )
                     )
         return outcomes
+
+    def plan_infer_map(self, program: str, *, provider: RunnerProvider):
+        """Chunk-dispatch the planner's inference pass to the worker pool.
+
+        Each worker builds (or cache-loads) the workload's def-use index and
+        inference engine once, then maps deterministic ``(tick, slot, bit)``
+        chunks to outcomes.  Results are order-preserving, so the assembled
+        plan is bit-identical to a serial build.  Only registry programs are
+        dispatchable (workers resolve the index by name).
+        """
+
+        from repro import artifacts
+
+        if self._start_method != "fork" and artifacts.active_cache() is None:
+            # Spawned workers share neither memory nor a disk cache: each
+            # would re-derive the golden trace and def-use index from
+            # scratch, which costs more than it saves.  Plan serially.
+            return None
+
+        def infer_map(errors):
+            total = len(errors)
+            if total == 0:
+                return []
+            triples = [
+                (error.dynamic_index, error.slot, error.bit) for error in errors
+            ]
+            chunk = max(1024, min(16384, -(-total // (self.jobs * 4))))
+            tasks = [triples[start : start + chunk] for start in range(0, total, chunk)]
+            self._warm_provider(provider, program)
+            # Make sure workers can load the def-use index from the cache
+            # instead of replaying the golden trace per process.
+            from repro import artifacts
+
+            if artifacts.active_cache() is not None:
+                from repro.programs.registry import get_defuse_index
+
+                get_defuse_index(program)
+            context = multiprocessing.get_context(self._start_method)
+            outcomes: List[Optional[Outcome]] = []
+            with context.Pool(
+                processes=min(self.jobs, len(tasks)),
+                initializer=_initialise_infer_worker,
+                initargs=(provider, program),
+            ) as pool:
+                for batch in pool.imap(_run_worker_infer_batch, tasks):
+                    outcomes.extend(batch)
+            return outcomes
+
+        return infer_map

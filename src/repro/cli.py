@@ -19,6 +19,10 @@ worker pool (results are bit-identical to a serial run of the same seed), and
 Experiments fast-forward over their fault-free prefix by restoring VM
 checkpoints; ``--no-fast-forward`` disables this and ``--checkpoint-interval``
 pins the checkpoint spacing (both change runtime only, never results).
+``--cache-dir DIR`` activates the persistent artifact cache (golden traces,
+checkpoints, def-use indices, pruned plans), so repeated invocations and
+worker pools pay planning cost once per host; it defaults to
+``<cache>.artifacts`` when ``--cache`` is given.
 """
 
 from __future__ import annotations
@@ -79,6 +83,7 @@ def _build_session(args: argparse.Namespace) -> ExperimentSession:
     return ExperimentSession(
         scale=scale,
         cache_path=args.cache,
+        cache_dir=getattr(args, "cache_dir", None),
         checkpoint_path=args.checkpoint,
         jobs=args.jobs,
         fast_forward=not args.no_fast_forward,
@@ -136,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--win-sizes", help="comma-separated win-size indices, e.g. w2,w7 (default: Table I)"
         )
         sub.add_argument("--cache", help="JSON file to cache campaign results across runs")
+        sub.add_argument(
+            "--cache-dir",
+            help="directory for the persistent artifact cache (golden traces, "
+            "checkpoints, def-use indices, pruned plans); defaults to "
+            "<--cache>.artifacts when --cache is given, else off",
+        )
         sub.add_argument(
             "--jobs",
             type=int,
@@ -231,6 +242,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exhaustive_parser.add_argument(
         "--cache", help="JSON file to cache campaign results across runs"
+    )
+    exhaustive_parser.add_argument(
+        "--cache-dir",
+        help="directory for the persistent artifact cache (golden traces, "
+        "checkpoints, def-use indices, pruned plans); defaults to "
+        "<--cache>.artifacts when --cache is given, else off",
     )
     exhaustive_parser.add_argument(
         "--jobs",
@@ -350,6 +367,7 @@ def _run_candidates(args: argparse.Namespace) -> str:
 def _run_exhaustive(args: argparse.Namespace) -> str:
     session = ExperimentSession(
         cache_path=args.cache,
+        cache_dir=args.cache_dir,
         jobs=args.jobs,
         fast_forward=not args.no_fast_forward,
         checkpoint_interval=args.checkpoint_interval,
@@ -388,6 +406,20 @@ def _run_exhaustive(args: argparse.Namespace) -> str:
             f"  validation         {result.validation_mispredicted}/"
             f"{result.validation_sampled} mispredicted "
             f"({100.0 * result.misprediction_rate:.2f}%)"
+        )
+    cache = session.artifact_cache
+    if cache is not None:
+        stats = cache.stats
+        # "warm" means the *plan* specifically came from the cache — a golden
+        # trace hit alone still pays the full inference cost.
+        plan_hits = stats.hits.get("plan", 0)
+        lines.append(
+            f"  artifact cache     {stats.describe()} ({cache.root}); "
+            + (
+                "warm (planning loaded from cache)"
+                if plan_hits
+                else "cold (artifacts derived and stored)"
+            )
         )
     return "\n".join(lines)
 

@@ -21,7 +21,16 @@ error space a first-class object the campaign layer can execute:
 * :mod:`repro.errorspace.planner` — builds a :class:`PrunedPlan` (one
   representative experiment per class plus its weight) with ``exact`` and
   ``budgeted`` modes, plus a seeded validation sampler that measures the
-  misprediction rate of class-representative inheritance.
+  misprediction rate of class-representative inheritance;
+* :mod:`repro.errorspace.reference` — the frozen pre-columnar object-based
+  pipeline, kept verbatim as the differential oracle for
+  ``tests/test_columnar_differential.py``.
+
+The def-use index and the inference engine are *columnar* (flat int-indexed
+arrays, CSR adjacency, per-byte sorted memory-log columns) and every
+artifact round-trips through the persistent content-addressed cache in
+:mod:`repro.artifacts`, so planning an exhaustive campaign is an amortised
+near-free lookup after the first derivation on a host.
 """
 
 from repro.errorspace.enumerate import (

@@ -1,4 +1,4 @@
-"""Dynamic def-use extraction from the golden trace (§III-A).
+"""Dynamic def-use extraction from the golden trace (§III-A), stored columnar.
 
 The paper's inject-on-read technique is justified by a def-use argument:
 every fault that corrupts a register between its last write (the *defining
@@ -7,10 +7,11 @@ injected immediately before that read.  This module makes the def-use
 structure of a golden run explicit so the rest of the error-space subsystem
 can exploit it:
 
-* every dynamic *defining write* of the run becomes a :class:`DefEvent`
-  carrying the golden value it produced;
+* every dynamic *defining write* of the run becomes one row of the def
+  table (tick, static site, golden value, register), exposed through the
+  legacy :class:`DefEvent` views on demand;
 * every inject-on-read candidate ``(dynamic index, slot)`` is attributed to
-  the def event it consumes, giving the *def-use intervals* the equivalence
+  the def it consumes, giving the *def-use intervals* the equivalence
   classes are built from;
 * every consumption (including phi moves, call argument passing and return
   values, which are not injection candidates but *do* propagate values) is
@@ -18,6 +19,15 @@ can exploit it:
   value;
 * the run's memory accesses are logged byte-granularly so inference can
   prove a corrupted store dead.
+
+The index is *columnar*: the def table is parallel flat arrays, the use
+adjacency is a CSR-style ``(offsets, ticks)`` pair, and the memory log is
+appended to three flat arrays (tick, byte offset, payload) during the
+instrumented run and finalised into per-byte sorted tick/value columns —
+every query the inference hot loop issues (``golden_content``,
+``next_write_after``, ``read_ticks_between``, ``store_is_dead``) is a
+single bisect over those columns, and dead stores are settled once for the
+whole run instead of per inference step.
 
 The extraction *replays* the recorded dynamic instruction stream against the
 module — reconstructing the call stack from call/ret records — rather than
@@ -29,9 +39,10 @@ amortised over hundreds of thousands of enumerated errors.
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.errors import AnalysisError
 from repro.frontend.compiler import CompiledProgram
@@ -49,7 +60,12 @@ PARAM_SITE = "<param>"
 
 @dataclass
 class DefEvent:
-    """One dynamic defining write (or argument binding) of the golden run."""
+    """One dynamic defining write (or argument binding) of the golden run.
+
+    A thin view over one row of the columnar def table, materialised lazily
+    through :attr:`DefUseIndex.defs` for API compatibility; the inference
+    hot path reads the arrays directly.
+    """
 
     def_id: int
     #: Dynamic index of the defining write, or -1 for argument bindings.
@@ -64,20 +80,55 @@ class DefEvent:
     use_ticks: List[int] = field(default_factory=list)
 
 
+class ByteLog(NamedTuple):
+    """The golden run's accesses to one memory byte, as sorted columns.
+
+    The merged read+write event stream only matters for the dead-store
+    precompute, which runs once inside :meth:`DefUseIndex._finalize`; it is
+    not retained here (or in cached payloads) — every later query bisects
+    these three columns.
+    """
+
+    #: Ticks of the writes to this byte, ascending.
+    write_ticks: array
+    #: Value written at the matching tick.
+    write_values: bytearray
+    #: Ticks of the reads of this byte, ascending.
+    read_ticks: array
+
+
+_EMPTY_BYTE_LOG = ByteLog(array("q"), bytearray(), array("q"))
+
+
 class DefUseIndex:
     """Def-use structure of one golden run, queryable by the error space.
 
     Built by :func:`build_defuse_index`; see the module docstring for what
-    it contains.  All lookups are O(1) dict/array accesses so planning and
-    inference over a few hundred thousand errors stay cheap.
+    it contains.  All lookups are O(1) array/dict accesses or single bisects
+    so planning and inference over a few hundred thousand errors stay cheap.
     """
 
     def __init__(self, program: CompiledProgram, golden: GoldenTrace, decoded: DecodedProgram) -> None:
         self.program = program
         self.golden = golden
         self.decoded = decoded
-        #: DefEvent per def id.
-        self.defs: List[DefEvent] = []
+        # -- columnar def table --------------------------------------------------
+        #: Dynamic tick of each defining write (-1 for argument bindings).
+        self.def_tick: array = array("q")
+        #: Static site tuple per def.
+        self.def_site: List[Tuple] = []
+        #: Golden value per def (None when unknown).
+        self.def_value: List[object] = []
+        #: Defined register per def (only ``.type``/``.name`` are consumed).
+        self.def_register: List[VirtualRegister] = []
+        #: Per-def use lists while building; folded into CSR by _finalize().
+        self._use_lists: List[List[int]] = []
+        #: CSR use adjacency: uses of def *d* are
+        #: ``use_ticks_flat[use_offsets[d]:use_offsets[d+1]]``.
+        self.use_offsets: array = array("q", [0])
+        self.use_ticks_flat: array = array("q")
+        #: Lazily materialised DefEvent views (legacy API).
+        self._def_views: Optional[List[DefEvent]] = None
         #: (dynamic_index, slot) -> def id, for every inject-on-read candidate
         #: whose read the VM actually performs at that location.
         self.read_def: Dict[Tuple[int, int], int] = {}
@@ -97,20 +148,55 @@ class DefUseIndex:
         self.ret_target: Dict[int, Optional[int]] = {}
         #: store tick -> (address, size) of the golden store.
         self.store_span: Dict[int, Tuple[int, int]] = {}
+        #: Store ticks whose bytes are provably never observed (precomputed
+        #: once for the whole run by _finalize()).
+        self.dead_stores: frozenset = frozenset()
         #: Memory segments (base, size) mapped during execution; the segment
         #: map is fixed at interpreter construction, so address validity is a
         #: static property.
         self.segments: List[Tuple[int, int]] = []
         #: Global variable name -> materialised address (deterministic).
         self.global_addresses: Dict[str, int] = {}
-        # Per-byte memory events in tick order: (tick, payload) with payload
-        # -1 for reads and the written byte value for writes.
-        self._byte_events: Dict[int, List[Tuple[int, int]]] = {}
+        # Flat memory-log columns appended during the instrumented run:
+        # (tick, byte address, payload) with payload -1 for reads.
+        self._mem_tick: array = array("q")
+        self._mem_addr: array = array("q")
+        self._mem_payload: array = array("h")
+        #: byte address -> ByteLog, built by _finalize().
+        self._byte_logs: Dict[int, ByteLog] = {}
         # Initial memory image (post global materialisation, pre execution):
         # (base, bytes) per segment, base-sorted.
         self._initial_memory: List[Tuple[int, bytes]] = []
-        # Per-byte (write ticks, written values) bisect index, built lazily.
-        self._write_index: Dict[int, Tuple[List[int], List[int]]] = {}
+        #: byte address -> initial content (None if unmapped), memoised.
+        self._initial_cache: Dict[int, Optional[int]] = {}
+
+    # -- legacy def views --------------------------------------------------------------
+    @property
+    def defs(self) -> List[DefEvent]:
+        """DefEvent views over the columnar def table (materialised lazily)."""
+        if self._def_views is None:
+            offsets = self.use_offsets
+            flat = self.use_ticks_flat
+            self._def_views = [
+                DefEvent(
+                    def_id,
+                    self.def_tick[def_id],
+                    self.def_register[def_id],
+                    self.def_site[def_id],
+                    self.def_value[def_id],
+                    list(flat[offsets[def_id] : offsets[def_id + 1]]),
+                )
+                for def_id in range(len(self.def_site))
+            ]
+        return self._def_views
+
+    @property
+    def def_count(self) -> int:
+        return len(self.def_site)
+
+    def def_uses(self, def_id: int) -> array:
+        """The use ticks of one def as a CSR slice (no per-def objects)."""
+        return self.use_ticks_flat[self.use_offsets[def_id] : self.use_offsets[def_id + 1]]
 
     # -- queries -------------------------------------------------------------------
     def def_of_read(self, dynamic_index: int, slot: int) -> Optional[DefEvent]:
@@ -136,16 +222,16 @@ class DefUseIndex:
         def_id = self.read_def.get((dynamic_index, slot))
         if def_id is None:
             return ("unattributed", dynamic_index, slot)
-        event = self.defs[def_id]
-        if event.value is None:
+        value = self.def_value[def_id]
+        if value is None:
             return ("unvalued", def_id, dynamic_index, slot)
         try:
-            value_bits = bitops.value_to_bits(event.value, event.register.type)
+            value_bits = bitops.value_to_bits(value, self.def_register[def_id].type)
         except (TypeError, ValueError):
             return ("unvalued", def_id, dynamic_index, slot)
         instr = self.instructions[dynamic_index]
         site = (instr.parent.parent.name, instr.static_index, slot)
-        return (event.site, site, value_bits)
+        return (self.def_site[def_id], site, value_bits)
 
     def address_fault(self, address: int, align: int, size: int) -> bool:
         """True when an access at ``address`` provably raises a hardware fault.
@@ -167,43 +253,32 @@ class DefUseIndex:
 
         A corrupted store value is benign iff every stored byte is
         overwritten before (or instead of) being read again — byte-granular,
-        using the golden run's memory access log.  Conservative: any
-        subsequent read of a byte before a covering write counts as live.
+        using the golden run's memory access log.  Precomputed for every
+        store of the run by :meth:`_finalize`.
         """
-        span = self.store_span.get(tick)
-        if span is None:
-            return False
-        address, size = span
-        for byte in range(address, address + size):
-            for event_tick, payload in self._byte_events.get(byte, ()):
-                if event_tick <= tick:
-                    continue
-                if payload < 0:
-                    return False
-                break  # overwritten before any read: this byte is dead
-        return True
+        return tick in self.dead_stores
 
-    def _initial_byte(self, byte: int) -> Optional[int]:
+    def byte_log(self, byte: int) -> ByteLog:
+        """The sorted access columns of one byte (shared empty when untouched)."""
+        return self._byte_logs.get(byte, _EMPTY_BYTE_LOG)
+
+    def initial_byte(self, byte: int) -> Optional[int]:
+        """Pre-execution content of one byte; None when unmapped (memoised)."""
+        cached = self._initial_cache.get(byte, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        value: Optional[int] = None
         for base, payload in self._initial_memory:
             if base <= byte < base + len(payload):
-                return payload[byte - base]
-        for base, size in self.segments:
-            if base <= byte < base + size:
-                return 0  # mapped but beyond the captured image: still zero
-        return None
-
-    def _write_events(self, byte: int) -> Tuple[List[int], List[int]]:
-        """(ticks, values) of the golden writes to one byte (cached, sorted)."""
-        cached = self._write_index.get(byte)
-        if cached is None:
-            ticks: List[int] = []
-            values: List[int] = []
-            for event_tick, payload in self._byte_events.get(byte, ()):
-                if payload >= 0:
-                    ticks.append(event_tick)
-                    values.append(payload)
-            cached = self._write_index[byte] = (ticks, values)
-        return cached
+                value = payload[byte - base]
+                break
+        else:
+            for base, size in self.segments:
+                if base <= byte < base + size:
+                    value = 0  # mapped but beyond the captured image: still zero
+                    break
+        self._initial_cache[byte] = value
+        return value
 
     def golden_content(self, byte: int, tick: int) -> Optional[int]:
         """Golden value of one memory byte just before ``tick``.
@@ -211,43 +286,219 @@ class DefUseIndex:
         Derived from the initial memory image plus the run's write log;
         None when the byte was never mapped.
         """
-        ticks, values = self._write_events(byte)
-        position = bisect_right(ticks, tick - 1)
-        if position > 0:
-            return values[position - 1]
-        return self._initial_byte(byte)
+        log = self._byte_logs.get(byte)
+        if log is not None:
+            position = bisect_right(log.write_ticks, tick - 1)
+            if position > 0:
+                return log.write_values[position - 1]
+        return self.initial_byte(byte)
 
     def next_write_after(self, byte: int, tick: int) -> float:
         """Tick of the first golden write to ``byte`` strictly after ``tick``."""
-        ticks, _values = self._write_events(byte)
+        log = self._byte_logs.get(byte)
+        if log is None:
+            return float("inf")
+        ticks = log.write_ticks
         position = bisect_right(ticks, tick)
         return ticks[position] if position < len(ticks) else float("inf")
 
     def read_ticks_between(self, byte: int, start: int, end: float) -> List[int]:
         """Golden read ticks of ``byte`` in the open interval (start, end)."""
-        ticks: List[int] = []
-        for event_tick, payload in self._byte_events.get(byte, ()):
-            if event_tick <= start:
-                continue
-            if event_tick >= end:
+        log = self._byte_logs.get(byte)
+        if log is None:
+            return []
+        reads = log.read_ticks
+        lo = bisect_right(reads, start)
+        result: List[int] = []
+        for position in range(lo, len(reads)):
+            tick = reads[position]
+            if tick >= end:
                 break
-            if payload < 0:
-                ticks.append(event_tick)
-        return ticks
+            result.append(tick)
+        return result
+
+    # -- artifact-cache round-trip ---------------------------------------------------
+    def to_payload(self) -> dict:
+        """Flatten the finalised index into a plain, picklable payload.
+
+        Registers are reduced to ``(name, type)`` — only the type drives the
+        class keys and inference — and the tick→instruction column is dropped
+        entirely: it is rebuilt from the golden trace's meta columns against
+        the loading process's module in :meth:`from_payload`.
+        """
+        return {
+            "def_tick": self.def_tick.tobytes(),
+            "def_site": list(self.def_site),
+            "def_value": list(self.def_value),
+            "def_register": [
+                (register.name, register.type) for register in self.def_register
+            ],
+            "use_offsets": self.use_offsets.tobytes(),
+            "use_ticks_flat": self.use_ticks_flat.tobytes(),
+            "read_def": dict(self.read_def),
+            "deferred_reads": frozenset(self.deferred_reads),
+            "operand_defs": list(self.operand_defs),
+            "call_params": dict(self.call_params),
+            "ret_target": dict(self.ret_target),
+            "store_span": dict(self.store_span),
+            "dead_stores": self.dead_stores,
+            "segments": list(self.segments),
+            "global_addresses": dict(self.global_addresses),
+            "byte_logs": {
+                byte: (
+                    log.write_ticks.tobytes(),
+                    bytes(log.write_values),
+                    log.read_ticks.tobytes(),
+                )
+                for byte, log in self._byte_logs.items()
+            },
+            "initial_memory": list(self._initial_memory),
+        }
+
+    @classmethod
+    def from_payload(
+        cls,
+        program: CompiledProgram,
+        golden: GoldenTrace,
+        decoded: DecodedProgram,
+        payload: dict,
+    ) -> "DefUseIndex":
+        """Rebuild an index from a payload, re-bound to the current module."""
+
+        def column(typecode: str, data: bytes) -> array:
+            values = array(typecode)
+            values.frombytes(data)
+            return values
+
+        index = cls(program, golden, decoded)
+        index.def_tick = column("q", payload["def_tick"])
+        index.def_site = list(payload["def_site"])
+        index.def_value = list(payload["def_value"])
+        index.def_register = [
+            VirtualRegister(register_type, name)
+            for name, register_type in payload["def_register"]
+        ]
+        index.use_offsets = column("q", payload["use_offsets"])
+        index.use_ticks_flat = column("q", payload["use_ticks_flat"])
+        index._use_lists = []
+        index.read_def = dict(payload["read_def"])
+        index.deferred_reads = set(payload["deferred_reads"])
+        index.operand_defs = list(payload["operand_defs"])
+        index.call_params = dict(payload["call_params"])
+        index.ret_target = dict(payload["ret_target"])
+        index.store_span = dict(payload["store_span"])
+        index.dead_stores = frozenset(payload["dead_stores"])
+        index.segments = list(payload["segments"])
+        index.global_addresses = dict(payload["global_addresses"])
+        index._byte_logs = {
+            byte: ByteLog(
+                column("q", write_ticks),
+                bytearray(write_values),
+                column("q", read_ticks),
+            )
+            for byte, (write_ticks, write_values, read_ticks) in payload[
+                "byte_logs"
+            ].items()
+        }
+        index._initial_memory = list(payload["initial_memory"])
+        statics = _static_instruction_table(program)
+        index.instructions = [
+            statics[meta.function_name][meta.static_index]
+            for meta in golden.iter_metas()
+        ]
+        return index
 
     # -- construction helpers (used by build_defuse_index) ---------------------------
     def _new_def(self, tick: int, register: VirtualRegister, site: Tuple, value) -> int:
-        def_id = len(self.defs)
-        self.defs.append(DefEvent(def_id, tick, register, site, value))
+        def_id = len(self.def_site)
+        self.def_tick.append(tick)
+        self.def_register.append(register)
+        self.def_site.append(site)
+        self.def_value.append(value)
+        self._use_lists.append([])
         return def_id
+
+    def _add_use(self, def_id: int, tick: int) -> None:
+        self._use_lists[def_id].append(tick)
 
     def _log_read(self, tick: int, address: int, length: int) -> None:
         for byte in range(address, address + length):
-            self._byte_events.setdefault(byte, []).append((tick, -1))
+            self._mem_tick.append(tick)
+            self._mem_addr.append(byte)
+            self._mem_payload.append(-1)
 
     def _log_write(self, tick: int, address: int, payload) -> None:
         for offset, value in enumerate(payload):
-            self._byte_events.setdefault(address + offset, []).append((tick, value))
+            self._mem_tick.append(tick)
+            self._mem_addr.append(address + offset)
+            self._mem_payload.append(value)
+
+    def _finalize(self) -> None:
+        """Fold build-time streams into the queryable columnar structures."""
+        # CSR use adjacency.
+        offsets = array("q", [0])
+        flat = array("q")
+        total = 0
+        for uses in self._use_lists:
+            flat.extend(uses)
+            total += len(uses)
+            offsets.append(total)
+        self.use_offsets = offsets
+        self.use_ticks_flat = flat
+        self._use_lists = []
+        # Per-byte sorted access columns.  Appends happened in execution
+        # order (ticks non-decreasing), so a stable group-by-byte keeps each
+        # byte's columns chronologically sorted — including the within-tick
+        # event order store_is_dead's tie-breaking depends on.
+        logs: Dict[int, List[Tuple[int, int]]] = {}
+        for tick, byte, payload in zip(self._mem_tick, self._mem_addr, self._mem_payload):
+            events = logs.get(byte)
+            if events is None:
+                events = logs[byte] = []
+            events.append((tick, payload))
+        byte_logs: Dict[int, ByteLog] = {}
+        # The merged chronological event stream (reads + writes, payload -1
+        # for reads) exists only during this pass — queries never need it.
+        event_columns: Dict[int, Tuple[array, array]] = {}
+        for byte, events in logs.items():
+            write_ticks = array("q")
+            write_values = bytearray()
+            read_ticks = array("q")
+            event_ticks = array("q")
+            event_payloads = array("h")
+            for tick, payload in events:
+                event_ticks.append(tick)
+                event_payloads.append(payload)
+                if payload < 0:
+                    read_ticks.append(tick)
+                else:
+                    write_ticks.append(tick)
+                    write_values.append(payload)
+            byte_logs[byte] = ByteLog(write_ticks, write_values, read_ticks)
+            event_columns[byte] = (event_ticks, event_payloads)
+        self._byte_logs = byte_logs
+        self._mem_tick = array("q")
+        self._mem_addr = array("q")
+        self._mem_payload = array("h")
+        # Settle every store's deadness once: a store is dead iff, for every
+        # stored byte, the first logged event strictly after the store tick
+        # is a write (or there is no later event).
+        dead = set()
+        for tick, (address, size) in self.store_span.items():
+            for byte in range(address, address + size):
+                columns = event_columns.get(byte)
+                if columns is None:
+                    break
+                event_ticks, event_payloads = columns
+                position = bisect_right(event_ticks, tick)
+                if position < len(event_ticks) and event_payloads[position] < 0:
+                    break  # next event is a read: the byte is live
+            else:
+                dead.add(tick)
+        self.dead_stores = frozenset(dead)
+
+
+_MISSING = object()
 
 
 class _Activation:
@@ -395,10 +646,9 @@ def build_defuse_index(
             frame, register_name, def_id = pending_phi_defs.pop()
             frame.defs[register_name] = def_id
 
-    for record in golden.records:
-        tick = record.dynamic_index
+    for tick, meta in enumerate(golden.iter_metas()):
         activation = stack[-1]
-        instruction = statics[record.function_name][record.static_index]
+        instruction = statics[meta.function_name][meta.static_index]
         index.instructions.append(instruction)
 
         if isinstance(instruction, Phi):
@@ -409,14 +659,14 @@ def build_defuse_index(
             if isinstance(incoming, VirtualRegister):
                 incoming_def = activation.defs.get(incoming.name)
                 if incoming_def is not None:
-                    index.defs[incoming_def].use_ticks.append(tick)
+                    index._add_use(incoming_def, tick)
                     for position, op in enumerate(instruction.operands):
                         if op is incoming:
                             operand_ids[position] = incoming_def
             def_id = index._new_def(
                 tick,
                 instruction.destination(),
-                (record.function_name, record.static_index),
+                (meta.function_name, meta.static_index),
                 write_log.next_value(),
             )
             pending_phi_defs.append(
@@ -436,7 +686,7 @@ def build_defuse_index(
                 chosen = 1 if condition.value else 2
             elif isinstance(condition, VirtualRegister):
                 cond_def = activation.defs.get(condition.name)
-                cond_value = index.defs[cond_def].value if cond_def is not None else None
+                cond_value = index.def_value[cond_def] if cond_def is not None else None
                 if cond_value is not None:
                     chosen = 1 if cond_value else 2
             for slot, register in enumerate(source_registers):
@@ -457,7 +707,7 @@ def build_defuse_index(
                 # happen for runs the VM completed); leave unattributed.
                 continue
             index.read_def[(tick, slot)] = def_id
-            index.defs[def_id].use_ticks.append(tick)
+            index._add_use(def_id, tick)
             operand_ids[_register_slot_position(instruction, slot)] = def_id
         index.operand_defs.append(tuple(operand_ids))
 
@@ -500,7 +750,7 @@ def build_defuse_index(
             def_id = index._new_def(
                 tick,
                 destination,
-                (record.function_name, record.static_index),
+                (meta.function_name, meta.static_index),
                 write_log.next_value(),
             )
             activation.defs[destination.name] = def_id
@@ -523,6 +773,7 @@ def build_defuse_index(
         elif instruction.parent is not None and instruction is instruction.parent.terminator:
             activation.previous_block = instruction.parent.name
 
+    index._finalize()
     return index
 
 
@@ -532,15 +783,25 @@ def register_slot_position(instruction: Instruction, slot: int) -> Optional[int]
     The slot numbering is the inject-on-read convention shared by the
     injector hooks, the def-use attribution here and the slice replay's
     corrupted-operand override — all three must agree, so they all call this
-    one helper.
+    one helper.  The per-instruction expansion is cached on the instruction
+    (invalidated with the static numbering, like the trace meta cache).
     """
-    seen = -1
-    for position, operand in enumerate(instruction.operands):
-        if isinstance(operand, VirtualRegister):
-            seen += 1
-            if seen == slot:
-                return position
-    return None
+    positions = slot_positions(instruction)
+    return positions[slot] if slot < len(positions) else None
+
+
+def slot_positions(instruction: Instruction) -> Tuple[int, ...]:
+    """Operand positions of all register operands of one instruction (cached)."""
+    cached = getattr(instruction, "_slot_positions", None)
+    if cached is None or cached[0] != instruction.static_index:
+        positions = tuple(
+            position
+            for position, operand in enumerate(instruction.operands)
+            if isinstance(operand, VirtualRegister)
+        )
+        cached = (instruction.static_index, positions)
+        instruction._slot_positions = cached
+    return cached[1]
 
 
 def _register_slot_position(instruction: Instruction, slot: int) -> int:
@@ -559,5 +820,5 @@ def _operand_value(index: DefUseIndex, activation: _Activation, operand) -> obje
     if isinstance(operand, VirtualRegister):
         def_id = activation.defs.get(operand.name)
         if def_id is not None:
-            return index.defs[def_id].value
+            return index.def_value[def_id]
     return None

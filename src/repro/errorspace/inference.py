@@ -20,8 +20,17 @@ construction — and classifies the error when the slice terminates provably:
 Anything else — a diverging branch, a live store, a load through a corrupted
 but mapped address — returns ``None``: the error must be executed.  The
 inferred outcomes are exact by construction; ``tests/test_errorspace.py``
-cross-checks them against real executions, and the validation sampler here
-measures the (heuristic) class-representative inheritance on top.
+cross-checks them against real executions, and
+``tests/test_columnar_differential.py`` proves this engine bit-identical to
+the frozen object-based reference in :mod:`repro.errorspace.reference`.
+
+The engine is the hot loop of campaign planning (hundreds of thousands of
+``infer`` calls per workload), so everything derivable from the golden run
+alone is settled up front into flat per-tick columns: a dispatch-kind byte
+per tick, the decoded instruction per tick, the golden operand values per
+tick, the instruction-def id per tick, and per-def bit patterns.  The
+per-step work left is index arithmetic, one dict probe per dirty operand,
+and single bisects into the def-use index's per-byte memory columns.
 """
 
 from __future__ import annotations
@@ -30,19 +39,44 @@ import heapq
 import math
 import random
 import struct
+from array import array
+from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
-from repro.errorspace.defuse import DefUseIndex, register_slot_position
+from repro.errorspace.defuse import DefUseIndex, PARAM_SITE, register_slot_position
 from repro.errorspace.enumerate import SingleBitError
 from repro.injection.outcome import Outcome
 from repro.ir.instructions import Call, Phi
-from repro.ir.types import FloatType
+from repro.ir.types import FloatType, IntType, PointerType
 from repro.ir.values import Constant, GlobalVariable
 from repro.vm import bitops
 from repro.vm.faults import HardwareFault
 
 #: Sentinel: the slice reached an effect we cannot model statically.
 _GIVE_UP = object()
+
+_INF = float("inf")
+_MASK64 = (1 << 64) - 1
+
+# Per-tick dispatch kinds (precomputed once per engine).
+_K_GIVEUP = 0
+_K_PHI = 1
+_K_STORE = 2
+_K_LOAD = 3
+_K_CALL = 4
+_K_RET = 5
+_K_BRCOND = 6
+_K_SELECT = 7
+_K_GEP = 8
+_K_CMP = 9
+_K_CAST = 10
+_K_BINOP_INT = 11
+_K_BINOP_FLOAT = 12
+
+# Per-def value modes for the flip/compare fast paths.
+_MODE_INT = 1
+_MODE_PTR = 2
+_MODE_FLOAT = 3
 
 
 class _FakeVM:
@@ -65,16 +99,91 @@ class OutcomeInference:
     def __init__(self, index: DefUseIndex) -> None:
         self.index = index
         self._dins = self._decoded_table()
-        # def tick -> def id for instruction-produced defs.  Parameter
-        # bindings share their call's tick but are reached through
+        instructions = index.instructions
+        n = len(instructions)
+        # tick -> def id of the instruction-produced def (-1 when none).
+        # Parameter bindings share their call's tick but are reached through
         # call_params, so they are excluded; every remaining tick carries at
         # most one def (call results are keyed by their ret tick).
-        from repro.errorspace.defuse import PARAM_SITE
+        def_at_tick = array("q", [-1]) * n
+        def_site = index.def_site
+        def_tick = index.def_tick
+        for def_id in range(len(def_site)):
+            tick = def_tick[def_id]
+            if tick >= 0 and PARAM_SITE not in def_site[def_id]:
+                def_at_tick[tick] = def_id
+        self._def_at_tick = def_at_tick
+        # Per-tick columns: decoded instruction, dispatch kind, golden
+        # operand values (a tuple aligned with instruction.operands).
+        din_by_tick: List = [None] * n
+        kind_by_tick = bytearray(n)
+        golden_ops: List[Tuple] = [None] * n
+        operand_defs = index.operand_defs
+        def_value = index.def_value
+        global_addresses = index.global_addresses
+        for tick in range(n):
+            instr = instructions[tick]
+            din = self._din(instr)
+            din_by_tick[tick] = din
+            kind_by_tick[tick] = self._classify(instr, din)
+            od = operand_defs[tick]
+            values = []
+            for pos, operand in enumerate(instr.operands):
+                if isinstance(operand, Constant):
+                    values.append(operand.value)
+                elif isinstance(operand, GlobalVariable):
+                    values.append(global_addresses.get(operand.name))
+                else:
+                    def_id = od[pos] if pos < len(od) else None
+                    values.append(def_value[def_id] if def_id is not None else None)
+            golden_ops[tick] = tuple(values)
+        self._din_by_tick = din_by_tick
+        self._kind_by_tick = kind_by_tick
+        self._golden_ops = golden_ops
+        # Per-def flip info, computed lazily: (width, golden_bits, mode) or
+        # None when the def's value cannot be bit-addressed.
+        self._def_info: List = [False] * len(def_site)
+        # Per-def compare mode: 0 unknown, 1 canonical-int fast path, 2 slow.
+        self._def_cmp = bytearray(len(def_site))
+        self._vm = _FakeVM(0)
+        # Lazy per-tick golden-memory caches (see _store_fast/_load_fast):
+        # everything the byte log says about a store's or load's golden span
+        # is a pure function of the tick, so it is bisected once and reused
+        # by every error whose slice crosses that tick.
+        self._store_fast: Dict[int, Optional[Tuple]] = {}
+        self._load_fast: Dict[int, Optional[bytes]] = {}
 
-        self._def_at_tick: Dict[int, int] = {}
-        for event in index.defs:
-            if event.tick >= 0 and PARAM_SITE not in event.site:
-                self._def_at_tick[event.tick] = event.def_id
+    @staticmethod
+    def _classify(instr, din) -> int:
+        if din is None:
+            return _K_GIVEUP
+        if isinstance(instr, Phi):
+            return _K_PHI
+        opcode = instr.opcode
+        if opcode == "store":
+            return _K_STORE
+        if opcode == "load":
+            return _K_LOAD
+        if isinstance(instr, Call):
+            return _K_CALL
+        if opcode == "ret":
+            return _K_RET
+        if opcode == "br.cond":
+            return _K_BRCOND
+        if opcode == "select":
+            return _K_SELECT
+        if opcode == "getelementptr":
+            return _K_GEP
+        if opcode.startswith("icmp") or opcode.startswith("fcmp"):
+            return _K_CMP
+        if din.operation is not None and len(instr.operands) == 1:
+            return _K_CAST
+        if din.operation is not None and len(instr.operands) == 2:
+            destination = instr.destination()
+            if destination is not None and isinstance(destination.type, FloatType):
+                return _K_BINOP_FLOAT
+            return _K_BINOP_INT
+        return _K_GIVEUP
 
     def _decoded_table(self) -> Dict[Tuple[str, int], object]:
         table: Dict[Tuple[str, int], object] = {}
@@ -91,36 +200,86 @@ class OutcomeInference:
         function = instruction.parent.parent.name
         return self._dins.get((function, instruction.static_index))
 
+    # -- per-def precomputation -------------------------------------------------------
+    def _flip_info(self, def_id: int):
+        """(width, golden bit pattern, mode) of one def's value, or None."""
+        info = self._def_info[def_id]
+        if info is not False:
+            return info
+        value = self.index.def_value[def_id]
+        info = None
+        if value is not None:
+            rtype = self.index.def_register[def_id].type
+            try:
+                width = bitops.bit_width(rtype)
+                golden_bits = bitops.value_to_bits(value, rtype)
+                if isinstance(rtype, IntType):
+                    mode = _MODE_INT
+                elif isinstance(rtype, PointerType):
+                    mode = _MODE_PTR
+                else:
+                    mode = _MODE_FLOAT
+                info = (width, golden_bits, mode, rtype)
+            except (TypeError, ValueError):
+                info = None
+        self._def_info[def_id] = info
+        return info
+
+    def _cmp_mode(self, def_id: int) -> int:
+        """1 when plain ``==`` of canonical ints equals bit comparison."""
+        mode = self._def_cmp[def_id]
+        if mode:
+            return mode
+        golden = self.index.def_value[def_id]
+        rtype = self.index.def_register[def_id].type
+        mode = 2
+        if type(golden) is int and isinstance(rtype, (IntType, PointerType)):
+            try:
+                # Canonical iff the bit pattern round-trips to the same int;
+                # then equality of canonical ints == equality of patterns.
+                if bitops.bits_to_value(bitops.value_to_bits(golden, rtype), rtype) == golden:
+                    mode = 1
+            except (TypeError, ValueError):
+                mode = 2
+        self._def_cmp[def_id] = mode
+        return mode
+
     # -- public API -----------------------------------------------------------------
     def infer(self, error: SingleBitError) -> Optional[Outcome]:
         """The provable outcome of one error, or ``None`` (must execute)."""
         index = self.index
-        key = (error.dynamic_index, error.slot)
-        if error.slot is None or key in index.deferred_reads:
+        slot = error.slot
+        key = (error.dynamic_index, slot)
+        if slot is None or key in index.deferred_reads:
             return None
         def_id = index.read_def.get(key)
         if def_id is None:
             return None
-        event = index.defs[def_id]
-        if event.value is None:
+        info = self._flip_info(def_id)
+        if info is None:
             return None
-        register = event.register
-        try:
-            width = bitops.bit_width(register.type)
-            if error.bit >= width:
+        width, golden_bits, mode, rtype = info
+        bit = error.bit
+        if bit >= width:
+            return None
+        flipped = golden_bits ^ (1 << bit)
+        if mode == _MODE_INT:
+            corrupted = rtype.wrap(flipped)
+        elif mode == _MODE_PTR:
+            corrupted = flipped & _MASK64
+        else:
+            try:
+                corrupted = bitops.canonicalize(
+                    bitops.bits_to_float(flipped, width), rtype
+                )
+                if bitops.float_to_bits(corrupted, width) == golden_bits:
+                    # The flip is collapsed by value canonicalization (e.g. a
+                    # NaN payload): the consumed value is bit-identical to
+                    # golden.
+                    return Outcome.BENIGN
+            except (TypeError, ValueError):
                 return None
-            corrupted = bitops.canonicalize(
-                bitops.flip_bit(event.value, register.type, error.bit), register.type
-            )
-            if bitops.value_to_bits(corrupted, register.type) == bitops.value_to_bits(
-                event.value, register.type
-            ):
-                # The flip is collapsed by value canonicalization (e.g. a NaN
-                # payload): the consumed value is bit-identical to golden.
-                return Outcome.BENIGN
-        except (TypeError, ValueError):
-            return None
-        return self._replay(error.dynamic_index, error.slot, corrupted)
+        return self._replay(error.dynamic_index, slot, corrupted)
 
     # -- slice replay ----------------------------------------------------------------
 
@@ -133,132 +292,161 @@ class OutcomeInference:
 
     def _replay(self, tick: int, slot: int, corrupted) -> Optional[Outcome]:
         index = self.index
-        instruction = index.instructions[tick]
-        position = register_slot_position(instruction, slot)
+        position = register_slot_position(index.instructions[tick], slot)
         if position is None:
             return None
-        injected: Dict[int, object] = {position: corrupted}
-        self._dirty_map: Dict[int, object] = {}
+        dirty: Dict[int, object] = {}
+        self._dirty_map = dirty
         #: byte address -> (faulty value, valid-until golden-write tick).
         self._dirty_mem: Dict[int, Tuple[int, float]] = {}
-        self._heap: List[int] = [tick]
+        heap: List[int] = [tick]
+        self._heap = heap
         self._scheduled = {tick}
         output_corrupted = False
         steps = 0
-        while self._heap:
+        max_steps = self.MAX_STEPS
+        kinds = self._kind_by_tick
+        dins = self._din_by_tick
+        golden_ops = self._golden_ops
+        operand_defs = index.operand_defs
+        use_offsets = index.use_offsets
+        use_ticks = index.use_ticks_flat
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        scheduled = self._scheduled
+        def_at_tick = self._def_at_tick
+        def_value = index.def_value
+        def_cmp = self._def_cmp
+        vm = self._vm
+        while heap:
             steps += 1
-            if steps > self.MAX_STEPS:
+            if steps > max_steps:
                 return None
-            current = heapq.heappop(self._heap)
-            instr = index.instructions[current]
-            overrides = injected if current == tick else None
-            self._newly_dirty: List[int] = []
-            result = self._step(current, instr, self._dirty_map, overrides)
+            current = heappop(heap)
+            kind = kinds[current]
+            newly_dirty: List[int] = []
+            self._newly_dirty = newly_dirty
+
+            if kind == _K_PHI:
+                result = self._step_phi(current, dirty)
+            else:
+                # Gather operand values: golden columns overlaid with dirty
+                # defs and (at the injection tick) the corrupted operand —
+                # ascending position order, matching the reference engine.
+                values = list(golden_ops[current])
+                dirty_positions: List[int] = []
+                od = operand_defs[current]
+                ov_pos = position if current == tick else -1
+                for pos in range(len(values)):
+                    if pos == ov_pos:
+                        values[pos] = corrupted
+                        dirty_positions.append(pos)
+                        continue
+                    def_id = od[pos]
+                    if def_id is not None and def_id in dirty:
+                        values[pos] = dirty[def_id]
+                        dirty_positions.append(pos)
+                if not dirty_positions and kind != _K_LOAD:
+                    result = None  # corruption did not reach this instance
+                elif None in values:
+                    return None
+                elif kind == _K_GIVEUP:
+                    return None
+                elif kind == _K_BINOP_INT:
+                    # Inlined hot arm: integer binop + canonical-int compare.
+                    din = dins[current]
+                    vm.dynamic_index = current + 1
+                    try:
+                        value = din.operation(vm, int(values[0]), int(values[1]))
+                    except HardwareFault:
+                        return Outcome.DETECTED_HW_EXCEPTION
+                    except (TypeError, ValueError, OverflowError, ZeroDivisionError):
+                        return None
+                    def_id = def_at_tick[current]
+                    if def_id < 0:
+                        return None
+                    golden = def_value[def_id]
+                    if golden is None:
+                        return None
+                    if type(value) is int and (
+                        def_cmp[def_id] or self._cmp_mode(def_id)
+                    ) == 1:
+                        if value != golden:
+                            dirty[def_id] = value
+                            newly_dirty.append(def_id)
+                    elif not self._mark_dirty_def(def_id, value):
+                        return None
+                    result = None
+                elif kind == _K_CMP:
+                    # Inlined hot arm: compares produce 0/1 into an i1 def.
+                    din = dins[current]
+                    lhs, rhs = values[0], values[1]
+                    to_unsigned = din.to_unsigned
+                    if to_unsigned is not None:
+                        lhs = to_unsigned(int(lhs))
+                        rhs = to_unsigned(int(rhs))
+                    if (isinstance(lhs, float) and math.isnan(lhs)) or (
+                        isinstance(rhs, float) and math.isnan(rhs)
+                    ):
+                        flag = din.nan_flag
+                    else:
+                        flag = din.compare_fn(lhs, rhs)
+                    value = 1 if flag else 0
+                    def_id = def_at_tick[current]
+                    if def_id < 0:
+                        return None
+                    golden = def_value[def_id]
+                    if golden is None:
+                        return None
+                    if (def_cmp[def_id] or self._cmp_mode(def_id)) == 1:
+                        if value != golden:
+                            dirty[def_id] = value
+                            newly_dirty.append(def_id)
+                    elif not self._mark_dirty_def(def_id, value):
+                        return None
+                    result = None
+                else:
+                    result = self._dispatch(
+                        kind, current, dins[current], values, dirty_positions
+                    )
             if result is _GIVE_UP:
                 return None
-            if isinstance(result, Outcome):
-                return result
-            if result is True:
-                output_corrupted = True
+            if result is not None:
+                if result is True:
+                    output_corrupted = True
+                else:
+                    return result
             # schedule uses of any defs newly dirtied by this step
-            for def_id in self._newly_dirty:
-                for use_tick in index.defs[def_id].use_ticks:
-                    self._schedule(use_tick)
+            for def_id in newly_dirty:
+                for use_tick in use_ticks[use_offsets[def_id] : use_offsets[def_id + 1]]:
+                    if use_tick not in scheduled:
+                        scheduled.add(use_tick)
+                        heappush(heap, use_tick)
         return Outcome.SDC if output_corrupted else Outcome.BENIGN
 
     def _schedule(self, tick: int) -> None:
-        if tick not in self._scheduled:
-            self._scheduled.add(tick)
+        scheduled = self._scheduled
+        if tick not in scheduled:
+            scheduled.add(tick)
             heapq.heappush(self._heap, tick)
 
-    def _operand_values(self, current: int, instr, dirty, overrides):
-        """(values, dirty_positions) of every operand at this instance.
-
-        Returns ``None`` when any needed golden value is unknown.
-        """
-        index = self.index
-        operand_defs = index.operand_defs[current]
-        values: List = []
-        dirty_positions: List[int] = []
-        for pos, operand in enumerate(instr.operands):
-            if overrides and pos in overrides:
-                values.append(overrides[pos])
-                dirty_positions.append(pos)
-                continue
-            def_id = operand_defs[pos] if pos < len(operand_defs) else None
-            if def_id is not None and def_id in dirty:
-                values.append(dirty[def_id])
-                dirty_positions.append(pos)
-                continue
-            values.append(self._golden_operand(current, instr, pos))
-        return values, dirty_positions
-
-    def _golden_operand(self, current: int, instr, pos: int):
-        operand = instr.operands[pos]
-        if isinstance(operand, Constant):
-            return operand.value
-        if isinstance(operand, GlobalVariable):
-            return self.index.global_addresses.get(operand.name)
-        def_id = self.index.operand_defs[current][pos]
-        if def_id is not None:
-            return self.index.defs[def_id].value
-        return None
-
-    def _mark_dirty(self, current: int, value) -> bool:
-        """Record the instruction-at-``current``'s result as corrupted.
-
-        Returns False when the result def cannot be identified (give up).
-        """
-        def_id = self._def_at_tick.get(current)
-        if def_id is None:
-            return False
-        if self.index.defs[def_id].value is None:
-            return False
-        return self._mark_dirty_def(def_id, value)
-
-    def _step(self, current: int, instr, dirty, overrides):
+    def _dispatch(self, kind, current, din, values, dirty_positions):
         """Evaluate one dynamic instruction with corrupted inputs.
 
         Returns ``_GIVE_UP``, an :class:`Outcome` (the run provably ends in
         it), ``True`` (output corrupted, run continues) or ``None``.
         """
-        index = self.index
-        opcode = instr.opcode
-
-        if isinstance(instr, Phi):
-            return self._step_phi(current, instr, dirty)
-
-        gathered = self._operand_values(current, instr, dirty, overrides)
-        values, dirty_positions = gathered
-        if not dirty_positions and opcode != "load":
-            return None  # corruption did not reach this instance after all
-        if any(values[pos] is None for pos in range(len(values))):
-            return _GIVE_UP
-
-        din = self._din(instr)
-        if din is None:
-            return _GIVE_UP
-        vm = _FakeVM(current + 1)
-
-        if opcode == "store":
-            return self._step_store(current, din, values, dirty_positions)
-        if opcode == "load":
-            return self._step_load(current, din, values, dirty_positions)
-        if isinstance(instr, Call):
-            return self._step_call(current, instr, din, values, dirty_positions, vm)
-        if opcode == "ret":
-            return self._step_ret(current, din, values)
-        if opcode == "br.cond":
-            golden = self._golden_operand(current, instr, 0)
-            if golden is None:
+        if kind == _K_BINOP_INT:
+            vm = self._vm
+            vm.dynamic_index = current + 1
+            try:
+                result = din.operation(vm, int(values[0]), int(values[1]))
+            except HardwareFault:
+                return Outcome.DETECTED_HW_EXCEPTION
+            except (TypeError, ValueError, OverflowError, ZeroDivisionError):
                 return _GIVE_UP
-            return None if bool(values[0]) == bool(golden) else _GIVE_UP
-        if opcode == "select":
-            return self._step_select(current, instr, din, values)
-        if opcode == "getelementptr":
-            address = (int(values[0]) + int(values[1]) * din.stride) & ((1 << 64) - 1)
-            return None if self._mark_dirty(current, address) else _GIVE_UP
-        if opcode.startswith("icmp") or opcode.startswith("fcmp"):
+            return None if self._mark_dirty(current, result) else _GIVE_UP
+        if kind == _K_CMP:
             lhs, rhs = values[0], values[1]
             to_unsigned = din.to_unsigned
             if to_unsigned is not None:
@@ -271,7 +459,25 @@ class OutcomeInference:
             else:
                 result = din.compare_fn(lhs, rhs)
             return None if self._mark_dirty(current, 1 if result else 0) else _GIVE_UP
-        if din.operation is not None and len(values) == 1:  # casts
+        if kind == _K_STORE:
+            return self._step_store(current, din, values, dirty_positions)
+        if kind == _K_LOAD:
+            return self._step_load(current, din, values, dirty_positions)
+        if kind == _K_GEP:
+            address = (int(values[0]) + int(values[1]) * din.stride) & _MASK64
+            return None if self._mark_dirty(current, address) else _GIVE_UP
+        if kind == _K_CALL:
+            return self._step_call(current, din, values, dirty_positions)
+        if kind == _K_RET:
+            return self._step_ret(current, din, values)
+        if kind == _K_BRCOND:
+            golden = self._golden_ops[current][0]
+            if golden is None:
+                return _GIVE_UP
+            return None if bool(values[0]) == bool(golden) else _GIVE_UP
+        if kind == _K_SELECT:
+            return self._step_select(current, din, values)
+        if kind == _K_CAST:
             try:
                 result = din.canon(din.operation(values[0]))
             except HardwareFault:
@@ -279,37 +485,149 @@ class OutcomeInference:
             except (TypeError, ValueError, OverflowError):
                 return _GIVE_UP
             return None if self._mark_dirty(current, result) else _GIVE_UP
-        if din.operation is not None and len(values) == 2:  # binops
-            result_type = instr.destination().type if instr.destination() else None
-            try:
-                if isinstance(result_type, FloatType):
-                    result = din.canon(din.operation(float(values[0]), float(values[1])))
-                else:
-                    result = din.operation(vm, int(values[0]), int(values[1]))
-            except HardwareFault:
-                return Outcome.DETECTED_HW_EXCEPTION
-            except (TypeError, ValueError, OverflowError, ZeroDivisionError):
-                return _GIVE_UP
-            return None if self._mark_dirty(current, result) else _GIVE_UP
-        return _GIVE_UP
+        # _K_BINOP_FLOAT
+        try:
+            result = din.canon(din.operation(float(values[0]), float(values[1])))
+        except HardwareFault:
+            return Outcome.DETECTED_HW_EXCEPTION
+        except (TypeError, ValueError, OverflowError, ZeroDivisionError):
+            return _GIVE_UP
+        return None if self._mark_dirty(current, result) else _GIVE_UP
 
-    def _step_phi(self, current: int, instr, dirty):
+    def _mark_dirty(self, current: int, value) -> bool:
+        """Record the instruction-at-``current``'s result as corrupted.
+
+        Returns False when the result def cannot be identified (give up).
+        """
+        def_id = self._def_at_tick[current]
+        if def_id < 0:
+            return False
+        if self.index.def_value[def_id] is None:
+            return False
+        return self._mark_dirty_def(def_id, value)
+
+    def _mark_dirty_def(self, def_id: int, value) -> bool:
+        golden = self.index.def_value[def_id]
+        if type(value) is int and self._cmp_mode(def_id) == 1:
+            same = value == golden
+        else:
+            rtype = self.index.def_register[def_id].type
+            try:
+                same = bitops.value_to_bits(value, rtype) == bitops.value_to_bits(
+                    golden, rtype
+                )
+            except (TypeError, ValueError):
+                return False
+        if not same:
+            self._dirty_map[def_id] = value
+            self._newly_dirty.append(def_id)
+        return True
+
+    def _step_phi(self, current: int, dirty):
         index = self.index
         operand_defs = index.operand_defs[current]
         incoming_value = None
-        for pos, def_id in enumerate(operand_defs):
+        for def_id in operand_defs:
             if def_id is not None and def_id in dirty:
                 incoming_value = dirty[def_id]
                 break
         if incoming_value is None:
             return None
+        instr = index.instructions[current]
         try:
             value = bitops.canonicalize(incoming_value, instr.type)
         except (TypeError, ValueError):
             return _GIVE_UP
         return None if self._mark_dirty(current, value) else _GIVE_UP
 
+    def _build_store_fast(self, current: int, din):
+        """Per-store-tick cache: (storer, align, size, address, spans, dead).
+
+        ``spans`` holds, per stored byte, everything the generic
+        :meth:`_mark_dirty_byte` would bisect out of the byte log at this
+        tick: ``(byte, golden byte after the store, tick of the next golden
+        write, read ticks until then)``.  None caches "this store cannot be
+        fast-pathed" (missing span/storer — the generic path gives up).
+        """
+        index = self.index
+        size = din.value_type.size_bytes() if din.value_type is not None else 0
+        span = index.store_span.get(current)
+        fast: Optional[Tuple] = None
+        if din.storer is not None and size and span is not None:
+            golden_address = span[0]
+            spans = []
+            for offset in range(size):
+                byte = golden_address + offset
+                log = index._byte_logs.get(byte)
+                if log is None:
+                    spans = None
+                    break
+                write_ticks = log.write_ticks
+                pos = bisect_right(write_ticks, current)
+                if pos == 0:
+                    spans = None
+                    break
+                golden_after = log.write_values[pos - 1]
+                valid_until = (
+                    write_ticks[pos] if pos < len(write_ticks) else _INF
+                )
+                reads = log.read_ticks
+                lo = bisect_right(reads, current)
+                pending = []
+                for read_position in range(lo, len(reads)):
+                    read_tick = reads[read_position]
+                    if read_tick >= valid_until:
+                        break
+                    pending.append(read_tick)
+                spans.append((byte, golden_after, valid_until, tuple(pending)))
+            if spans is not None:
+                fast = (
+                    din.storer,
+                    din.mem_align,
+                    size,
+                    golden_address,
+                    tuple(spans),
+                    current in index.dead_stores,
+                )
+        self._store_fast[current] = fast
+        return fast
+
     def _step_store(self, current: int, din, values, dirty_positions):
+        fast = self._store_fast.get(current, False)
+        if fast is False:
+            fast = self._build_store_fast(current, din)
+        if fast is None:
+            return self._step_store_slow(current, din, values, dirty_positions)
+        storer, align, size, golden_address, spans, is_dead = fast
+        if 1 in dirty_positions:
+            # Corrupted address: fall back to the generic byte-log walk
+            # (fault check, arbitrary target bytes, missing-write handling).
+            return self._step_store_slow(current, din, values, dirty_positions)
+        if is_dead:
+            # Fast path: the corrupted value lands only in dead bytes.
+            return None
+        try:
+            payload = storer(values[0])
+        except (TypeError, ValueError, OverflowError):
+            return _GIVE_UP
+        dirty_mem = self._dirty_mem
+        heap = self._heap
+        scheduled = self._scheduled
+        heappush = heapq.heappush
+        for offset in range(size):
+            byte, golden_after, valid_until, reads = spans[offset]
+            faulty_value = payload[offset]
+            if faulty_value == golden_after:
+                dirty_mem.pop(byte, None)
+                continue
+            dirty_mem[byte] = (faulty_value, valid_until)
+            for read_tick in reads:
+                if read_tick not in scheduled:
+                    scheduled.add(read_tick)
+                    heappush(heap, read_tick)
+        return None
+
+    def _step_store_slow(self, current: int, din, values, dirty_positions):
         index = self.index
         # The decoded store binds value_type + storer but not mem_size.
         size = din.value_type.size_bytes() if din.value_type is not None else 0
@@ -320,11 +638,10 @@ class OutcomeInference:
             return _GIVE_UP
         golden_address = span[0]
         faulty_address = int(values[1])
-        if 1 in dirty_positions and index.address_fault(
-            faulty_address, din.mem_align, size
-        ):
+        address_dirty = 1 in dirty_positions
+        if address_dirty and index.address_fault(faulty_address, din.mem_align, size):
             return Outcome.DETECTED_HW_EXCEPTION
-        if 1 not in dirty_positions and index.store_is_dead(current):
+        if not address_dirty and current in index.dead_stores:
             # Fast path: the corrupted value lands only in dead bytes.
             return None
         try:
@@ -334,12 +651,12 @@ class OutcomeInference:
         # The faulty run writes `payload` at faulty_address; the bytes of the
         # golden store that the faulty one does not cover keep their
         # pre-store content (the "missing write").
+        mark = self._mark_dirty_byte
         for offset in range(size):
-            if not self._mark_dirty_byte(
-                current, faulty_address + offset, payload[offset]
-            ):
+            if not mark(current, faulty_address + offset, payload[offset]):
                 return _GIVE_UP
         if faulty_address != golden_address:
+            dirty_mem = self._dirty_mem
             for offset in range(size):
                 byte = golden_address + offset
                 if faulty_address <= byte < faulty_address + size:
@@ -347,29 +664,84 @@ class OutcomeInference:
                 # The golden store covered this byte but the faulty one does
                 # not: the byte keeps the *faulty run's* pre-store content —
                 # an earlier dirty value if one is still live, else golden.
-                entry = self._dirty_mem.get(byte)
+                entry = dirty_mem.get(byte)
                 if entry is not None and current < entry[1]:
                     stale = entry[0]
                 else:
                     stale = index.golden_content(byte, current)
-                if stale is None or not self._mark_dirty_byte(current, byte, stale):
+                if stale is None or not mark(current, byte, stale):
                     return _GIVE_UP
         return None
 
     def _mark_dirty_byte(self, current: int, byte: int, faulty_value: int) -> bool:
-        """Record one faulty memory byte; schedule the golden reads of it."""
+        """Record one faulty memory byte; schedule the golden reads of it.
+
+        One bisect into the byte's write column yields both the golden
+        content the faulty value is compared against and the tick of the
+        next golden write (when the faulty byte stops mattering).
+        """
         index = self.index
-        golden_after = index.golden_content(byte, current + 1)
-        if golden_after is None:
-            return False
-        valid_until = index.next_write_after(byte, current)
+        log = index._byte_logs.get(byte)
+        if log is None:
+            golden_after = index.initial_byte(byte)
+            if golden_after is None:
+                return False
+            if faulty_value == golden_after:
+                self._dirty_mem.pop(byte, None)
+            else:
+                self._dirty_mem[byte] = (faulty_value, _INF)
+            return True
+        write_ticks = log.write_ticks
+        position = bisect_right(write_ticks, current)
+        if position > 0:
+            golden_after = log.write_values[position - 1]
+        else:
+            golden_after = index.initial_byte(byte)
+            if golden_after is None:
+                return False
+        valid_until = (
+            write_ticks[position] if position < len(write_ticks) else _INF
+        )
         if faulty_value == golden_after:
             self._dirty_mem.pop(byte, None)
             return True
         self._dirty_mem[byte] = (faulty_value, valid_until)
-        for read_tick in index.read_ticks_between(byte, current, valid_until):
-            self._schedule(read_tick)
+        read_ticks = log.read_ticks
+        schedule = self._schedule
+        for read_position in range(bisect_right(read_ticks, current), len(read_ticks)):
+            read_tick = read_ticks[read_position]
+            if read_tick >= valid_until:
+                break
+            schedule(read_tick)
         return True
+
+    def _build_load_fast(self, current: int, address: int, size: int):
+        """Per-load-tick cache: the golden bytes this load reads, or None.
+
+        Valid only for the load's *golden* address (the corrupted-address
+        case walks the byte log generically), where the loaded span is a
+        pure function of the tick.
+        """
+        index = self.index
+        raw = bytearray(size)
+        byte_logs = index._byte_logs
+        fast: Optional[bytes] = None
+        for offset in range(size):
+            byte = address + offset
+            log = byte_logs.get(byte)
+            if log is not None:
+                position = bisect_right(log.write_ticks, current - 1)
+                if position > 0:
+                    raw[offset] = log.write_values[position - 1]
+                    continue
+            content = index.initial_byte(byte)
+            if content is None:
+                break
+            raw[offset] = content
+        else:
+            fast = bytes(raw)
+        self._load_fast[current] = fast
+        return fast
 
     def _step_load(self, current: int, din, values, dirty_positions):
         index = self.index
@@ -377,33 +749,84 @@ class OutcomeInference:
         if din.loader is None or size == 0:
             return _GIVE_UP
         address = int(values[0])
-        if 0 in dirty_positions and index.address_fault(address, din.mem_align, size):
-            return Outcome.DETECTED_HW_EXCEPTION
+        if 0 in dirty_positions:
+            if index.address_fault(address, din.mem_align, size):
+                return Outcome.DETECTED_HW_EXCEPTION
+        else:
+            # Golden address: overlay live dirty bytes onto the cached
+            # golden span instead of bisecting the byte log per byte.
+            fast = self._load_fast.get(current, False)
+            if fast is False:
+                fast = self._build_load_fast(current, address, size)
+            if fast is not None:
+                dirty_mem = self._dirty_mem
+                raw = None
+                if dirty_mem:
+                    # Overlay live dirty bytes; walk whichever side is
+                    # smaller (the dirty map is usually a handful of bytes).
+                    if len(dirty_mem) < size:
+                        end = address + size
+                        for byte, entry in dirty_mem.items():
+                            if address <= byte < end and current < entry[1]:
+                                if raw is None:
+                                    raw = bytearray(fast)
+                                raw[byte - address] = entry[0]
+                    else:
+                        for offset in range(size):
+                            entry = dirty_mem.get(address + offset)
+                            if entry is not None and current < entry[1]:
+                                if raw is None:
+                                    raw = bytearray(fast)
+                                raw[offset] = entry[0]
+                if raw is None:
+                    # No live dirty byte in the span: the load reproduces its
+                    # golden value exactly (same loader, same bytes), so the
+                    # compare can only conclude "unchanged" — provided the
+                    # result def is identifiable, as the generic path demands.
+                    def_id = self._def_at_tick[current]
+                    if def_id < 0 or self.index.def_value[def_id] is None:
+                        return _GIVE_UP
+                    return None
+                try:
+                    value = din.loader(bytes(raw))
+                except (struct.error, TypeError, ValueError, OverflowError):
+                    return _GIVE_UP
+                return None if self._mark_dirty(current, value) else _GIVE_UP
         raw = bytearray(size)
+        dirty_mem = self._dirty_mem
+        byte_logs = index._byte_logs
+        initial_byte = index.initial_byte
         for offset in range(size):
             byte = address + offset
-            entry = self._dirty_mem.get(byte)
+            entry = dirty_mem.get(byte)
             if entry is not None and current < entry[1]:
                 raw[offset] = entry[0]
-            else:
-                content = index.golden_content(byte, current)
-                if content is None:
-                    return _GIVE_UP
-                raw[offset] = content
+                continue
+            log = byte_logs.get(byte)
+            if log is not None:
+                position = bisect_right(log.write_ticks, current - 1)
+                if position > 0:
+                    raw[offset] = log.write_values[position - 1]
+                    continue
+            content = initial_byte(byte)
+            if content is None:
+                return _GIVE_UP
+            raw[offset] = content
         try:
             value = din.loader(bytes(raw))
         except (struct.error, TypeError, ValueError, OverflowError):
             return _GIVE_UP
         return None if self._mark_dirty(current, value) else _GIVE_UP
 
-    def _step_call(self, current: int, instr, din, values, dirty_positions, vm):
+    def _step_call(self, current: int, din, values, dirty_positions):
         index = self.index
+        instr = index.instructions[current]
         if instr.is_intrinsic or din.callee is None:
             name = instr.callee_name
             if name == "__output":
                 return True
             if name == "__assert":
-                golden = self._golden_operand(current, instr, 0)
+                golden = self._golden_ops[current][0]
                 if golden is None:
                     return _GIVE_UP
                 if bool(values[0]) and bool(golden):
@@ -416,6 +839,8 @@ class OutcomeInference:
                     return _GIVE_UP
                 return None
             if din.intrinsic_fn is not None and name not in ("__malloc", "__abort"):
+                vm = self._vm
+                vm.dynamic_index = current + 1
                 try:
                     result = din.intrinsic_fn(vm, values)
                     if instr.destination() is not None:
@@ -433,22 +858,32 @@ class OutcomeInference:
         params = index.call_params.get(current)
         if params is None:
             return _GIVE_UP
+        def_value = index.def_value
+        def_register = index.def_register
         for pos in dirty_positions:
             if pos >= len(params):
                 return _GIVE_UP
-            event = index.defs[params[pos]]
-            if event.value is None:
+            param_id = params[pos]
+            golden = def_value[param_id]
+            if golden is None:
                 return _GIVE_UP
+            rtype = def_register[param_id].type
             try:
-                value = bitops.canonicalize(values[pos], event.register.type)
-                same = bitops.value_to_bits(value, event.register.type) == bitops.value_to_bits(
-                    event.value, event.register.type
-                )
+                value = bitops.canonicalize(values[pos], rtype)
             except (TypeError, ValueError):
                 return _GIVE_UP
+            if type(value) is int and self._cmp_mode(param_id) == 1:
+                same = value == golden
+            else:
+                try:
+                    same = bitops.value_to_bits(value, rtype) == bitops.value_to_bits(
+                        golden, rtype
+                    )
+                except (TypeError, ValueError):
+                    return _GIVE_UP
             if not same:
-                self._dirty_map[params[pos]] = value
-                self._newly_dirty.append(params[pos])
+                self._dirty_map[param_id] = value
+                self._newly_dirty.append(param_id)
         return None
 
     def _step_ret(self, current: int, din, values):
@@ -458,32 +893,18 @@ class OutcomeInference:
             # Top-level return (or a call whose result is discarded): the
             # return value is not part of the compared program output.
             return None
-        event = index.defs[target]
-        if event.value is None or not values:
+        if index.def_value[target] is None or not values:
             return _GIVE_UP
         try:
             value = bitops.canonicalize(values[0], din.ret_type)
-            value = bitops.canonicalize(value, event.register.type)
+            value = bitops.canonicalize(value, index.def_register[target].type)
         except (TypeError, ValueError):
             return _GIVE_UP
         if not self._mark_dirty_def(target, value):
             return _GIVE_UP
         return None
 
-    def _mark_dirty_def(self, def_id: int, value) -> bool:
-        event = self.index.defs[def_id]
-        try:
-            same = bitops.value_to_bits(value, event.register.type) == bitops.value_to_bits(
-                event.value, event.register.type
-            )
-        except (TypeError, ValueError):
-            return False
-        if not same:
-            self._dirty_map[def_id] = value
-            self._newly_dirty.append(def_id)
-        return True
-
-    def _step_select(self, current: int, instr, din, values):
+    def _step_select(self, current: int, din, values):
         condition = values[0]
         chosen = values[1] if condition else values[2]
         if chosen is None:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.errorspace.defuse import DefUseIndex
@@ -151,6 +151,28 @@ class PrunedPlan:
             counts.add(representative_outcomes[planned.class_id], planned.weight)
         return counts.merge(self.inferred_counts)
 
+    def matches(self, other: "PrunedPlan") -> bool:
+        """Field-by-field identity with another plan.
+
+        The definition every "bit-identical plans" gate uses (differential
+        tests, cache round-trips, the pruning benchmark) — one place to
+        extend when plan structure grows.
+        """
+        return (
+            (self.technique, self.total_errors, self.candidate_count)
+            == (other.technique, other.total_errors, other.candidate_count)
+            and [
+                (cls.class_id, cls.key, cls.bit, cls.representative, cls.members)
+                for cls in self.classes
+            ]
+            == [
+                (cls.class_id, cls.key, cls.bit, cls.representative, cls.members)
+                for cls in other.classes
+            ]
+            and self.inferred_outcomes == other.inferred_outcomes
+            and self.inferred_counts == other.inferred_counts
+        )
+
     def non_representative_members(self) -> List[Tuple[Tuple[int, Optional[int], int], int]]:
         """All inherited (non-executed, non-inferred) errors with their class.
 
@@ -164,11 +186,18 @@ class PrunedPlan:
         return members
 
 
+#: Maps a list of :class:`SingleBitError` to their inferred outcomes (None
+#: per error that must execute).  The multiprocess engine provides one that
+#: fans chunks out to workers; the default runs one in-process engine.
+InferMap = Callable[[List[SingleBitError]], List[Optional[Outcome]]]
+
+
 def build_pruned_plan(
     space: ErrorSpace,
     index: Optional[DefUseIndex] = None,
     *,
     infer: bool = True,
+    infer_map: Optional[InferMap] = None,
 ) -> PrunedPlan:
     """Partition an error space into inferred errors and equivalence classes.
 
@@ -176,6 +205,13 @@ def build_pruned_plan(
     for inject-on-read; without it — and always for inject-on-write — every
     class is a singleton and the plan degenerates to the full exhaustive
     campaign.
+
+    Inference is a pure per-error map, so the plan is assembled in two
+    deterministic passes: enumerate every error of the space in (class, bit,
+    candidate) order, infer their outcomes (serially, or through
+    ``infer_map`` — e.g. chunk-dispatched to a worker pool), then fold the
+    outcomes back into classes.  The assembled plan is bit-identical
+    regardless of how (or where) the inference pass ran.
     """
     technique = space.technique.name
     plan = PrunedPlan(
@@ -183,7 +219,7 @@ def build_pruned_plan(
         total_errors=space.size,
         candidate_count=space.candidate_count,
     )
-    engine = OutcomeInference(index) if (index is not None and infer) else None
+    use_inference = index is not None and infer
 
     # Group candidates (not yet bits) by their def-use class key.
     groups: Dict[Tuple, List[SingleBitError]] = {}
@@ -198,22 +234,46 @@ def build_pruned_plan(
             order.append(key)
         groups[key].append(error)
 
+    # Pass 1: materialise the full error stream in plan-assembly order.
+    errors: List[SingleBitError] = []
+    for key in order:
+        members = groups[key]
+        bits = members[0].register_bits
+        for bit in range(bits):
+            for candidate in members:
+                errors.append(
+                    SingleBitError(
+                        ordinal=candidate.ordinal + bit,
+                        dynamic_index=candidate.dynamic_index,
+                        slot=candidate.slot,
+                        bit=bit,
+                        register_bits=candidate.register_bits,
+                        opcode=candidate.opcode,
+                    )
+                )
+
+    # Pass 2: infer outcomes (the only expensive step; parallelisable).
+    if not use_inference:
+        outcomes: List[Optional[Outcome]] = [None] * len(errors)
+    elif infer_map is not None:
+        outcomes = infer_map(errors)
+    else:
+        engine = OutcomeInference(index)
+        engine_infer = engine.infer
+        outcomes = [engine_infer(error) for error in errors]
+
+    # Pass 3: fold outcomes back into inferred counts and residual classes.
+    cursor = 0
     class_id = 0
     for key in order:
         members = groups[key]
         bits = members[0].register_bits
         for bit in range(bits):
             residual: List[SingleBitError] = []
-            for candidate in members:
-                error = SingleBitError(
-                    ordinal=candidate.ordinal + bit,
-                    dynamic_index=candidate.dynamic_index,
-                    slot=candidate.slot,
-                    bit=bit,
-                    register_bits=candidate.register_bits,
-                    opcode=candidate.opcode,
-                )
-                outcome = engine.infer(error) if engine is not None else None
+            for _candidate in members:
+                error = errors[cursor]
+                outcome = outcomes[cursor]
+                cursor += 1
                 if outcome is not None:
                     plan.inferred_counts.add(outcome)
                     plan.inferred_outcomes[error.key] = outcome

@@ -1,0 +1,1119 @@
+"""Frozen object-based reference pipeline (differential oracle).
+
+This module is a verbatim snapshot of the *object-based* def-use /
+inference / planning pipeline as it existed before the columnar rewrite
+(PR 5).  It is not used by production code: the differential test suite
+(`tests/test_columnar_differential.py`) builds every artifact through both
+pipelines and asserts they are bit-identical — def events, read
+attribution, class keys, inferred outcomes and the assembled pruned plans.
+
+Do not optimise or "fix" this file; it is the semantic baseline the
+columnar pipeline is measured against.  The only edits relative to the
+original modules are renames (``reference_*`` prefixes) and imports of the
+shared result dataclasses from :mod:`repro.errorspace.planner`.
+"""
+
+from __future__ import annotations
+
+
+
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.frontend.compiler import CompiledProgram
+from repro.ir.instructions import Call, Instruction, Phi
+from repro.ir.values import Constant, VirtualRegister
+from repro.vm import bitops
+from repro.vm.interpreter import ExecutionLimits, Interpreter
+from repro.vm.memory import NULL_GUARD_LIMIT
+from repro.vm.program import DecodedProgram, decode_module
+from repro.vm.trace import GoldenTrace
+
+#: Def-site marker for values that enter an activation as arguments.
+PARAM_SITE = "<param>"
+
+
+@dataclass
+class DefEvent:
+    """One dynamic defining write (or argument binding) of the golden run."""
+
+    def_id: int
+    #: Dynamic index of the defining write, or -1 for argument bindings.
+    tick: int
+    register: VirtualRegister
+    #: Static identity of the write: ``(function, static_index)`` for
+    #: instruction writes, ``(function, PARAM_SITE, register)`` for arguments.
+    site: Tuple
+    #: Golden value the write produced (None when unknown — never inferred).
+    value: object = None
+    #: Dynamic indices of the records that consume this def, in order.
+    use_ticks: List[int] = field(default_factory=list)
+
+
+class ReferenceDefUseIndex:
+    """Def-use structure of one golden run, queryable by the error space.
+
+    Built by :func:`build_defuse_index`; see the module docstring for what
+    it contains.  All lookups are O(1) dict/array accesses so planning and
+    inference over a few hundred thousand errors stay cheap.
+    """
+
+    def __init__(self, program: CompiledProgram, golden: GoldenTrace, decoded: DecodedProgram) -> None:
+        self.program = program
+        self.golden = golden
+        self.decoded = decoded
+        #: DefEvent per def id.
+        self.defs: List[DefEvent] = []
+        #: (dynamic_index, slot) -> def id, for every inject-on-read candidate
+        #: whose read the VM actually performs at that location.
+        self.read_def: Dict[Tuple[int, int], int] = {}
+        #: Candidates whose hook never fires at the named location (the
+        #: unchosen select operand): the experiment injects at the next
+        #: eligible access instead, so they are never grouped or inferred.
+        self.deferred_reads: set = set()
+        #: record tick -> IR instruction executed at that tick.
+        self.instructions: List[Instruction] = []
+        #: record tick -> tuple of def ids aligned with instruction.operands
+        #: (None for constants/globals/unread operands).
+        self.operand_defs: List[Tuple[Optional[int], ...]] = []
+        #: call tick -> param def ids of the callee activation (arg order).
+        self.call_params: Dict[int, Tuple[int, ...]] = {}
+        #: ret tick -> def id of the caller's call-result register (None at
+        #: top level or for value-discarding calls).
+        self.ret_target: Dict[int, Optional[int]] = {}
+        #: store tick -> (address, size) of the golden store.
+        self.store_span: Dict[int, Tuple[int, int]] = {}
+        #: Memory segments (base, size) mapped during execution; the segment
+        #: map is fixed at interpreter construction, so address validity is a
+        #: static property.
+        self.segments: List[Tuple[int, int]] = []
+        #: Global variable name -> materialised address (deterministic).
+        self.global_addresses: Dict[str, int] = {}
+        # Per-byte memory events in tick order: (tick, payload) with payload
+        # -1 for reads and the written byte value for writes.
+        self._byte_events: Dict[int, List[Tuple[int, int]]] = {}
+        # Initial memory image (post global materialisation, pre execution):
+        # (base, bytes) per segment, base-sorted.
+        self._initial_memory: List[Tuple[int, bytes]] = []
+        # Per-byte (write ticks, written values) bisect index, built lazily.
+        self._write_index: Dict[int, Tuple[List[int], List[int]]] = {}
+
+    # -- queries -------------------------------------------------------------------
+    def def_of_read(self, dynamic_index: int, slot: int) -> Optional[DefEvent]:
+        """The def event consumed by an inject-on-read candidate, if attributed."""
+        def_id = self.read_def.get((dynamic_index, slot))
+        return self.defs[def_id] if def_id is not None else None
+
+    def class_key(self, dynamic_index: int, slot: int) -> Tuple:
+        """Equivalence-class key of an inject-on-read candidate.
+
+        Candidates are grouped when they consume a value produced by the
+        *same static defining write*, carry the *same golden value* and are
+        read at the *same static read site*: their faulty runs differ only
+        in which dynamic instance of the def-use edge the flip lands on.
+        (Grouping by the dynamic def event alone would be strictly sounder
+        but collapses almost nothing once static inference has settled the
+        easy errors; the value+site refinement is what the validation
+        sampler exists to audit.)  Unattributable candidates form singleton
+        classes.
+        """
+        if (dynamic_index, slot) in self.deferred_reads:
+            return ("deferred", dynamic_index, slot)
+        def_id = self.read_def.get((dynamic_index, slot))
+        if def_id is None:
+            return ("unattributed", dynamic_index, slot)
+        event = self.defs[def_id]
+        if event.value is None:
+            return ("unvalued", def_id, dynamic_index, slot)
+        try:
+            value_bits = bitops.value_to_bits(event.value, event.register.type)
+        except (TypeError, ValueError):
+            return ("unvalued", def_id, dynamic_index, slot)
+        instr = self.instructions[dynamic_index]
+        site = (instr.parent.parent.name, instr.static_index, slot)
+        return (event.site, site, value_bits)
+
+    def address_fault(self, address: int, align: int, size: int) -> bool:
+        """True when an access at ``address`` provably raises a hardware fault.
+
+        Mirrors the VM's checks: natural alignment first, then the null
+        guard page and the (static) segment map.
+        """
+        if align > 1 and address % align:
+            return True
+        if address < NULL_GUARD_LIMIT:
+            return True
+        for base, seg_size in self.segments:
+            if base <= address and address + size <= base + seg_size:
+                return False
+        return True
+
+    def store_is_dead(self, tick: int) -> bool:
+        """True when bytes stored at ``tick`` are provably never observed.
+
+        A corrupted store value is benign iff every stored byte is
+        overwritten before (or instead of) being read again — byte-granular,
+        using the golden run's memory access log.  Conservative: any
+        subsequent read of a byte before a covering write counts as live.
+        """
+        span = self.store_span.get(tick)
+        if span is None:
+            return False
+        address, size = span
+        for byte in range(address, address + size):
+            for event_tick, payload in self._byte_events.get(byte, ()):
+                if event_tick <= tick:
+                    continue
+                if payload < 0:
+                    return False
+                break  # overwritten before any read: this byte is dead
+        return True
+
+    def _initial_byte(self, byte: int) -> Optional[int]:
+        for base, payload in self._initial_memory:
+            if base <= byte < base + len(payload):
+                return payload[byte - base]
+        for base, size in self.segments:
+            if base <= byte < base + size:
+                return 0  # mapped but beyond the captured image: still zero
+        return None
+
+    def _write_events(self, byte: int) -> Tuple[List[int], List[int]]:
+        """(ticks, values) of the golden writes to one byte (cached, sorted)."""
+        cached = self._write_index.get(byte)
+        if cached is None:
+            ticks: List[int] = []
+            values: List[int] = []
+            for event_tick, payload in self._byte_events.get(byte, ()):
+                if payload >= 0:
+                    ticks.append(event_tick)
+                    values.append(payload)
+            cached = self._write_index[byte] = (ticks, values)
+        return cached
+
+    def golden_content(self, byte: int, tick: int) -> Optional[int]:
+        """Golden value of one memory byte just before ``tick``.
+
+        Derived from the initial memory image plus the run's write log;
+        None when the byte was never mapped.
+        """
+        ticks, values = self._write_events(byte)
+        position = bisect_right(ticks, tick - 1)
+        if position > 0:
+            return values[position - 1]
+        return self._initial_byte(byte)
+
+    def next_write_after(self, byte: int, tick: int) -> float:
+        """Tick of the first golden write to ``byte`` strictly after ``tick``."""
+        ticks, _values = self._write_events(byte)
+        position = bisect_right(ticks, tick)
+        return ticks[position] if position < len(ticks) else float("inf")
+
+    def read_ticks_between(self, byte: int, start: int, end: float) -> List[int]:
+        """Golden read ticks of ``byte`` in the open interval (start, end)."""
+        ticks: List[int] = []
+        for event_tick, payload in self._byte_events.get(byte, ()):
+            if event_tick <= start:
+                continue
+            if event_tick >= end:
+                break
+            if payload < 0:
+                ticks.append(event_tick)
+        return ticks
+
+    # -- construction helpers (used by build_defuse_index) ---------------------------
+    def _new_def(self, tick: int, register: VirtualRegister, site: Tuple, value) -> int:
+        def_id = len(self.defs)
+        self.defs.append(DefEvent(def_id, tick, register, site, value))
+        return def_id
+
+    def _log_read(self, tick: int, address: int, length: int) -> None:
+        for byte in range(address, address + length):
+            self._byte_events.setdefault(byte, []).append((tick, -1))
+
+    def _log_write(self, tick: int, address: int, payload) -> None:
+        for offset, value in enumerate(payload):
+            self._byte_events.setdefault(address + offset, []).append((tick, value))
+
+
+class _Activation:
+    """One reconstructed call frame during trace replay."""
+
+    __slots__ = ("function", "defs", "pending_result", "previous_block")
+
+    def __init__(self, function_name: str) -> None:
+        self.function = function_name
+        #: register name -> def id (current reaching definition).
+        self.defs: Dict[str, int] = {}
+        #: Caller-side result register to define when this frame returns.
+        self.pending_result: Optional[VirtualRegister] = None
+        #: Name of the block whose terminator we last executed (phi edges).
+        self.previous_block: Optional[str] = None
+
+
+class _WriteLog:
+    """Ordered write-hook values of the instrumented golden execution.
+
+    The write hook fires exactly once per defining write, in an order the
+    replay reproduces (phi groups write after their reads, call results
+    write when the callee returns), so consuming the stream positionally
+    attaches a golden value to every def event.
+    """
+
+    def __init__(self) -> None:
+        self.values: List = []
+        self._cursor = 0
+
+    def hook(self, dynamic_index, instruction, register, value):
+        self.values.append(value)
+        return value
+
+    def next_value(self):
+        if self._cursor >= len(self.values):
+            raise AnalysisError("write-value stream shorter than the replayed defs")
+        value = self.values[self._cursor]
+        self._cursor += 1
+        return value
+
+
+def _instrumented_run(
+    program: CompiledProgram,
+    decoded: DecodedProgram,
+    args: Sequence,
+    golden: GoldenTrace,
+    index: DefUseIndex,
+) -> _WriteLog:
+    """Re-execute the golden run once, logging write values and memory accesses."""
+    log = _WriteLog()
+    limits = ExecutionLimits.for_golden_length(golden.dynamic_instruction_count, 12)
+    interpreter = Interpreter(
+        decoded, entry=program.entry, limits=limits, write_hook=log.hook
+    )
+    memory = interpreter.memory
+    real_read_bytes = memory.read_bytes
+    real_write_bytes = memory.write_bytes
+
+    def read_bytes_logged(address: int, length: int) -> bytes:
+        index._log_read(interpreter.dynamic_index - 1, address, length)
+        return real_read_bytes(address, length)
+
+    def write_bytes_logged(address: int, payload) -> None:
+        index._log_write(interpreter.dynamic_index - 1, address, payload)
+        return real_write_bytes(address, payload)
+
+    # The initial image (globals materialised, stack/heap untouched) plus
+    # the write log determine the golden content of any byte at any tick.
+    # Only the touched prefix is copied; mapped bytes beyond it are zero.
+    index._initial_memory = [
+        (segment.base, bytes(segment.data[: max(segment.high_water, segment.cursor)]))
+        for segment in memory.segments.values()
+    ]
+    memory.read_bytes = read_bytes_logged
+    memory.write_bytes = write_bytes_logged
+    result = interpreter.run(list(args))
+    memory.read_bytes = real_read_bytes
+    memory.write_bytes = real_write_bytes
+    if not result.completed:
+        raise AnalysisError("instrumented golden re-execution did not complete")
+    if result.output != golden.output:
+        raise AnalysisError("instrumented golden re-execution diverged from the trace")
+    index.segments = [
+        (segment.base, segment.size) for segment in interpreter.memory.segments.values()
+    ]
+    index.global_addresses = {
+        name: interpreter.global_address(name) for name in program.module.globals
+    }
+    return log
+
+
+def _static_instruction_table(program: CompiledProgram) -> Dict[str, Dict[int, Instruction]]:
+    table: Dict[str, Dict[int, Instruction]] = {}
+    for name, function in program.module.functions.items():
+        entries: Dict[int, Instruction] = {}
+        for block in function.blocks:
+            for instruction in block.instructions:
+                entries[instruction.static_index] = instruction
+        table[name] = entries
+    return table
+
+
+def reference_build_defuse_index(
+    program: CompiledProgram,
+    golden: GoldenTrace,
+    *,
+    args: Sequence = (),
+    decoded: Optional[DecodedProgram] = None,
+) -> DefUseIndex:
+    """Extract the dynamic def-use structure of one golden run.
+
+    ``args`` must be the same workload input the golden trace was profiled
+    with; the instrumented value-collection run asserts it reproduces the
+    golden output bit-exactly before any of its values are trusted.
+    """
+    decoded = decoded if decoded is not None else decode_module(program.module)
+    index = ReferenceDefUseIndex(program, golden, decoded)
+    write_log = _instrumented_run(program, decoded, args, golden, index)
+    statics = _static_instruction_table(program)
+    module = program.module
+
+    entry_function = module.get_function(program.entry)
+    stack: List[_Activation] = [_Activation(program.entry)]
+    for position, argument in enumerate(entry_function.arguments):
+        value = None
+        if position < len(args):
+            try:
+                value = bitops.canonicalize(args[position], argument.type)
+            except (TypeError, ValueError):
+                value = args[position]
+        stack[0].defs[argument.name] = index._new_def(
+            -1, argument, (program.entry, PARAM_SITE, argument.name), value
+        )
+
+    # Phi moves on one edge have parallel-assignment semantics: all incoming
+    # values are read before any phi result is written.  Consecutive phi
+    # records therefore resolve their incoming defs against the defs map as
+    # it stood *before* the group, and commit their own defs only when the
+    # group ends (the first non-phi record that follows).
+    pending_phi_defs: List[Tuple[_Activation, str, int]] = []
+
+    def flush_phi_group() -> None:
+        while pending_phi_defs:
+            frame, register_name, def_id = pending_phi_defs.pop()
+            frame.defs[register_name] = def_id
+
+    for record in golden.records:
+        tick = record.dynamic_index
+        activation = stack[-1]
+        instruction = statics[record.function_name][record.static_index]
+        index.instructions.append(instruction)
+
+        if isinstance(instruction, Phi):
+            incoming_def: Optional[int] = None
+            previous = activation.previous_block
+            incoming = instruction.incoming.get(previous) if previous else None
+            operand_ids: List[Optional[int]] = [None] * len(instruction.operands)
+            if isinstance(incoming, VirtualRegister):
+                incoming_def = activation.defs.get(incoming.name)
+                if incoming_def is not None:
+                    index.defs[incoming_def].use_ticks.append(tick)
+                    for position, op in enumerate(instruction.operands):
+                        if op is incoming:
+                            operand_ids[position] = incoming_def
+            def_id = index._new_def(
+                tick,
+                instruction.destination(),
+                (record.function_name, record.static_index),
+                write_log.next_value(),
+            )
+            pending_phi_defs.append(
+                (activation, instruction.destination().name, def_id)
+            )
+            index.operand_defs.append(tuple(operand_ids))
+            continue
+        flush_phi_group()
+
+        # Attribute the register reads this instruction actually performs.
+        source_registers = instruction.source_registers()
+        unread_slots: set = set()
+        if instruction.opcode == "select" and len(instruction.operands) == 3:
+            condition = instruction.operands[0]
+            chosen = None
+            if isinstance(condition, Constant):
+                chosen = 1 if condition.value else 2
+            elif isinstance(condition, VirtualRegister):
+                cond_def = activation.defs.get(condition.name)
+                cond_value = index.defs[cond_def].value if cond_def is not None else None
+                if cond_value is not None:
+                    chosen = 1 if cond_value else 2
+            for slot, register in enumerate(source_registers):
+                position = _register_slot_position(instruction, slot)
+                if chosen is not None and position == (2 if chosen == 1 else 1):
+                    unread_slots.add(slot)
+                elif chosen is None and position in (1, 2):
+                    unread_slots.add(slot)
+
+        operand_ids = [None] * len(instruction.operands)
+        for slot, register in enumerate(source_registers):
+            if slot in unread_slots:
+                index.deferred_reads.add((tick, slot))
+                continue
+            def_id = activation.defs.get(register.name)
+            if def_id is None:
+                # Read of a register this replay never saw defined (cannot
+                # happen for runs the VM completed); leave unattributed.
+                continue
+            index.read_def[(tick, slot)] = def_id
+            index.defs[def_id].use_ticks.append(tick)
+            operand_ids[_register_slot_position(instruction, slot)] = def_id
+        index.operand_defs.append(tuple(operand_ids))
+
+        if instruction.opcode == "store":
+            pointer = instruction.operands[1]
+            address = _operand_value(index, activation, pointer)
+            if address is not None:
+                size = instruction.operands[0].type.size_bytes()
+                index.store_span[tick] = (int(address), size)
+
+        destination = instruction.destination()
+        is_function_call = (
+            isinstance(instruction, Call)
+            and not instruction.is_intrinsic
+            and module.has_function(instruction.callee_name)
+        )
+        if is_function_call:
+            callee = module.get_function(instruction.callee_name)
+            frame = _Activation(instruction.callee_name)
+            param_ids: List[int] = []
+            for position, parameter in enumerate(callee.arguments):
+                value = None
+                if position < len(instruction.operands):
+                    value = _operand_value(index, activation, instruction.operands[position])
+                    if value is not None:
+                        try:
+                            value = bitops.canonicalize(value, parameter.type)
+                        except (TypeError, ValueError):
+                            pass
+                param_id = index._new_def(
+                    tick, parameter, (instruction.callee_name, PARAM_SITE, parameter.name), value
+                )
+                frame.defs[parameter.name] = param_id
+                param_ids.append(param_id)
+            index.call_params[tick] = tuple(param_ids)
+            if destination is not None:
+                activation.pending_result = destination
+            stack.append(frame)
+        elif destination is not None:
+            def_id = index._new_def(
+                tick,
+                destination,
+                (record.function_name, record.static_index),
+                write_log.next_value(),
+            )
+            activation.defs[destination.name] = def_id
+
+        if instruction.opcode == "ret":
+            stack.pop()
+            target: Optional[int] = None
+            if stack:
+                caller = stack[-1]
+                if caller.pending_result is not None:
+                    target = index._new_def(
+                        tick,
+                        caller.pending_result,
+                        (caller.function, "<call-result>", caller.pending_result.name),
+                        write_log.next_value(),
+                    )
+                    caller.defs[caller.pending_result.name] = target
+                    caller.pending_result = None
+            index.ret_target[tick] = target
+        elif instruction.parent is not None and instruction is instruction.parent.terminator:
+            activation.previous_block = instruction.parent.name
+
+    return index
+
+
+def register_slot_position(instruction: Instruction, slot: int) -> Optional[int]:
+    """Operand-list position of the ``slot``-th register operand, or None.
+
+    The slot numbering is the inject-on-read convention shared by the
+    injector hooks, the def-use attribution here and the slice replay's
+    corrupted-operand override — all three must agree, so they all call this
+    one helper.
+    """
+    seen = -1
+    for position, operand in enumerate(instruction.operands):
+        if isinstance(operand, VirtualRegister):
+            seen += 1
+            if seen == slot:
+                return position
+    return None
+
+
+def _register_slot_position(instruction: Instruction, slot: int) -> int:
+    position = register_slot_position(instruction, slot)
+    if position is None:
+        raise AnalysisError(
+            f"instruction {instruction.opcode} has no register operand slot {slot}"
+        )
+    return position
+
+
+def _operand_value(index: DefUseIndex, activation: _Activation, operand) -> object:
+    """Golden value of an operand during replay (None when unknown)."""
+    if isinstance(operand, Constant):
+        return operand.value
+    if isinstance(operand, VirtualRegister):
+        def_id = activation.defs.get(operand.name)
+        if def_id is not None:
+            return index.defs[def_id].value
+    return None
+
+
+# --- frozen inference engine -------------------------------------------------
+
+
+
+import heapq
+import math
+import random
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.errorspace.enumerate import ErrorSpace, SingleBitError
+from repro.injection.outcome import Outcome
+from repro.ir.instructions import Call, Phi
+from repro.ir.types import FloatType
+from repro.ir.values import Constant, GlobalVariable
+from repro.vm import bitops
+from repro.vm.faults import HardwareFault
+
+#: Sentinel: the slice reached an effect we cannot model statically.
+_GIVE_UP = object()
+
+
+class _FakeVM:
+    """Minimal stand-in passed to decoded operation bindings.
+
+    The bindings only touch ``dynamic_index`` (to stamp the faults they
+    raise); anything else they might reach for is deliberately absent so an
+    unexpected dependency fails loudly instead of inferring nonsense.
+    """
+
+    __slots__ = ("dynamic_index",)
+
+    def __init__(self, dynamic_index: int) -> None:
+        self.dynamic_index = dynamic_index
+
+
+class ReferenceOutcomeInference:
+    """Forward slice replay over one workload's def-use index."""
+
+    def __init__(self, index: DefUseIndex) -> None:
+        self.index = index
+        self._dins = self._decoded_table()
+        # def tick -> def id for instruction-produced defs.  Parameter
+        # bindings share their call's tick but are reached through
+        # call_params, so they are excluded; every remaining tick carries at
+        # most one def (call results are keyed by their ret tick).
+        from repro.errorspace.defuse import PARAM_SITE
+
+        self._def_at_tick: Dict[int, int] = {}
+        for event in index.defs:
+            if event.tick >= 0 and PARAM_SITE not in event.site:
+                self._def_at_tick[event.tick] = event.def_id
+
+    def _decoded_table(self) -> Dict[Tuple[str, int], object]:
+        table: Dict[Tuple[str, int], object] = {}
+        for name, dfunc in self.index.decoded.functions.items():
+            for block in dfunc.blocks:
+                for din in block.code:
+                    table[(name, din.meta.static_index)] = din
+                for moves, _failure in block.phi_edges.values():
+                    for _op, phi_din in moves:
+                        table[(name, phi_din.meta.static_index)] = phi_din
+        return table
+
+    def _din(self, instruction):
+        function = instruction.parent.parent.name
+        return self._dins.get((function, instruction.static_index))
+
+    # -- public API -----------------------------------------------------------------
+    def infer(self, error: SingleBitError) -> Optional[Outcome]:
+        """The provable outcome of one error, or ``None`` (must execute)."""
+        index = self.index
+        key = (error.dynamic_index, error.slot)
+        if error.slot is None or key in index.deferred_reads:
+            return None
+        def_id = index.read_def.get(key)
+        if def_id is None:
+            return None
+        event = index.defs[def_id]
+        if event.value is None:
+            return None
+        register = event.register
+        try:
+            width = bitops.bit_width(register.type)
+            if error.bit >= width:
+                return None
+            corrupted = bitops.canonicalize(
+                bitops.flip_bit(event.value, register.type, error.bit), register.type
+            )
+            if bitops.value_to_bits(corrupted, register.type) == bitops.value_to_bits(
+                event.value, register.type
+            ):
+                # The flip is collapsed by value canonicalization (e.g. a NaN
+                # payload): the consumed value is bit-identical to golden.
+                return Outcome.BENIGN
+        except (TypeError, ValueError):
+            return None
+        return self._replay(error.dynamic_index, error.slot, corrupted)
+
+    # -- slice replay ----------------------------------------------------------------
+
+    #: Bail out of slices whose corruption cone keeps growing — the error is
+    #: executed instead.  Keeps worst-case inference cost bounded: measured
+    #: on crc32, every productive slice (masked flip, trapping address, dead
+    #: store, short output chain) settles within ~10 steps, while cones that
+    #: keep spreading through hot memory essentially never conclude.
+    MAX_STEPS = 48
+
+    def _replay(self, tick: int, slot: int, corrupted) -> Optional[Outcome]:
+        index = self.index
+        instruction = index.instructions[tick]
+        position = register_slot_position(instruction, slot)
+        if position is None:
+            return None
+        injected: Dict[int, object] = {position: corrupted}
+        self._dirty_map: Dict[int, object] = {}
+        #: byte address -> (faulty value, valid-until golden-write tick).
+        self._dirty_mem: Dict[int, Tuple[int, float]] = {}
+        self._heap: List[int] = [tick]
+        self._scheduled = {tick}
+        output_corrupted = False
+        steps = 0
+        while self._heap:
+            steps += 1
+            if steps > self.MAX_STEPS:
+                return None
+            current = heapq.heappop(self._heap)
+            instr = index.instructions[current]
+            overrides = injected if current == tick else None
+            self._newly_dirty: List[int] = []
+            result = self._step(current, instr, self._dirty_map, overrides)
+            if result is _GIVE_UP:
+                return None
+            if isinstance(result, Outcome):
+                return result
+            if result is True:
+                output_corrupted = True
+            # schedule uses of any defs newly dirtied by this step
+            for def_id in self._newly_dirty:
+                for use_tick in index.defs[def_id].use_ticks:
+                    self._schedule(use_tick)
+        return Outcome.SDC if output_corrupted else Outcome.BENIGN
+
+    def _schedule(self, tick: int) -> None:
+        if tick not in self._scheduled:
+            self._scheduled.add(tick)
+            heapq.heappush(self._heap, tick)
+
+    def _operand_values(self, current: int, instr, dirty, overrides):
+        """(values, dirty_positions) of every operand at this instance.
+
+        Returns ``None`` when any needed golden value is unknown.
+        """
+        index = self.index
+        operand_defs = index.operand_defs[current]
+        values: List = []
+        dirty_positions: List[int] = []
+        for pos, operand in enumerate(instr.operands):
+            if overrides and pos in overrides:
+                values.append(overrides[pos])
+                dirty_positions.append(pos)
+                continue
+            def_id = operand_defs[pos] if pos < len(operand_defs) else None
+            if def_id is not None and def_id in dirty:
+                values.append(dirty[def_id])
+                dirty_positions.append(pos)
+                continue
+            values.append(self._golden_operand(current, instr, pos))
+        return values, dirty_positions
+
+    def _golden_operand(self, current: int, instr, pos: int):
+        operand = instr.operands[pos]
+        if isinstance(operand, Constant):
+            return operand.value
+        if isinstance(operand, GlobalVariable):
+            return self.index.global_addresses.get(operand.name)
+        def_id = self.index.operand_defs[current][pos]
+        if def_id is not None:
+            return self.index.defs[def_id].value
+        return None
+
+    def _mark_dirty(self, current: int, value) -> bool:
+        """Record the instruction-at-``current``'s result as corrupted.
+
+        Returns False when the result def cannot be identified (give up).
+        """
+        def_id = self._def_at_tick.get(current)
+        if def_id is None:
+            return False
+        if self.index.defs[def_id].value is None:
+            return False
+        return self._mark_dirty_def(def_id, value)
+
+    def _step(self, current: int, instr, dirty, overrides):
+        """Evaluate one dynamic instruction with corrupted inputs.
+
+        Returns ``_GIVE_UP``, an :class:`Outcome` (the run provably ends in
+        it), ``True`` (output corrupted, run continues) or ``None``.
+        """
+        index = self.index
+        opcode = instr.opcode
+
+        if isinstance(instr, Phi):
+            return self._step_phi(current, instr, dirty)
+
+        gathered = self._operand_values(current, instr, dirty, overrides)
+        values, dirty_positions = gathered
+        if not dirty_positions and opcode != "load":
+            return None  # corruption did not reach this instance after all
+        if any(values[pos] is None for pos in range(len(values))):
+            return _GIVE_UP
+
+        din = self._din(instr)
+        if din is None:
+            return _GIVE_UP
+        vm = _FakeVM(current + 1)
+
+        if opcode == "store":
+            return self._step_store(current, din, values, dirty_positions)
+        if opcode == "load":
+            return self._step_load(current, din, values, dirty_positions)
+        if isinstance(instr, Call):
+            return self._step_call(current, instr, din, values, dirty_positions, vm)
+        if opcode == "ret":
+            return self._step_ret(current, din, values)
+        if opcode == "br.cond":
+            golden = self._golden_operand(current, instr, 0)
+            if golden is None:
+                return _GIVE_UP
+            return None if bool(values[0]) == bool(golden) else _GIVE_UP
+        if opcode == "select":
+            return self._step_select(current, instr, din, values)
+        if opcode == "getelementptr":
+            address = (int(values[0]) + int(values[1]) * din.stride) & ((1 << 64) - 1)
+            return None if self._mark_dirty(current, address) else _GIVE_UP
+        if opcode.startswith("icmp") or opcode.startswith("fcmp"):
+            lhs, rhs = values[0], values[1]
+            to_unsigned = din.to_unsigned
+            if to_unsigned is not None:
+                lhs = to_unsigned(int(lhs))
+                rhs = to_unsigned(int(rhs))
+            if (isinstance(lhs, float) and math.isnan(lhs)) or (
+                isinstance(rhs, float) and math.isnan(rhs)
+            ):
+                result = din.nan_flag
+            else:
+                result = din.compare_fn(lhs, rhs)
+            return None if self._mark_dirty(current, 1 if result else 0) else _GIVE_UP
+        if din.operation is not None and len(values) == 1:  # casts
+            try:
+                result = din.canon(din.operation(values[0]))
+            except HardwareFault:
+                return Outcome.DETECTED_HW_EXCEPTION
+            except (TypeError, ValueError, OverflowError):
+                return _GIVE_UP
+            return None if self._mark_dirty(current, result) else _GIVE_UP
+        if din.operation is not None and len(values) == 2:  # binops
+            result_type = instr.destination().type if instr.destination() else None
+            try:
+                if isinstance(result_type, FloatType):
+                    result = din.canon(din.operation(float(values[0]), float(values[1])))
+                else:
+                    result = din.operation(vm, int(values[0]), int(values[1]))
+            except HardwareFault:
+                return Outcome.DETECTED_HW_EXCEPTION
+            except (TypeError, ValueError, OverflowError, ZeroDivisionError):
+                return _GIVE_UP
+            return None if self._mark_dirty(current, result) else _GIVE_UP
+        return _GIVE_UP
+
+    def _step_phi(self, current: int, instr, dirty):
+        index = self.index
+        operand_defs = index.operand_defs[current]
+        incoming_value = None
+        for pos, def_id in enumerate(operand_defs):
+            if def_id is not None and def_id in dirty:
+                incoming_value = dirty[def_id]
+                break
+        if incoming_value is None:
+            return None
+        try:
+            value = bitops.canonicalize(incoming_value, instr.type)
+        except (TypeError, ValueError):
+            return _GIVE_UP
+        return None if self._mark_dirty(current, value) else _GIVE_UP
+
+    def _step_store(self, current: int, din, values, dirty_positions):
+        index = self.index
+        # The decoded store binds value_type + storer but not mem_size.
+        size = din.value_type.size_bytes() if din.value_type is not None else 0
+        if din.storer is None or size == 0:
+            return _GIVE_UP
+        span = index.store_span.get(current)
+        if span is None:
+            return _GIVE_UP
+        golden_address = span[0]
+        faulty_address = int(values[1])
+        if 1 in dirty_positions and index.address_fault(
+            faulty_address, din.mem_align, size
+        ):
+            return Outcome.DETECTED_HW_EXCEPTION
+        if 1 not in dirty_positions and index.store_is_dead(current):
+            # Fast path: the corrupted value lands only in dead bytes.
+            return None
+        try:
+            payload = din.storer(values[0])
+        except (TypeError, ValueError, OverflowError):
+            return _GIVE_UP
+        # The faulty run writes `payload` at faulty_address; the bytes of the
+        # golden store that the faulty one does not cover keep their
+        # pre-store content (the "missing write").
+        for offset in range(size):
+            if not self._mark_dirty_byte(
+                current, faulty_address + offset, payload[offset]
+            ):
+                return _GIVE_UP
+        if faulty_address != golden_address:
+            for offset in range(size):
+                byte = golden_address + offset
+                if faulty_address <= byte < faulty_address + size:
+                    continue
+                # The golden store covered this byte but the faulty one does
+                # not: the byte keeps the *faulty run's* pre-store content —
+                # an earlier dirty value if one is still live, else golden.
+                entry = self._dirty_mem.get(byte)
+                if entry is not None and current < entry[1]:
+                    stale = entry[0]
+                else:
+                    stale = index.golden_content(byte, current)
+                if stale is None or not self._mark_dirty_byte(current, byte, stale):
+                    return _GIVE_UP
+        return None
+
+    def _mark_dirty_byte(self, current: int, byte: int, faulty_value: int) -> bool:
+        """Record one faulty memory byte; schedule the golden reads of it."""
+        index = self.index
+        golden_after = index.golden_content(byte, current + 1)
+        if golden_after is None:
+            return False
+        valid_until = index.next_write_after(byte, current)
+        if faulty_value == golden_after:
+            self._dirty_mem.pop(byte, None)
+            return True
+        self._dirty_mem[byte] = (faulty_value, valid_until)
+        for read_tick in index.read_ticks_between(byte, current, valid_until):
+            self._schedule(read_tick)
+        return True
+
+    def _step_load(self, current: int, din, values, dirty_positions):
+        index = self.index
+        size = din.mem_size
+        if din.loader is None or size == 0:
+            return _GIVE_UP
+        address = int(values[0])
+        if 0 in dirty_positions and index.address_fault(address, din.mem_align, size):
+            return Outcome.DETECTED_HW_EXCEPTION
+        raw = bytearray(size)
+        for offset in range(size):
+            byte = address + offset
+            entry = self._dirty_mem.get(byte)
+            if entry is not None and current < entry[1]:
+                raw[offset] = entry[0]
+            else:
+                content = index.golden_content(byte, current)
+                if content is None:
+                    return _GIVE_UP
+                raw[offset] = content
+        try:
+            value = din.loader(bytes(raw))
+        except (struct.error, TypeError, ValueError, OverflowError):
+            return _GIVE_UP
+        return None if self._mark_dirty(current, value) else _GIVE_UP
+
+    def _step_call(self, current: int, instr, din, values, dirty_positions, vm):
+        index = self.index
+        if instr.is_intrinsic or din.callee is None:
+            name = instr.callee_name
+            if name == "__output":
+                return True
+            if name == "__assert":
+                golden = self._golden_operand(current, instr, 0)
+                if golden is None:
+                    return _GIVE_UP
+                if bool(values[0]) and bool(golden):
+                    return None
+                return Outcome.DETECTED_HW_EXCEPTION
+            if name == "__exit":
+                try:
+                    int(values[0]) if values else 0
+                except (TypeError, ValueError, OverflowError):
+                    return _GIVE_UP
+                return None
+            if din.intrinsic_fn is not None and name not in ("__malloc", "__abort"):
+                try:
+                    result = din.intrinsic_fn(vm, values)
+                    if instr.destination() is not None:
+                        result = din.canon(result if result is not None else 0)
+                except HardwareFault:
+                    return Outcome.DETECTED_HW_EXCEPTION
+                except (TypeError, ValueError, OverflowError, AttributeError):
+                    return _GIVE_UP
+                if instr.destination() is None:
+                    return _GIVE_UP  # unknown side effects
+                return None if self._mark_dirty(current, result) else _GIVE_UP
+            return _GIVE_UP
+        # direct call into the module: corrupted arguments become corrupted
+        # parameter bindings of the callee activation
+        params = index.call_params.get(current)
+        if params is None:
+            return _GIVE_UP
+        for pos in dirty_positions:
+            if pos >= len(params):
+                return _GIVE_UP
+            event = index.defs[params[pos]]
+            if event.value is None:
+                return _GIVE_UP
+            try:
+                value = bitops.canonicalize(values[pos], event.register.type)
+                same = bitops.value_to_bits(value, event.register.type) == bitops.value_to_bits(
+                    event.value, event.register.type
+                )
+            except (TypeError, ValueError):
+                return _GIVE_UP
+            if not same:
+                self._dirty_map[params[pos]] = value
+                self._newly_dirty.append(params[pos])
+        return None
+
+    def _step_ret(self, current: int, din, values):
+        index = self.index
+        target = index.ret_target.get(current)
+        if target is None:
+            # Top-level return (or a call whose result is discarded): the
+            # return value is not part of the compared program output.
+            return None
+        event = index.defs[target]
+        if event.value is None or not values:
+            return _GIVE_UP
+        try:
+            value = bitops.canonicalize(values[0], din.ret_type)
+            value = bitops.canonicalize(value, event.register.type)
+        except (TypeError, ValueError):
+            return _GIVE_UP
+        if not self._mark_dirty_def(target, value):
+            return _GIVE_UP
+        return None
+
+    def _mark_dirty_def(self, def_id: int, value) -> bool:
+        event = self.index.defs[def_id]
+        try:
+            same = bitops.value_to_bits(value, event.register.type) == bitops.value_to_bits(
+                event.value, event.register.type
+            )
+        except (TypeError, ValueError):
+            return False
+        if not same:
+            self._dirty_map[def_id] = value
+            self._newly_dirty.append(def_id)
+        return True
+
+    def _step_select(self, current: int, instr, din, values):
+        condition = values[0]
+        chosen = values[1] if condition else values[2]
+        if chosen is None:
+            return _GIVE_UP
+        try:
+            result = din.canon(chosen)
+        except (TypeError, ValueError):
+            return _GIVE_UP
+        return None if self._mark_dirty(current, result) else _GIVE_UP
+
+
+def infer_outcome(index: DefUseIndex, error: SingleBitError) -> Optional[Outcome]:
+    """Convenience wrapper: infer one error against a fresh engine."""
+    return OutcomeInference(index).infer(error)
+
+
+def validation_sample(
+    population: List,
+    fraction: float,
+    seed: int,
+    *,
+    max_samples: int = 2000,
+) -> List:
+    """Deterministic sample of non-representative members to re-execute."""
+    if not population or fraction <= 0.0:
+        return []
+    count = min(max(1, int(len(population) * fraction)), max_samples, len(population))
+    rng = random.Random(seed)
+    return rng.sample(population, count)
+
+
+# --- frozen planner ----------------------------------------------------------
+from repro.errorspace.planner import EquivalenceClass, PrunedPlan
+
+
+def reference_build_pruned_plan(
+    space: ErrorSpace,
+    index: Optional[DefUseIndex] = None,
+    *,
+    infer: bool = True,
+) -> PrunedPlan:
+    """Partition an error space into inferred errors and equivalence classes.
+
+    ``index`` (the def-use structure) enables both grouping and inference
+    for inject-on-read; without it — and always for inject-on-write — every
+    class is a singleton and the plan degenerates to the full exhaustive
+    campaign.
+    """
+    technique = space.technique.name
+    plan = PrunedPlan(
+        technique=technique,
+        total_errors=space.size,
+        candidate_count=space.candidate_count,
+    )
+    engine = ReferenceOutcomeInference(index) if (index is not None and infer) else None
+
+    # Group candidates (not yet bits) by their def-use class key.
+    groups: Dict[Tuple, List[SingleBitError]] = {}
+    order: List[Tuple] = []
+    for error in space.iter_candidate_errors():
+        if index is not None and technique == "inject-on-read":
+            key = index.class_key(error.dynamic_index, error.slot)
+        else:
+            key = ("singleton", error.dynamic_index, error.slot)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(error)
+
+    class_id = 0
+    for key in order:
+        members = groups[key]
+        bits = members[0].register_bits
+        for bit in range(bits):
+            residual: List[SingleBitError] = []
+            for candidate in members:
+                error = SingleBitError(
+                    ordinal=candidate.ordinal + bit,
+                    dynamic_index=candidate.dynamic_index,
+                    slot=candidate.slot,
+                    bit=bit,
+                    register_bits=candidate.register_bits,
+                    opcode=candidate.opcode,
+                )
+                outcome = engine.infer(error) if engine is not None else None
+                if outcome is not None:
+                    plan.inferred_counts.add(outcome)
+                    plan.inferred_outcomes[error.key] = outcome
+                else:
+                    residual.append(error)
+            if residual:
+                plan.classes.append(
+                    EquivalenceClass(
+                        class_id=class_id,
+                        key=key,
+                        bit=bit,
+                        representative=residual[0],
+                        members=tuple(
+                            (error.dynamic_index, error.slot) for error in residual[1:]
+                        ),
+                    )
+                )
+                class_id += 1
+    return plan

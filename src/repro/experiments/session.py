@@ -18,6 +18,17 @@ from repro.campaign.results import ExhaustiveCampaignResult, ResultStore
 from repro.campaign.runner import CampaignRunner
 from repro.errors import ConfigurationError
 from repro.injection.outcome import OutcomeCounts
+from repro import artifacts
+
+
+def default_artifact_dir(cache_path: Union[str, Path]) -> Path:
+    """The artifact-cache directory derived from a result-store path.
+
+    ``results.json`` → ``results.json.artifacts`` — kept next to the store
+    so clearing one campaign cache clears both predictably.
+    """
+    cache_path = Path(cache_path)
+    return cache_path.with_name(cache_path.name + ".artifacts")
 
 
 class ExperimentSession:
@@ -38,6 +49,13 @@ class ExperimentSession:
     ``checkpoint_every`` completed campaigns; a new session loads the store
     back from the cache or, failing that, the checkpoint, so interrupted
     runs resume from the last checkpoint.
+
+    ``cache_dir`` activates the persistent artifact cache
+    (:mod:`repro.artifacts`): golden traces, VM checkpoints, def-use indices
+    and pruned plans round-trip through it, so repeated sessions and worker
+    processes pay derivation cost once per host.  When only ``cache_path``
+    is given, the artifact cache defaults to ``<cache_path>.artifacts``
+    next to the result store.
     """
 
     def __init__(
@@ -46,6 +64,7 @@ class ExperimentSession:
         scale: ExperimentScale = SMOKE_SCALE,
         store: Optional[ResultStore] = None,
         cache_path: Optional[Union[str, Path]] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 1,
         jobs: int = 1,
@@ -66,6 +85,14 @@ class ExperimentSession:
             raise ConfigurationError("checkpoint_every must be at least 1")
         self.scale = scale
         self.cache_path = Path(cache_path) if cache_path is not None else None
+        if cache_dir is None and self.cache_path is not None:
+            cache_dir = default_artifact_dir(self.cache_path)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        # The latest session's choice wins process-wide: configuring with
+        # None *clears* any earlier session's explicit cache directory, so a
+        # session built without cache_dir never writes artifacts into a
+        # stale path (the REPRO_CACHE_DIR env fallback still applies).
+        self.artifact_cache = artifacts.configure(self.cache_dir)
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
@@ -80,10 +107,13 @@ class ExperimentSession:
             self.store = ResultStore()
         if engine is None:
             engine = MultiprocessEngine(jobs) if jobs > 1 else SerialEngine()
+        self._provider = RegistryProvider(
+            fast_forward=fast_forward,
+            checkpoint_interval=checkpoint_interval,
+            cache_dir=str(self.cache_dir) if self.cache_dir is not None else None,
+        )
         self.runner = CampaignRunner(
-            RegistryProvider(
-                fast_forward=fast_forward, checkpoint_interval=checkpoint_interval
-            ),
+            self._provider,
             engine=engine,
             progress=progress,
             experiment_progress=experiment_progress,
@@ -130,17 +160,45 @@ class ExperimentSession:
         return get_defuse_index(program)
 
     def pruned_plan(self, program: str, technique: str = "inject-on-read", *, infer: bool = True):
-        """The (cached) pruned plan of a workload's single-bit error space."""
+        """The (cached) pruned plan of a workload's single-bit error space.
+
+        Three cache layers, cheapest first: the in-session memo, the
+        persistent artifact cache (content-addressed; a warm hit costs one
+        pickle load instead of the inference pass), then a fresh build —
+        chunk-parallelised across the engine's worker pool when one is
+        available.  All layers yield bit-identical plans.
+        """
         from repro.errorspace import build_pruned_plan, enumerate_error_space
 
         key = (program, technique, infer)
         plan = self._pruned_plans.get(key)
-        if plan is None:
-            runner = self.experiment_runner(program)
-            space = enumerate_error_space(runner.golden, technique)
-            index = self.defuse_index(program) if technique == "inject-on-read" else None
-            plan = build_pruned_plan(space, index, infer=infer)
-            self._pruned_plans[key] = plan
+        if plan is not None:
+            return plan
+        runner = self.experiment_runner(program)
+        disk = self.artifact_cache or artifacts.active_cache()
+        disk_key = None
+        if disk is not None:
+            disk_key = artifacts.plan_key(
+                disk,
+                runner.program.module,
+                runner.program.entry,
+                runner.args,
+                technique,
+                infer,
+            )
+            plan = artifacts.load_plan(disk, disk_key)
+            if plan is not None:
+                self._pruned_plans[key] = plan
+                return plan
+        space = enumerate_error_space(runner.golden, technique)
+        index = self.defuse_index(program) if technique == "inject-on-read" else None
+        infer_map = None
+        if infer and index is not None:
+            infer_map = self.engine.plan_infer_map(program, provider=self._provider)
+        plan = build_pruned_plan(space, index, infer=infer, infer_map=infer_map)
+        self._pruned_plans[key] = plan
+        if disk is not None and disk_key is not None:
+            artifacts.store_plan(disk, disk_key, plan)
         return plan
 
     def run_exhaustive(

@@ -84,13 +84,34 @@ def get_defuse_index(name: str):
 
     Built once per process from the cached experiment runner's golden trace;
     the error-space planner and the ``repro exhaustive`` mode share it.
+    When a persistent artifact cache is active the columnar payload round-
+    trips through it, so fresh processes (spawned workers, repeated CLI
+    invocations) re-bind the stored index instead of replaying the trace.
     """
-    from repro.errorspace.defuse import build_defuse_index
+    from repro import artifacts
+    from repro.errorspace.defuse import DefUseIndex, build_defuse_index
 
     runner = get_experiment_runner(name)
-    return build_defuse_index(
+    disk = artifacts.active_cache()
+    disk_key = None
+    if disk is not None:
+        disk_key = artifacts.defuse_key(
+            disk, runner.program.module, runner.program.entry, runner.args
+        )
+        payload = disk.load("defuse", disk_key)
+        if payload is not None:
+            try:
+                return DefUseIndex.from_payload(
+                    runner.program, runner.golden, runner.decoded, payload
+                )
+            except Exception:
+                pass  # corrupted artifact: rebuild below and overwrite
+    index = build_defuse_index(
         runner.program, runner.golden, args=runner.args, decoded=runner.decoded
     )
+    if disk is not None and disk_key is not None:
+        disk.store("defuse", disk_key, index.to_payload())
+    return index
 
 
 @lru_cache(maxsize=None)

@@ -42,6 +42,7 @@ runs for every registry program.
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_right
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -75,6 +76,28 @@ DEFAULT_MAX_CHECKPOINTS = 32
 
 #: Starting checkpoint spacing (in dynamic ticks) when auto-tuning.
 DEFAULT_INITIAL_INTERVAL = 64
+
+#: Number of checkpointed profiling runs this process actually executed
+#: (artifact-cache hits do not count).  ``tests/test_engine.py`` asserts a
+#: warm cache keeps this at zero across fresh processes.
+GOLDEN_DERIVATIONS = 0
+
+
+def _note_derivation(module_name: str) -> None:
+    """Count one real profiling run; append to REPRO_DERIVATION_LOG if set.
+
+    The log file records ``<pid> <module>`` lines so multi-process tests can
+    observe which processes re-derived a golden trace.
+    """
+    global GOLDEN_DERIVATIONS
+    GOLDEN_DERIVATIONS += 1
+    log_path = os.environ.get("REPRO_DERIVATION_LOG")
+    if log_path:
+        try:
+            with open(log_path, "a") as handle:
+                handle.write(f"{os.getpid()} {module_name}\n")
+        except OSError:
+            pass
 
 
 class FrameSnapshot:
@@ -387,10 +410,16 @@ def golden_with_checkpoints(
 ) -> Tuple[GoldenTrace, CheckpointStore]:
     """One checkpointed profiling run: golden trace plus snapshots, cached.
 
-    The cache lives on the module object next to the decode cache and shares
-    its invalidation: each entry pins the :class:`DecodedProgram` it was
-    captured from, and is rebuilt whenever :func:`decode_module` returns a
-    different object (i.e. after any structural mutation of the module).
+    Two cache layers stack here.  The in-process cache lives on the module
+    object next to the decode cache and shares its invalidation: each entry
+    pins the :class:`DecodedProgram` it was captured from, and is rebuilt
+    whenever :func:`decode_module` returns a different object (i.e. after
+    any structural mutation of the module).  Beneath it, the persistent
+    artifact cache (:mod:`repro.artifacts`, when active) is keyed by the
+    module's *content* fingerprint plus the derivation knobs — a hit
+    re-binds the stored trace and snapshots to this process's decode and
+    skips the profiling run entirely, so derivation happens once per host
+    rather than once per process.
     """
     decoded = decode_module(module)
     limits = limits or ExecutionLimits()
@@ -401,6 +430,25 @@ def golden_with_checkpoints(
     cached = cache.get(key)
     if cached is not None and cached[0] is decoded:
         return cached[1], cached[2]
+
+    from repro import artifacts
+
+    disk = artifacts.active_cache()
+    disk_key = None
+    if disk is not None:
+        disk_key = artifacts.golden_key(
+            disk, module, entry, args, checkpoint_interval, max_checkpoints, limits
+        )
+        payload = disk.load("golden", disk_key)
+        if payload is not None:
+            try:
+                golden, store = artifacts.deserialize_golden(payload, decoded)
+            except Exception:
+                golden = store = None  # corrupted artifact: recompute
+            if golden is not None:
+                cache[key] = (decoded, golden, store)
+                return golden, store
+
     collector = TraceCollector()
     store, result = capture_checkpoints(
         decoded,
@@ -414,5 +462,52 @@ def golden_with_checkpoints(
     golden = collector.build(
         result.output, result.return_value, checkpoint_ticks=tuple(store.ticks)
     )
+    _note_derivation(module.name)
     cache[key] = (decoded, golden, store)
+    if disk is not None and disk_key is not None:
+        disk.store("golden", disk_key, artifacts.serialize_golden(golden, store))
     return golden, store
+
+
+def persist_cached_golden(
+    module: Module,
+    *,
+    entry: str = "main",
+    args: Sequence[RuntimeScalar] = (),
+    limits: Optional[ExecutionLimits] = None,
+    checkpoint_interval: Optional[int] = None,
+    max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
+) -> bool:
+    """Ensure this workload's golden artifact is on disk (for worker pools).
+
+    Covers the ordering gap where the golden trace was derived *before* the
+    artifact cache was configured: the in-memory module cache is warm, so
+    :func:`golden_with_checkpoints` would never reach its store step, yet
+    freshly spawned workers (which share only the disk) would re-derive.
+    Returns True when the artifact is (now) persisted.
+    """
+    from repro import artifacts
+
+    disk = artifacts.active_cache()
+    if disk is None:
+        return False
+    golden, store = golden_with_checkpoints(
+        module,
+        entry=entry,
+        args=args,
+        limits=limits,
+        checkpoint_interval=checkpoint_interval,
+        max_checkpoints=max_checkpoints,
+    )
+    disk_key = artifacts.golden_key(
+        disk,
+        module,
+        entry,
+        args,
+        checkpoint_interval,
+        max_checkpoints,
+        limits or ExecutionLimits(),
+    )
+    if disk.path_for("golden", disk_key).exists():
+        return True
+    return disk.store("golden", disk_key, artifacts.serialize_golden(golden, store))

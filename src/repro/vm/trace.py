@@ -1,4 +1,4 @@
-"""Golden-trace collection (fault-free profiling runs).
+"""Golden-trace collection (fault-free profiling runs), stored columnar.
 
 LLFI's workflow has two phases: a *profiling* run of the uninstrumented
 program that records every dynamic instruction, followed by injection runs
@@ -12,15 +12,25 @@ Everything a :class:`DynamicInstructionRecord` carries apart from its dynamic
 index is *static* — derivable from the instruction alone.  That static part
 is computed once per static instruction as a :class:`StaticInstructionMeta`
 (cached on the instruction, shared with the decoded program representation of
-:mod:`repro.vm.program`), so recording one executed instruction costs a
-single list append instead of re-deriving operand types on every tick.
+:mod:`repro.vm.program`).
+
+Storage is *columnar*: a trace holds one interned table of the distinct
+static metas plus a flat ``array`` of per-tick meta ids — a few bytes per
+dynamic instruction instead of a Python object.  Everything the planner and
+the error-space enumerator walk is derived from those columns by index
+arithmetic: the register-access expansion is precomputed once per distinct
+meta and streamed per tick, and checkpoint lookup bisects a flat tick
+array.  The per-tick :class:`DynamicInstructionRecord` views of the
+original API are materialised lazily (and cached) only when somebody asks
+for them.
 """
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, NamedTuple, Optional, Sequence, Tuple
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.ir.instructions import Instruction
 from repro.ir.types import PointerType
@@ -39,6 +49,22 @@ class RegisterAccess(NamedTuple):
     slot: Optional[int]
     bits: int
     opcode: str
+
+
+class AccessColumns(NamedTuple):
+    """The register-access expansion of a trace as parallel flat columns.
+
+    One entry per access, in the same deterministic order as
+    :meth:`GoldenTrace.iter_register_accesses`: ``slot`` is ``-1`` for
+    writes, ``kind`` is ``b"r"``/``b"w"`` per access, and ``meta_id``
+    indexes :attr:`GoldenTrace.meta_table` (for the opcode).
+    """
+
+    tick: array
+    slot: array
+    bits: array
+    kind: bytearray
+    meta_id: array
 
 
 @dataclass(frozen=True)
@@ -116,6 +142,37 @@ class StaticInstructionMeta:
             destination.type, PointerType
         )
 
+    @classmethod
+    def from_fields(
+        cls,
+        function_name: str,
+        static_index: int,
+        opcode: str,
+        source_register_bits: Tuple[int, ...],
+        destination_bits: Optional[int],
+        destination_is_pointer: bool,
+    ) -> "StaticInstructionMeta":
+        """Rebuild a meta from its serialised fields (artifact-cache loads)."""
+        meta = cls.__new__(cls)
+        meta.function_name = function_name
+        meta.static_index = static_index
+        meta.opcode = opcode
+        meta.source_register_bits = tuple(source_register_bits)
+        meta.destination_bits = destination_bits
+        meta.destination_is_pointer = destination_is_pointer
+        return meta
+
+    def to_fields(self) -> Tuple:
+        """The serialisable field tuple :meth:`from_fields` round-trips."""
+        return (
+            self.function_name,
+            self.static_index,
+            self.opcode,
+            self.source_register_bits,
+            self.destination_bits,
+            self.destination_is_pointer,
+        )
+
     def record_at(self, dynamic_index: int) -> DynamicInstructionRecord:
         return DynamicInstructionRecord(
             dynamic_index=dynamic_index,
@@ -147,17 +204,70 @@ def static_meta(instruction: Instruction) -> StaticInstructionMeta:
     return meta
 
 
+def _intern_metas(
+    metas: Iterable[StaticInstructionMeta],
+) -> Tuple[Tuple[StaticInstructionMeta, ...], array]:
+    """Intern a per-tick meta stream into (table, per-tick id column)."""
+    table: List[StaticInstructionMeta] = []
+    ids_by_identity: dict = {}
+    meta_ids = array("I")
+    append_id = meta_ids.append
+    for meta in metas:
+        key = id(meta)
+        meta_id = ids_by_identity.get(key)
+        if meta_id is None:
+            meta_id = ids_by_identity[key] = len(table)
+            table.append(meta)
+        append_id(meta_id)
+    return tuple(table), meta_ids
+
+
 class GoldenTrace:
-    """The complete dynamic instruction stream of a fault-free run."""
+    """The complete dynamic instruction stream of a fault-free run.
+
+    Tick data lives in two columns — an interned :attr:`meta_table` of the
+    distinct static metas and the per-tick :attr:`meta_ids` array — plus the
+    run outputs.  The legacy per-tick record objects are materialised lazily.
+    """
 
     def __init__(
         self,
-        records: Sequence[DynamicInstructionRecord],
-        output: Tuple,
-        return_value,
+        records: Optional[Sequence[DynamicInstructionRecord]] = None,
+        output: Tuple = (),
+        return_value=None,
         checkpoint_ticks: Sequence[int] = (),
+        *,
+        meta_table: Optional[Sequence[StaticInstructionMeta]] = None,
+        meta_ids: Optional[array] = None,
     ) -> None:
-        self.records: List[DynamicInstructionRecord] = list(records)
+        if meta_table is not None and meta_ids is not None:
+            self.meta_table: Tuple[StaticInstructionMeta, ...] = tuple(meta_table)
+            self.meta_ids: array = meta_ids
+            self._records: Optional[List[DynamicInstructionRecord]] = None
+        else:
+            # Legacy construction from materialised records: derive the
+            # columns by interning the records' static parts.
+            records = list(records or [])
+            table: List[StaticInstructionMeta] = []
+            index_of: dict = {}
+            ids = array("I")
+            for record in records:
+                key = (
+                    record.function_name,
+                    record.static_index,
+                    record.opcode,
+                    record.source_register_bits,
+                    record.destination_bits,
+                    record.destination_is_pointer,
+                )
+                meta_id = index_of.get(key)
+                if meta_id is None:
+                    meta_id = index_of[key] = len(table)
+                    table.append(StaticInstructionMeta.from_fields(*key))
+                ids.append(meta_id)
+            self.meta_table = tuple(table)
+            self.meta_ids = ids
+            self._records = records
         #: The fault-free program output (golden output for SDC comparison).
         self.output = output
         #: The fault-free return value of the entry function.
@@ -168,24 +278,70 @@ class GoldenTrace:
         #: :class:`~repro.vm.snapshot.CheckpointStore` cached alongside this
         #: trace — this is the metadata fast-forward scheduling bisects over.
         self.checkpoint_ticks: Tuple[int, ...] = tuple(checkpoint_ticks)
+        self._checkpoint_tick_column = array("q", self.checkpoint_ticks)
         # Candidate-record views are scanned once per *experiment* by the
         # sampling code, so they are computed lazily and cached.
         self._with_destination: Optional[List[DynamicInstructionRecord]] = None
         self._with_sources: Optional[List[DynamicInstructionRecord]] = None
         self._register_accesses: Optional[Tuple[RegisterAccess, ...]] = None
 
+    @classmethod
+    def from_columns(
+        cls,
+        meta_table: Sequence[StaticInstructionMeta],
+        meta_ids: array,
+        output: Tuple,
+        return_value,
+        checkpoint_ticks: Sequence[int] = (),
+    ) -> "GoldenTrace":
+        return cls(
+            None,
+            output,
+            return_value,
+            checkpoint_ticks,
+            meta_table=meta_table,
+            meta_ids=meta_ids,
+        )
+
+    # -- columnar access ---------------------------------------------------------
+    def meta_at(self, index: int) -> StaticInstructionMeta:
+        """The static meta executed at one dynamic tick (O(1) index math)."""
+        return self.meta_table[self.meta_ids[index]]
+
+    def iter_metas(self) -> Iterable[StaticInstructionMeta]:
+        """Stream the per-tick static metas without materialising records."""
+        table = self.meta_table
+        for meta_id in self.meta_ids:
+            yield table[meta_id]
+
+    @property
+    def records(self) -> List[DynamicInstructionRecord]:
+        """The legacy per-tick record list, materialised lazily and cached."""
+        if self._records is None:
+            table = self.meta_table
+            self._records = [
+                table[meta_id].record_at(index)
+                for index, meta_id in enumerate(self.meta_ids)
+            ]
+        return self._records
+
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.meta_ids)
 
     def __getitem__(self, index: int) -> DynamicInstructionRecord:
-        return self.records[index]
+        if self._records is not None:
+            return self._records[index]
+        if isinstance(index, slice):
+            return self.records[index]
+        position = range(len(self.meta_ids))[index]  # normalises negatives
+        return self.meta_table[self.meta_ids[position]].record_at(position)
 
     def __iter__(self):
         return iter(self.records)
 
     @property
     def dynamic_instruction_count(self) -> int:
-        return len(self.records)
+        return len(self.meta_ids)
 
     def records_with_destination(self) -> List[DynamicInstructionRecord]:
         """Records usable as inject-on-write times (cached)."""
@@ -203,32 +359,71 @@ class GoldenTrace:
             ]
         return self._with_sources
 
+    def _access_patterns(self) -> List[Tuple[Tuple[int, int, int], ...]]:
+        """(slot-or--1, bits, kind-byte) expansion per distinct meta.
+
+        The expansion pattern (which slots are read, whether a destination is
+        written, each access's width) is a pure function of the static meta,
+        so it is computed once per distinct meta and replayed per tick —
+        index arithmetic over the meta-id column instead of per-record
+        attribute walks.
+        """
+        patterns: List[Tuple[Tuple[int, int, int], ...]] = []
+        for meta in self.meta_table:
+            pattern: List[Tuple[int, int, int]] = []
+            for slot, bits in enumerate(meta.source_register_bits):
+                if bits:
+                    pattern.append((slot, bits, ord("r")))
+            if meta.destination_bits:
+                pattern.append((-1, meta.destination_bits, ord("w")))
+            patterns.append(tuple(pattern))
+        return patterns
+
+    def access_columns(self) -> AccessColumns:
+        """Every register access of the run as flat parallel columns.
+
+        Derived on demand (not cached — the namedtuple stream of
+        :meth:`iter_register_accesses` is the long-lived representation;
+        holding both would double the resident expansion).
+        """
+        patterns = self._access_patterns()
+        ticks = array("q")
+        slots = array("i")
+        bit_widths = array("H")
+        kinds = bytearray()
+        meta_ids_out = array("I")
+        for tick, meta_id in enumerate(self.meta_ids):
+            for slot, bits, kind in patterns[meta_id]:
+                ticks.append(tick)
+                slots.append(slot)
+                bit_widths.append(bits)
+                kinds.append(kind)
+                meta_ids_out.append(meta_id)
+        return AccessColumns(ticks, slots, bit_widths, kinds, meta_ids_out)
+
     def iter_register_accesses(self) -> Tuple[RegisterAccess, ...]:
         """Every register access of the run, in execution order (cached).
 
         This is the one walk both the injection techniques and the
         error-space enumerator (:mod:`repro.errorspace`) derive their
         candidate spaces from: each *read* access is an inject-on-read
-        candidate, each *write* access an inject-on-write candidate.
+        candidate, each *write* access an inject-on-write candidate.  Built
+        by replaying the per-meta expansion patterns over the tick column.
         """
         if self._register_accesses is None:
+            patterns = self._access_patterns()
+            read = ord("r")
+            table = self.meta_table
             accesses: List[RegisterAccess] = []
-            for record in self.records:
-                for slot, bits in enumerate(record.source_register_bits):
-                    if bits:
-                        accesses.append(
-                            RegisterAccess(
-                                record.dynamic_index, "read", slot, bits, record.opcode
-                            )
-                        )
-                if record.destination_bits:
+            for tick, meta_id in enumerate(self.meta_ids):
+                for slot, bits, kind in patterns[meta_id]:
                     accesses.append(
                         RegisterAccess(
-                            record.dynamic_index,
-                            "write",
-                            None,
-                            record.destination_bits,
-                            record.opcode,
+                            tick,
+                            "read" if kind == read else "write",
+                            slot if slot >= 0 else None,
+                            bits,
+                            table[meta_id].opcode,
                         )
                     )
             self._register_accesses = tuple(accesses)
@@ -240,8 +435,9 @@ class GoldenTrace:
         Fast-forward execution restores the snapshot captured at this tick
         and replays only the remaining suffix of the run.
         """
-        index = bisect_right(self.checkpoint_ticks, tick) - 1
-        return self.checkpoint_ticks[index] if index >= 0 else None
+        column = self._checkpoint_tick_column
+        index = bisect_right(column, tick) - 1
+        return column[index] if index >= 0 else None
 
     def pointer_destination_fraction(self) -> float:
         """Fraction of destination registers that hold addresses."""
@@ -259,7 +455,9 @@ class TraceCollector:
     decoded execution path appends pre-built :class:`StaticInstructionMeta`
     objects through the bound :attr:`append_meta` fast path; the reference
     interpreter calls the legacy :meth:`record` signature.  Both produce
-    bit-identical golden traces.
+    bit-identical golden traces.  The collected meta stream is interned into
+    the trace's columnar form at :meth:`build` time, so the per-tick hot
+    path stays a single list append.
     """
 
     __slots__ = ("_metas", "append_meta")
@@ -288,5 +486,8 @@ class TraceCollector:
     def build(
         self, output: Tuple, return_value, checkpoint_ticks: Sequence[int] = ()
     ) -> GoldenTrace:
-        """Finalise the collected records into a :class:`GoldenTrace`."""
-        return GoldenTrace(self.records, output, return_value, checkpoint_ticks)
+        """Finalise the collected stream into a columnar :class:`GoldenTrace`."""
+        table, meta_ids = _intern_metas(self._metas)
+        return GoldenTrace.from_columns(
+            table, meta_ids, output, return_value, checkpoint_ticks
+        )

@@ -1,0 +1,239 @@
+"""Differential suite: columnar pipeline vs the frozen object-based reference.
+
+PR 5 rewrote the trace→def-use→inference→plan pipeline around flat columnar
+arrays (:mod:`repro.vm.trace`, :mod:`repro.errorspace.defuse`,
+:mod:`repro.errorspace.inference`) and re-ordered plan construction into
+enumerate→infer→assemble passes.  The pre-rewrite pipeline is preserved
+verbatim in :mod:`repro.errorspace.reference`; this suite proves the two
+produce *bit-identical* artifacts:
+
+* columnar golden traces expand to the same records, candidate views and
+  register-access stream (all 15 registry programs);
+* def-use indices agree on every def event, read attribution, deferred
+  read, operand def, store span, dead store and class key (all 15);
+* outcome inference agrees error-for-error (exhaustively on a small
+  workload, sampled on every registry program);
+* assembled pruned plans are identical — classes, representatives, members,
+  inferred outcomes and counts (small workload exhaustively + the smallest
+  registry program; set ``REPRO_DIFF_FULL=1`` to sweep all 15);
+* exhaustive campaign counts derived from both plans match the brute-force
+  ground truth (small workload).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.campaign.engine import run_error_batch
+from repro.errorspace import (
+    build_defuse_index,
+    build_pruned_plan,
+    enumerate_error_space,
+)
+from repro.errorspace.inference import OutcomeInference
+from repro.errorspace.reference import (
+    ReferenceOutcomeInference,
+    reference_build_defuse_index,
+    reference_build_pruned_plan,
+)
+from repro.frontend import compile_program
+from repro.injection import ExperimentRunner
+from repro.injection.outcome import OutcomeCounts
+from repro.programs.registry import all_program_names, get_experiment_runner
+
+WORKLOAD = '''
+def scale(value: "i64", factor: "i64") -> "i64":
+    return value * factor + 3
+
+def main() -> "i64":
+    total = 0
+    for i in range(4):
+        total += scale(table[i % 3], i + 1)
+        buffer[i % 3] = total % 97
+    output(total)
+    output(buffer[1])
+    return total
+'''
+
+GLOBALS = {
+    "table": ("i64", [5, 11, 23]),
+    "buffer": ("i64", [0, 0, 0]),
+}
+
+FULL_SWEEP = os.environ.get("REPRO_DIFF_FULL", "") == "1"
+
+#: Programs whose *fully inferred* plans are compared in tier-1 (the rest is
+#: covered structurally; the full sweep is opt-in via REPRO_DIFF_FULL=1).
+PLAN_PROGRAMS = ["bfs"]
+
+
+@pytest.fixture(scope="module")
+def small_runner():
+    program = compile_program("columnar_diff_small", [WORKLOAD], GLOBALS)
+    return ExperimentRunner(program)
+
+
+def build_both_indices(runner):
+    columnar = build_defuse_index(
+        runner.program, runner.golden, args=runner.args, decoded=runner.decoded
+    )
+    reference = reference_build_defuse_index(
+        runner.program, runner.golden, args=runner.args, decoded=runner.decoded
+    )
+    return columnar, reference
+
+
+def assert_indices_identical(columnar, reference, space):
+    assert len(columnar.defs) == len(reference.defs)
+    for new, old in zip(columnar.defs, reference.defs):
+        assert (new.def_id, new.tick, new.site, new.value) == (
+            old.def_id, old.tick, old.site, old.value,
+        )
+        assert new.register.name == old.register.name
+        assert new.register.type == old.register.type
+        assert new.use_ticks == old.use_ticks
+    assert columnar.read_def == reference.read_def
+    assert columnar.deferred_reads == reference.deferred_reads
+    assert columnar.operand_defs == reference.operand_defs
+    assert columnar.call_params == reference.call_params
+    assert columnar.ret_target == reference.ret_target
+    assert columnar.store_span == reference.store_span
+    assert columnar.segments == reference.segments
+    assert columnar.global_addresses == reference.global_addresses
+    assert columnar.instructions == reference.instructions
+    # dead-store precomputation == the reference's per-query scan
+    for tick in columnar.store_span:
+        assert columnar.store_is_dead(tick) == reference.store_is_dead(tick)
+    # class keys partition the candidate space identically
+    for error in space.iter_candidate_errors():
+        assert columnar.class_key(error.dynamic_index, error.slot) == (
+            reference.class_key(error.dynamic_index, error.slot)
+        )
+
+
+def assert_plans_identical(columnar_plan, reference_plan):
+    assert columnar_plan.matches(reference_plan)
+
+
+# -------------------------------------------------------------- columnar traces
+@pytest.mark.parametrize("name", all_program_names())
+def test_columnar_trace_views_are_consistent(name):
+    """Column-derived views equal the per-record walks they replaced."""
+    golden = get_experiment_runner(name).golden
+    records = golden.records
+    assert len(golden) == len(records) == len(golden.meta_ids)
+    # per-tick index arithmetic matches materialised records
+    for tick in (0, 1, len(records) // 2, len(records) - 1):
+        meta = golden.meta_at(tick)
+        assert meta.record_at(tick) == records[tick]
+        assert golden[tick] == records[tick]
+    # the access expansion equals a straight per-record recomputation
+    expected = []
+    for record in records:
+        for slot, bits in enumerate(record.source_register_bits):
+            if bits:
+                expected.append((record.dynamic_index, "read", slot, bits, record.opcode))
+        if record.destination_bits:
+            expected.append(
+                (record.dynamic_index, "write", None, record.destination_bits, record.opcode)
+            )
+    assert [tuple(access) for access in golden.iter_register_accesses()] == expected
+    columns = golden.access_columns()
+    assert len(columns.tick) == len(expected)
+    # candidate views
+    assert golden.records_with_sources() == [
+        record for record in records if record.source_register_bits
+    ]
+    assert golden.records_with_destination() == [
+        record for record in records if record.destination_bits is not None
+    ]
+
+
+# ------------------------------------------------------------- def-use indices
+@pytest.mark.parametrize("name", all_program_names())
+def test_defuse_index_identical_all_programs(name):
+    runner = get_experiment_runner(name)
+    columnar, reference = build_both_indices(runner)
+    space = enumerate_error_space(runner.golden, "inject-on-read")
+    assert_indices_identical(columnar, reference, space)
+
+
+# ------------------------------------------------------------------- inference
+def test_inference_identical_exhaustively_small(small_runner):
+    columnar, reference = build_both_indices(small_runner)
+    space = enumerate_error_space(small_runner.golden, "inject-on-read")
+    new_engine = OutcomeInference(columnar)
+    old_engine = ReferenceOutcomeInference(reference)
+    disagreements = [
+        error.key
+        for error in space.iter_errors()
+        if new_engine.infer(error) is not old_engine.infer(error)
+    ]
+    assert disagreements == []
+
+
+@pytest.mark.parametrize("name", all_program_names())
+def test_inference_identical_sampled_all_programs(name):
+    runner = get_experiment_runner(name)
+    columnar, reference = build_both_indices(runner)
+    space = enumerate_error_space(runner.golden, "inject-on-read")
+    new_engine = OutcomeInference(columnar)
+    old_engine = ReferenceOutcomeInference(reference)
+    rng = random.Random(name)
+    errors = [error for error in space.iter_errors() if rng.random() < 0.002][:400]
+    assert errors, "sample unexpectedly empty"
+    for error in errors:
+        assert new_engine.infer(error) is old_engine.infer(error), error.key
+
+
+# ----------------------------------------------------------------------- plans
+def test_plans_identical_small_both_techniques(small_runner):
+    columnar, reference = build_both_indices(small_runner)
+    for technique in ("inject-on-read", "inject-on-write"):
+        space = enumerate_error_space(small_runner.golden, technique)
+        for infer in (True, False):
+            assert_plans_identical(
+                build_pruned_plan(space, columnar, infer=infer),
+                reference_build_pruned_plan(space, reference, infer=infer),
+            )
+
+
+@pytest.mark.parametrize(
+    "name", all_program_names() if FULL_SWEEP else PLAN_PROGRAMS
+)
+def test_plans_identical_registry_programs(name):
+    """Fully inferred plan differential (tier-1 runs the smallest program;
+    REPRO_DIFF_FULL=1 sweeps all 15)."""
+    runner = get_experiment_runner(name)
+    columnar, reference = build_both_indices(runner)
+    space = enumerate_error_space(runner.golden, "inject-on-read")
+    assert_plans_identical(
+        build_pruned_plan(space, columnar),
+        reference_build_pruned_plan(space, reference),
+    )
+
+
+# ------------------------------------------------------------- campaign counts
+def test_exhaustive_campaign_counts_identical_small(small_runner):
+    """Both plans expand executed representatives to the brute-force counts."""
+    columnar, reference = build_both_indices(small_runner)
+    space = enumerate_error_space(small_runner.golden, "inject-on-read")
+    errors = [(e.dynamic_index, e.slot, e.bit) for e in space.iter_errors()]
+    truth = OutcomeCounts()
+    truth.update(run_error_batch(small_runner, "inject-on-read", errors))
+
+    for plan in (
+        build_pruned_plan(space, columnar),
+        reference_build_pruned_plan(space, reference),
+    ):
+        planned = plan.exact_experiments()
+        outcomes = run_error_batch(
+            small_runner,
+            "inject-on-read",
+            [(p.error.dynamic_index, p.error.slot, p.error.bit) for p in planned],
+        )
+        weighted = plan.expand_counts(
+            {planned[i].class_id: outcomes[i] for i in range(len(planned))}, planned
+        )
+        assert weighted.as_dict() == truth.as_dict()

@@ -182,6 +182,88 @@ class TestEngineEquivalence:
             SerialEngine(progress_interval=0)
 
 
+class TestArtifactCacheWarmup:
+    """Worker warm-up must route through the persistent artifact cache."""
+
+    @pytest.fixture(autouse=True)
+    def reset_cache_config(self):
+        from repro import artifacts
+
+        yield
+        artifacts.configure(None)
+
+    def _clear_registry_caches(self):
+        from repro.programs import registry
+
+        registry.build_program.cache_clear()
+        registry.get_decoded_program.cache_clear()
+        registry.get_defuse_index.cache_clear()
+        registry.get_experiment_runner.cache_clear()
+
+    def test_warm_cache_yields_zero_rederivations(self, tmp_path, monkeypatch):
+        """Cold: exactly one golden derivation per host. Warm: exactly zero —
+        in fresh in-process builds and in spawned workers alike."""
+        from repro.campaign.engine import MultiprocessEngine, RegistryProvider
+        from repro.errorspace import enumerate_error_space
+        from repro.programs.registry import get_experiment_runner
+
+        log = tmp_path / "derivations.log"
+        cache_dir = tmp_path / "artifacts"
+        monkeypatch.setenv("REPRO_DERIVATION_LOG", str(log))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        provider = RegistryProvider(cache_dir=str(cache_dir))
+
+        def derivations():
+            return len(log.read_text().splitlines()) if log.exists() else 0
+
+        # Cold host: building the workload derives the golden trace once and
+        # persists it.
+        self._clear_registry_caches()
+        runner = get_experiment_runner("crc32")
+        assert derivations() == 1
+        errors = [
+            (error.dynamic_index, error.slot, error.bit)
+            for error, _ in zip(
+                enumerate_error_space(runner.golden, "inject-on-read").iter_errors(),
+                range(8),
+            )
+        ]
+
+        # Warm host, fresh process state: loading replaces deriving.
+        self._clear_registry_caches()
+        warm_runner = get_experiment_runner("crc32")
+        assert derivations() == 1, "warm in-process build re-derived the golden trace"
+        assert warm_runner.golden.records == runner.golden.records
+
+        # Spawned workers share nothing but the disk: with a warm cache they
+        # must come up without a single re-derivation.
+        with MultiprocessEngine(2, chunk_size=4, start_method="spawn") as engine:
+            outcomes = engine.run_errors(
+                "crc32", "inject-on-read", errors, provider=provider
+            )
+        assert len(outcomes) == len(errors)
+        assert derivations() == 1, "spawned workers re-derived despite a warm cache"
+
+    def test_parallel_plan_inference_matches_serial(self, tmp_path):
+        """plan_infer_map fans inference out; the plan stays bit-identical."""
+        from repro import artifacts
+        from repro.campaign.engine import MultiprocessEngine, RegistryProvider
+        from repro.errorspace import build_pruned_plan, enumerate_error_space
+        from repro.programs.registry import get_defuse_index, get_experiment_runner
+
+        artifacts.configure(tmp_path / "artifacts")
+        runner = get_experiment_runner("bfs")
+        index = get_defuse_index("bfs")
+        space = enumerate_error_space(runner.golden, "inject-on-read")
+        serial_plan = build_pruned_plan(space, index)
+        provider = RegistryProvider(cache_dir=str(tmp_path / "artifacts"))
+        with MultiprocessEngine(2) as engine:
+            infer_map = engine.plan_infer_map("bfs", provider=provider)
+            assert infer_map is not None
+            parallel_plan = build_pruned_plan(space, index, infer_map=infer_map)
+        assert parallel_plan.matches(serial_plan)
+
+
 class TestProgress:
     @pytest.mark.parametrize(
         "engine_factory",
