@@ -53,12 +53,15 @@ class RegistryProvider:
     (the CLI's ``--no-fast-forward`` / ``--checkpoint-interval`` land here).
     ``cache_dir`` points workers at the persistent artifact cache
     (:mod:`repro.artifacts`), so spawned processes warm up from disk instead
-    of re-deriving golden traces, checkpoints and def-use indices.
+    of re-deriving golden traces, checkpoints, def-use indices and generated
+    backend source.  ``backend`` selects the execution engine each worker's
+    runner uses (``decoded``, ``compiled`` or ``reference``).
     """
 
     fast_forward: bool = True
     checkpoint_interval: Optional[int] = None
     cache_dir: Optional[str] = None
+    backend: str = "decoded"
 
     def prepare(self) -> None:
         """Activate this provider's artifact cache in the current process."""
@@ -75,6 +78,7 @@ class RegistryProvider:
             program_name,
             fast_forward=self.fast_forward,
             checkpoint_interval=self.checkpoint_interval,
+            backend=self.backend,
         )
 
 
@@ -225,12 +229,18 @@ def run_error_batch(
 
 
 def persist_runner_artifacts(runner: ExperimentRunner) -> None:
-    """Push a warm runner's golden trace + checkpoints into the artifact cache.
+    """Push a warm runner's derived artifacts into the artifact cache.
 
-    No-op when no cache is active or the runner does not fast-forward.  Called
-    by pooled engines before dispatch, so derivation happens once per host and
-    spawned workers (which share only the disk) warm up from the cache.
+    Golden trace + checkpoints (fast-forwarding runners) and generated
+    backend source (compiled runners).  No-op when no cache is active.
+    Called by pooled engines before dispatch, so derivation happens once per
+    host and spawned workers (which share only the disk) warm up from the
+    cache.
     """
+    if getattr(runner, "backend", None) == "compiled":
+        from repro.vm.codegen import persist_compiled_source
+
+        persist_compiled_source(runner.program.module)
     if not getattr(runner, "fast_forward", False):
         return
     from repro.vm.snapshot import persist_cached_golden

@@ -88,6 +88,7 @@ def _build_session(args: argparse.Namespace) -> ExperimentSession:
         jobs=args.jobs,
         fast_forward=not args.no_fast_forward,
         checkpoint_interval=args.checkpoint_interval,
+        backend=getattr(args, "backend", "decoded"),
         progress=_progress(args),
         experiment_progress=_experiment_progress(args),
     )
@@ -176,6 +177,14 @@ def build_parser() -> argparse.ArgumentParser:
             "checkpoints during golden profiling (default: auto-tuned from "
             "the golden run length; the snapshot budget applies either way)",
         )
+        sub.add_argument(
+            "--backend",
+            default="decoded",
+            choices=("decoded", "compiled", "reference"),
+            help="execution backend for experiment runs: 'decoded' (default), "
+            "'compiled' (transpiled Python, fastest) or 'reference' (IR "
+            "tree-walker oracle); results are bit-identical across all three",
+        )
         sub.add_argument("--quiet", action="store_true", help="suppress per-campaign progress")
 
     figure_parser = subparsers.add_parser("figure", help="regenerate a figure (1-5)")
@@ -185,6 +194,70 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser = subparsers.add_parser("table", help="regenerate a table (1-4)")
     table_parser.add_argument("number", type=int, choices=(1, 2, 3, 4))
     add_campaign_options(table_parser)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run one fault-injection campaign and print outcome counts "
+        "(plus artifact-cache status when --cache-dir is active)",
+    )
+    campaign_parser.add_argument("program", help="benchmark program name")
+    campaign_parser.add_argument(
+        "--technique",
+        default="inject-on-read",
+        choices=("inject-on-read", "inject-on-write"),
+        help="injection technique (default inject-on-read)",
+    )
+    campaign_parser.add_argument(
+        "--max-mbf",
+        type=_positive_int,
+        default=1,
+        help="maximum multi-bit-flip count per experiment (default 1)",
+    )
+    campaign_parser.add_argument(
+        "--win-size",
+        default="w1",
+        help="win-size index from Table I, e.g. w4 (default w1 = no window)",
+    )
+    campaign_parser.add_argument(
+        "--experiments", type=_positive_int, default=50,
+        help="experiments to run (default 50)",
+    )
+    campaign_parser.add_argument(
+        "--cache", help="JSON file to cache campaign results across runs"
+    )
+    campaign_parser.add_argument(
+        "--cache-dir",
+        help="directory for the persistent artifact cache (golden traces, "
+        "checkpoints, generated backend source); defaults to "
+        "<--cache>.artifacts when --cache is given, else off",
+    )
+    campaign_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1 = serial)",
+    )
+    campaign_parser.add_argument("--checkpoint", default=None, help=argparse.SUPPRESS)
+    campaign_parser.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        help="replay every experiment's fault-free prefix from scratch",
+    )
+    campaign_parser.add_argument(
+        "--checkpoint-interval",
+        type=_positive_int,
+        default=None,
+        metavar="TICKS",
+        help="starting spacing between VM checkpoints during golden profiling",
+    )
+    campaign_parser.add_argument(
+        "--backend",
+        default="decoded",
+        choices=("decoded", "compiled", "reference"),
+        help="execution backend for experiment runs (default decoded); "
+        "results are bit-identical across all three",
+    )
+    campaign_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-campaign progress"
+    )
 
     candidates_parser = subparsers.add_parser(
         "candidates",
@@ -320,6 +393,45 @@ def _run_table(args: argparse.Namespace) -> str:
     return f"{result.name}: {result.description}\n\n{result.text}"
 
 
+def _run_campaign(args: argparse.Namespace) -> str:
+    """``repro campaign``: one campaign, outcome counts and cache status.
+
+    The trailing artifact-cache lines state explicitly whether generated
+    backend source was produced this run or loaded from the cache — the CI
+    round-trip smoke greps for them.
+    """
+    from repro.campaign import CampaignConfig
+
+    get_program(args.program)  # raises ConfigurationError on typos
+    session = _build_session(args)
+    config = CampaignConfig(
+        program=args.program,
+        technique=args.technique,
+        max_mbf=args.max_mbf,
+        win_size=win_size_by_index(args.win_size),
+        experiments=args.experiments,
+    )
+    store = session.ensure([config])
+    result = store.get(config)
+    counts = result.outcome_counts.as_dict()
+    lines = [
+        f"{config.campaign_id} · backend={args.backend} · "
+        f"{result.experiments} experiments",
+        "  outcomes  " + ", ".join(f"{k}={v}" for k, v in counts.items() if v),
+        f"  SDC       {result.sdc_percentage:.3f}%",
+    ]
+    cache = session.artifact_cache
+    if cache is not None:
+        stats = cache.stats
+        lines.append(f"  artifact cache  {stats.describe()} ({cache.root})")
+        if args.backend == "compiled":
+            if stats.hits.get("codegen", 0):
+                lines.append("  compiled source loaded from cache")
+            elif stats.stores.get("codegen", 0):
+                lines.append("  compiled source generated and stored")
+    return "\n".join(lines)
+
+
 def _run_candidates(args: argparse.Namespace) -> str:
     """``repro candidates``: error-space shape of one (or every) program.
 
@@ -436,6 +548,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "table":
         print(_run_table(args))
+        return 0
+    if args.command == "campaign":
+        print(_run_campaign(args))
         return 0
     if args.command == "candidates":
         print(_run_candidates(args))

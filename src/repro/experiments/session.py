@@ -44,7 +44,9 @@ class ExperimentSession:
     worker pool; pass ``engine`` to supply a custom backend (mutually
     exclusive with ``jobs``).  ``fast_forward`` / ``checkpoint_interval``
     control checkpoint/restore fast-forwarding of each experiment's golden
-    prefix (on by default; results are bit-identical either way).  Long sweeps checkpoint the store to
+    prefix (on by default; results are bit-identical either way).
+    ``backend`` selects the execution engine runners use (``decoded``,
+    ``compiled`` or ``reference``).  Long sweeps checkpoint the store to
     ``checkpoint_path`` (falling back to ``cache_path``) after every
     ``checkpoint_every`` completed campaigns; a new session loads the store
     back from the cache or, failing that, the checkpoint, so interrupted
@@ -71,6 +73,7 @@ class ExperimentSession:
         engine: Optional[ExecutionEngine] = None,
         fast_forward: bool = True,
         checkpoint_interval: Optional[int] = None,
+        backend: str = "decoded",
         progress: Optional[Callable[[str], None]] = None,
         experiment_progress: Optional[ProgressCallback] = None,
     ) -> None:
@@ -111,6 +114,7 @@ class ExperimentSession:
             fast_forward=fast_forward,
             checkpoint_interval=checkpoint_interval,
             cache_dir=str(self.cache_dir) if self.cache_dir is not None else None,
+            backend=backend,
         )
         self.runner = CampaignRunner(
             self._provider,

@@ -40,6 +40,7 @@ from repro.injection.faultmodel import FaultSpec, InjectionRecord, SINGLE_BIT_MA
 from repro.injection.injector import FaultInjector
 from repro.injection.outcome import Outcome
 from repro.injection.techniques import InjectionCandidate, InjectionTechnique
+from repro.vm.codegen import CompiledCode, CompiledInterpreter, compile_program
 from repro.vm.interpreter import ExecutionLimits, ExecutionResult, Interpreter
 from repro.vm.program import DecodedProgram, decode_module
 from repro.vm.reference import ReferenceInterpreter
@@ -51,15 +52,17 @@ from repro.vm.snapshot import (
 from repro.vm.trace import GoldenTrace, TraceCollector
 
 #: Execution backends an experiment can run on.  ``"decoded"`` is the
-#: production hot path; ``"reference"`` walks the IR tree and exists for
-#: differential verification.
-BACKENDS = ("decoded", "reference")
+#: production default; ``"compiled"`` transpiles the decoded program to
+#: specialized Python (fastest); ``"reference"`` walks the IR tree and
+#: exists for differential verification.
+BACKENDS = ("decoded", "reference", "compiled")
 
 
 def _make_interpreter(
     program: CompiledProgram,
     backend: str,
     decoded: Optional[DecodedProgram] = None,
+    compiled: Optional[CompiledCode] = None,
     **kwargs,
 ):
     if backend == "decoded":
@@ -68,6 +71,12 @@ def _make_interpreter(
             entry=program.entry,
             **kwargs,
         )
+    if backend == "compiled":
+        if compiled is None:
+            from repro.vm.codegen import compile_module
+
+            compiled = compile_module(program.module)
+        return CompiledInterpreter(compiled, entry=program.entry, **kwargs)
     if backend == "reference":
         return ReferenceInterpreter(program.module, entry=program.entry, **kwargs)
     raise ConfigurationError(
@@ -156,14 +165,22 @@ class ExperimentRunner:
             )
         self.program = program
         self.backend = backend
-        #: The shared decoded artifact (None on the reference backend).
+        #: The shared decoded artifact (None on the reference backend).  The
+        #: compiled backend keeps it too: generated code shares the decoded
+        #: program's slot numbering, block indices and checkpoints.
         self.decoded: Optional[DecodedProgram] = (
-            decode_module(program.module) if backend == "decoded" else None
+            decode_module(program.module)
+            if backend in ("decoded", "compiled")
+            else None
+        )
+        #: The transpiled artifact (compiled backend only).
+        self.compiled: Optional[CompiledCode] = (
+            compile_program(self.decoded) if backend == "compiled" else None
         )
         self.args = list(args)
-        #: Fast-forward only exists on the decoded driver; the reference
-        #: backend always replays from scratch (it is the oracle).
-        self.fast_forward = bool(fast_forward) and backend == "decoded"
+        #: Fast-forward exists on the decoded and compiled drivers; the
+        #: reference backend always replays from scratch (it is the oracle).
+        self.fast_forward = bool(fast_forward) and backend in ("decoded", "compiled")
         self.checkpoint_interval = checkpoint_interval
         self.max_checkpoints = max_checkpoints
         self._checkpoints: Optional[CheckpointStore] = None
@@ -275,7 +292,7 @@ class ExperimentRunner:
         use_fast_forward = (
             self.fast_forward
             if fast_forward is None
-            else bool(fast_forward) and self.backend == "decoded"
+            else bool(fast_forward) and self.backend in ("decoded", "compiled")
         )
         execution: Optional[ExecutionResult] = None
         if use_fast_forward:
@@ -288,9 +305,15 @@ class ExperimentRunner:
                 if interpreter is None:
                     # One long-lived driver is reused by every fast-forwarded
                     # experiment; restore() rewinds all of its state.
-                    interpreter = self._ff_interpreter = Interpreter(
-                        self.decoded, entry=self.program.entry, limits=self.limits
-                    )
+                    if self.backend == "compiled":
+                        interpreter = CompiledInterpreter(
+                            self.compiled, entry=self.program.entry, limits=self.limits
+                        )
+                    else:
+                        interpreter = Interpreter(
+                            self.decoded, entry=self.program.entry, limits=self.limits
+                        )
+                    self._ff_interpreter = interpreter
                 interpreter.read_hook = read_hook
                 interpreter.write_hook = write_hook
                 try:
@@ -303,6 +326,7 @@ class ExperimentRunner:
                 self.program,
                 self.backend,
                 self.decoded,
+                self.compiled,
                 limits=self.limits,
                 read_hook=read_hook,
                 write_hook=write_hook,

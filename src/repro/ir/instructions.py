@@ -115,7 +115,10 @@ class Instruction:
                 function._finalized = False
                 module = function.parent
                 if module is not None:
+                    # Decode and codegen caches invalidate together: the
+                    # compiled artifact is specialized to one decoded form.
                     module._decoded_program = None
+                    module._compiled_program = None
 
     def describe(self) -> str:
         """Short human-readable description used in traces and errors."""

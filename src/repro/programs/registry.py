@@ -119,15 +119,19 @@ def get_experiment_runner(
     name: str,
     fast_forward: bool = True,
     checkpoint_interval: "int | None" = None,
+    backend: str = "decoded",
 ) -> ExperimentRunner:
     """A ready-to-use experiment runner, cached per configuration.
 
     With ``fast_forward`` (the default) the runner's warm-up also captures
     the workload's VM checkpoints, cached alongside the golden trace — under
-    a ``fork``-based pool, workers inherit all of it.
+    a ``fork``-based pool, workers inherit all of it.  ``backend`` selects
+    the execution engine faulty runs use (``decoded``, ``compiled`` or
+    ``reference``).
     """
     return ExperimentRunner(
         build_program(name),
         fast_forward=fast_forward,
         checkpoint_interval=checkpoint_interval,
+        backend=backend,
     )

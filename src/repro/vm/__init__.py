@@ -15,10 +15,12 @@ needs:
 * program output is collected into an output buffer compared bit-wise
   against a golden run to detect silent data corruptions.
 
-Execution has two backends sharing one semantic contract:
+Execution has three backends sharing one semantic contract:
 :class:`Interpreter` drives the decode-once representation of
-:mod:`repro.vm.program` (the campaign hot path — registers numbered into
-flat frames, handlers pre-bound, phi moves precomputed per edge), while
+:mod:`repro.vm.program` (registers numbered into flat frames, handlers
+pre-bound, phi moves precomputed per edge),
+:class:`~repro.vm.codegen.CompiledInterpreter` runs Python source transpiled
+from that decoded form (the campaign hot path), and
 :class:`~repro.vm.reference.ReferenceInterpreter` walks the IR tree directly
 and serves as the oracle for the differential test suite.
 """
@@ -31,6 +33,12 @@ from repro.vm.faults import (
     InvalidJumpFault,
     MisalignedAccessFault,
     SegmentationFault,
+)
+from repro.vm.codegen import (
+    CompiledCode,
+    CompiledInterpreter,
+    compile_module,
+    persist_compiled_source,
 )
 from repro.vm.memory import Memory, MemorySegment, MemoryState
 from repro.vm.program import (
@@ -68,6 +76,10 @@ __all__ = [
     "capture_checkpoints",
     "CheckpointingInterpreter",
     "CheckpointStore",
+    "CompiledCode",
+    "CompiledInterpreter",
+    "compile_module",
+    "persist_compiled_source",
     "DecodedFunction",
     "DecodedInstruction",
     "DecodedProgram",

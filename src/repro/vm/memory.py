@@ -47,7 +47,15 @@ NULL_GUARD_LIMIT = 0x1000
 
 @dataclass
 class MemorySegment:
-    """A contiguous mapped region of the simulated address space."""
+    """A contiguous mapped region of the simulated address space.
+
+    The backing ``data`` buffer is grown lazily: it starts empty and is
+    extended (with zeros, geometrically) the first time a write lands past
+    its current length.  Reads beyond ``len(data)`` — untouched memory —
+    return zeros, so the observable contents are identical to an eagerly
+    zero-filled buffer while a fresh address space costs no multi-megabyte
+    memset per interpreter (the dominant golden-run setup cost).
+    """
 
     name: str
     base: int
@@ -61,12 +69,16 @@ class MemorySegment:
     high_water: int = 0
 
     def __post_init__(self) -> None:
-        if not self.data:
-            self.data = bytearray(self.size)
-        if len(self.data) != self.size:
+        if len(self.data) > self.size:
             raise ValueError(
-                f"segment {self.name}: data length {len(self.data)} != size {self.size}"
+                f"segment {self.name}: data length {len(self.data)} > size {self.size}"
             )
+
+    def grow(self, length: int) -> None:
+        """Extend the backing buffer with zeros to cover ``length`` bytes."""
+        current = len(self.data)
+        target = min(self.size, max(length, 2 * current, 4096))
+        self.data.extend(bytes(target - current))
 
     @property
     def end(self) -> int:
@@ -131,6 +143,12 @@ class Memory:
         self._bases: List[int] = []
         for name, (base, size) in layout.items():
             self.add_segment(name, base, size)
+        #: One-entry lookup cache: accesses cluster heavily per segment, so
+        #: the common case skips the bisect entirely.  The dummy (set when
+        #: the layout is empty) contains no address and always defers to the
+        #: slow path.
+        if not self._ordered:
+            self._hot = MemorySegment("<unmapped>", NULL_GUARD_LIMIT, 0)
         #: Count of bytes read/written — used by analyses and tests.
         self.bytes_read = 0
         self.bytes_written = 0
@@ -147,6 +165,7 @@ class Memory:
         index = bisect_right(self._bases, base)
         self._ordered.insert(index, segment)
         self._bases.insert(index, base)
+        self._hot = segment
         return segment
 
     def segment(self, name: str) -> MemorySegment:
@@ -228,36 +247,55 @@ class Memory:
             )
         return segment, address - segment.base
 
-    def read_bytes(self, address: int, length: int) -> bytes:
-        # Hot path: the bisect locate is inlined (one call per memory access).
+    def _relocate(self, address: int, length: int, *, write: bool) -> Tuple[MemorySegment, int]:
+        # Cold path for read_bytes/write_bytes: refresh the one-entry segment
+        # cache via bisect, or raise through _locate for unmapped accesses.
         if address >= NULL_GUARD_LIMIT:
             index = bisect_right(self._bases, address) - 1
             if index >= 0:
                 segment = self._ordered[index]
                 offset = address - segment.base
-                end = offset + length
-                if end <= segment.size:
-                    self.bytes_read += length
-                    return bytes(segment.data[offset:end])
-        self._locate(address, length, write=False)
+                if offset + length <= segment.size:
+                    self._hot = segment
+                    return segment, offset
+        self._locate(address, length, write=write)
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        # Hot path: one-entry segment cache, no further calls.  Returns a
+        # bytearray slice (callers only ever decode it) to skip a second copy.
+        segment = self._hot
+        offset = address - segment.base
+        end = offset + length
+        if offset < 0 or end > segment.size:
+            segment, offset = self._relocate(address, length, write=False)
+            end = offset + length
+        self.bytes_read += length
+        data = segment.data
+        if end <= len(data):
+            return data[offset:end]
+        # Beyond the grown prefix: untouched memory reads as zeros.
+        written = len(data) - offset
+        if written <= 0:
+            return bytes(length)
+        return data[offset:] + bytes(length - written)
 
     def write_bytes(self, address: int, payload: bytes) -> None:
         length = len(payload)
-        if address >= NULL_GUARD_LIMIT:
-            index = bisect_right(self._bases, address) - 1
-            if index >= 0:
-                segment = self._ordered[index]
-                offset = address - segment.base
-                end = offset + length
-                if end <= segment.size:
-                    self.bytes_written += length
-                    segment.data[offset:end] = payload
-                    if end > segment.high_water:
-                        segment.high_water = end
-                    return
-        self._locate(address, length, write=True)
-        raise AssertionError("unreachable")  # pragma: no cover
+        segment = self._hot
+        offset = address - segment.base
+        end = offset + length
+        if offset < 0 or end > segment.size:
+            segment, offset = self._relocate(address, length, write=True)
+            end = offset + length
+        self.bytes_written += length
+        data = segment.data
+        if end > len(data):
+            segment.grow(end)
+            data = segment.data
+        data[offset:end] = payload
+        if end > segment.high_water:
+            segment.high_water = end
 
     # -- typed scalar access ------------------------------------------------------
     @staticmethod

@@ -212,7 +212,15 @@ class DecodedInstruction:
 class DecodedBlock:
     """One basic block in decoded form."""
 
-    __slots__ = ("index", "name", "code", "code_len", "phi_count", "phi_edges")
+    __slots__ = (
+        "index",
+        "name",
+        "code",
+        "code_len",
+        "phi_count",
+        "phi_dins",
+        "phi_edges",
+    )
 
     def __init__(self, index: int, name: str) -> None:
         self.index = index
@@ -221,6 +229,10 @@ class DecodedBlock:
         self.code: Tuple[DecodedInstruction, ...] = ()
         self.code_len = 0
         self.phi_count = 0
+        #: The block's phi instructions in order — the canonical walk order
+        #: shared by the codegen backend (``phi_edges`` values may be
+        #: truncated on failure edges, so they cannot serve as a walk source).
+        self.phi_dins: Tuple[DecodedInstruction, ...] = ()
         #: pred block index (-1 = function entry) ->
         #: ``(moves, failure_message)``; ``moves`` is a tuple of
         #: ``(operand_record, phi_din)`` pairs, truncated before the first
@@ -1116,6 +1128,7 @@ class _FunctionDecoder:
                 phis.append((phi, self._decode_phi(phi)))
                 position += 1
             shell.phi_count = len(phis)
+            shell.phi_dins = tuple(din for _, din in phis)
             phi_lists.append(phis)
             code = tuple(
                 self._decode_instruction(instruction, blocks_by_id)
