@@ -1,0 +1,95 @@
+"""Compare fresh BENCH_*.json numbers against the committed baselines.
+
+CI runs this after the benchmark gates::
+
+    python benchmarks/compare_bench.py BENCH_interpreter.json BENCH_pruning.json
+
+For every benchmark file named on the command line, each gated metric listed
+in ``benchmarks/bench_baselines.json`` is compared against its committed
+baseline; the run fails (exit code 1) when any metric regresses more than
+the tolerance (10% by default, ``--tolerance`` to override).
+
+Only *ratio* metrics (speedups, reduction factors) are compared — absolute
+rates depend on the machine, ratios do not — so the committed baselines stay
+valid across runner generations.  Improvements are reported but never fail
+the check; refresh the baselines when a PR deliberately raises the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "bench_baselines.json"
+
+
+def load_baselines(path: Path = BASELINE_PATH) -> dict:
+    data = json.loads(path.read_text())
+    return {name: metrics for name, metrics in data.items() if not name.startswith("_")}
+
+
+def compare_file(bench_path: Path, baselines: dict, tolerance: float) -> list:
+    """Compare one benchmark file; returns a list of (line, regressed) rows."""
+    fresh = json.loads(bench_path.read_text())
+    rows = []
+    for metric, baseline in sorted(baselines.items()):
+        value = fresh.get(metric)
+        if value is None:
+            rows.append((f"{metric}: MISSING from {bench_path.name}", True))
+            continue
+        floor = baseline * (1.0 - tolerance)
+        regressed = value < floor
+        change = (value / baseline - 1.0) * 100.0
+        status = "REGRESSED" if regressed else "ok"
+        rows.append(
+            (
+                f"{metric}: {value:.2f} vs baseline {baseline:.2f} "
+                f"({change:+.1f}%, floor {floor:.2f}) [{status}]",
+                regressed,
+            )
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_files", nargs="+", type=Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional regression below baseline (default 0.10)",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=BASELINE_PATH,
+        help="baseline file (default benchmarks/bench_baselines.json)",
+    )
+    args = parser.parse_args(argv)
+    baselines = load_baselines(args.baselines)
+    failed = False
+    for bench_path in args.bench_files:
+        expected = baselines.get(bench_path.name)
+        if expected is None:
+            print(f"{bench_path.name}: no committed baselines, skipping")
+            continue
+        if not bench_path.exists():
+            print(f"{bench_path}: benchmark output missing [REGRESSED]")
+            failed = True
+            continue
+        print(f"{bench_path.name}:")
+        for line, regressed in compare_file(bench_path, expected, args.tolerance):
+            print(f"  {line}")
+            failed = failed or regressed
+    if failed:
+        print("perf comparison FAILED: gated metric regressed >10% vs baseline")
+        return 1
+    print("perf comparison OK: all gated metrics within tolerance of baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

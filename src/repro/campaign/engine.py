@@ -48,20 +48,22 @@ def registry_provider(program_name: str) -> ExperimentRunner:
 class RegistryProvider:
     """A registry provider with execution knobs, picklable for worker pools.
 
-    ``fast_forward`` / ``checkpoint_interval`` parameterise the
-    :class:`~repro.injection.experiment.ExperimentRunner` each worker builds
-    (the CLI's ``--no-fast-forward`` / ``--checkpoint-interval`` land here).
-    ``cache_dir`` points workers at the persistent artifact cache
-    (:mod:`repro.artifacts`), so spawned processes warm up from disk instead
-    of re-deriving golden traces, checkpoints, def-use indices and generated
-    backend source.  ``backend`` selects the execution engine each worker's
-    runner uses (``decoded``, ``compiled`` or ``reference``).
+    ``fast_forward`` / ``checkpoint_interval`` / ``windowed`` parameterise
+    the :class:`~repro.injection.experiment.ExperimentRunner` each worker
+    builds (the CLI's ``--no-fast-forward`` / ``--checkpoint-interval`` /
+    ``--no-windowed`` land here).  ``cache_dir`` points workers at the
+    persistent artifact cache (:mod:`repro.artifacts`), so spawned processes
+    warm up from disk instead of re-deriving golden traces, checkpoints,
+    def-use indices and generated backend source.  ``backend`` selects the
+    execution engine each worker's runner uses (``decoded``, ``compiled`` or
+    ``reference``).
     """
 
     fast_forward: bool = True
     checkpoint_interval: Optional[int] = None
     cache_dir: Optional[str] = None
     backend: str = "decoded"
+    windowed: bool = True
 
     def prepare(self) -> None:
         """Activate this provider's artifact cache in the current process."""
@@ -79,6 +81,7 @@ class RegistryProvider:
             fast_forward=self.fast_forward,
             checkpoint_interval=self.checkpoint_interval,
             backend=self.backend,
+            windowed=self.windowed,
         )
 
 
@@ -142,6 +145,19 @@ class EngineProgress:
 ProgressCallback = Callable[[EngineProgress], None]
 
 
+def _phase_snapshot(runner: ExperimentRunner) -> dict:
+    """Copy a runner's cumulative per-phase timers (missing on stubs: {})."""
+    return dict(getattr(runner, "phase_seconds", None) or {})
+
+
+def _phase_delta(runner: ExperimentRunner, before: dict) -> dict:
+    """Per-phase seconds spent on ``runner`` since ``before`` was snapshot."""
+    return {
+        phase: total - before.get(phase, 0.0)
+        for phase, total in _phase_snapshot(runner).items()
+    }
+
+
 def available_cpus() -> int:
     """CPUs usable by this process (affinity-aware, e.g. inside containers)."""
     try:
@@ -185,8 +201,10 @@ def run_experiment_batch(
     ]
     order = sorted(range(len(specs)), key=lambda j: specs[j].first_dynamic_index)
     results: List[Optional[ExperimentResult]] = [None] * len(specs)
+    phase_before = _phase_snapshot(runner)
     for j in order:
         results[j] = runner.run_spec(specs[j])
+    partial.phase_seconds = _phase_delta(runner, phase_before)
     for experiment in results:
         partial.add_experiment(
             outcome=experiment.outcome,
@@ -260,6 +278,10 @@ class ExecutionEngine:
     #: Short name used in progress messages and benchmark labels.
     name: str = "?"
 
+    #: Per-phase wall-clock seconds of the most recent :meth:`run_errors`
+    #: call (restore / pre_window / window / tail), for the CLI summary.
+    phase_seconds: dict = {}
+
     def run(
         self,
         config: CampaignConfig,
@@ -296,6 +318,7 @@ class ExecutionEngine:
         done = 0
         chunk = 256
         label = f"{program}/{technique}/error-space"
+        phase_before = _phase_snapshot(runner)
         for start in range(0, total, chunk):
             positions = order[start : start + chunk]
             batch = [errors[j] for j in positions]
@@ -311,6 +334,7 @@ class ExecutionEngine:
                         elapsed_seconds=time.monotonic() - started,
                     )
                 )
+        self.phase_seconds = _phase_delta(runner, phase_before)
         return outcomes
 
     def plan_infer_map(self, program: str, *, provider: RunnerProvider):
@@ -406,10 +430,12 @@ def _run_worker_batch(
 
 def _run_worker_error_batch(
     task: Tuple[str, List[Tuple[int, Optional[int], int]]]
-) -> List[Outcome]:
+) -> Tuple[List[Outcome], dict]:
     technique, errors = task
     assert _WORKER_RUNNER is not None, "worker pool was not initialised"
-    return run_error_batch(_WORKER_RUNNER, technique, errors)
+    phase_before = _phase_snapshot(_WORKER_RUNNER)
+    outcomes = run_error_batch(_WORKER_RUNNER, technique, errors)
+    return outcomes, _phase_delta(_WORKER_RUNNER, phase_before)
 
 
 _WORKER_INFERENCE = None
@@ -577,17 +603,20 @@ class MultiprocessEngine(ExecutionEngine):
         started = time.monotonic()
         done = 0
         label = f"{program}/{technique}/error-space"
+        phase_totals: dict = {}
         with context.Pool(
             processes=min(self.jobs, len(tasks)),
             initializer=_initialise_worker,
             initargs=(provider, program),
         ) as pool:
-            for task_index, batch_outcomes in enumerate(
+            for task_index, (batch_outcomes, batch_phases) in enumerate(
                 pool.imap(_run_worker_error_batch, tasks)
             ):
                 positions = order[task_index * chunk : task_index * chunk + len(batch_outcomes)]
                 for position, outcome in zip(positions, batch_outcomes):
                     outcomes[position] = outcome
+                for phase, seconds in batch_phases.items():
+                    phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
                 done += len(batch_outcomes)
                 if on_progress is not None:
                     on_progress(
@@ -598,6 +627,7 @@ class MultiprocessEngine(ExecutionEngine):
                             elapsed_seconds=time.monotonic() - started,
                         )
                     )
+        self.phase_seconds = phase_totals
         return outcomes
 
     def plan_infer_map(self, program: str, *, provider: RunnerProvider):

@@ -160,6 +160,11 @@ class CampaignResult:
     activated_histogram: Dict[int, int] = field(default_factory=dict)
     #: Per-experiment records (kept unless the caller disables them).
     records: List[ExperimentRecord] = field(default_factory=list)
+    #: Cumulative wall-clock seconds per execution phase (restore /
+    #: pre_window / window / tail), summed across batches.  Observability
+    #: only: deliberately excluded from serialization, so stored results are
+    #: byte-identical regardless of execution strategy or machine speed.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     # -- incremental construction ------------------------------------------------
     def add_experiment(
@@ -203,6 +208,8 @@ class CampaignResult:
                 self.activated_histogram.get(activated, 0) + count
             )
         self.records.extend(other.records)
+        for phase, seconds in other.phase_seconds.items():
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
         return self
 
     # -- derived quantities ----------------------------------------------------------

@@ -89,6 +89,7 @@ def _build_session(args: argparse.Namespace) -> ExperimentSession:
         fast_forward=not args.no_fast_forward,
         checkpoint_interval=args.checkpoint_interval,
         backend=getattr(args, "backend", "decoded"),
+        windowed=not getattr(args, "no_windowed", False),
         progress=_progress(args),
         experiment_progress=_experiment_progress(args),
     )
@@ -169,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
             "bit-identical either way)",
         )
         sub.add_argument(
+            "--no-windowed",
+            action="store_true",
+            help="keep injection hooks armed for the whole faulty run instead "
+            "of only inside the fault window (slower; results are "
+            "bit-identical either way)",
+        )
+        sub.add_argument(
             "--checkpoint-interval",
             type=_positive_int,
             default=None,
@@ -240,6 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fast-forward",
         action="store_true",
         help="replay every experiment's fault-free prefix from scratch",
+    )
+    campaign_parser.add_argument(
+        "--no-windowed",
+        action="store_true",
+        help="keep injection hooks armed for the whole faulty run instead "
+        "of only inside the fault window (slower; results are "
+        "bit-identical either way)",
     )
     campaign_parser.add_argument(
         "--checkpoint-interval",
@@ -337,6 +352,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical either way)",
     )
     exhaustive_parser.add_argument(
+        "--no-windowed",
+        action="store_true",
+        help="keep injection hooks armed for the whole faulty run instead "
+        "of only inside the fault window (slower; results are "
+        "bit-identical either way)",
+    )
+    exhaustive_parser.add_argument(
         "--checkpoint-interval",
         type=_positive_int,
         default=None,
@@ -393,6 +415,27 @@ def _run_table(args: argparse.Namespace) -> str:
     return f"{result.name}: {result.description}\n\n{result.text}"
 
 
+def _phase_lines(phase_seconds, experiments: int, label: str = "  ") -> list:
+    """Per-phase wall-clock breakdown plus throughput, as printable lines.
+
+    ``phase_seconds`` maps restore / pre_window / window / tail to cumulative
+    seconds (empty when the run came entirely from the result cache, in which
+    case nothing is printed).
+    """
+    if not phase_seconds:
+        return []
+    total = sum(phase_seconds.values())
+    if total <= 0.0:
+        return []
+    breakdown = ", ".join(
+        f"{name}={seconds:.3f}s" for name, seconds in phase_seconds.items()
+    )
+    lines = [f"{label}phase time  {breakdown} (total {total:.3f}s)"]
+    if experiments > 0:
+        lines.append(f"{label}throughput  {experiments / total:.0f} experiments/s")
+    return lines
+
+
 def _run_campaign(args: argparse.Namespace) -> str:
     """``repro campaign``: one campaign, outcome counts and cache status.
 
@@ -420,6 +463,7 @@ def _run_campaign(args: argparse.Namespace) -> str:
         "  outcomes  " + ", ".join(f"{k}={v}" for k, v in counts.items() if v),
         f"  SDC       {result.sdc_percentage:.3f}%",
     ]
+    lines.extend(_phase_lines(result.phase_seconds, result.experiments))
     cache = session.artifact_cache
     if cache is not None:
         stats = cache.stats
@@ -483,6 +527,7 @@ def _run_exhaustive(args: argparse.Namespace) -> str:
         jobs=args.jobs,
         fast_forward=not args.no_fast_forward,
         checkpoint_interval=args.checkpoint_interval,
+        windowed=not args.no_windowed,
         progress=_progress(args),
         experiment_progress=_experiment_progress(args),
     )
@@ -513,6 +558,13 @@ def _run_exhaustive(args: argparse.Namespace) -> str:
         + ", ".join(f"{k}={v}" for k, v in counts.as_dict().items() if v),
         f"  SDC                {result.sdc_percentage:.3f}%",
     ]
+    lines.extend(
+        _phase_lines(
+            getattr(session.engine, "phase_seconds", {}) or {},
+            result.executed_experiments,
+            label="  ",
+        )
+    )
     if result.validation_sampled:
         lines.append(
             f"  validation         {result.validation_mispredicted}/"

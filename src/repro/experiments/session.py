@@ -74,6 +74,7 @@ class ExperimentSession:
         fast_forward: bool = True,
         checkpoint_interval: Optional[int] = None,
         backend: str = "decoded",
+        windowed: bool = True,
         progress: Optional[Callable[[str], None]] = None,
         experiment_progress: Optional[ProgressCallback] = None,
     ) -> None:
@@ -115,6 +116,7 @@ class ExperimentSession:
             checkpoint_interval=checkpoint_interval,
             cache_dir=str(self.cache_dir) if self.cache_dir is not None else None,
             backend=backend,
+            windowed=windowed,
         )
         self.runner = CampaignRunner(
             self._provider,

@@ -32,7 +32,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.frontend.compiler import CompiledProgram
@@ -41,7 +42,12 @@ from repro.injection.injector import FaultInjector
 from repro.injection.outcome import Outcome
 from repro.injection.techniques import InjectionCandidate, InjectionTechnique
 from repro.vm.codegen import CompiledCode, CompiledInterpreter, compile_program
-from repro.vm.interpreter import ExecutionLimits, ExecutionResult, Interpreter
+from repro.vm.interpreter import (
+    ExecutionLimits,
+    ExecutionResult,
+    Interpreter,
+    SuspendedRun,
+)
 from repro.vm.program import DecodedProgram, decode_module
 from repro.vm.reference import ReferenceInterpreter
 from repro.vm.snapshot import (
@@ -156,6 +162,7 @@ class ExperimentRunner:
         watchdog_multiplier: int = 12,
         backend: str = "decoded",
         fast_forward: bool = True,
+        windowed: bool = True,
         checkpoint_interval: Optional[int] = None,
         max_checkpoints: int = DEFAULT_MAX_CHECKPOINTS,
     ) -> None:
@@ -181,10 +188,28 @@ class ExperimentRunner:
         #: Fast-forward exists on the decoded and compiled drivers; the
         #: reference backend always replays from scratch (it is the oracle).
         self.fast_forward = bool(fast_forward) and backend in ("decoded", "compiled")
+        #: Injection-windowed execution: hooks are armed only while the
+        #: injector can still flip (bare sprint → hooked window → bare tail).
+        #: Requires the resumable drivers, so the reference oracle always
+        #: runs fully hooked.
+        self.windowed = bool(windowed) and backend in ("decoded", "compiled")
         self.checkpoint_interval = checkpoint_interval
         self.max_checkpoints = max_checkpoints
         self._checkpoints: Optional[CheckpointStore] = None
         self._ff_interpreter: Optional[Interpreter] = None
+        #: Pooled from-scratch driver (non-fast-forward runs): built once,
+        #: rewound with ``reset()`` per experiment (reference stays per-run).
+        self._scratch_interpreter: Optional[Interpreter] = None
+        #: Cumulative per-phase wall-clock seconds across this runner's
+        #: experiments (restore / pre-window sprint / hooked window / bare
+        #: tail) plus the experiment count — the CLI summary breakdown.
+        self.phase_seconds: Dict[str, float] = {
+            "restore": 0.0,
+            "pre_window": 0.0,
+            "window": 0.0,
+            "tail": 0.0,
+        }
+        self.experiments_run = 0
         if golden is not None:
             self.golden = golden
         elif self.fast_forward:
@@ -280,11 +305,114 @@ class ExperimentRunner:
         self._checkpoints = store
         return store if store.program is self.decoded else None
 
-    def run_spec(self, spec: FaultSpec, *, fast_forward: Optional[bool] = None) -> ExperimentResult:
+    def _pooled_interpreter(self) -> Interpreter:
+        """The one long-lived resumable driver every experiment reuses."""
+        interpreter = self._ff_interpreter
+        if interpreter is None:
+            if self.backend == "compiled":
+                interpreter = CompiledInterpreter(
+                    self.compiled, entry=self.program.entry, limits=self.limits
+                )
+            else:
+                interpreter = Interpreter(
+                    self.decoded, entry=self.program.entry, limits=self.limits
+                )
+            self._ff_interpreter = interpreter
+        return interpreter
+
+    def _run_windowed(
+        self,
+        injector: FaultInjector,
+        spec: FaultSpec,
+        read_hook,
+        write_hook,
+        use_fast_forward: bool,
+    ) -> ExecutionResult:
+        """Three-segment faulty run: bare sprint → hooked window → bare tail.
+
+        Outside the injection window the hooks are pure pass-throughs, so
+        the run executes bare (compiled: the uninstrumented variant) up to
+        ``first_dynamic_index``, switches the hooks in only while the
+        injector still has flips to place, and finishes bare the moment it
+        is exhausted.  Every segment enforces :class:`ExecutionLimits`, so
+        hangs classify at the exact same tick as an always-hooked run.
+        """
+        interpreter = self._pooled_interpreter()
+        phases = self.phase_seconds
+        first = spec.first_dynamic_index
+        snapshot = None
+        if use_fast_forward:
+            store = self._checkpoint_store()
+            if store is not None:
+                snapshot = store.latest_at(first)
+        interpreter.read_hook = None
+        interpreter.write_hook = None
+        try:
+            started = perf_counter()
+            if snapshot is not None:
+                interpreter.restore(snapshot)
+                restored = perf_counter()
+                # The restore inside resume_segment re-restores the same
+                # state object: a delta restore of a clean memory, ~free.
+                out = interpreter.resume_segment(snapshot, first)
+            else:
+                interpreter.reset()
+                restored = perf_counter()
+                out = interpreter.run_segment(self.args, first)
+            now = perf_counter()
+            phases["restore"] += restored - started
+            phases["pre_window"] += now - restored
+            chunk = 1
+            while isinstance(out, SuspendedRun):
+                if injector.exhausted:
+                    # Final flip landed: detach the hooks, finish bare.
+                    interpreter.read_hook = None
+                    interpreter.write_hook = None
+                    started = perf_counter()
+                    out = interpreter.continue_segment(out, None)
+                    phases["tail"] += perf_counter() - started
+                    continue
+                next_time = injector.next_scheduled_time
+                if next_time > interpreter.dynamic_index:
+                    # Between scheduled flips (win-size > 1): sprint bare to
+                    # the next one.  No access below it can be injected.
+                    interpreter.read_hook = None
+                    interpreter.write_hook = None
+                    started = perf_counter()
+                    out = interpreter.continue_segment(out, next_time)
+                    phases["pre_window"] += perf_counter() - started
+                    chunk = 1
+                    continue
+                # Inside the window: run hooked until the flip lands.  A
+                # scheduled flip lands on the first *eligible* access at or
+                # after its time, which can trail the schedule — double the
+                # chunk while nothing landed so stragglers stay cheap.
+                interpreter.read_hook = read_hook
+                interpreter.write_hook = write_hook
+                landed_before = len(injector.injections)
+                started = perf_counter()
+                out = interpreter.continue_segment(
+                    out, interpreter.dynamic_index + chunk
+                )
+                phases["window"] += perf_counter() - started
+                chunk = 1 if len(injector.injections) > landed_before else chunk * 2
+            return out
+        finally:
+            interpreter.read_hook = None
+            interpreter.write_hook = None
+
+    def run_spec(
+        self,
+        spec: FaultSpec,
+        *,
+        fast_forward: Optional[bool] = None,
+        windowed: Optional[bool] = None,
+    ) -> ExperimentResult:
         """Execute one faulty run and classify its outcome.
 
-        ``fast_forward`` overrides the runner-level setting for this one run
-        (the escape hatch the differential suite compares both paths with).
+        ``fast_forward`` and ``windowed`` override the runner-level settings
+        for this one run (the escape hatches the differential suite compares
+        the execution strategies with).
         """
         injector = FaultInjector(spec)
         read_hook = injector.read_hook if spec.technique == "inject-on-read" else None
@@ -294,44 +422,72 @@ class ExperimentRunner:
             if fast_forward is None
             else bool(fast_forward) and self.backend in ("decoded", "compiled")
         )
+        use_windowed = (
+            self.windowed
+            if windowed is None
+            else bool(windowed) and self.backend in ("decoded", "compiled")
+        )
+        self.experiments_run += 1
         execution: Optional[ExecutionResult] = None
-        if use_fast_forward:
+        if use_windowed:
+            execution = self._run_windowed(
+                injector, spec, read_hook, write_hook, use_fast_forward
+            )
+        elif use_fast_forward:
             store = self._checkpoint_store()
             snapshot = (
                 store.latest_at(spec.first_dynamic_index) if store is not None else None
             )
             if snapshot is not None:
-                interpreter = self._ff_interpreter
-                if interpreter is None:
-                    # One long-lived driver is reused by every fast-forwarded
-                    # experiment; restore() rewinds all of its state.
-                    if self.backend == "compiled":
-                        interpreter = CompiledInterpreter(
-                            self.compiled, entry=self.program.entry, limits=self.limits
-                        )
-                    else:
-                        interpreter = Interpreter(
-                            self.decoded, entry=self.program.entry, limits=self.limits
-                        )
-                    self._ff_interpreter = interpreter
+                # One long-lived driver is reused by every fast-forwarded
+                # experiment; restore() rewinds all of its state.
+                interpreter = self._pooled_interpreter()
                 interpreter.read_hook = read_hook
                 interpreter.write_hook = write_hook
                 try:
+                    started = perf_counter()
                     execution = interpreter.resume(snapshot)
+                    self.phase_seconds["window"] += perf_counter() - started
                 finally:
                     interpreter.read_hook = None
                     interpreter.write_hook = None
         if execution is None:
-            interpreter = _make_interpreter(
-                self.program,
-                self.backend,
-                self.decoded,
-                self.compiled,
-                limits=self.limits,
-                read_hook=read_hook,
-                write_hook=write_hook,
-            )
-            execution = interpreter.run(self.args)
+            if self.backend in ("decoded", "compiled"):
+                # Pooled from-scratch driver: decode/compile and address-space
+                # setup are paid once, reset() rewinds it per experiment.
+                interpreter = self._scratch_interpreter
+                if interpreter is None:
+                    interpreter = _make_interpreter(
+                        self.program,
+                        self.backend,
+                        self.decoded,
+                        self.compiled,
+                        limits=self.limits,
+                    )
+                    self._scratch_interpreter = interpreter
+                interpreter.read_hook = read_hook
+                interpreter.write_hook = write_hook
+                try:
+                    started = perf_counter()
+                    interpreter.reset()
+                    execution = interpreter.run(self.args)
+                    self.phase_seconds["window"] += perf_counter() - started
+                finally:
+                    interpreter.read_hook = None
+                    interpreter.write_hook = None
+            else:
+                interpreter = _make_interpreter(
+                    self.program,
+                    self.backend,
+                    self.decoded,
+                    self.compiled,
+                    limits=self.limits,
+                    read_hook=read_hook,
+                    write_hook=write_hook,
+                )
+                started = perf_counter()
+                execution = interpreter.run(self.args)
+                self.phase_seconds["window"] += perf_counter() - started
         outcome = self.classify(execution)
         return ExperimentResult(
             spec=spec,

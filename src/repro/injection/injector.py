@@ -75,8 +75,25 @@ class FaultInjector:
 
     @property
     def exhausted(self) -> bool:
-        """True when every planned flip has been performed."""
+        """True when every planned flip has been performed.
+
+        The moment this turns true the hooks are pure pass-throughs: a
+        windowed runner can detach them and finish the run at bare speed.
+        """
         return self._remaining <= 0
+
+    @property
+    def next_scheduled_time(self) -> int:
+        """Dynamic index of the next scheduled flip (first eligible access
+        at or after it lands the flip).  Meaningless once :attr:`exhausted`."""
+        return self._next_time
+
+    @property
+    def last_dynamic_index(self) -> Optional[int]:
+        """Dynamic index of the most recent flip, or ``None`` before any."""
+        if not self.injections:
+            return None
+        return self.injections[-1].dynamic_index
 
     # -- hooks wired into the interpreter ------------------------------------------
     def read_hook(

@@ -120,6 +120,7 @@ def get_experiment_runner(
     fast_forward: bool = True,
     checkpoint_interval: "int | None" = None,
     backend: str = "decoded",
+    windowed: bool = True,
 ) -> ExperimentRunner:
     """A ready-to-use experiment runner, cached per configuration.
 
@@ -127,11 +128,13 @@ def get_experiment_runner(
     the workload's VM checkpoints, cached alongside the golden trace — under
     a ``fork``-based pool, workers inherit all of it.  ``backend`` selects
     the execution engine faulty runs use (``decoded``, ``compiled`` or
-    ``reference``).
+    ``reference``); ``windowed`` (the default) arms injection hooks only
+    inside the fault window of each faulty run.
     """
     return ExperimentRunner(
         build_program(name),
         fast_forward=fast_forward,
         checkpoint_interval=checkpoint_interval,
         backend=backend,
+        windowed=windowed,
     )

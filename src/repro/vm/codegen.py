@@ -62,7 +62,7 @@ from repro.vm.faults import (
     MisalignedAccessFault,
     SegmentationFault,
 )
-from repro.vm.interpreter import Interpreter
+from repro.vm.interpreter import Interpreter, _PauseSignal
 from repro.vm.program import (
     KIND_BRANCH,
     KIND_COND_BRANCH,
@@ -97,7 +97,7 @@ _MASK64 = (1 << 64) - 1
 
 #: Version tag of the generator, mixed into the artifact-cache key.  Bump
 #: whenever the emitted source or the const-table walk changes shape.
-CODEGEN_VERSION = "1"
+CODEGEN_VERSION = "2"
 
 #: Number of from-scratch source generations performed by this process.
 #: Mirrors ``snapshot.GOLDEN_DERIVATIONS``: cache hits never increment it.
@@ -129,6 +129,7 @@ _CONST_HEADER = (
     HardwareFault,
     ExecutionSetupError,
     UNDEFINED,
+    _PauseSignal,
 )
 
 
@@ -201,6 +202,7 @@ _FIXED_PROLOGUE = (
     'INF = float("inf")',
     'NINF = float("-inf")',
     'NAN = float("nan")',
+    "E_PAUSE = C[9]",
 )
 
 _INT_BINOP_SYMBOLS = {
@@ -235,6 +237,9 @@ class _Emitter:
         #: Set by :meth:`emit_function` for the function being emitted —
         #: needed by the bare variant's watchdog delegation.
         self._fn: Optional[Tuple[int, str, object]] = None
+        #: Block / code position currently being emitted (pause-site labels).
+        self._block = None
+        self._pos = 0
 
     def cur(self) -> str:
         """Expression for the current dynamic index (post-tick)."""
@@ -366,17 +371,32 @@ class _Emitter:
         sign_bit = 1 << (width - 1)
         return f"((({expr}) & {mask}) ^ {sign_bit}) - {sign_bit}"
 
+    def _frame_tuple(self) -> str:
+        """Source tuple packing every frame slot (pause-site capture)."""
+        dfunc = self._fn[2]
+        if dfunc.frame_size == 0:
+            return "()"
+        regs = ", ".join(f"r{slot}" for slot in range(dfunc.frame_size))
+        if dfunc.frame_size == 1:
+            return f"({regs},)"
+        return f"({regs})"
+
     # -- per-instruction emitters ------------------------------------------
     def emit_tick(self, din) -> None:
         if not self.instrumented:
-            # The bare variant has no per-tick observers: the watchdog is
-            # enforced by the block-entry delegation check, and fault sites
-            # embed their tick offset as a literal.
+            # The bare variant has no per-tick observers: the watchdog (and
+            # any armed pause tick — ``limit`` hoists ``vm._stop``) is
+            # enforced by the block-entry/post-call delegation checks, and
+            # fault sites embed their tick offset as a literal.
             self._dn += 1
             return
+        # ``limit`` is ``vm._stop`` = min(watchdog, pause tick); ``SC``
+        # raises HangDetected or a pause signal carrying this exact site.
         self.w("if n >= limit:")
         self.w("    vm.dynamic_index = n")
-        self.w("    raise E_HANG(n, limit)")
+        self.w(
+            f"    SC(n, {self._block.index}, {self._pos}, {self._frame_tuple()})"
+        )
         meta = self.din_attr(din, "meta", "m")
         self.w("if TR is not None:")
         self.w(f"    TR({meta})")
@@ -665,6 +685,8 @@ class _Emitter:
         self.w("    _d[_o:_e] = _b")
         self.w("    if _e > _sg.high_water:")
         self.w("        _sg.high_water = _e")
+        self.w("    if _o < _sg.dirty_low:")
+        self.w("        _sg.dirty_low = _o")
         self.w("else:")
         self.push()
         self._emit_mem_guard(f"MW({addr}, _b)")
@@ -715,20 +737,46 @@ class _Emitter:
         if din.callee is not None:
             symbol = self.fn_symbol[din.callee.name]
             call_args = "".join(f", {value}" for value in values)
-            self.w(f"t = {symbol}(vm{call_args})")
+            # A pause inside the callee unwinds through this frame: record
+            # this call site so the level can be rebuilt on resume.
+            self.w("try:")
+            self.w(f"    t = {symbol}(vm{call_args})")
+            self.w("except E_PAUSE as p:")
+            self.w(
+                f"    p.site({self._block.index}, {self._pos}, "
+                f"{self._frame_tuple()})"
+            )
+            self.w("    raise")
             # The callee advanced the counter; rebase the local and (in the
             # bare variant) restart the pending-tick delta from zero.
             self.w("n = vm.dynamic_index")
             self._dn = 0
+            needs_recheck = not self.instrumented
         else:
             # Intrinsics never advance the counter: ``n`` plus the pending
             # delta stays exact, no rebase needed.
             fn = self.din_attr(din, "intrinsic_fn", "fn")
             tail = "," if len(values) == 1 else ""
             self.w(f"t = {fn}(vm, ({', '.join(values)}{tail}))")
+            needs_recheck = False
         if din.dest_slot >= 0:
             canon = self.din_attr(din, "canon", "cn")
             self.write_result(din, f"{canon}(0 if t is None else t)")
+        if needs_recheck:
+            # The callee may have consumed the distance to the stop tick
+            # (watchdog or pause): re-check before finishing this block
+            # bare, delegating the remainder to the interpretive driver
+            # mid-block when the stop is in reach.  Emitted after the
+            # result write so the delegated frame holds the call result.
+            remaining = self._block.code_len - self._pos - 1
+            _j, name, dfunc = self._fn
+            frame = ", ".join(f"r{slot}" for slot in range(dfunc.frame_size))
+            self.w(f"if n + {remaining} > limit:")
+            self.w("    vm.dynamic_index = n")
+            self.w(
+                f"    return vm._tail_interpret({name!r}, [{frame}], "
+                f"{self._block.index}, P, {self._pos + 1})"
+            )
 
     def emit_call_unknown(self, din) -> None:
         if self.instrumented:
@@ -793,11 +841,13 @@ class _Emitter:
 
     def emit_block(self, block) -> None:
         self._dn = 0
+        self._block = block
         if not self.instrumented:
-            # Watchdog delegation: if any tick of this block could cross the
-            # limit, hand the rest of this invocation to the (bit-identical)
-            # interpretive driver, which enforces the hang check per
-            # instruction.  Off the limit this costs one compare per block.
+            # Stop-tick delegation: if any tick of this block could cross
+            # ``vm._stop`` (the watchdog limit, or an armed pause tick), hand
+            # the rest of this invocation to the (bit-identical) interpretive
+            # driver, which enforces the exact per-tick check.  Off the stop
+            # this costs one compare per block.
             j, name, dfunc = self._fn
             frame = ", ".join(f"r{slot}" for slot in range(dfunc.frame_size))
             self.w(f"if n + {block.phi_count + block.code_len} > limit:")
@@ -805,6 +855,17 @@ class _Emitter:
             self.w(
                 f"    return vm._tail_interpret({name!r}, [{frame}], "
                 f"{block.index}, P)"
+            )
+        elif block.phi_count:
+            # Phi moves are one atomic parallel assignment: a pause tick
+            # landing inside the group suspends at the block entry instead
+            # (SCP no-ops when the trigger was only watchdog proximity —
+            # hangs keep firing at code ticks, exactly like the driver).
+            self.w(f"if n + {block.phi_count} > limit:")
+            self.w("    vm.dynamic_index = n")
+            self.w(
+                f"    SCP(n, {block.phi_count}, {block.index}, "
+                f"{self._frame_tuple()}, P)"
             )
         if block.phi_count:
             first = True
@@ -815,7 +876,8 @@ class _Emitter:
                 self.emit_phi_edge(moves, failure)
                 self.pop()
         terminated = False
-        for din in block.code:
+        for position, din in enumerate(block.code):
+            self._pos = position
             self.emit_tick(din)
             kind = din.kind
             if kind == KIND_SIMPLE:
@@ -922,8 +984,16 @@ class _Emitter:
     # -- function assembly --------------------------------------------------
     @staticmethod
     def _scan_function(dfunc) -> Dict[str, bool]:
-        uses = {"globals": False, "read": False, "write": False, "mem": False}
+        uses = {
+            "globals": False,
+            "read": False,
+            "write": False,
+            "mem": False,
+            "phis": False,
+        }
         for block in dfunc.blocks:
+            if block.phi_count:
+                uses["phis"] = True
             for moves, _failure in block.phi_edges.values():
                 for op, _phi in moves:
                     if op[0] == OP_GLOBAL:
@@ -953,7 +1023,12 @@ class _Emitter:
             self.w("TR = vm._trace_append")
             self.w("RH = vm.read_hook")
             self.w("WH = vm.write_hook")
-        self.w("limit = _l.max_dynamic_instructions")
+            self.w("SC = vm._stop_raise")
+            if uses["phis"]:
+                self.w("SCP = vm._stop_raise_prephi")
+        # min(watchdog limit, armed pause tick) — segmented execution reuses
+        # every existing stop check to pause at exact tick boundaries.
+        self.w("limit = vm._stop")
         self.w("n = vm.dynamic_index")
 
     def emit_function(self, j: int, name: str, dfunc) -> None:
@@ -985,10 +1060,10 @@ class _Emitter:
                 f"F{j}_a{i}", f"C[{self.cindex.fn_args[name]}][{i}]"
             )
             self.w(f"r{i} = {arg_canon}(a{i})")
-        if not self.instrumented and dfunc.frame_size > dfunc.arg_count:
+        if dfunc.frame_size > dfunc.arg_count:
             # Pre-fill non-argument slots with the UNDEFINED sentinel (the
-            # decoded driver's frame init) so watchdog delegation can pack
-            # the full frame at any block boundary.
+            # decoded driver's frame init) so stop-tick delegation and pause
+            # sites can pack the full frame at any check point.
             und = self.alias("UND", "C[8]")
             slots = list(range(dfunc.arg_count, dfunc.frame_size))
             for start in range(0, len(slots), 12):
@@ -1003,6 +1078,11 @@ class _Emitter:
             self.w("while True:")
             self._splice(body, self._indent + 1)
         self.pop()
+        # A pause unwinding through this invocation freezes it as one frame
+        # level; the site (block/position/frame) was recorded by the raiser.
+        self.w("except E_PAUSE as p:")
+        self.w(f"    p.level(vm.program.functions[{name!r}], _mark)")
+        self.w("    raise")
         self.w("finally:")
         self.w("    _mem.stack_release(_mark)")
         self.w("    vm._call_depth -= 1")
@@ -1021,7 +1101,6 @@ class _Emitter:
             return
         for slot in range(dfunc.frame_size):
             self.w(f"r{slot} = F[{slot}]")
-        self.w("_l = vm.limits")
         if uses["mem"]:
             self.w("_mem = vm.memory")
         self._emit_hoists(uses)
@@ -1279,23 +1358,40 @@ class CompiledInterpreter(Interpreter):
         # interpretive tail of a fast-forward resume.
         return self._active[dfunc.name][0](self, *args)
 
-    def _tail_interpret(self, name: str, frame, block_index: int, previous: int):
-        """Watchdog delegation target for the bare variant.
+    def _tail_interpret(
+        self, name: str, frame, block_index: int, previous: int, position: int = 0
+    ):
+        """Stop-tick delegation target for the bare variant.
 
-        Generated bare code carries no per-instruction hang check; when a
-        block's ticks could cross the watchdog limit it hands the rest of
-        the invocation to the inherited (bit-identical) interpretive driver,
-        which raises :class:`HangDetected` at the exact tick.  Calls made by
-        the driver still dispatch back into compiled code.
+        Generated bare code carries no per-instruction stop check; when a
+        block's remaining ticks could cross ``vm._stop`` (the watchdog
+        limit, or an armed pause tick) it hands the rest of the invocation
+        to the inherited (bit-identical) interpretive driver, which raises
+        :class:`HangDetected` — or pauses — at the exact tick.  Calls made
+        by the driver still dispatch back into compiled code.  ``position``
+        is non-zero for the post-call re-check, which delegates mid-block
+        (past the phi group by construction).
         """
         block = self.program.functions[name].blocks[block_index]
-        return self._block_loop(frame, block, previous, 0, False)
+        return self._block_loop(frame, block, previous, position, position > 0)
 
     # -- fast-forward --------------------------------------------------------
     def resume(self, snapshot) -> "ExecutionResult":
         self.restore(snapshot)
         self._select_variant()
         return self._execute(lambda: self._resume_level(snapshot.frames, 0))
+
+    def run_segment(self, args, pause_tick):
+        self._select_variant()
+        return super().run_segment(args, pause_tick)
+
+    def resume_segment(self, snapshot, pause_tick):
+        self._select_variant()
+        return super().resume_segment(snapshot, pause_tick)
+
+    def continue_segment(self, suspended, pause_tick):
+        self._select_variant()
+        return super().continue_segment(suspended, pause_tick)
 
     def _resume_level(self, frames, level: int):
         record = frames[level]
@@ -1312,12 +1408,25 @@ class CompiledInterpreter(Interpreter):
                         value = 0
                     _finish(self, frame, din, din.canon(value))
                 outcome = self._finish_block(frame, block, record.position + 1)
+            elif record.previous is not None:
+                # Paused before the block's phi group: the compiled resume
+                # entry runs the phis for the captured edge, then the body.
+                return self._active[dfunc.name][1](
+                    self, frame, block.index, record.previous
+                )
             else:
                 outcome = self._finish_block(frame, block, record.position)
             if outcome[0] == "ret":
                 return outcome[1]
             _tag, previous, target = outcome
             return self._active[dfunc.name][1](self, frame, target.index, previous)
+        except _PauseSignal as signal:
+            if not signal._site_open:
+                # Pause surfaced from the nested level's resume: this level
+                # is still suspended at its original call site.
+                signal.site(record.block_index, record.position, tuple(frame))
+            signal.level(dfunc, record.stack_mark)
+            raise
         finally:
             self.memory.stack_release(record.stack_mark)
             self._call_depth -= 1
@@ -1331,43 +1440,55 @@ class CompiledInterpreter(Interpreter):
         only at block boundaries).
         """
         limit = self.limits.max_dynamic_instructions
+        stop = self._stop
         trace = self._trace_append
         code = block.code
         code_len = block.code_len
-        while position < code_len:
-            din = code[position]
-            index = self.dynamic_index
-            if index >= limit:
-                raise HangDetected(index, limit)
-            if trace is not None:
-                trace(din.meta)
-            self.dynamic_index = index + 1
+        try:
+            while position < code_len:
+                din = code[position]
+                index = self.dynamic_index
+                if index >= stop:
+                    if index >= limit:
+                        raise HangDetected(index, limit)
+                    signal = _PauseSignal(self.memory.stack_mark())
+                    signal.site(block.index, position, tuple(frame))
+                    raise signal
+                if trace is not None:
+                    trace(din.meta)
+                self.dynamic_index = index + 1
 
-            kind = din.kind
-            if kind == KIND_SIMPLE:
-                din.handler(self, frame, din)
-                position += 1
-                continue
-            if kind == KIND_BRANCH:
-                return ("jump", block.index, din.target)
-            if kind == KIND_COND_BRANCH:
-                condition = _read_op(self, frame, din, din.operands[0])
-                return (
-                    "jump",
-                    block.index,
-                    din.if_true if condition else din.if_false,
+                kind = din.kind
+                if kind == KIND_SIMPLE:
+                    din.handler(self, frame, din)
+                    position += 1
+                    continue
+                if kind == KIND_BRANCH:
+                    return ("jump", block.index, din.target)
+                if kind == KIND_COND_BRANCH:
+                    condition = _read_op(self, frame, din, din.operands[0])
+                    return (
+                        "jump",
+                        block.index,
+                        din.if_true if condition else din.if_false,
+                    )
+                if kind == KIND_RETURN:
+                    if not din.operands:
+                        return ("ret", None)
+                    value = _read_op(self, frame, din, din.operands[0])
+                    return ("ret", bitops.canonicalize(value, din.ret_type))
+                # KIND_UNREACHABLE
+                raise AbortFault(
+                    "executed an unreachable instruction",
+                    dynamic_index=self.dynamic_index,
                 )
-            if kind == KIND_RETURN:
-                if not din.operands:
-                    return ("ret", None)
-                value = _read_op(self, frame, din, din.operands[0])
-                return ("ret", bitops.canonicalize(value, din.ret_type))
-            # KIND_UNREACHABLE
-            raise AbortFault(
-                "executed an unreachable instruction",
+            raise InvalidJumpFault(
+                f"control fell off the end of block %{block.name}",
                 dynamic_index=self.dynamic_index,
             )
-        raise InvalidJumpFault(
-            f"control fell off the end of block %{block.name}",
-            dynamic_index=self.dynamic_index,
-        )
+        except _PauseSignal as signal:
+            if not signal._site_open:
+                # Pause inside a callee (din.handler running a call): this
+                # frame is suspended at the call instruction.
+                signal.site(block.index, position, tuple(frame))
+            raise

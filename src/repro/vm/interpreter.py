@@ -95,6 +95,82 @@ ReadHook = Callable[[int, HookInstruction, int, VirtualRegister, RuntimeScalar],
 WriteHook = Callable[[int, HookInstruction, VirtualRegister, RuntimeScalar], RuntimeScalar]
 
 
+class _PauseSignal(Exception):
+    """Internal control-flow signal: a segmented run reached its pause tick.
+
+    Raised from the inner loop (or generated code) when ``dynamic_index``
+    reaches the armed pause tick, and caught by :meth:`Interpreter._segment`,
+    which converts it into a :class:`SuspendedRun`.  While the signal unwinds
+    the Python call stack, each VM stack level freezes itself into a
+    :class:`~repro.vm.snapshot.FrameSnapshot` via the two-step
+    :meth:`site` / :meth:`level` protocol:
+
+    * the code that *knows the suspension point* of the current level (the
+      inner loop's pause check, a call site whose callee paused) opens a site
+      with ``(block_index, position, frame)``;
+    * the frame owner (``_run_function``, ``_resume_level``, or a generated
+      entry wrapper) closes the level, appending the finished record.
+
+    Records accumulate innermost-first; ``_segment`` reverses them into the
+    outermost-first order ``_resume_level`` expects.  ``stack_cursor`` is the
+    VM stack-segment cursor at the instant of the pause — the unwind releases
+    every level's stack frame, so ``continue_segment`` re-arms the cursor
+    before rebuilding the levels (the stack *data* is never cleared).
+    """
+
+    def __init__(self, stack_cursor: int) -> None:
+        self.records: List = []
+        self.stack_cursor = stack_cursor
+        self._site_open = False
+        self._block_index = 0
+        self._position = 0
+        self._frame: tuple = ()
+        self._previous: Optional[int] = None
+
+    def site(self, block_index: int, position: int, frame, previous: Optional[int] = None) -> None:
+        self._block_index = block_index
+        self._position = position
+        self._frame = frame
+        self._previous = previous
+        self._site_open = True
+
+    def level(self, dfunc, stack_mark: int) -> None:
+        from repro.vm.snapshot import FrameSnapshot
+
+        self.records.append(
+            FrameSnapshot(
+                dfunc,
+                self._block_index,
+                self._position,
+                self._frame,
+                stack_mark,
+                self._previous,
+            )
+        )
+        self._site_open = False
+
+
+class SuspendedRun:
+    """A run paused at a tick boundary, resumable via ``continue_segment``.
+
+    Holds the frozen call stack (outermost-first, like a
+    :class:`~repro.vm.snapshot.VMSnapshot`) and the VM stack cursor at the
+    pause.  Memory, output and ``dynamic_index`` live on the interpreter —
+    a suspended run is only valid on the interpreter that produced it, with
+    no intervening runs (windowed execution's in-process hand-off; nothing
+    is copied).
+    """
+
+    __slots__ = ("frames", "stack_cursor")
+
+    def __init__(self, frames: tuple, stack_cursor: int) -> None:
+        self.frames = frames
+        self.stack_cursor = stack_cursor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SuspendedRun depth={len(self.frames)}>"
+
+
 class Interpreter:
     """Executes a decoded MiniIR program with optional fault-injection hooks."""
 
@@ -136,10 +212,17 @@ class Interpreter:
         self.output: List[OutputEntry] = []
         self.dynamic_index = 0
         self._call_depth = 0
+        #: Armed pause tick for segmented execution (None = run to the end).
+        #: ``_stop`` is the hoisted min(pause, watchdog limit) the inner loop
+        #: (and generated code, via ``vm._stop``) compares against.
+        self._pause_tick: Optional[int] = None
+        self._stop = self.limits.max_dynamic_instructions
         self._global_addresses: Dict[str, int] = {}
         #: Global addresses by decode index — operand records index into this.
         self.global_values: List[int] = []
         self._materialise_globals()
+        #: Post-construction memory image, for pooled from-scratch reuse.
+        self._initial_memory = self.memory.capture_state()
 
     # ------------------------------------------------------------------ setup
     def _materialise_globals(self) -> None:
@@ -159,6 +242,18 @@ class Interpreter:
     def global_address(self, name: str) -> int:
         """Address of a module global (useful in tests and program setup)."""
         return self._global_addresses[name]
+
+    def reset(self) -> None:
+        """Rewind to the freshly constructed state (pooled from-scratch reuse).
+
+        Restores the post-construction memory image and zeroes the run
+        bookkeeping, so one long-lived driver can execute many from-scratch
+        runs without paying address-space setup per run.
+        """
+        self.memory.restore_state(self._initial_memory)
+        self.output = []
+        self.dynamic_index = 0
+        self._call_depth = 0
 
     # ------------------------------------------------------------------ running
     def run(self, args: Sequence[RuntimeScalar] = ()) -> ExecutionResult:
@@ -236,6 +331,100 @@ class Interpreter:
         self.restore(snapshot)
         return self._execute(lambda: self._resume_level(snapshot.frames, 0))
 
+    # ------------------------------------------------------------------ segments
+    def _set_pause(self, pause_tick: Optional[int]) -> None:
+        limit = self.limits.max_dynamic_instructions
+        if pause_tick is None or pause_tick >= limit:
+            # A pause at/past the watchdog can never fire before the hang
+            # check; treating it as "no pause" keeps hang classification
+            # byte-identical to an unsegmented run.
+            self._pause_tick = None
+            self._stop = limit
+        else:
+            self._pause_tick = pause_tick
+            self._stop = pause_tick
+
+    def _stop_raise(self, n: int, block_index: int, position: int, frame) -> None:
+        """Generated-code stop check tripped: raise hang or pause (always raises).
+
+        The compiled variants compare against the hoisted ``vm._stop``; this
+        trampoline distinguishes the two causes so one per-tick compare
+        serves both, with ``vm.dynamic_index`` already synced by the caller.
+        """
+        limit = self.limits.max_dynamic_instructions
+        if n >= limit:
+            raise HangDetected(n, limit)
+        signal = _PauseSignal(self.memory.stack_mark())
+        signal.site(block_index, position, frame)
+        raise signal
+
+    def _stop_raise_prephi(
+        self, n: int, phi_count: int, block_index: int, frame, previous: int
+    ) -> None:
+        """Pre-phi stop check tripped: pause before the phi group, or no-op.
+
+        Returns (running the phis) when the trigger was only watchdog
+        proximity — hang checks fire at code ticks, never inside a phi
+        group, exactly like the decoded driver.
+        """
+        pause = self._pause_tick
+        if pause is None or n + phi_count <= pause:
+            return
+        signal = _PauseSignal(self.memory.stack_mark())
+        signal.site(block_index, 0, frame, previous)
+        raise signal
+
+    def _segment(self, thunk, pause_tick: Optional[int]):
+        """Run ``thunk`` until it ends or reaches ``pause_tick``.
+
+        Returns the final :class:`ExecutionResult` when the run ends first
+        (normally, by fault, or by hang — all classified exactly like an
+        unsegmented run), or a :class:`SuspendedRun` when the pause tick is
+        reached: no instruction at or after ``pause_tick`` has executed, and
+        ``continue_segment`` picks up without copying any state.
+        """
+        self._set_pause(pause_tick)
+        try:
+            try:
+                return self._execute(thunk)
+            except _PauseSignal as signal:
+                return SuspendedRun(
+                    tuple(reversed(signal.records)), signal.stack_cursor
+                )
+        finally:
+            self._set_pause(None)
+
+    def run_segment(self, args: Sequence[RuntimeScalar], pause_tick: Optional[int]):
+        """Start a from-scratch run that pauses at ``pause_tick``."""
+        entry_function = self.program.get_function(self.entry)
+        if len(args) != len(entry_function.function.arguments):
+            raise ExecutionSetupError(
+                f"entry @{self.entry} takes {len(entry_function.function.arguments)} "
+                f"arguments, got {len(args)}"
+            )
+        return self._segment(
+            lambda: self._run_function(entry_function, list(args)), pause_tick
+        )
+
+    def resume_segment(self, snapshot, pause_tick: Optional[int]):
+        """Restore a checkpoint and run its suffix, pausing at ``pause_tick``."""
+        self.restore(snapshot)
+        return self._segment(
+            lambda: self._resume_level(snapshot.frames, 0), pause_tick
+        )
+
+    def continue_segment(self, suspended: SuspendedRun, pause_tick: Optional[int]):
+        """Continue a :class:`SuspendedRun` in place, pausing at ``pause_tick``.
+
+        Memory, output and the tick counter were never disturbed by the
+        pause; only the VM stack cursor (released by the unwind) is re-armed
+        before the frozen call stack is rebuilt.
+        """
+        self.memory.segments["stack"].cursor = suspended.stack_cursor
+        return self._segment(
+            lambda: self._resume_level(suspended.frames, 0), pause_tick
+        )
+
     def _resume_level(self, frames, level: int) -> Optional[RuntimeScalar]:
         """Rebuild one captured call-stack level and continue executing it.
 
@@ -258,7 +447,18 @@ class Interpreter:
                         value = 0
                     _finish(self, frame, din, din.canon(value))
                 return self._block_loop(frame, block, -1, record.position + 1, True)
+            if record.previous is not None:
+                # Paused before the block's phi group: re-run the phis for
+                # the captured incoming edge, then the block body.
+                return self._block_loop(frame, block, record.previous, 0, False)
             return self._block_loop(frame, block, -1, record.position, True)
+        except _PauseSignal as signal:
+            if not signal._site_open:
+                # The pause surfaced from the nested level's resume: this
+                # level is still suspended at its original call site.
+                signal.site(record.block_index, record.position, tuple(frame))
+            signal.level(dfunc, record.stack_mark)
+            raise
         finally:
             self.memory.stack_release(record.stack_mark)
             self._call_depth -= 1
@@ -282,6 +482,9 @@ class Interpreter:
                 frame[slot] = canon(actual)
                 slot += 1
             return self._run_blocks(dfunc, frame)
+        except _PauseSignal as signal:
+            signal.level(dfunc, stack_mark)
+            raise
         finally:
             self.memory.stack_release(stack_mark)
             self._call_depth -= 1
@@ -300,60 +503,84 @@ class Interpreter:
         A normal run enters at the entry block, position 0.  Fast-forward
         resume enters mid-block with ``skip_phis`` set, because the captured
         position is always past the block's phi moves.
+
+        When a pause tick is armed (:meth:`_segment`), the loop raises
+        :class:`_PauseSignal` the moment ``dynamic_index`` reaches it —
+        before executing the instruction at that tick.  A phi group that
+        would *straddle* the pause suspends at the block entry instead
+        (phi moves are an atomic parallel assignment; undershooting a pause
+        is always safe, overshooting never is).
         """
         limit = self.limits.max_dynamic_instructions
+        stop = self._stop
+        pause = self._pause_tick
         trace = self._trace_append
 
-        while True:
-            if block.phi_count and not skip_phis:
-                self._run_phis(block, previous, frame, trace)
-            skip_phis = False
+        try:
+            while True:
+                if block.phi_count and not skip_phis:
+                    if pause is not None and self.dynamic_index + block.phi_count > pause:
+                        signal = _PauseSignal(self.memory.stack_mark())
+                        signal.site(block.index, 0, tuple(frame), previous)
+                        raise signal
+                    self._run_phis(block, previous, frame, trace)
+                skip_phis = False
 
-            code = block.code
-            code_len = block.code_len
-            while position < code_len:
-                din = code[position]
-                index = self.dynamic_index
-                if index >= limit:
-                    raise HangDetected(index, limit)
-                if trace is not None:
-                    trace(din.meta)
-                self.dynamic_index = index + 1
+                code = block.code
+                code_len = block.code_len
+                while position < code_len:
+                    din = code[position]
+                    index = self.dynamic_index
+                    if index >= stop:
+                        if index >= limit:
+                            raise HangDetected(index, limit)
+                        signal = _PauseSignal(self.memory.stack_mark())
+                        signal.site(block.index, position, tuple(frame))
+                        raise signal
+                    if trace is not None:
+                        trace(din.meta)
+                    self.dynamic_index = index + 1
 
-                kind = din.kind
-                if kind == KIND_SIMPLE:
-                    din.handler(self, frame, din)
-                    position += 1
-                    continue
-                if kind == KIND_BRANCH:
-                    previous, block = block.index, din.target
-                    break
-                if kind == KIND_COND_BRANCH:
-                    condition = _read_op(self, frame, din, din.operands[0])
-                    previous, block = (
-                        block.index,
-                        din.if_true if condition else din.if_false,
+                    kind = din.kind
+                    if kind == KIND_SIMPLE:
+                        din.handler(self, frame, din)
+                        position += 1
+                        continue
+                    if kind == KIND_BRANCH:
+                        previous, block = block.index, din.target
+                        break
+                    if kind == KIND_COND_BRANCH:
+                        condition = _read_op(self, frame, din, din.operands[0])
+                        previous, block = (
+                            block.index,
+                            din.if_true if condition else din.if_false,
+                        )
+                        break
+                    if kind == KIND_RETURN:
+                        if not din.operands:
+                            return None
+                        value = _read_op(self, frame, din, din.operands[0])
+                        return bitops.canonicalize(value, din.ret_type)
+                    # KIND_UNREACHABLE
+                    raise AbortFault(
+                        "executed an unreachable instruction",
+                        dynamic_index=self.dynamic_index,
                     )
-                    break
-                if kind == KIND_RETURN:
-                    if not din.operands:
-                        return None
-                    value = _read_op(self, frame, din, din.operands[0])
-                    return bitops.canonicalize(value, din.ret_type)
-                # KIND_UNREACHABLE
-                raise AbortFault(
-                    "executed an unreachable instruction",
-                    dynamic_index=self.dynamic_index,
-                )
-            else:
-                # Fell off the end of a block without a terminator: treat as a
-                # wild jump (cannot happen for verified IR, can happen if a
-                # fault corrupts control state).
-                raise InvalidJumpFault(
-                    f"control fell off the end of block %{block.name}",
-                    dynamic_index=self.dynamic_index,
-                )
-            position = 0
+                else:
+                    # Fell off the end of a block without a terminator: treat
+                    # as a wild jump (cannot happen for verified IR, can
+                    # happen if a fault corrupts control state).
+                    raise InvalidJumpFault(
+                        f"control fell off the end of block %{block.name}",
+                        dynamic_index=self.dynamic_index,
+                    )
+                position = 0
+        except _PauseSignal as signal:
+            if not signal._site_open:
+                # The pause happened inside a callee (din.handler running a
+                # call): this frame is suspended at the call instruction.
+                signal.site(block.index, position, tuple(frame))
+            raise
 
     def _run_phis(self, block, previous: int, frame: List, trace) -> None:
         """Execute the precomputed phi moves of one control-flow edge.

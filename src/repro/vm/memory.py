@@ -67,6 +67,14 @@ class MemorySegment:
     #: Bytes at or beyond this offset are guaranteed still zero, which lets
     #: snapshot restore re-zero only the dirty prefix of a segment.
     high_water: int = 0
+    #: Lowest offset written since the last :meth:`Memory.restore_state`
+    #: (``size`` = clean).  Together with ``high_water`` this brackets every
+    #: byte that can differ from the last-restored state, so re-restoring
+    #: the *same* state only rewrites ``[dirty_low, high_water)`` instead of
+    #: the whole dirty prefix — the dominant cost when a campaign executes
+    #: many short faulty suffixes from one shared checkpoint.  0 (fully
+    #: dirty) until a first restore establishes a baseline.
+    dirty_low: int = 0
 
     def __post_init__(self) -> None:
         if len(self.data) > self.size:
@@ -152,6 +160,9 @@ class Memory:
         #: Count of bytes read/written — used by analyses and tests.
         self.bytes_read = 0
         self.bytes_written = 0
+        #: The state most recently restored onto this memory (identity key
+        #: for the delta-restore fast path in :meth:`restore_state`).
+        self._last_restore: Optional[MemoryState] = None
 
     # -- segment management ---------------------------------------------------
     def add_segment(self, name: str, base: int, size: int) -> MemorySegment:
@@ -166,6 +177,8 @@ class Memory:
         self._ordered.insert(index, segment)
         self._bases.insert(index, base)
         self._hot = segment
+        # A layout change invalidates the delta-restore baseline.
+        self._last_restore = None
         return segment
 
     def segment(self, name: str) -> MemorySegment:
@@ -199,7 +212,34 @@ class Memory:
         segment's current high-water mark — is rewritten or re-zeroed, so the
         restored address space is bit-identical to the captured one even when
         a faulty run scribbled over it in between.
+
+        Restoring the *same* state object that was restored last takes a
+        delta path: only ``[dirty_low, high_water)`` — the bytes actually
+        written since that restore — are undone.  Tick-sorted campaign chunks
+        restore one shared checkpoint dozens of times in a row, and a short
+        faulty suffix dirties a few hundred bytes of a multi-kilobyte image.
         """
+        if state is self._last_restore:
+            for (name, base, payload, cursor), segment in zip(
+                state.segments, self._ordered
+            ):
+                low = segment.dirty_low
+                high = segment.high_water
+                length = len(payload)
+                if low < high:
+                    data = segment.data
+                    if low < length:
+                        stop = length if length < high else high
+                        data[low:stop] = payload[low:stop]
+                    if high > length:
+                        start = length if length > low else low
+                        data[start:high] = _zeros(high - start)
+                segment.cursor = cursor
+                segment.high_water = length
+                segment.dirty_low = segment.size
+            self.bytes_read = state.bytes_read
+            self.bytes_written = state.bytes_written
+            return
         if len(state.segments) != len(self._ordered):
             raise ValueError("memory layout mismatch: segment count differs")
         for (name, base, payload, cursor), segment in zip(state.segments, self._ordered):
@@ -217,8 +257,10 @@ class Memory:
                 data[length:high] = _zeros(high - length)
             segment.cursor = cursor
             segment.high_water = length
+            segment.dirty_low = segment.size
         self.bytes_read = state.bytes_read
         self.bytes_written = state.bytes_written
+        self._last_restore = state
 
     # -- allocation -----------------------------------------------------------
     def allocate(self, segment_name: str, size: int, align: int = 8) -> int:
@@ -296,6 +338,8 @@ class Memory:
         data[offset:end] = payload
         if end > segment.high_water:
             segment.high_water = end
+        if offset < segment.dirty_low:
+            segment.dirty_low = offset
 
     # -- typed scalar access ------------------------------------------------------
     @staticmethod

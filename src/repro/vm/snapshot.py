@@ -106,9 +106,15 @@ class FrameSnapshot:
     ``block_index``/``position`` name the *next* instruction of this level:
     for the innermost level the one about to execute, for every outer level
     the ``call`` it is suspended in.
+
+    ``previous`` is normally ``None`` (the captured position lies past the
+    block's phi moves).  Segment pauses (windowed execution) can suspend a
+    run *before* a block's phi group; such a record carries the incoming CFG
+    edge in ``previous`` and resumes by executing the phis for that edge
+    first.
     """
 
-    __slots__ = ("dfunc", "block_index", "position", "frame", "stack_mark")
+    __slots__ = ("dfunc", "block_index", "position", "frame", "stack_mark", "previous")
 
     def __init__(
         self,
@@ -117,12 +123,14 @@ class FrameSnapshot:
         position: int,
         frame: Tuple,
         stack_mark: int,
+        previous: Optional[int] = None,
     ) -> None:
         self.dfunc = dfunc
         self.block_index = block_index
         self.position = position
         self.frame = frame
         self.stack_mark = stack_mark
+        self.previous = previous
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
