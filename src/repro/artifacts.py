@@ -34,6 +34,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from array import array
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -131,6 +132,12 @@ class ArtifactCache:
             try:
                 pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
                 handle.flush()
+                # fsync before the rename: os.replace is atomic in the
+                # namespace but says nothing about the *data* reaching disk.
+                # Without it, a host crash can leave a fully-named artifact
+                # with torn contents — which load() treats as a miss, but a
+                # resumed campaign would first waste time reading it.
+                os.fsync(handle.fileno())
             finally:
                 handle.close()
             os.replace(tmp_name, path)
@@ -145,6 +152,30 @@ class ArtifactCache:
                     pass
         self.stats._bump(self.stats.stores, kind)
         return True
+
+    def sweep_stale_tmp(self, *, max_age_seconds: float = 3600.0) -> int:
+        """Delete orphaned ``.tmp-*`` files left by writers that were killed.
+
+        A SIGKILL between ``NamedTemporaryFile`` and ``os.replace`` strands
+        the temp file forever (the normal path either renames or unlinks
+        it).  Restarted campaigns call this on cache activation.  Files
+        younger than ``max_age_seconds`` are spared: they may belong to a
+        concurrently *live* writer in another process.  Returns the number
+        of files removed; never raises.
+        """
+        removed = 0
+        try:
+            cutoff = time.time() - max_age_seconds
+            for tmp in self.root.glob("*/.tmp-*"):
+                try:
+                    if tmp.stat().st_mtime <= cutoff:
+                        tmp.unlink()
+                        removed += 1
+                except OSError:
+                    continue
+        except OSError:
+            pass
+        return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ArtifactCache {self.root} ({self.stats.describe()})>"
@@ -167,6 +198,7 @@ def configure(cache_dir: Optional[Union[str, Path]]) -> Optional[ArtifactCache]:
         _EXPLICIT = None
     elif _EXPLICIT is None or Path(cache_dir) != _EXPLICIT.root:
         _EXPLICIT = ArtifactCache(cache_dir)
+        _EXPLICIT.sweep_stale_tmp()
     return _EXPLICIT
 
 

@@ -11,6 +11,10 @@ provides:
   campaign grids behind each figure of the paper;
 * :mod:`repro.campaign.engine` — pluggable execution engines (serial and
   multiprocess worker pool) with deterministic per-experiment seeding;
+* :mod:`repro.campaign.supervisor` — fault-tolerant chunk dispatch over raw
+  worker processes (crash detection, retries, bisection, quarantine);
+* :mod:`repro.campaign.ledger` — durable write-ahead chunk ledger enabling
+  ``--resume`` after a killed run;
 * :mod:`repro.campaign.runner` — executes campaigns and collects results;
 * :mod:`repro.campaign.results` — per-campaign aggregates and a queryable,
   JSON-serialisable result store.
@@ -38,18 +42,23 @@ from repro.campaign.plan import (
     same_register_campaigns,
     single_bit_campaigns,
 )
+from repro.campaign.ledger import ChunkLedger
 from repro.campaign.results import (
     CampaignResult,
     ExhaustiveCampaignResult,
     ResultStore,
 )
 from repro.campaign.runner import CampaignRunner
+from repro.campaign.supervisor import ChunkSupervisor, ChunkTask, SupervisorStats
 
 __all__ = [
     "BENCH_SCALE",
     "CampaignConfig",
     "CampaignResult",
     "CampaignRunner",
+    "ChunkLedger",
+    "ChunkSupervisor",
+    "ChunkTask",
     "EngineProgress",
     "ExecutionEngine",
     "ExhaustiveCampaignRequest",
@@ -66,4 +75,5 @@ __all__ = [
     "SerialEngine",
     "single_bit_campaigns",
     "SMOKE_SCALE",
+    "SupervisorStats",
 ]

@@ -1,0 +1,267 @@
+"""Durable write-ahead chunk ledger for resumable campaign runs.
+
+A campaign is executed as contiguous index chunks whose results merge
+deterministically (per-experiment derived seeds, tick-sorted batches), so a
+run can be reconstructed exactly from any set of completed chunk partials
+covering the index space.  The ledger makes that durable: one JSONL file per
+run — keyed by a content-addressed run key so a stale ledger can never leak
+into a different campaign — records chunk *grants* (work handed to a worker)
+and chunk *done* entries carrying the mergeable partial payload.
+
+Record stream layout (one JSON object per line)::
+
+    {"type": "header", "version": 1, "key": ..., "total": ..., "meta": {...}}
+    {"type": "grant", "chunk": <start>, "count": <n>}
+    {"type": "done",  "chunk": <start>, "count": <n>, "payload": {...}}
+
+``done`` lines are flushed and fsync'd before the supervisor considers the
+chunk complete, so a SIGKILL'd run loses at most its in-flight chunks.
+``grant`` lines are advisory (flushed, not fsync'd): they exist so an
+operator reading the ledger can see what was in flight when a run died.
+Loading tolerates exactly one truncated trailing line — the signature of a
+crash mid-append — and rejects ledgers whose header does not match the
+expected key/total (the run is then started fresh).
+
+The same format is intentionally shard-shaped: a future multi-host runner
+can merge per-host ledgers for disjoint chunk ranges of one run key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, IO, Iterable, List, Optional, Tuple
+
+LEDGER_VERSION = 1
+
+
+def missing_intervals(
+    total: int, covered: Iterable[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Complement of ``covered`` ``(start, count)`` intervals in ``[0, total)``.
+
+    Overlapping or unsorted covered intervals are tolerated (later grants of
+    a bisected chunk overlap the original grant's range).
+    """
+    spans = sorted((start, start + count) for start, count in covered if count > 0)
+    gaps: List[Tuple[int, int]] = []
+    cursor = 0
+    for lo, hi in spans:
+        if lo > cursor:
+            gaps.append((cursor, min(lo, total) - cursor))
+        cursor = max(cursor, hi)
+        if cursor >= total:
+            break
+    if cursor < total:
+        gaps.append((cursor, total - cursor))
+    return [gap for gap in gaps if gap[1] > 0]
+
+
+def chunk_intervals(
+    intervals: Iterable[Tuple[int, int]], chunk: int
+) -> List[Tuple[int, int]]:
+    """Split ``(start, count)`` intervals into pieces of at most ``chunk``."""
+    if chunk < 1:
+        chunk = 1
+    pieces: List[Tuple[int, int]] = []
+    for start, count in intervals:
+        offset = start
+        remaining = count
+        while remaining > 0:
+            size = min(chunk, remaining)
+            pieces.append((offset, size))
+            offset += size
+            remaining -= size
+    return pieces
+
+
+class ChunkLedger:
+    """Append-only JSONL ledger for one campaign run.
+
+    Use :meth:`open` — it owns the resume-vs-fresh decision.  The instance
+    keeps its file handle open for the lifetime of the run; every ``done``
+    append is flushed and fsync'd before returning.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        key: str,
+        total: int,
+        meta: Optional[dict] = None,
+    ) -> None:
+        self.path = path
+        self.key = key
+        self.total = total
+        self.meta = dict(meta or {})
+        #: Completed chunk payloads loaded from disk, keyed by start index.
+        self.completed: Dict[int, dict] = {}
+        #: ``(start, count)`` of every completed chunk, resume grid included.
+        self.completed_intervals: List[Tuple[int, int]] = []
+        self._handle: Optional[IO[str]] = None
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: Path,
+        key: str,
+        *,
+        total: int,
+        meta: Optional[dict] = None,
+        resume: bool = False,
+    ) -> "ChunkLedger":
+        """Open (and on resume, replay) the ledger for ``key``.
+
+        Without ``resume`` any existing file for the key is truncated: a new
+        run must never silently adopt chunks from an earlier invocation the
+        caller did not ask to continue.  With ``resume``, completed chunks
+        are loaded and exposed via :attr:`completed`; an unreadable or
+        mismatched ledger degrades to a fresh run rather than failing.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        ledger = cls(directory / f"{key}.jsonl", key, total, meta)
+        if resume:
+            ledger._load_existing()
+        # Anything short of a successful replay starts a fresh file: a new
+        # run must never append after a mismatched or corrupt header.
+        ledger._open_for_append(fresh=not ledger.completed)
+        return ledger
+
+    def _load_existing(self) -> None:
+        try:
+            raw = self.path.read_text()
+        except OSError:
+            return
+        lines = raw.splitlines()
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except (ValueError, TypeError):
+            return
+        if (
+            header.get("type") != "header"
+            or header.get("version") != LEDGER_VERSION
+            or header.get("key") != self.key
+            or header.get("total") != self.total
+        ):
+            return
+        completed: Dict[int, dict] = {}
+        for position, line in enumerate(lines[1:], start=2):
+            try:
+                record = json.loads(line)
+            except (ValueError, TypeError):
+                if position == len(lines):
+                    break  # torn trailing append from a killed run
+                return  # corruption mid-file: trust nothing
+            if record.get("type") != "done":
+                continue
+            chunk = record.get("chunk")
+            count = record.get("count")
+            payload = record.get("payload")
+            if not isinstance(chunk, int) or not isinstance(count, int):
+                return
+            completed[chunk] = {"count": count, "payload": payload}
+        self.completed = {
+            chunk: entry["payload"] for chunk, entry in completed.items()
+        }
+        self.completed_intervals = sorted(
+            (chunk, entry["count"]) for chunk, entry in completed.items()
+        )
+
+    def _open_for_append(self, *, fresh: bool) -> None:
+        if fresh or not self.path.exists():
+            handle = open(self.path, "w", encoding="utf-8")
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "header",
+                        "version": LEDGER_VERSION,
+                        "key": self.key,
+                        "total": self.total,
+                        "meta": self.meta,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+            self._handle = handle
+        else:
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- queries ------------------------------------------------------------------
+
+    def missing(self, chunk: int) -> List[Tuple[int, int]]:
+        """``(start, count)`` work intervals not yet completed, chunked."""
+        return chunk_intervals(
+            missing_intervals(self.total, self.completed_intervals), chunk
+        )
+
+    @property
+    def loaded_units(self) -> int:
+        """Total experiments/errors covered by chunks replayed from disk."""
+        return sum(count for _, count in self.completed_intervals)
+
+    # -- appends ------------------------------------------------------------------
+
+    def record_grant(self, chunk: int, count: int) -> None:
+        """Note that a chunk was handed to a worker (advisory, not fsync'd)."""
+        if self._handle is None:
+            return
+        self._handle.write(
+            json.dumps({"type": "grant", "chunk": chunk, "count": count}) + "\n"
+        )
+        self._handle.flush()
+
+    def record_done(self, chunk: int, count: int, payload: dict) -> None:
+        """Durably record a completed chunk's mergeable partial payload."""
+        if self._handle is None:
+            return
+        self._handle.write(
+            json.dumps(
+                {"type": "done", "chunk": chunk, "count": count, "payload": payload},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):
+                pass
+            self._handle.close()
+            self._handle = None
+
+    def discard(self) -> None:
+        """Close and delete the ledger file (the run completed and was saved)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ChunkLedger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ChunkLedger {self.path.name} total={self.total} "
+            f"loaded={len(self.completed)}>"
+        )

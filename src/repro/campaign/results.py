@@ -239,6 +239,40 @@ class CampaignResult:
         return 100.0 * self.outcome_counts.fraction(outcome)
 
     # -- serialization -----------------------------------------------------------------
+    def to_partial_payload(self) -> Dict:
+        """JSON-safe payload of one chunk partial for the chunk ledger.
+
+        Round-trips through :meth:`from_partial_payload` to a partial that
+        merges byte-identically to the original.  ``phase_seconds`` is
+        intentionally dropped — it is machine-dependent accounting excluded
+        from serialization everywhere.
+        """
+        return {
+            "outcomes": self.outcome_counts.as_dict(),
+            "activated_histogram": {
+                str(k): self.activated_histogram[k]
+                for k in sorted(self.activated_histogram)
+            },
+            "records": [list(record.to_tuple()) for record in self.records],
+        }
+
+    @classmethod
+    def from_partial_payload(
+        cls, config: CampaignConfig, resolved_win_size: int, payload: Dict
+    ) -> "CampaignResult":
+        """Rebuild a ledgered chunk partial (inverse of :meth:`to_partial_payload`)."""
+        return cls(
+            config=config,
+            resolved_win_size=resolved_win_size,
+            outcome_counts=OutcomeCounts.from_mapping(payload["outcomes"]),
+            activated_histogram={
+                int(k): v for k, v in payload["activated_histogram"].items()
+            },
+            records=[
+                ExperimentRecord.from_tuple(item) for item in payload.get("records", [])
+            ],
+        )
+
     def to_dict(self) -> Dict:
         return {
             "program": self.config.program,
@@ -393,8 +427,11 @@ class ResultStore:
         Campaigns are ordered by id and histogram keys numerically, so the
         bytes depend only on the contents — save → load → save is byte-stable
         and serial/parallel sweeps of the same grid produce identical files.
-        The write goes through a temporary sibling file and an atomic rename
-        so mid-sweep checkpoints never leave a truncated store behind.
+        The write goes through a temporary sibling file and an atomic rename,
+        with the file contents fsync'd before the rename and the containing
+        directory fsync'd after it, so a mid-sweep checkpoint survives not
+        just process death but power loss: either the old complete store or
+        the new complete store is on disk, never a torn file.
         """
         ordered = [self._results[key] for key in sorted(self._results)]
         payload = {"version": 1, "campaigns": [result.to_dict() for result in ordered]}
@@ -406,8 +443,21 @@ class ResultStore:
             ]
         path = Path(path)
         tmp_path = path.with_name(path.name + ".tmp")
-        tmp_path.write_text(json.dumps(payload, indent=2))
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        try:
+            dir_fd = os.open(path.parent or Path("."), os.O_RDONLY)
+        except OSError:  # platforms/filesystems without directory fds
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover - fsync unsupported on dirs here
+            pass
+        finally:
+            os.close(dir_fd)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ResultStore":

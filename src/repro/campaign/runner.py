@@ -59,6 +59,11 @@ class CampaignRunner:
     def engine(self) -> ExecutionEngine:
         return self._engine
 
+    @property
+    def supervision(self) -> dict:
+        """Fault-tolerance accounting of the engine's most recent run."""
+        return dict(self._engine.supervision)
+
     # -- workload management --------------------------------------------------------
     def experiment_runner(self, program_name: str) -> ExperimentRunner:
         """The cached per-workload experiment runner (golden trace included)."""

@@ -23,6 +23,16 @@ pins the checkpoint spacing (both change runtime only, never results).
 checkpoints, def-use indices, pruned plans), so repeated invocations and
 worker pools pay planning cost once per host; it defaults to
 ``<cache>.artifacts`` when ``--cache`` is given.
+
+Campaign execution is fault tolerant: crashed or hung workers are restarted
+and their chunks retried (``--max-retries``, ``--chunk-timeout``); chunks
+that keep crashing are bisected to the offending experiment, which is
+quarantined with the ``crashed`` outcome (``--no-quarantine`` aborts
+instead).  With an artifact cache active, completed chunks are journalled to
+a durable ledger, and a run killed mid-way can be restarted with
+``--resume`` to execute only the missing chunks — the assembled results are
+byte-identical to an uninterrupted run.  Ctrl-C finishes in-flight chunks,
+flushes the ledger and prints resume instructions (a second Ctrl-C aborts).
 """
 
 from __future__ import annotations
@@ -92,6 +102,10 @@ def _build_session(args: argparse.Namespace) -> ExperimentSession:
         windowed=not getattr(args, "no_windowed", False),
         progress=_progress(args),
         experiment_progress=_experiment_progress(args),
+        max_retries=getattr(args, "max_retries", 3),
+        chunk_timeout=getattr(args, "chunk_timeout", None),
+        quarantine=not getattr(args, "no_quarantine", False),
+        resume=getattr(args, "resume", False),
     )
 
 
@@ -132,6 +146,38 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list-programs", help="list the 15 benchmark programs")
+
+    def add_resilience_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--resume",
+            action="store_true",
+            help="resume an interrupted run from its chunk ledger, executing "
+            "only the missing chunks (needs the same --cache/--cache-dir as "
+            "the interrupted invocation; results are byte-identical to an "
+            "uninterrupted run)",
+        )
+        sub.add_argument(
+            "--max-retries",
+            type=int,
+            default=3,
+            metavar="N",
+            help="attempts per chunk before it is bisected down to the "
+            "offending experiment (default 3)",
+        )
+        sub.add_argument(
+            "--chunk-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="kill a worker whose chunk exceeds this many seconds "
+            "(default: deadlines derived from observed chunk throughput)",
+        )
+        sub.add_argument(
+            "--no-quarantine",
+            action="store_true",
+            help="abort the run when an experiment keeps crashing workers "
+            "instead of quarantining it with the 'crashed' outcome",
+        )
 
     def add_campaign_options(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--programs", help="comma-separated program names (default: all 15)")
@@ -194,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
             "tree-walker oracle); results are bit-identical across all three",
         )
         sub.add_argument("--quiet", action="store_true", help="suppress per-campaign progress")
+        add_resilience_options(sub)
 
     figure_parser = subparsers.add_parser("figure", help="regenerate a figure (1-5)")
     figure_parser.add_argument("number", type=int, choices=sorted(_FIGURES))
@@ -273,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-campaign progress"
     )
+    add_resilience_options(campaign_parser)
 
     candidates_parser = subparsers.add_parser(
         "candidates",
@@ -370,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
     exhaustive_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-campaign progress"
     )
+    add_resilience_options(exhaustive_parser)
 
     return parser
 
@@ -436,6 +485,44 @@ def _phase_lines(phase_seconds, experiments: int, label: str = "  ") -> list:
     return lines
 
 
+def _supervision_lines(supervision: dict, label: str = "  ") -> list:
+    """Fault-tolerance summary of the most recent engine run, if eventful.
+
+    Silent for the common case (no retries, restarts, quarantines or ledger
+    replay) so healthy runs look exactly as before.
+    """
+    if not supervision:
+        return []
+    lines = []
+    counters = [
+        (key, supervision.get(key, 0))
+        for key in ("retries", "worker_restarts", "timeouts", "bisections")
+    ]
+    if any(value for _, value in counters):
+        lines.append(
+            f"{label}supervision "
+            + ", ".join(f"{key}={value}" for key, value in counters)
+        )
+    quarantined = supervision.get("quarantined_units", 0)
+    if quarantined:
+        lines.append(
+            f"{label}quarantined {quarantined} experiment(s) recorded as 'crashed'"
+        )
+    if supervision.get("degraded"):
+        lines.append(
+            f"{label}degraded    worker pool gave up after repeated crashes; "
+            f"{supervision.get('serial_fallback_units', 0)} experiment(s) "
+            "finished serially in-process"
+        )
+    loaded = supervision.get("ledger_loaded_units", 0)
+    if loaded:
+        lines.append(
+            f"{label}resumed     {loaded} experiment(s) replayed from the "
+            f"chunk ledger ({supervision.get('ledger_loaded_chunks', 0)} chunks)"
+        )
+    return lines
+
+
 def _run_campaign(args: argparse.Namespace) -> str:
     """``repro campaign``: one campaign, outcome counts and cache status.
 
@@ -464,6 +551,7 @@ def _run_campaign(args: argparse.Namespace) -> str:
         f"  SDC       {result.sdc_percentage:.3f}%",
     ]
     lines.extend(_phase_lines(result.phase_seconds, result.experiments))
+    lines.extend(_supervision_lines(getattr(session.engine, "supervision", {}) or {}))
     cache = session.artifact_cache
     if cache is not None:
         stats = cache.stats
@@ -530,6 +618,10 @@ def _run_exhaustive(args: argparse.Namespace) -> str:
         windowed=not args.no_windowed,
         progress=_progress(args),
         experiment_progress=_experiment_progress(args),
+        max_retries=args.max_retries,
+        chunk_timeout=args.chunk_timeout,
+        quarantine=not args.no_quarantine,
+        resume=args.resume,
     )
     get_program(args.program)  # raises ConfigurationError on typos
     if args.budget is not None and not args.prune:
@@ -565,6 +657,9 @@ def _run_exhaustive(args: argparse.Namespace) -> str:
             label="  ",
         )
     )
+    lines.extend(
+        _supervision_lines(getattr(session.engine, "supervision", {}) or {}, label="  ")
+    )
     if result.validation_sampled:
         lines.append(
             f"  validation         {result.validation_mispredicted}/"
@@ -589,27 +684,41 @@ def _run_exhaustive(args: argparse.Namespace) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.errors import CampaignInterrupted
+
     args = build_parser().parse_args(argv)
     if args.command == "list-programs":
         for name in all_program_names():
             definition = get_program(name)
             print(f"{name:16s} {definition.suite}/{definition.package:11s} {definition.description}")
         return 0
-    if args.command == "figure":
-        print(_run_figure(args))
-        return 0
-    if args.command == "table":
-        print(_run_table(args))
-        return 0
-    if args.command == "campaign":
-        print(_run_campaign(args))
-        return 0
-    if args.command == "candidates":
-        print(_run_candidates(args))
-        return 0
-    if args.command == "exhaustive":
-        print(_run_exhaustive(args))
-        return 0
+    try:
+        if args.command == "figure":
+            print(_run_figure(args))
+            return 0
+        if args.command == "table":
+            print(_run_table(args))
+            return 0
+        if args.command == "campaign":
+            print(_run_campaign(args))
+            return 0
+        if args.command == "candidates":
+            print(_run_candidates(args))
+            return 0
+        if args.command == "exhaustive":
+            print(_run_exhaustive(args))
+            return 0
+    except CampaignInterrupted as interrupted:
+        print(f"\ninterrupted: {interrupted}", file=sys.stderr)
+        if interrupted.resumable:
+            argv_list = list(argv) if argv is not None else sys.argv[1:]
+            if "--resume" not in argv_list:
+                argv_list.append("--resume")
+            print(
+                "resume with: repro " + " ".join(argv_list),
+                file=sys.stderr,
+            )
+        return 130
     return 2  # pragma: no cover - argparse enforces valid commands
 
 

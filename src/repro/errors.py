@@ -40,3 +40,34 @@ class ExecutionSetupError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis was asked to operate on incomplete or inconsistent results."""
+
+
+class CampaignExecutionError(ReproError):
+    """A campaign could not be completed even after retries.
+
+    Raised by the fault-tolerant execution layer when a chunk keeps failing
+    and quarantine is disabled (``--no-quarantine``), or when worker-pool
+    supervision hits an unrecoverable condition.
+    """
+
+
+class CampaignInterrupted(ReproError):
+    """A campaign run was stopped early by SIGINT/SIGTERM.
+
+    The supervisor drains in-flight chunks and flushes the chunk ledger
+    before raising, so a run started with a ledger can be resumed with
+    ``--resume`` executing only the missing chunks.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        done: int = 0,
+        total: int = 0,
+        resumable: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.done = done
+        self.total = total
+        self.resumable = resumable

@@ -58,6 +58,13 @@ class ExperimentSession:
     processes pay derivation cost once per host.  When only ``cache_path``
     is given, the artifact cache defaults to ``<cache_path>.artifacts``
     next to the result store.
+
+    Fault tolerance (applies to the engine the session constructs; a custom
+    ``engine`` carries its own knobs): ``max_retries`` / ``chunk_timeout`` /
+    ``quarantine`` configure supervised chunk dispatch, and ``ledger_dir``
+    (defaulting to ``<cache_dir>/ledger`` whenever an artifact cache is
+    active) enables the durable chunk ledger so an interrupted run can be
+    restarted with ``resume=True`` executing only the missing chunks.
     """
 
     def __init__(
@@ -77,6 +84,11 @@ class ExperimentSession:
         windowed: bool = True,
         progress: Optional[Callable[[str], None]] = None,
         experiment_progress: Optional[ProgressCallback] = None,
+        max_retries: int = 3,
+        chunk_timeout: Optional[float] = None,
+        quarantine: bool = True,
+        ledger_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be at least 1")
@@ -109,8 +121,29 @@ class ExperimentSession:
             self.store = ResultStore.load(self.checkpoint_path)
         else:
             self.store = ResultStore()
+        if ledger_dir is None and self.cache_dir is not None:
+            ledger_dir = self.cache_dir / "ledger"
+        self.ledger_dir = Path(ledger_dir) if ledger_dir is not None else None
+        if resume and self.ledger_dir is None:
+            raise ConfigurationError(
+                "resume needs a chunk ledger; pass ledger_dir (or cache_path/"
+                "cache_dir, which place one under the artifact cache)"
+            )
         if engine is None:
-            engine = MultiprocessEngine(jobs) if jobs > 1 else SerialEngine()
+            ledger = str(self.ledger_dir) if self.ledger_dir is not None else None
+            if jobs > 1:
+                engine = MultiprocessEngine(
+                    jobs,
+                    max_retries=max_retries,
+                    chunk_timeout=chunk_timeout,
+                    quarantine=quarantine,
+                    ledger_dir=ledger,
+                    resume=resume,
+                )
+            else:
+                engine = SerialEngine(
+                    quarantine=quarantine, ledger_dir=ledger, resume=resume
+                )
         self._provider = RegistryProvider(
             fast_forward=fast_forward,
             checkpoint_interval=checkpoint_interval,

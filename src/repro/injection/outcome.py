@@ -14,6 +14,14 @@ Every experiment ends in exactly one of five categories:
 The first four categories contribute to *error resilience*; the last three
 of those (everything but Benign) are collectively called *Detection* in the
 paper's figures.
+
+A sixth, harness-level category exists outside the paper's taxonomy:
+**Crashed** marks an experiment that repeatedly killed or wedged its worker
+process and was quarantined by the fault-tolerant campaign supervisor
+(:mod:`repro.campaign.supervisor`) instead of poisoning the run.  It counts
+toward totals but toward neither resilience nor detection, and it is only
+serialized when present, so result stores from crash-free campaigns are
+byte-identical to those written before the category existed.
 """
 
 from __future__ import annotations
@@ -24,16 +32,33 @@ from typing import Dict, Iterable, Mapping, Tuple
 
 
 class Outcome(str, Enum):
-    """The five-way outcome classification used throughout the paper."""
+    """The five-way paper classification, plus the harness-level ``crashed``.
+
+    ``CRASHED`` is declared last on purpose: plan serialization
+    (:mod:`repro.artifacts`) assigns outcome codes by enumeration order, so
+    appending keeps every previously persisted artifact decodable.
+    """
 
     BENIGN = "benign"
     DETECTED_HW_EXCEPTION = "detected-hw-exception"
     HANG = "hang"
     NO_OUTPUT = "no-output"
     SDC = "sdc"
+    CRASHED = "crashed"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+#: The paper's own five-way classification (§III-E), excluding the
+#: harness-level ``crashed`` quarantine marker.
+PAPER_OUTCOMES: Tuple["Outcome", ...] = (
+    Outcome.BENIGN,
+    Outcome.DETECTED_HW_EXCEPTION,
+    Outcome.HANG,
+    Outcome.NO_OUTPUT,
+    Outcome.SDC,
+)
 
 
 #: Outcomes that count towards error resilience (everything but SDC).
@@ -106,8 +131,17 @@ class OutcomeCounts:
         return 1.0 - self.sdc_fraction
 
     def as_dict(self) -> Dict[str, int]:
-        """Plain-dict view (stable key order) for serialization and reports."""
-        return {outcome.value: self.count(outcome) for outcome in Outcome}
+        """Plain-dict view (stable key order) for serialization and reports.
+
+        The five paper outcomes are always present; the harness-level
+        ``crashed`` count appears only when non-zero so stores written by
+        crash-free campaigns keep their historical byte layout.
+        """
+        data = {outcome.value: self.count(outcome) for outcome in PAPER_OUTCOMES}
+        crashed = self.count(Outcome.CRASHED)
+        if crashed:
+            data[Outcome.CRASHED.value] = crashed
+        return data
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, int]) -> "OutcomeCounts":

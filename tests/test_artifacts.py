@@ -271,3 +271,77 @@ def test_plan_roundtrip_through_cache(cache):
     assert [
         (p.class_id, p.weight) for p in loaded.budgeted_experiments(9, seed=3)
     ] == [(p.class_id, p.weight) for p in plan.budgeted_experiments(9, seed=3)]
+
+
+# ------------------------------------------------------------ crash durability
+def test_store_survives_simulated_crash_before_rename(tmp_path, monkeypatch):
+    """A writer killed between tempfile write and rename leaves a stranded
+    ``.tmp-*`` file but never a half-written artifact under the real name."""
+    import os
+
+    cache = ArtifactCache(tmp_path / "artifacts")
+    key = cache.key_for("golden", "workload")
+
+    original_replace = os.replace
+
+    def crash_instead_of_rename(src, dst):
+        raise KeyboardInterrupt("simulated SIGKILL mid-store")
+
+    monkeypatch.setattr(os, "replace", crash_instead_of_rename)
+    with pytest.raises(BaseException):
+        try:
+            cache.store("golden", key, {"payload": 1})
+        finally:
+            monkeypatch.setattr(os, "replace", original_replace)
+    # No artifact under the real name, possibly a stranded temp file.
+    assert cache.load("golden", key) is None
+    # The next writer succeeds and the artifact round-trips.
+    assert cache.store("golden", key, {"payload": 2})
+    assert cache.load("golden", key) == {"payload": 2}
+
+
+def test_sweep_stale_tmp_reclaims_only_old_orphans(tmp_path):
+    import os
+    import time as time_module
+
+    cache = ArtifactCache(tmp_path / "artifacts")
+    kind_dir = tmp_path / "artifacts" / "golden"
+    kind_dir.mkdir(parents=True)
+    stale = kind_dir / ".tmp-stale"
+    stale.write_bytes(b"orphaned by a killed writer")
+    old = time_module.time() - 7200
+    os.utime(stale, (old, old))
+    fresh = kind_dir / ".tmp-fresh"
+    fresh.write_bytes(b"a live writer may still own this")
+    real = kind_dir / "artifact.pkl"
+    real.write_bytes(b"never touched")
+
+    assert cache.sweep_stale_tmp() == 1
+    assert not stale.exists()
+    assert fresh.exists()
+    assert real.exists()
+
+
+def test_cache_activation_sweeps_stale_tmp(tmp_path):
+    import os
+    import time as time_module
+
+    kind_dir = tmp_path / "artifacts" / "plan"
+    kind_dir.mkdir(parents=True)
+    stale = kind_dir / ".tmp-dead"
+    stale.write_bytes(b"x")
+    old = time_module.time() - 7200
+    os.utime(stale, (old, old))
+
+    # configure() sweeps when it creates the cache instance...
+    artifacts.configure(tmp_path / "artifacts")
+    assert not stale.exists()
+
+    # ...and RegistryProvider.prepare() sweeps on worker warm-up.
+    stale.write_bytes(b"x")
+    os.utime(stale, (old, old))
+    from repro.campaign.engine import RegistryProvider
+
+    artifacts.configure(None)
+    RegistryProvider(cache_dir=str(tmp_path / "artifacts")).prepare()
+    assert not stale.exists()
