@@ -39,6 +39,8 @@ from array import array
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.telemetry import metrics as telemetry_metrics
+
 #: Version tag of the derivation pipeline, mixed into every cache key.  Bump
 #: whenever the serialised payloads or the semantics of trace collection,
 #: def-use extraction, inference or planning change.
@@ -50,12 +52,35 @@ _UNDEF_TOKEN = "\x00undef\x00"
 
 
 class CacheStats:
-    """Hit/miss/store counters of one cache instance (per kind)."""
+    """Hit/miss/store counters of one cache instance (per kind).
+
+    Every bump mirrors into the process-global telemetry registry
+    (``repro_cache_<event>_total{kind=...}``), so worker-process cache
+    traffic reaches campaign reports via the ordinary snapshot merge.
+    """
 
     def __init__(self) -> None:
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
         self.stores: Dict[str, int] = {}
+
+    def note(self, event: str, kind: str) -> None:
+        """Record one cache ``event`` (``hits``/``misses``/``stores``)."""
+        table: Dict[str, int] = getattr(self, event)
+        table[kind] = table.get(kind, 0) + 1
+        if telemetry_metrics.enabled():
+            telemetry_metrics.registry().counter(
+                f"repro_cache_{event}_total",
+                {"kind": kind},
+                help="Artifact-cache events by artifact kind.",
+            ).value += 1
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "stores": dict(self.stores),
+        }
 
     def _bump(self, table: Dict[str, int], kind: str) -> None:
         table[kind] = table.get(kind, 0) + 1
@@ -105,14 +130,14 @@ class ArtifactCache:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
         except FileNotFoundError:
-            self.stats._bump(self.stats.misses, kind)
+            self.stats.note("misses", kind)
             return None
         except Exception:
             # Unpicklable garbage / short file / permission problem: fall
             # back to recomputation rather than crash planning.
-            self.stats._bump(self.stats.misses, kind)
+            self.stats.note("misses", kind)
             return None
-        self.stats._bump(self.stats.hits, kind)
+        self.stats.note("hits", kind)
         return payload
 
     def store(self, kind: str, key: str, payload) -> bool:
@@ -150,7 +175,7 @@ class ArtifactCache:
                     os.unlink(tmp_name)
                 except OSError:
                     pass
-        self.stats._bump(self.stats.stores, kind)
+        self.stats.note("stores", kind)
         return True
 
     def sweep_stale_tmp(self, *, max_age_seconds: float = 3600.0) -> int:

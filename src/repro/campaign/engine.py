@@ -45,7 +45,7 @@ import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.campaign.config import CampaignConfig
 from repro.campaign.ledger import ChunkLedger
@@ -66,6 +66,8 @@ from repro.injection.experiment import ExperimentResult, ExperimentRunner
 from repro.injection.faultmodel import FaultSpec
 from repro.injection.outcome import Outcome
 from repro.injection.techniques import technique_by_name
+from repro.telemetry import metrics as telemetry_metrics
+from repro.telemetry.events import RunLog
 
 #: A provider maps a program name to a ready-to-use ExperimentRunner.
 RunnerProvider = Callable[[str], ExperimentRunner]
@@ -198,6 +200,15 @@ def _phase_delta(runner: ExperimentRunner, before: dict) -> dict:
         phase: total - before.get(phase, 0.0)
         for phase, total in _phase_snapshot(runner).items()
     }
+
+
+def _merged_phase_seconds(partials: Iterable["CampaignResult"]) -> dict:
+    """Summed per-phase seconds across partial results (any order)."""
+    totals: dict = {}
+    for partial in partials:
+        for phase, seconds in partial.phase_seconds.items():
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    return totals
 
 
 def available_cpus() -> int:
@@ -626,6 +637,152 @@ def _split_infer_task(task: ChunkTask) -> List[ChunkTask]:
     ]
 
 
+class _RunTelemetry:
+    """Structured run-event stream for one engine dispatch.
+
+    Wraps an optional :class:`~repro.telemetry.events.RunLog` keyed by the
+    run's chunk-ledger key, so the event log lands next to the ledger and a
+    resumed run appends to the stream of the run it continues.  Without a
+    run-log directory (or without a ledger to take the key from) every
+    method is a no-op, so engine code calls unconditionally.
+
+    Construct at the very top of a run method — cache-stats and metrics
+    baselines are captured there, *before* the runner is built, so the
+    run's own warm-up traffic (golden derivation, codegen, cache loads) is
+    part of its ``run_finished`` delta while earlier runs in the same
+    process are not.  :meth:`attach` binds the event log once the ledger
+    (whose content-addressed key names the log file) exists.
+    """
+
+    def __init__(self) -> None:
+        self.log: Optional[RunLog] = None
+        self._metrics_before = telemetry_metrics.registry().snapshot()
+        self._cache_before = self._cache_totals()
+
+    def attach(
+        self,
+        runlog_dir: Optional[str],
+        ledger: Optional[ChunkLedger],
+        *,
+        resume: bool,
+        meta: Optional[dict] = None,
+    ) -> None:
+        if runlog_dir is None or ledger is None:
+            return
+        try:
+            self.log = RunLog.open(
+                Path(runlog_dir), ledger.key, meta=meta, resume=resume
+            )
+        except OSError:
+            self.log = None
+
+    # -- event emission -----------------------------------------------------------
+
+    def started(self, *, kind: str, total: int, engine: str, jobs: int) -> None:
+        if self.log is not None:
+            self.log.emit(
+                "run_started", kind=kind, total=total, engine=engine, jobs=jobs
+            )
+
+    def resume_replay(self, ledger: Optional[ChunkLedger]) -> None:
+        """Record chunks adopted from the ledger instead of executed."""
+        if self.log is not None and ledger is not None and ledger.completed:
+            self.log.emit(
+                "resume_replay",
+                chunks=len(ledger.completed),
+                units=ledger.loaded_units,
+            )
+
+    def chunk_dispatched(self, chunk: int, count: int) -> None:
+        if self.log is not None:
+            self.log.emit("chunk_dispatched", chunk=chunk, count=count)
+
+    def chunk_completed(self, chunk: int, count: int, done: int) -> None:
+        if self.log is not None:
+            self.log.emit("chunk_completed", chunk=chunk, count=count, done=done)
+
+    def supervisor_event(self, event_type: str, **fields) -> None:
+        """Passthrough target for :meth:`ChunkSupervisor.run`'s ``on_event``."""
+        if self.log is not None:
+            self.log.emit(event_type, **fields)
+
+    def finished(
+        self,
+        *,
+        status: str,
+        done: int,
+        total: int,
+        seconds: float,
+        phase_seconds: dict,
+        supervision: dict,
+    ) -> None:
+        """Emit the authoritative ``run_finished`` event and close the log.
+
+        Carries everything a report needs without re-running: phase wall and
+        CPU seconds (the latter lifted from the merged metrics delta, so
+        worker CPU shipped over the supervisor pipe is included), the run's
+        cache traffic and derivation counts, supervision tallies, and the
+        full metrics snapshot delta for ``--metrics-out``.
+        """
+        if self.log is None:
+            return
+        metrics_delta = telemetry_metrics.registry().snapshot_delta(
+            self._metrics_before
+        )
+        self.log.emit(
+            "run_finished",
+            sync=True,
+            status=status,
+            done=done,
+            total=total,
+            seconds=round(seconds, 6),
+            phase_seconds=phase_seconds,
+            phase_cpu_seconds=telemetry_metrics.labeled_totals(
+                metrics_delta, "repro_phase_cpu_seconds_total", "phase"
+            ),
+            supervision=supervision,
+            cache=self._cache_report(metrics_delta),
+            metrics=metrics_delta,
+        )
+        self.close()
+
+    def close(self) -> None:
+        if self.log is not None:
+            self.log.close()
+
+    # -- payload assembly ---------------------------------------------------------
+
+    @staticmethod
+    def _cache_totals() -> dict:
+        from repro import artifacts
+
+        cache = artifacts.active_cache()
+        return cache.stats.as_dict() if cache is not None else {}
+
+    def _cache_report(self, metrics_delta: dict) -> dict:
+        now = self._cache_totals()
+        report: dict = {}
+        for event in ("hits", "misses", "stores"):
+            prior = self._cache_before.get(event, {})
+            table = {
+                kind: value - prior.get(kind, 0)
+                for kind, value in now.get(event, {}).items()
+                if value - prior.get(kind, 0)
+            }
+            if table:
+                report[event] = table
+        derivations = {
+            kind: int(value)
+            for kind, value in telemetry_metrics.labeled_totals(
+                metrics_delta, "repro_derivations_total", "kind"
+            ).items()
+            if value
+        }
+        if derivations:
+            report["derivations"] = derivations
+        return report
+
+
 class ExecutionEngine:
     """Interface every campaign execution backend implements."""
 
@@ -645,6 +802,8 @@ class ExecutionEngine:
     _ledger_dir: Optional[str] = None
     _resume: bool = False
     _quarantine: bool = True
+    #: Directory for structured run-event logs (requires a ledger for keys).
+    _runlog_dir: Optional[str] = None
 
     def run(
         self,
@@ -674,6 +833,7 @@ class ExecutionEngine:
         resumable — while pooled engines override it with supervised chunked
         dispatch.
         """
+        telemetry = _RunTelemetry()
         runner = provider(program)
         total = len(errors)
         stats = SupervisorStats()
@@ -705,6 +865,14 @@ class ExecutionEngine:
         started = time.monotonic()
         done = ledger.loaded_units if ledger is not None else 0
         label = f"{program}/{technique}/error-space"
+        telemetry.attach(
+            self._runlog_dir,
+            ledger,
+            resume=self._resume,
+            meta={"program": program, "technique": technique},
+        )
+        telemetry.started(kind="errors", total=total, engine=self.name, jobs=1)
+        telemetry.resume_replay(ledger)
         phase_before = _phase_snapshot(runner)
         guard = _SignalGuard()
         guard.install()
@@ -720,6 +888,7 @@ class ExecutionEngine:
                 batch = [errors[j] for j in positions]
                 if ledger is not None:
                     ledger.record_grant(start, count)
+                telemetry.chunk_dispatched(start, count)
                 values = _guarded_error_values(
                     runner, technique, batch, quarantine=self._quarantine, stats=stats
                 )
@@ -728,6 +897,7 @@ class ExecutionEngine:
                 if ledger is not None:
                     ledger.record_done(start, count, {"outcomes": values})
                 done += count
+                telemetry.chunk_completed(start, count, done)
                 completed_chunks += 1
                 stats.chunks_completed += 1
                 if on_progress is not None:
@@ -751,6 +921,14 @@ class ExecutionEngine:
         self.phase_seconds = _phase_delta(runner, phase_before)
         stats.interrupted = interrupted
         self.supervision = self._supervision_summary(stats, ledger, 0)
+        telemetry.finished(
+            status="interrupted" if interrupted else "finished",
+            done=done,
+            total=total,
+            seconds=time.monotonic() - started,
+            phase_seconds=self.phase_seconds,
+            supervision=self.supervision,
+        )
         if interrupted:
             raise CampaignInterrupted(
                 self._interrupt_message(label, done, total, ledger),
@@ -832,6 +1010,7 @@ class SerialEngine(ExecutionEngine):
         quarantine: bool = True,
         ledger_dir: Optional[str] = None,
         resume: bool = False,
+        runlog_dir: Optional[str] = None,
     ) -> None:
         if progress_interval < 1:
             raise ConfigurationError("progress_interval must be positive")
@@ -841,6 +1020,7 @@ class SerialEngine(ExecutionEngine):
         self._quarantine = quarantine
         self._ledger_dir = ledger_dir
         self._resume = resume
+        self._runlog_dir = runlog_dir
 
     def run(
         self,
@@ -850,6 +1030,7 @@ class SerialEngine(ExecutionEngine):
         keep_records: bool = True,
         on_progress: Optional[ProgressCallback] = None,
     ) -> CampaignResult:
+        telemetry = _RunTelemetry()
         runner = provider(config.program)
         resolved = config.resolve_win_size()
         total = config.experiments
@@ -878,6 +1059,16 @@ class SerialEngine(ExecutionEngine):
             ]
         started = time.monotonic()
         done = sum(partial.experiments for partial in partials.values())
+        telemetry.attach(
+            self._runlog_dir,
+            ledger,
+            resume=self._resume,
+            meta={"campaign": config.campaign_id, "program": config.program},
+        )
+        telemetry.started(
+            kind="campaign", total=total, engine=self.name, jobs=1
+        )
+        telemetry.resume_replay(ledger)
         guard = _SignalGuard()
         guard.install()
         interrupted = False
@@ -890,6 +1081,7 @@ class SerialEngine(ExecutionEngine):
             for start, count in work:
                 if ledger is not None:
                     ledger.record_grant(start, count)
+                telemetry.chunk_dispatched(start, count)
                 partial = _guarded_experiment_batch(
                     runner,
                     config,
@@ -904,6 +1096,7 @@ class SerialEngine(ExecutionEngine):
                 if ledger is not None:
                     ledger.record_done(start, count, partial.to_partial_payload())
                 done += count
+                telemetry.chunk_completed(start, count, done)
                 completed_chunks += 1
                 stats.chunks_completed += 1
                 if on_progress is not None:
@@ -926,6 +1119,14 @@ class SerialEngine(ExecutionEngine):
                 ledger.close()
         stats.interrupted = interrupted
         self.supervision = self._supervision_summary(stats, ledger, 0)
+        telemetry.finished(
+            status="interrupted" if interrupted else "finished",
+            done=done,
+            total=total,
+            seconds=time.monotonic() - started,
+            phase_seconds=_merged_phase_seconds(partials.values()),
+            supervision=self.supervision,
+        )
         if interrupted:
             raise CampaignInterrupted(
                 self._interrupt_message(config.campaign_id, done, total, ledger),
@@ -973,6 +1174,7 @@ class MultiprocessEngine(ExecutionEngine):
         quarantine: bool = True,
         ledger_dir: Optional[str] = None,
         resume: bool = False,
+        runlog_dir: Optional[str] = None,
     ) -> None:
         resolved_jobs = jobs if jobs is not None else available_cpus()
         if resolved_jobs < 1:
@@ -997,6 +1199,7 @@ class MultiprocessEngine(ExecutionEngine):
         self._quarantine = quarantine
         self._ledger_dir = ledger_dir
         self._resume = resume
+        self._runlog_dir = runlog_dir
 
     def _warm_provider(self, provider: RunnerProvider, program: str) -> None:
         """Warm the parent once before dispatch.
@@ -1057,6 +1260,7 @@ class MultiprocessEngine(ExecutionEngine):
                 keep_records=keep_records,
                 on_progress=on_progress,
             )
+        telemetry = _RunTelemetry()
         resolved = config.resolve_win_size()
         total = config.experiments
         chunk = self._experiment_chunk_size(total)
@@ -1085,6 +1289,16 @@ class MultiprocessEngine(ExecutionEngine):
             ]
         started = time.monotonic()
         done = sum(partial.experiments for partial in partials.values())
+        telemetry.attach(
+            self._runlog_dir,
+            ledger,
+            resume=self._resume,
+            meta={"campaign": config.campaign_id, "program": config.program},
+        )
+        telemetry.started(
+            kind="campaign", total=total, engine=self.name, jobs=self.jobs
+        )
+        telemetry.resume_replay(ledger)
 
         def emit_progress() -> None:
             if on_progress is not None:
@@ -1113,11 +1327,13 @@ class MultiprocessEngine(ExecutionEngine):
             done += task.size
             if ledger is not None:
                 ledger.record_done(task.chunk_id, task.size, partial.to_partial_payload())
+            telemetry.chunk_completed(task.chunk_id, task.size, done)
             emit_progress()
 
         def on_grant(task: ChunkTask) -> None:
             if ledger is not None:
                 ledger.record_grant(task.chunk_id, task.size)
+            telemetry.chunk_dispatched(task.chunk_id, task.size)
 
         stats = SupervisorStats()
         serial_fallback_units = 0
@@ -1134,11 +1350,20 @@ class MultiprocessEngine(ExecutionEngine):
                     split=_split_experiment_task,
                     on_chunk_done=on_done,
                     on_grant=on_grant,
+                    on_event=telemetry.supervisor_event,
                 )
                 stats.merge(outcome.stats)
                 if outcome.interrupted and done < total:
                     self.supervision = self._supervision_summary(
                         stats, ledger, serial_fallback_units
+                    )
+                    telemetry.finished(
+                        status="interrupted",
+                        done=done,
+                        total=total,
+                        seconds=time.monotonic() - started,
+                        phase_seconds=_merged_phase_seconds(partials.values()),
+                        supervision=self.supervision,
                     )
                     raise CampaignInterrupted(
                         self._interrupt_message(config.campaign_id, done, total, ledger),
@@ -1187,6 +1412,14 @@ class MultiprocessEngine(ExecutionEngine):
             if ledger is not None:
                 ledger.close()
         self.supervision = self._supervision_summary(stats, ledger, serial_fallback_units)
+        telemetry.finished(
+            status="finished",
+            done=done,
+            total=total,
+            seconds=time.monotonic() - started,
+            phase_seconds=_merged_phase_seconds(partials.values()),
+            supervision=self.supervision,
+        )
         result = CampaignResult(config=config, resolved_win_size=resolved)
         for start in sorted(partials):
             result.merge(partials[start])
@@ -1256,6 +1489,7 @@ class MultiprocessEngine(ExecutionEngine):
         total = len(errors)
         if total == 0:
             return []
+        telemetry = _RunTelemetry()
         # Tick-sorted contiguous chunks: every worker's batch is a dense
         # slice of injection times, maximising checkpoint reuse per process.
         order = sorted(range(total), key=lambda j: errors[j][0])
@@ -1289,6 +1523,14 @@ class MultiprocessEngine(ExecutionEngine):
         started = time.monotonic()
         done = loaded_units
         phase_totals: dict = {}
+        telemetry.attach(
+            self._runlog_dir,
+            ledger,
+            resume=self._resume,
+            meta={"program": program, "technique": technique},
+        )
+        telemetry.started(kind="errors", total=total, engine=self.name, jobs=self.jobs)
+        telemetry.resume_replay(ledger)
 
         def emit_progress() -> None:
             if on_progress is not None:
@@ -1324,11 +1566,13 @@ class MultiprocessEngine(ExecutionEngine):
             if ledger is not None:
                 ledger.record_done(task.chunk_id, task.size, {"outcomes": values})
             done += task.size
+            telemetry.chunk_completed(task.chunk_id, task.size, done)
             emit_progress()
 
         def on_grant(task: ChunkTask) -> None:
             if ledger is not None:
                 ledger.record_grant(task.chunk_id, task.size)
+            telemetry.chunk_dispatched(task.chunk_id, task.size)
 
         stats = SupervisorStats()
         serial_fallback_units = 0
@@ -1345,12 +1589,21 @@ class MultiprocessEngine(ExecutionEngine):
                     split=_split_error_task,
                     on_chunk_done=on_done,
                     on_grant=on_grant,
+                    on_event=telemetry.supervisor_event,
                 )
                 stats.merge(outcome.stats)
                 if outcome.interrupted and done < total:
                     self.phase_seconds = phase_totals
                     self.supervision = self._supervision_summary(
                         stats, ledger, serial_fallback_units
+                    )
+                    telemetry.finished(
+                        status="interrupted",
+                        done=done,
+                        total=total,
+                        seconds=time.monotonic() - started,
+                        phase_seconds=phase_totals,
+                        supervision=self.supervision,
                     )
                     raise CampaignInterrupted(
                         self._interrupt_message(label, done, total, ledger),
@@ -1388,6 +1641,14 @@ class MultiprocessEngine(ExecutionEngine):
                 ledger.close()
         self.phase_seconds = phase_totals
         self.supervision = self._supervision_summary(stats, ledger, serial_fallback_units)
+        telemetry.finished(
+            status="finished",
+            done=done,
+            total=total,
+            seconds=time.monotonic() - started,
+            phase_seconds=phase_totals,
+            supervision=self.supervision,
+        )
         return outcomes
 
     def _run_errors_pool(

@@ -33,6 +33,8 @@ import os
 from pathlib import Path
 from typing import Dict, IO, Iterable, List, Optional, Tuple
 
+from repro.telemetry.events import SCAN_CORRUPT, scan_jsonl, trim_torn_tail
+
 LEDGER_VERSION = 1
 
 
@@ -139,10 +141,13 @@ class ChunkLedger:
         lines = raw.splitlines()
         if not lines:
             return
-        try:
-            header = json.loads(lines[0])
-        except (ValueError, TypeError):
+        # Shared tolerant scan (same crash semantics as the run-event log):
+        # a torn trailing line is the signature of a killed append and is
+        # dropped; corruption anywhere earlier means trust nothing.
+        records, status = scan_jsonl(lines)
+        if status == SCAN_CORRUPT or not records:
             return
+        header = records[0]
         if (
             header.get("type") != "header"
             or header.get("version") != LEDGER_VERSION
@@ -151,13 +156,7 @@ class ChunkLedger:
         ):
             return
         completed: Dict[int, dict] = {}
-        for position, line in enumerate(lines[1:], start=2):
-            try:
-                record = json.loads(line)
-            except (ValueError, TypeError):
-                if position == len(lines):
-                    break  # torn trailing append from a killed run
-                return  # corruption mid-file: trust nothing
+        for record in records[1:]:
             if record.get("type") != "done":
                 continue
             chunk = record.get("chunk")
@@ -193,6 +192,10 @@ class ChunkLedger:
             os.fsync(handle.fileno())
             self._handle = handle
         else:
+            # A torn trailing line (killed mid-append) was dropped by the
+            # replay scan; drop it on disk too, or the next append would
+            # fuse with it and corrupt the ledger for every later load.
+            trim_torn_tail(self.path)
             self._handle = open(self.path, "a", encoding="utf-8")
 
     # -- queries ------------------------------------------------------------------

@@ -49,6 +49,7 @@ from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CampaignExecutionError
+from repro.telemetry import metrics as telemetry_metrics
 
 CHAOS_KILL_ENV = "REPRO_CHAOS_KILL_NTH_CHUNK"
 CHAOS_ABORT_ENV = "REPRO_CHAOS_ABORT_AFTER_CHUNKS"
@@ -160,7 +161,7 @@ def _worker_main(conn, initializer, initargs) -> None:
         state = initializer(*initargs)
     except BaseException:
         try:
-            conn.send(("init-error", -1, traceback.format_exc(limit=16)))
+            conn.send(("init-error", -1, traceback.format_exc(limit=16), None))
         except (BrokenPipeError, OSError):
             pass
         return
@@ -176,10 +177,24 @@ def _worker_main(conn, initializer, initargs) -> None:
         handled += 1
         if kill_nth and handled == kill_nth:
             os.kill(os.getpid(), signal.SIGKILL)
+        # Each reply piggybacks the worker's metric delta for the chunk, so
+        # the parent registry aggregates cluster-wide counters without any
+        # extra IPC round.  Disabled telemetry ships None (no snapshot cost).
+        metrics_before = (
+            telemetry_metrics.registry().snapshot()
+            if telemetry_metrics.enabled()
+            else None
+        )
         try:
-            reply = ("ok", chunk_id, fn(state, payload))
+            body = fn(state, payload)
+            delta = (
+                telemetry_metrics.registry().snapshot_delta(metrics_before)
+                if metrics_before is not None
+                else None
+            )
+            reply = ("ok", chunk_id, body, delta)
         except BaseException:
-            reply = ("error", chunk_id, traceback.format_exc(limit=16))
+            reply = ("error", chunk_id, traceback.format_exc(limit=16), None)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
@@ -329,6 +344,7 @@ class ChunkSupervisor:
         split: Optional[Callable[[ChunkTask], List[ChunkTask]]] = None,
         on_chunk_done: Optional[Callable[[ChunkTask, Any], None]] = None,
         on_grant: Optional[Callable[[ChunkTask], None]] = None,
+        on_event: Optional[Callable[..., None]] = None,
     ) -> SupervisedRun:
         run = SupervisedRun()
         pending: List[ChunkTask] = sorted(tasks, key=lambda t: t.chunk_id)
@@ -344,6 +360,15 @@ class ChunkSupervisor:
         guard = _SignalGuard()
         guard.install()
 
+        def emit(event_type: str, **fields) -> None:
+            # Observability must never take the dispatch loop down with it.
+            if on_event is None:
+                return
+            try:
+                on_event(event_type, **fields)
+            except Exception:
+                pass
+
         def fail(task: ChunkTask, error: str, now: float, *, crashed: bool) -> None:
             nonlocal consecutive_crashes
             if crashed:
@@ -358,8 +383,15 @@ class ChunkSupervisor:
                 )
                 task.not_before = now + delay
                 pending.append(task)
+                emit(
+                    "chunk_retried",
+                    chunk=task.chunk_id,
+                    count=task.size,
+                    attempts=task.attempts,
+                )
             elif task.size > 1 and split is not None:
                 stats.bisections += 1
+                emit("chunk_bisected", chunk=task.chunk_id, count=task.size)
                 for child in split(task):
                     child.attempts = 0
                     child.not_before = now
@@ -367,6 +399,12 @@ class ChunkSupervisor:
             elif self.quarantine:
                 stats.quarantined_units += task.size
                 run.quarantined.append(QuarantinedChunk(task, error))
+                emit(
+                    "quarantine",
+                    chunk=task.chunk_id,
+                    units=task.size,
+                    reason=error.strip()[-200:],
+                )
             else:
                 raise CampaignExecutionError(
                     f"chunk {task.chunk_id} (+{task.size}) failed "
@@ -379,6 +417,7 @@ class ChunkSupervisor:
             worker.task = None
             workers.remove(worker)
             self._dispose(worker, kill=True)
+            emit("worker_restart", reason=reason.strip()[-200:])
             if task is not None:
                 fail(task, reason, now, crashed=True)
 
@@ -448,13 +487,18 @@ class ChunkSupervisor:
                     except (EOFError, OSError):
                         handle_crash(worker, "worker process died", now)
                         continue
-                    kind, chunk_id, body = message
+                    kind, chunk_id, body, worker_metrics = message
                     if kind == "ok":
                         task = worker.task
                         worker.task = None
                         if task is None or task.chunk_id != chunk_id:
                             continue  # stale reply from a superseded grant
                         consecutive_crashes = 0
+                        if worker_metrics:
+                            # Fold the worker's per-chunk metric delta into
+                            # the parent registry, next to the partial
+                            # result it travelled with.
+                            telemetry_metrics.registry().merge(worker_metrics)
                         self._observe(task, now - worker.sent_at)
                         run.results[task.chunk_id] = body
                         stats.chunks_completed += 1
@@ -480,6 +524,14 @@ class ChunkSupervisor:
                 for worker in list(workers):
                     if worker.task is not None and now > worker.deadline:
                         stats.timeouts += 1
+                        emit(
+                            "chunk_timeout",
+                            chunk=worker.task.chunk_id,
+                            count=worker.task.size,
+                            deadline_seconds=round(
+                                worker.deadline - worker.sent_at, 3
+                            ),
+                        )
                         handle_crash(
                             worker,
                             f"chunk {worker.task.chunk_id} exceeded its "

@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``, or via ``python -m repro``)::
     python -m repro table 4 --programs crc32 --experiments 80 --cache results.json
     python -m repro candidates crc32
     python -m repro exhaustive crc32 --prune --validate 0.01 --jobs 4
+    python -m repro report --last --cache-dir artifacts/
 
 Every command prints the same text tables the benchmark harness produces.
 Campaign results can be cached to a JSON file with ``--cache`` so repeated
@@ -33,12 +34,22 @@ a durable ledger, and a run killed mid-way can be restarted with
 ``--resume`` to execute only the missing chunks — the assembled results are
 byte-identical to an uninterrupted run.  Ctrl-C finishes in-flight chunks,
 flushes the ledger and prints resume instructions (a second Ctrl-C aborts).
+
+With an artifact cache active every run also appends a structured JSONL
+event log under ``<cache-dir>/runlog/``; ``repro report <key|--last>``
+renders it after the fact (phase breakdown, throughput timeline, retry and
+quarantine tallies, cache efficiency), and ``--metrics-out FILE`` writes the
+run's metrics in Prometheus text format.  Output verbosity: ``--quiet``
+keeps only result lines, ``-v`` adds diagnostics; color respects
+``NO_COLOR``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.campaign import EngineProgress, ExperimentScale
@@ -56,6 +67,7 @@ from repro.experiments import (
 )
 from repro.injection.faultmodel import MAX_MBF_VALUES, win_size_by_index
 from repro.programs.registry import all_program_names, get_program
+from repro.telemetry.console import ConsoleReporter
 
 _FIGURES = {1: figure1, 2: figure2, 3: figure3, 4: figure4, 5: figure5}
 
@@ -100,8 +112,8 @@ def _build_session(args: argparse.Namespace) -> ExperimentSession:
         checkpoint_interval=args.checkpoint_interval,
         backend=getattr(args, "backend", "decoded"),
         windowed=not getattr(args, "no_windowed", False),
-        progress=_progress(args),
-        experiment_progress=_experiment_progress(args),
+        progress=_progress(_reporter(args)),
+        experiment_progress=_experiment_progress(_reporter(args)),
         max_retries=getattr(args, "max_retries", 3),
         chunk_timeout=getattr(args, "chunk_timeout", None),
         quarantine=not getattr(args, "no_quarantine", False),
@@ -109,19 +121,26 @@ def _build_session(args: argparse.Namespace) -> ExperimentSession:
     )
 
 
-def _progress(args: argparse.Namespace):
-    if args.quiet:
+def _reporter(args: argparse.Namespace) -> ConsoleReporter:
+    return ConsoleReporter.from_flags(
+        quiet=getattr(args, "quiet", False),
+        verbose=getattr(args, "verbose", False),
+    )
+
+
+def _progress(reporter: ConsoleReporter):
+    if reporter.verbosity == 0:
         return None
 
     def report(message: str) -> None:
-        print(f"  running {message}", file=sys.stderr)
+        reporter.note(f"  running {message}")
 
     return report
 
 
-def _experiment_progress(args: argparse.Namespace):
+def _experiment_progress(reporter: ConsoleReporter):
     """Within-campaign progress line with throughput and ETA (stderr)."""
-    if args.quiet:
+    if reporter.verbosity == 0:
         return None
 
     def report(progress: EngineProgress) -> None:
@@ -132,8 +151,10 @@ def _experiment_progress(args: argparse.Namespace):
             f"({100.0 * progress.fraction:3.0f}%, "
             f"{progress.experiments_per_second:.0f}/s, ETA {eta_text})"
         )
+        # A carriage-return ticker needs the raw stream; the reporter only
+        # decides *whether* it is shown, never reformats it.
         end = "\n" if progress.done >= progress.total else "\r"
-        print(line, end=end, file=sys.stderr, flush=True)
+        print(line, end=end, file=reporter.err, flush=True)
 
     return report
 
@@ -177,6 +198,22 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="abort the run when an experiment keeps crashing workers "
             "instead of quarantining it with the 'crashed' outcome",
+        )
+
+    def add_output_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--quiet", action="store_true", help="suppress per-campaign progress"
+        )
+        sub.add_argument(
+            "-v",
+            "--verbose",
+            action="store_true",
+            help="print extra diagnostics (run-log locations, cache paths)",
+        )
+        sub.add_argument(
+            "--metrics-out",
+            metavar="FILE",
+            help="write this run's metrics in Prometheus text format to FILE",
         )
 
     def add_campaign_options(sub: argparse.ArgumentParser) -> None:
@@ -239,7 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
             "'compiled' (transpiled Python, fastest) or 'reference' (IR "
             "tree-walker oracle); results are bit-identical across all three",
         )
-        sub.add_argument("--quiet", action="store_true", help="suppress per-campaign progress")
+        add_output_options(sub)
         add_resilience_options(sub)
 
     figure_parser = subparsers.add_parser("figure", help="regenerate a figure (1-5)")
@@ -317,9 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for experiment runs (default decoded); "
         "results are bit-identical across all three",
     )
-    campaign_parser.add_argument(
-        "--quiet", action="store_true", help="suppress per-campaign progress"
-    )
+    add_output_options(campaign_parser)
     add_resilience_options(campaign_parser)
 
     candidates_parser = subparsers.add_parser(
@@ -415,10 +450,42 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpoints during golden profiling (default: auto-tuned from "
         "the golden run length; the snapshot budget applies either way)",
     )
-    exhaustive_parser.add_argument(
-        "--quiet", action="store_true", help="suppress per-campaign progress"
-    )
+    add_output_options(exhaustive_parser)
     add_resilience_options(exhaustive_parser)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render the telemetry of a recorded run (phases, throughput "
+        "timeline, supervision and cache stats) from its JSONL event log",
+    )
+    report_parser.add_argument(
+        "key",
+        nargs="?",
+        help="run key of the event log to render (a unique prefix is enough); "
+        "omit with --last",
+    )
+    report_parser.add_argument(
+        "--last",
+        action="store_true",
+        help="render the most recently written run log",
+    )
+    report_parser.add_argument(
+        "--cache",
+        help="result-store JSON of the run (locates its artifact cache and "
+        "run logs, as during execution)",
+    )
+    report_parser.add_argument(
+        "--cache-dir",
+        help="artifact cache directory of the run (run logs live under "
+        "<cache-dir>/runlog); defaults to <--cache>.artifacts, else "
+        "$REPRO_CACHE_DIR",
+    )
+    report_parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="also write the run's recorded metrics snapshot in Prometheus "
+        "text format to FILE",
+    )
 
     return parser
 
@@ -561,6 +628,11 @@ def _run_campaign(args: argparse.Namespace) -> str:
                 lines.append("  compiled source loaded from cache")
             elif stats.stores.get("codegen", 0):
                 lines.append("  compiled source generated and stored")
+    if getattr(args, "verbose", False) and session.runlog_dir is not None:
+        lines.append(
+            f"  run log   events under {session.runlog_dir} "
+            "(render with: repro report --last)"
+        )
     return "\n".join(lines)
 
 
@@ -616,8 +688,8 @@ def _run_exhaustive(args: argparse.Namespace) -> str:
         fast_forward=not args.no_fast_forward,
         checkpoint_interval=args.checkpoint_interval,
         windowed=not args.no_windowed,
-        progress=_progress(args),
-        experiment_progress=_experiment_progress(args),
+        progress=_progress(_reporter(args)),
+        experiment_progress=_experiment_progress(_reporter(args)),
         max_retries=args.max_retries,
         chunk_timeout=args.chunk_timeout,
         quarantine=not args.no_quarantine,
@@ -680,46 +752,109 @@ def _run_exhaustive(args: argparse.Namespace) -> str:
                 else "cold (artifacts derived and stored)"
             )
         )
+    if getattr(args, "verbose", False) and session.runlog_dir is not None:
+        lines.append(
+            f"  run log            events under {session.runlog_dir} "
+            "(render with: repro report --last)"
+        )
     return "\n".join(lines)
+
+
+def _runlog_directory(args: argparse.Namespace) -> Path:
+    """The run-log directory implied by ``--cache-dir``/``--cache``/env."""
+    from repro.experiments.session import default_artifact_dir
+
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None and getattr(args, "cache", None):
+        cache_dir = default_artifact_dir(args.cache)
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir is None:
+        raise SystemExit(
+            "repro report: no artifact cache to read run logs from; pass "
+            "--cache-dir (or --cache, or set REPRO_CACHE_DIR) matching the "
+            "recorded run"
+        )
+    return Path(cache_dir) / "runlog"
+
+
+def _run_report(args: argparse.Namespace) -> str:
+    """``repro report``: render a recorded run's telemetry after the fact."""
+    from repro.telemetry.events import find_run_log, latest_run_log, read_events
+    from repro.telemetry.metrics import snapshot_from
+    from repro.telemetry.report import build_report, render_report
+
+    runlog_dir = _runlog_directory(args)
+    if args.key:
+        path = find_run_log(runlog_dir, args.key)
+        if path is None:
+            raise SystemExit(
+                f"repro report: no unique run log matching {args.key!r} "
+                f"under {runlog_dir}"
+            )
+    elif args.last:
+        path = latest_run_log(runlog_dir)
+        if path is None:
+            raise SystemExit(f"repro report: no run logs under {runlog_dir}")
+    else:
+        raise SystemExit("repro report: pass a run key or --last")
+    events, status = read_events(path)
+    report = build_report(events, status)
+    if args.metrics_out:
+        snapshot = report.get("metrics") or {}
+        Path(args.metrics_out).write_text(
+            snapshot_from(snapshot).to_prometheus_text()
+        )
+    return render_report(report)
+
+
+def _write_live_metrics(args: argparse.Namespace) -> None:
+    """Dump the process registry after a run (``--metrics-out`` on commands)."""
+    metrics_out = getattr(args, "metrics_out", None)
+    if not metrics_out:
+        return
+    from repro.telemetry.metrics import registry
+
+    Path(metrics_out).write_text(registry().to_prometheus_text())
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.errors import CampaignInterrupted
 
     args = build_parser().parse_args(argv)
+    reporter = _reporter(args)
     if args.command == "list-programs":
         for name in all_program_names():
             definition = get_program(name)
-            print(f"{name:16s} {definition.suite}/{definition.package:11s} {definition.description}")
+            reporter.result(
+                f"{name:16s} {definition.suite}/{definition.package:11s} "
+                f"{definition.description}"
+            )
         return 0
+    commands = {
+        "figure": _run_figure,
+        "table": _run_table,
+        "campaign": _run_campaign,
+        "candidates": _run_candidates,
+        "exhaustive": _run_exhaustive,
+        "report": _run_report,
+    }
+    runner = commands.get(args.command)
+    if runner is None:
+        return 2  # pragma: no cover - argparse enforces valid commands
     try:
-        if args.command == "figure":
-            print(_run_figure(args))
-            return 0
-        if args.command == "table":
-            print(_run_table(args))
-            return 0
-        if args.command == "campaign":
-            print(_run_campaign(args))
-            return 0
-        if args.command == "candidates":
-            print(_run_candidates(args))
-            return 0
-        if args.command == "exhaustive":
-            print(_run_exhaustive(args))
-            return 0
+        reporter.result(runner(args))
+        if args.command != "report":
+            _write_live_metrics(args)
+        return 0
     except CampaignInterrupted as interrupted:
-        print(f"\ninterrupted: {interrupted}", file=sys.stderr)
+        reporter.warn(f"\ninterrupted: {interrupted}")
         if interrupted.resumable:
             argv_list = list(argv) if argv is not None else sys.argv[1:]
             if "--resume" not in argv_list:
                 argv_list.append("--resume")
-            print(
-                "resume with: repro " + " ".join(argv_list),
-                file=sys.stderr,
-            )
+            reporter.warn("resume with: repro " + " ".join(argv_list))
         return 130
-    return 2  # pragma: no cover - argparse enforces valid commands
 
 
 if __name__ == "__main__":  # pragma: no cover

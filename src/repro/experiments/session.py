@@ -65,6 +65,11 @@ class ExperimentSession:
     (defaulting to ``<cache_dir>/ledger`` whenever an artifact cache is
     active) enables the durable chunk ledger so an interrupted run can be
     restarted with ``resume=True`` executing only the missing chunks.
+
+    Whenever an artifact cache is active the session also points the engine
+    at ``<cache_dir>/runlog``: every run appends a structured JSONL event
+    stream there (:mod:`repro.telemetry.events`), which ``repro report``
+    renders after the fact.
     """
 
     def __init__(
@@ -129,8 +134,14 @@ class ExperimentSession:
                 "resume needs a chunk ledger; pass ledger_dir (or cache_path/"
                 "cache_dir, which place one under the artifact cache)"
             )
+        # Structured run-event logs land next to the chunk ledger under the
+        # artifact cache; ``repro report`` reads them back from there.
+        self.runlog_dir = (
+            self.cache_dir / "runlog" if self.cache_dir is not None else None
+        )
         if engine is None:
             ledger = str(self.ledger_dir) if self.ledger_dir is not None else None
+            runlog = str(self.runlog_dir) if self.runlog_dir is not None else None
             if jobs > 1:
                 engine = MultiprocessEngine(
                     jobs,
@@ -139,10 +150,14 @@ class ExperimentSession:
                     quarantine=quarantine,
                     ledger_dir=ledger,
                     resume=resume,
+                    runlog_dir=runlog,
                 )
             else:
                 engine = SerialEngine(
-                    quarantine=quarantine, ledger_dir=ledger, resume=resume
+                    quarantine=quarantine,
+                    ledger_dir=ledger,
+                    resume=resume,
+                    runlog_dir=runlog,
                 )
         self._provider = RegistryProvider(
             fast_forward=fast_forward,

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
@@ -41,6 +40,7 @@ from repro.injection.faultmodel import FaultSpec, InjectionRecord, SINGLE_BIT_MA
 from repro.injection.injector import FaultInjector
 from repro.injection.outcome import Outcome
 from repro.injection.techniques import InjectionCandidate, InjectionTechnique
+from repro.telemetry.spans import PhaseClock
 from repro.vm.codegen import CompiledCode, CompiledInterpreter, compile_program
 from repro.vm.interpreter import (
     ExecutionLimits,
@@ -200,15 +200,12 @@ class ExperimentRunner:
         #: Pooled from-scratch driver (non-fast-forward runs): built once,
         #: rewound with ``reset()`` per experiment (reference stays per-run).
         self._scratch_interpreter: Optional[Interpreter] = None
-        #: Cumulative per-phase wall-clock seconds across this runner's
-        #: experiments (restore / pre-window sprint / hooked window / bare
-        #: tail) plus the experiment count — the CLI summary breakdown.
-        self.phase_seconds: Dict[str, float] = {
-            "restore": 0.0,
-            "pre_window": 0.0,
-            "window": 0.0,
-            "tail": 0.0,
-        }
+        #: Per-phase accounting across this runner's experiments (restore /
+        #: pre-window sprint / hooked window / bare tail).  A single-cursor
+        #: lap clock: every covered instant lands in exactly one phase, so
+        #: the totals sum to the covered wall clock — no double counting at
+        #: segment boundaries.  Read via :attr:`phase_seconds`.
+        self.phases = PhaseClock(("restore", "pre_window", "window", "tail"))
         self.experiments_run = 0
         if golden is not None:
             self.golden = golden
@@ -230,6 +227,16 @@ class ExperimentRunner:
         self.limits = ExecutionLimits.for_golden_length(
             self.golden.dynamic_instruction_count, watchdog_multiplier
         )
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """Cumulative wall-clock seconds per phase (span-derived)."""
+        return dict(self.phases.wall)
+
+    @property
+    def phase_cpu_seconds(self) -> Dict[str, float]:
+        """Cumulative per-process CPU seconds per phase (span-derived)."""
+        return dict(self.phases.cpu)
 
     # -- fault specification ---------------------------------------------------------
     def sample_spec(
@@ -338,7 +345,7 @@ class ExperimentRunner:
         hangs classify at the exact same tick as an always-hooked run.
         """
         interpreter = self._pooled_interpreter()
-        phases = self.phase_seconds
+        clock = self.phases
         first = spec.first_dynamic_index
         snapshot = None
         if use_fast_forward:
@@ -348,29 +355,30 @@ class ExperimentRunner:
         interpreter.read_hook = None
         interpreter.write_hook = None
         try:
-            started = perf_counter()
+            # One cursor covers the whole run: each lap attributes the time
+            # since the previous lap to exactly one phase, so boundary
+            # instants (hook swapping, the loop's own bookkeeping) are never
+            # counted twice or dropped.
+            clock.start()
             if snapshot is not None:
                 interpreter.restore(snapshot)
-                restored = perf_counter()
+                clock.lap("restore")
                 # The restore inside resume_segment re-restores the same
                 # state object: a delta restore of a clean memory, ~free.
                 out = interpreter.resume_segment(snapshot, first)
             else:
                 interpreter.reset()
-                restored = perf_counter()
+                clock.lap("restore")
                 out = interpreter.run_segment(self.args, first)
-            now = perf_counter()
-            phases["restore"] += restored - started
-            phases["pre_window"] += now - restored
+            clock.lap("pre_window")
             chunk = 1
             while isinstance(out, SuspendedRun):
                 if injector.exhausted:
                     # Final flip landed: detach the hooks, finish bare.
                     interpreter.read_hook = None
                     interpreter.write_hook = None
-                    started = perf_counter()
                     out = interpreter.continue_segment(out, None)
-                    phases["tail"] += perf_counter() - started
+                    clock.lap("tail")
                     continue
                 next_time = injector.next_scheduled_time
                 if next_time > interpreter.dynamic_index:
@@ -378,9 +386,8 @@ class ExperimentRunner:
                     # the next one.  No access below it can be injected.
                     interpreter.read_hook = None
                     interpreter.write_hook = None
-                    started = perf_counter()
                     out = interpreter.continue_segment(out, next_time)
-                    phases["pre_window"] += perf_counter() - started
+                    clock.lap("pre_window")
                     chunk = 1
                     continue
                 # Inside the window: run hooked until the flip lands.  A
@@ -390,11 +397,10 @@ class ExperimentRunner:
                 interpreter.read_hook = read_hook
                 interpreter.write_hook = write_hook
                 landed_before = len(injector.injections)
-                started = perf_counter()
                 out = interpreter.continue_segment(
                     out, interpreter.dynamic_index + chunk
                 )
-                phases["window"] += perf_counter() - started
+                clock.lap("window")
                 chunk = 1 if len(injector.injections) > landed_before else chunk * 2
             return out
         finally:
@@ -445,9 +451,9 @@ class ExperimentRunner:
                 interpreter.read_hook = read_hook
                 interpreter.write_hook = write_hook
                 try:
-                    started = perf_counter()
+                    self.phases.start()
                     execution = interpreter.resume(snapshot)
-                    self.phase_seconds["window"] += perf_counter() - started
+                    self.phases.lap("window")
                 finally:
                     interpreter.read_hook = None
                     interpreter.write_hook = None
@@ -468,10 +474,10 @@ class ExperimentRunner:
                 interpreter.read_hook = read_hook
                 interpreter.write_hook = write_hook
                 try:
-                    started = perf_counter()
+                    self.phases.start()
                     interpreter.reset()
                     execution = interpreter.run(self.args)
-                    self.phase_seconds["window"] += perf_counter() - started
+                    self.phases.lap("window")
                 finally:
                     interpreter.read_hook = None
                     interpreter.write_hook = None
@@ -485,9 +491,9 @@ class ExperimentRunner:
                     read_hook=read_hook,
                     write_hook=write_hook,
                 )
-                started = perf_counter()
+                self.phases.start()
                 execution = interpreter.run(self.args)
-                self.phase_seconds["window"] += perf_counter() - started
+                self.phases.lap("window")
         outcome = self.classify(execution)
         return ExperimentResult(
             spec=spec,

@@ -1,0 +1,45 @@
+"""Unified observability layer: metrics, spans, structured run events.
+
+The subsystem is dependency-light (stdlib only) and split by concern:
+
+* :mod:`repro.telemetry.metrics` — a process-global :class:`MetricsRegistry`
+  of named counters, gauges and fixed-bucket histograms.  Snapshots are
+  plain picklable dicts, so worker processes ship their deltas back over
+  the supervisor pipe and the parent merges them alongside partial results.
+* :mod:`repro.telemetry.spans` — :class:`Tracer`/:class:`Span` for
+  hierarchical phase timing (campaign → chunk → experiment phases) plus
+  :class:`PhaseClock`, the single-cursor lap timer the experiment runner
+  derives ``phase_seconds`` from (no gaps, no double counting).
+* :mod:`repro.telemetry.events` — :class:`RunLog`, the JSONL event log
+  written next to the chunk ledger under the artifact cache, and its
+  torn-tail-tolerant reader.
+* :mod:`repro.telemetry.report` — renders ``repro report`` from a recorded
+  event log.
+* :mod:`repro.telemetry.console` — the leveled console reporter the CLI
+  routes its human-facing lines through.
+
+Everything is guarded by one process-wide enable flag (default on; set
+``REPRO_TELEMETRY=0`` to disable).  Hot paths check the flag once per
+segment, never per tick, so the disabled cost is a single ``is None`` test.
+"""
+
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    enabled,
+    registry,
+    set_enabled,
+)
+from repro.telemetry.spans import PhaseClock, Span, Tracer
+from repro.telemetry.events import RunLog, read_events
+
+__all__ = [
+    "MetricsRegistry",
+    "PhaseClock",
+    "RunLog",
+    "Span",
+    "Tracer",
+    "enabled",
+    "read_events",
+    "registry",
+    "set_enabled",
+]

@@ -1,0 +1,83 @@
+"""Leveled console reporter for the CLI's human-facing lines.
+
+Three output roles, mapped onto the CLI's existing conventions:
+
+* ``result`` — final answers and summaries: stdout, printed even under
+  ``--quiet`` (CI smoke steps grep these).
+* ``note`` — progress and advisory lines: stderr, suppressed by ``--quiet``.
+* ``detail`` — extra diagnostics: stdout, shown only with ``-v``.
+* ``warn`` — always shown, stderr.
+
+Color is used only for emphasis (bold/dim/yellow), only when the stream is
+a TTY, and never when ``NO_COLOR`` is set (https://no-color.org/).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional, TextIO
+
+QUIET = 0
+NORMAL = 1
+VERBOSE = 2
+
+
+class ConsoleReporter:
+    """Routes CLI output through one leveled, color-aware funnel."""
+
+    def __init__(
+        self,
+        verbosity: int = NORMAL,
+        *,
+        out: Optional[TextIO] = None,
+        err: Optional[TextIO] = None,
+        color: Optional[bool] = None,
+    ) -> None:
+        self.verbosity = verbosity
+        self.out = out if out is not None else sys.stdout
+        self.err = err if err is not None else sys.stderr
+        if color is None:
+            color = (
+                "NO_COLOR" not in os.environ
+                and hasattr(self.out, "isatty")
+                and self.out.isatty()
+            )
+        self.color = bool(color)
+
+    @classmethod
+    def from_flags(cls, quiet: bool = False, verbose: bool = False) -> "ConsoleReporter":
+        if quiet:
+            return cls(QUIET)
+        return cls(VERBOSE if verbose else NORMAL)
+
+    # ---------------------------------------------------------------- styling
+    def _style(self, text: str, code: str) -> str:
+        if not self.color:
+            return text
+        return f"\x1b[{code}m{text}\x1b[0m"
+
+    def bold(self, text: str) -> str:
+        return self._style(text, "1")
+
+    def dim(self, text: str) -> str:
+        return self._style(text, "2")
+
+    # ----------------------------------------------------------------- output
+    def result(self, message: str = "") -> None:
+        """Final answer lines: always printed, stdout."""
+        print(message, file=self.out)
+
+    def note(self, message: str = "") -> None:
+        """Progress/advisory lines: stderr, silenced by ``--quiet``."""
+        if self.verbosity > QUIET:
+            print(message, file=self.err)
+
+    def detail(self, message: str = "") -> None:
+        """Extra diagnostics: stdout, only with ``-v``."""
+        if self.verbosity >= VERBOSE:
+            print(message, file=self.out)
+
+    def warn(self, message: str) -> None:
+        """Problems worth surfacing regardless of verbosity: stderr."""
+        print(self._style(message, "33"), file=self.err)

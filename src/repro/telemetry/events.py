@@ -1,0 +1,208 @@
+"""Structured JSONL run-event log (``RunLog``) and tolerant readers.
+
+One file per run — ``<runlog_dir>/<run-key>.jsonl``, written next to the
+chunk ledger under the artifact cache — records campaign lifecycle events:
+
+    {"seq": 0, "ts": ..., "run": <key>, "type": "run_started", ...}
+    {"seq": 1, "ts": ..., "run": <key>, "type": "chunk_dispatched", ...}
+    ...
+    {"seq": N, "ts": ..., "run": <key>, "type": "run_finished", ...}
+
+Every event carries a monotonic sequence number and the content-addressed
+run key, so interleaved or concatenated logs (future multi-host shards)
+remain attributable and orderable.  Appends are flushed per event;
+``run_finished`` is additionally fsync'd.  Reading mirrors the chunk
+ledger's crash tolerance: a torn trailing line (killed mid-append) is
+dropped silently, while mid-file corruption truncates the replay at the
+first bad line and is reported to the caller.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Tuple
+
+RUNLOG_VERSION = 1
+
+#: ``scan_jsonl`` statuses.
+SCAN_OK = "ok"
+SCAN_TORN = "torn"
+SCAN_CORRUPT = "corrupt"
+
+
+def scan_jsonl(lines: List[str]) -> Tuple[List[dict], str]:
+    """Parse JSONL lines, tolerating the crash signature of an append.
+
+    Returns ``(records, status)``: ``"ok"`` when every line parsed,
+    ``"torn"`` when only the *final* line failed (a killed process's
+    half-written append — the preceding records are intact and returned),
+    ``"corrupt"`` when a non-final line failed (records up to the bad line
+    are returned; the caller decides how much to trust them).
+    """
+    records: List[dict] = []
+    for position, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except (ValueError, TypeError):
+            if position == len(lines):
+                return records, SCAN_TORN
+            return records, SCAN_CORRUPT
+        if not isinstance(record, dict):
+            if position == len(lines):
+                return records, SCAN_TORN
+            return records, SCAN_CORRUPT
+        records.append(record)
+    return records, SCAN_OK
+
+
+def trim_torn_tail(path: Path) -> None:
+    """Truncate a half-written trailing line so the next append starts clean.
+
+    Appending after a torn tail would glue the new record onto the partial
+    line, turning a tolerated ``torn`` scan into a fatal ``corrupt`` one on
+    the next load.  Only the final line is examined — mid-file corruption is
+    the callers' (stricter) business; both the run log and the chunk ledger
+    refuse to append after one.
+    """
+    try:
+        with open(path, "rb+") as handle:
+            data = handle.read()
+            if not data:
+                return
+            body, _, tail = data.rpartition(b"\n")
+            if tail:  # no trailing newline: the classic killed append
+                handle.truncate(len(body) + 1 if body else 0)
+                return
+            prior, _, last = body.rpartition(b"\n")
+            if not last:
+                return
+            try:
+                if isinstance(json.loads(last.decode("utf-8")), dict):
+                    return
+            except (ValueError, UnicodeDecodeError):
+                pass
+            handle.truncate(len(prior) + 1 if prior else 0)
+    except OSError:
+        pass
+
+
+def read_events(path: Path) -> Tuple[List[dict], str]:
+    """All events of a run log, torn-tail tolerant.  ``(events, status)``."""
+    try:
+        raw = Path(path).read_text()
+    except OSError:
+        return [], SCAN_OK
+    lines = raw.splitlines()
+    if not lines:
+        return [], SCAN_OK
+    return scan_jsonl(lines)
+
+
+def latest_run_log(directory: Path) -> Optional[Path]:
+    """The most recently written ``.jsonl`` run log under ``directory``."""
+    directory = Path(directory)
+    try:
+        candidates = sorted(directory.glob("*.jsonl"))
+    except OSError:
+        return None
+    if not candidates:
+        return None
+    return max(candidates, key=lambda p: (p.stat().st_mtime, p.name))
+
+
+def find_run_log(directory: Path, key_prefix: str) -> Optional[Path]:
+    """The run log whose key starts with ``key_prefix`` (unique match only)."""
+    directory = Path(directory)
+    matches = sorted(directory.glob(f"{key_prefix}*.jsonl"))
+    if len(matches) == 1:
+        return matches[0]
+    exact = directory / f"{key_prefix}.jsonl"
+    if exact.exists():
+        return exact
+    return None
+
+
+class RunLog:
+    """Append-only JSONL event stream for one run key."""
+
+    def __init__(self, path: Path, key: str) -> None:
+        self.path = path
+        self.key = key
+        self.seq = 0
+        self._handle: Optional[IO[str]] = None
+
+    @classmethod
+    def open(
+        cls,
+        directory: Path,
+        key: str,
+        *,
+        meta: Optional[dict] = None,
+        resume: bool = False,
+    ) -> "RunLog":
+        """Open the event log for ``key``; truncate unless resuming.
+
+        On resume the sequence counter continues after the last intact
+        event, so a resumed run's events append to the original stream
+        rather than restarting it.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        log = cls(directory / f"{key}.jsonl", key)
+        fresh = True
+        if resume:
+            events, status = read_events(log.path)
+            if events and status != SCAN_CORRUPT:
+                log.seq = max(int(e.get("seq", -1)) for e in events) + 1
+                fresh = False
+                if status == SCAN_TORN:
+                    trim_torn_tail(log.path)
+        log._handle = open(log.path, "w" if fresh else "a", encoding="utf-8")
+        if fresh:
+            log.emit(
+                "run_log",
+                version=RUNLOG_VERSION,
+                meta=dict(meta or {}),
+                sync=True,
+            )
+        return log
+
+    def emit(self, event_type: str, *, sync: bool = False, **fields) -> None:
+        """Append one event (flushed; fsync'd when ``sync``)."""
+        if self._handle is None:
+            return
+        record: Dict[str, object] = {
+            "seq": self.seq,
+            "ts": round(time.time(), 6),
+            "run": self.key,
+            "type": event_type,
+        }
+        record.update(fields)
+        self.seq += 1
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        if sync:
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):
+                pass
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

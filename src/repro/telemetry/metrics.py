@@ -1,0 +1,401 @@
+"""Process-global metrics registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints, in order:
+
+1. *Hot-path cheap.*  Callers bind the instrument object once and bump a
+   plain attribute (``counter.value += n``).  No locks — every repro worker
+   is a single-threaded process, and cross-process aggregation happens by
+   merging snapshots, never by sharing instruments.
+2. *Mergeable.*  :meth:`MetricsRegistry.snapshot` returns a plain dict of
+   JSON/pickle-friendly scalars and lists.  Worker processes compute a
+   delta against the snapshot taken at chunk start and ship it back over
+   the supervisor pipe; :meth:`MetricsRegistry.merge` folds any number of
+   such snapshots into the parent registry.  Merging is commutative and
+   associative (sums all the way down), which the test suite proves.
+3. *Optional.*  One process-wide flag (:func:`enabled`, default on, env
+   ``REPRO_TELEMETRY=0`` to disable) lets hot code skip instrumentation
+   entirely; the VM checks it once per segment, never per tick.
+
+Naming convention (also documented in the README): Prometheus-style
+``snake_case`` with a ``repro_`` prefix, ``_total`` suffix for counters and
+``_seconds`` for time, plus an optional label dict for low-cardinality
+dimensions (``kind``, ``phase``, ``span``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing value.  Bump via ``.value += n`` or :meth:`inc`."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (``.set``); merged across processes by max."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative-style export, plain-list storage.
+
+    ``buckets`` are the upper bounds (exclusive of ``+Inf``, which is
+    implicit).  ``observe`` walks the bound list — keep it short (≤ ~12
+    bounds) on hot paths.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
+
+    def __init__(
+        self, name: str, bounds: Iterable[float], labels: _LabelKey = ()
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(sorted(float(b) for b in bounds))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+
+class MetricsRegistry:
+    """Named instruments plus snapshot/merge/export plumbing."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, _LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, _LabelKey], Histogram] = {}
+        self._help: Dict[str, str] = {}
+
+    # ------------------------------------------------------------- instruments
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = Counter(name, key[1])
+            self._counters[key] = instrument
+        if help:
+            self._help.setdefault(name, help)
+        return instrument
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = Gauge(name, key[1])
+            self._gauges[key] = instrument
+        if help:
+            self._help.setdefault(name, help)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Iterable[float],
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = Histogram(name, bounds, key[1])
+            self._histograms[key] = instrument
+        if help:
+            self._help.setdefault(name, help)
+        return instrument
+
+    # --------------------------------------------------------------- snapshots
+    def snapshot(self) -> Dict[str, object]:
+        """Picklable plain-dict copy of every instrument's current state."""
+        return {
+            "counters": {
+                _flat(key): instrument.value
+                for key, instrument in self._counters.items()
+            },
+            "gauges": {
+                _flat(key): instrument.value
+                for key, instrument in self._gauges.items()
+            },
+            "histograms": {
+                _flat(key): {
+                    "bounds": list(instrument.bounds),
+                    "counts": list(instrument.counts),
+                    "sum": instrument.sum,
+                    "count": instrument.count,
+                }
+                for key, instrument in self._histograms.items()
+            },
+        }
+
+    def snapshot_delta(self, before: Mapping[str, object]) -> Dict[str, object]:
+        """What happened since ``before`` (a prior :meth:`snapshot`).
+
+        Gauges are carried at their current value (last write wins has no
+        meaningful delta); counters and histogram cells subtract.
+        """
+        now = self.snapshot()
+        prior_counters = before.get("counters", {})
+        delta_counters = {}
+        for flat, value in now["counters"].items():
+            shifted = value - prior_counters.get(flat, 0.0)
+            if shifted:
+                delta_counters[flat] = shifted
+        prior_hists = before.get("histograms", {})
+        delta_hists = {}
+        for flat, hist in now["histograms"].items():
+            prior = prior_hists.get(flat)
+            if prior is None:
+                if hist["count"]:
+                    delta_hists[flat] = hist
+                continue
+            counts = [
+                a - b for a, b in zip(hist["counts"], prior["counts"])
+            ]
+            if any(counts):
+                delta_hists[flat] = {
+                    "bounds": hist["bounds"],
+                    "counts": counts,
+                    "sum": hist["sum"] - prior["sum"],
+                    "count": hist["count"] - prior["count"],
+                }
+        return {
+            "counters": delta_counters,
+            "gauges": now["gauges"],
+            "histograms": delta_hists,
+        }
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold a snapshot (typically a worker delta) into this registry.
+
+        Counter and histogram merging is sum-based, hence commutative and
+        associative; gauges keep the maximum (the only order-independent
+        choice for point-in-time values).
+        """
+        for flat, value in snapshot.get("counters", {}).items():
+            name, labels = _unflat(flat)
+            self.counter(name, dict(labels)).value += value
+        for flat, value in snapshot.get("gauges", {}).items():
+            name, labels = _unflat(flat)
+            gauge = self.gauge(name, dict(labels))
+            if value > gauge.value:
+                gauge.value = value
+        for flat, hist in snapshot.get("histograms", {}).items():
+            name, labels = _unflat(flat)
+            instrument = self.histogram(name, hist["bounds"], dict(labels))
+            if list(instrument.bounds) != [float(b) for b in hist["bounds"]]:
+                # Bucket layouts drifted between processes; counts cannot be
+                # aligned cell-by-cell, so fold into sum/count only.
+                instrument.sum += hist["sum"]
+                instrument.count += hist["count"]
+                instrument.counts[-1] += hist["count"]
+                continue
+            for index, cell in enumerate(hist["counts"]):
+                instrument.counts[index] += cell
+            instrument.sum += hist["sum"]
+            instrument.count += hist["count"]
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._help.clear()
+
+    # ------------------------------------------------------------------ export
+    def to_prometheus_text(self) -> str:
+        """Render the registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        seen_types: Dict[str, str] = {}
+
+        def header(name: str, metric_type: str) -> None:
+            if seen_types.get(name) is not None:
+                return
+            seen_types[name] = metric_type
+            help_text = self._help.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {metric_type}")
+
+        for (name, labels), instrument in sorted(self._counters.items()):
+            header(name, "counter")
+            lines.append(f"{name}{_render_labels(labels)} {_num(instrument.value)}")
+        for (name, labels), instrument in sorted(self._gauges.items()):
+            header(name, "gauge")
+            lines.append(f"{name}{_render_labels(labels)} {_num(instrument.value)}")
+        for (name, labels), instrument in sorted(self._histograms.items()):
+            header(name, "histogram")
+            cumulative = 0
+            for bound, cell in zip(instrument.bounds, instrument.counts):
+                cumulative += cell
+                bucket_labels = labels + (("le", _num(bound)),)
+                lines.append(
+                    f"{name}_bucket{_render_labels(bucket_labels)} {cumulative}"
+                )
+            cumulative += instrument.counts[-1]
+            inf_labels = labels + (("le", "+Inf"),)
+            lines.append(f"{name}_bucket{_render_labels(inf_labels)} {cumulative}")
+            lines.append(f"{name}_sum{_render_labels(labels)} {_num(instrument.sum)}")
+            lines.append(f"{name}_count{_render_labels(labels)} {instrument.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_flat_dict(self) -> Dict[str, float]:
+        """Counters and gauges as one flat ``name{labels} -> value`` dict."""
+        flat: Dict[str, float] = {}
+        for key, instrument in self._counters.items():
+            flat[_flat(key)] = instrument.value
+        for key, instrument in self._gauges.items():
+            flat[_flat(key)] = instrument.value
+        return flat
+
+
+def _flat(key: Tuple[str, _LabelKey]) -> str:
+    name, labels = key
+    return name + _render_labels(labels)
+
+
+def _unflat(flat: str) -> Tuple[str, _LabelKey]:
+    if "{" not in flat:
+        return flat, ()
+    name, _, rest = flat.partition("{")
+    body = rest.rstrip("}")
+    pairs = []
+    for item in body.split(","):
+        if not item:
+            continue
+        label, _, value = item.partition("=")
+        pairs.append((label, value.strip('"')))
+    return name, tuple(pairs)
+
+
+def _num(value: float) -> str:
+    as_int = int(value)
+    if value == as_int:
+        return str(as_int)
+    return repr(value)
+
+
+def labeled_totals(
+    snapshot: Mapping[str, object], name: str, label: str
+) -> Dict[str, float]:
+    """Counter ``name`` totals from a snapshot, keyed by ``label`` value.
+
+    Used to lift one dimension out of a snapshot delta without rebuilding a
+    registry — e.g. per-kind derivation counts for the run-finished event.
+    """
+    totals: Dict[str, float] = {}
+    counters = snapshot.get("counters", {}) if snapshot else {}
+    for flat, value in counters.items():
+        metric, labels = _unflat(flat)
+        if metric != name:
+            continue
+        key = dict(labels).get(label, "")
+        totals[key] = totals.get(key, 0.0) + value
+    return totals
+
+
+def note_derivation(kind: str, tag: str) -> None:
+    """Count one real artifact derivation (golden profile, codegen source).
+
+    The canonical counter is ``repro_derivations_total{kind=...}``; the
+    ``$REPRO_DERIVATION_LOG`` file append (``<pid> <tag>`` lines) is kept as
+    a compat shim so multi-process zero-re-derivation tests can observe
+    which processes derived what without wiring up snapshot merging.
+    """
+    registry().counter(
+        "repro_derivations_total",
+        {"kind": kind},
+        help="From-scratch artifact derivations (cache hits never count).",
+    ).value += 1
+    log_path = os.environ.get("REPRO_DERIVATION_LOG")
+    if log_path:
+        try:
+            with open(log_path, "a") as handle:
+                handle.write(f"{os.getpid()} {tag}\n")
+        except OSError:
+            pass
+
+
+def snapshot_from(snapshot: Mapping[str, object]) -> MetricsRegistry:
+    """A fresh registry holding exactly the contents of ``snapshot``."""
+    loaded = MetricsRegistry()
+    loaded.merge(snapshot)
+    return loaded
+
+
+# --------------------------------------------------------------- global state
+_REGISTRY = MetricsRegistry()
+_ENABLED = os.environ.get("REPRO_TELEMETRY", "1") != "0"
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry (workers ship deltas of this one)."""
+    return _REGISTRY
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Flip instrumentation on/off process-wide; returns the previous value.
+
+    Code that binds instruments at setup time (the VM segment counters, the
+    phase clock) re-checks this at bind time, so flipping mid-run affects
+    new binds only — exactly what the overhead benchmark needs.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous

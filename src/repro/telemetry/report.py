@@ -1,0 +1,209 @@
+"""Render ``repro report`` from a recorded run-event log.
+
+The report is computed purely from the JSONL event stream (plus the
+metrics snapshot embedded in the ``run_finished`` event), so it works on
+live, interrupted, and long-finished runs alike — no campaign state needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.telemetry.events import SCAN_OK
+
+#: Supervision tallies rendered (and the event types that imply them).
+_SUPERVISION_EVENTS = {
+    "chunk_retried": "retries",
+    "worker_restart": "worker_restarts",
+    "chunk_timeout": "timeouts",
+    "chunk_bisected": "bisections",
+    "quarantine": "quarantined_units",
+}
+
+#: Phase order matching the experiment pipeline.
+_PHASE_ORDER = ("restore", "pre_window", "window", "tail")
+
+
+def build_report(events: List[dict], status: str = SCAN_OK) -> Dict[str, object]:
+    """Digest an event stream into the sections ``render_report`` prints."""
+    report: Dict[str, object] = {
+        "key": None,
+        "kind": None,
+        "meta": {},
+        "events": len(events),
+        "scan": status,
+        "state": "in-flight",
+        "total": None,
+        "done": None,
+        "seconds": None,
+        "phase_seconds": {},
+        "phase_cpu_seconds": {},
+        "supervision": {name: 0 for name in _SUPERVISION_EVENTS.values()},
+        "cache": {},
+        "resume": {"chunks": 0, "units": 0},
+        "timeline": [],
+        "metrics": None,
+    }
+    started_ts: Optional[float] = None
+    completions: List[dict] = []
+    for event in events:
+        kind = event.get("type")
+        if report["key"] is None and event.get("run"):
+            report["key"] = event["run"]
+        if kind == "run_log":
+            report["meta"] = event.get("meta") or {}
+        elif kind == "run_started":
+            # A resumed run appends a second run_started to the same stream;
+            # the timeline keeps the original origin so both sessions' chunk
+            # completions land at non-negative offsets.
+            if started_ts is None:
+                started_ts = event.get("ts")
+            report["kind"] = event.get("kind")
+            report["total"] = event.get("total")
+            report["state"] = "in-flight"
+        elif kind == "resume_replay":
+            report["resume"] = {
+                "chunks": event.get("chunks", 0),
+                "units": event.get("units", 0),
+            }
+        elif kind == "chunk_completed":
+            completions.append(event)
+        elif kind in _SUPERVISION_EVENTS:
+            tally = _SUPERVISION_EVENTS[kind]
+            report["supervision"][tally] += event.get("units", 1) if kind == "quarantine" else 1
+        elif kind == "run_finished":
+            report["state"] = event.get("status", "finished")
+            report["done"] = event.get("done")
+            report["seconds"] = event.get("seconds")
+            report["phase_seconds"] = event.get("phase_seconds") or {}
+            report["phase_cpu_seconds"] = event.get("phase_cpu_seconds") or {}
+            report["cache"] = event.get("cache") or {}
+            report["metrics"] = event.get("metrics")
+            supervision = event.get("supervision") or {}
+            for name in report["supervision"]:
+                if supervision.get(name):
+                    report["supervision"][name] = supervision[name]
+    report["timeline"] = _timeline(started_ts, completions)
+    if report["done"] is None:
+        report["done"] = sum(e.get("count", 0) for e in completions)
+    return report
+
+
+def _timeline(started_ts: Optional[float], completions: List[dict]) -> List[dict]:
+    """Bucketed completion throughput: ``[{t, seconds, units}, ...]``.
+
+    Chunk completions are grouped into at most six equal time buckets from
+    run start to the last completion — coarse by design, enough to show a
+    ramp or a stall at a glance.
+    """
+    if started_ts is None or not completions:
+        return []
+    stamps = [
+        (float(e["ts"]) - started_ts, int(e.get("count", 0)))
+        for e in completions
+        if isinstance(e.get("ts"), (int, float))
+    ]
+    if not stamps:
+        return []
+    horizon = max(offset for offset, _ in stamps)
+    if horizon <= 0:
+        return [{"t": 0.0, "seconds": 0.0, "units": sum(u for _, u in stamps)}]
+    buckets = min(6, len(stamps))
+    width = horizon / buckets
+    cells = [0] * buckets
+    for offset, units in stamps:
+        index = min(max(int(offset / width), 0), buckets - 1)
+        cells[index] += units
+    return [
+        {"t": round(index * width, 3), "seconds": round(width, 3), "units": cells[index]}
+        for index in range(buckets)
+    ]
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "?"
+    return f"{value:.2f}s"
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """The human-readable ``repro report`` text for one digested run."""
+    lines: List[str] = []
+    key = report.get("key") or "<unknown>"
+    kind = report.get("kind") or "run"
+    meta = report.get("meta") or {}
+    tag = meta.get("program") or meta.get("campaign") or ""
+    headline = f"run {str(key)[:16]} ({kind})"
+    if tag:
+        headline += f" — {tag}"
+    headline += f" — {report.get('state')}"
+    lines.append(headline)
+
+    scan = report.get("scan")
+    integrity = "clean" if scan == SCAN_OK else f"{scan} tail tolerated"
+    lines.append(f"  events       {report.get('events')} recorded ({integrity})")
+
+    done = report.get("done")
+    total = report.get("total")
+    seconds = report.get("seconds")
+    progress = f"{done}/{total}" if total is not None else str(done)
+    line = f"  progress     {progress} experiments"
+    if seconds:
+        line += f" in {_fmt_seconds(seconds)}"
+        if done:
+            line += f" — {done / seconds:.1f}/s"
+    lines.append(line)
+
+    phases = report.get("phase_seconds") or {}
+    if phases:
+        covered = sum(phases.values()) or 1.0
+        parts = []
+        ordered = [p for p in _PHASE_ORDER if p in phases]
+        ordered += [p for p in sorted(phases) if p not in _PHASE_ORDER]
+        for phase in ordered:
+            value = phases[phase]
+            parts.append(f"{phase} {_fmt_seconds(value)} ({100.0 * value / covered:.1f}%)")
+        lines.append("  phases       " + " · ".join(parts))
+        cpu = report.get("phase_cpu_seconds") or {}
+        if cpu:
+            lines.append(
+                "  phases(cpu)  "
+                + " · ".join(f"{p} {_fmt_seconds(cpu[p])}" for p in ordered if p in cpu)
+            )
+
+    timeline = report.get("timeline") or []
+    if timeline:
+        cells = []
+        for bucket in timeline:
+            width = bucket["seconds"] or 1.0
+            cells.append(f"t+{bucket['t']:.0f}s {bucket['units'] / width:.0f}/s")
+        lines.append("  timeline     " + " · ".join(cells))
+
+    supervision = report.get("supervision") or {}
+    lines.append(
+        "  supervision  "
+        + " ".join(f"{name}={supervision.get(name, 0)}" for name in sorted(supervision))
+    )
+
+    cache = report.get("cache") or {}
+    if cache:
+        hits = cache.get("hits") or {}
+        misses = cache.get("misses") or {}
+        kinds = sorted(set(hits) | set(misses))
+        parts = [f"{k}: {hits.get(k, 0)} hits/{misses.get(k, 0)} misses" for k in kinds]
+        derivations = cache.get("derivations") or {}
+        if derivations:
+            parts.append(
+                "derivations "
+                + " ".join(f"{k}={derivations[k]}" for k in sorted(derivations))
+            )
+        if parts:
+            lines.append("  cache        " + " · ".join(parts))
+
+    resume = report.get("resume") or {}
+    if resume.get("chunks"):
+        lines.append(
+            f"  resume       {resume['chunks']} chunks ({resume['units']} units) "
+            "replayed from the chunk ledger"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Hierarchical span timing and the single-cursor phase clock.
+
+Two instruments with different duty cycles:
+
+* :class:`Tracer`/:class:`Span` — coarse, hierarchical: a campaign span
+  contains chunk spans which contain batch spans.  Each finished span
+  accumulates wall-clock and per-process CPU seconds under its slash-joined
+  path (``campaign/chunk``) and, when telemetry is enabled, mirrors into
+  the metrics registry (``repro_span_seconds_total{span=...}``).
+* :class:`PhaseClock` — fine, flat: the experiment runner's per-phase
+  accounting (restore / pre_window / window / tail).  One monotonic cursor
+  is shared by every lap, so the end of one phase *is* the start of the
+  next: phase totals sum exactly to the covered wall clock — no gaps, no
+  double counting at segment boundaries (the bug class the hand-rolled
+  ``perf_counter()`` pairs it replaces was prone to).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter, process_time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.telemetry import metrics as _metrics
+
+
+class Span:
+    """One timed region; use via ``with tracer.span(name):``."""
+
+    __slots__ = ("tracer", "name", "path", "wall", "cpu", "_wall0", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", name: str, path: str) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.path = path
+        self.wall = 0.0
+        self.cpu = 0.0
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self._wall0 = perf_counter()
+        self._cpu0 = process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall = perf_counter() - self._wall0
+        self.cpu = process_time() - self._cpu0
+        self.tracer._finish(self)
+
+
+class Tracer:
+    """Accumulates finished spans under their hierarchical path."""
+
+    def __init__(self, publish: Optional[bool] = None) -> None:
+        #: path -> [wall_seconds, cpu_seconds, count]
+        self.totals: Dict[str, List[float]] = {}
+        self._stack: List[str] = []
+        self._publish = _metrics.enabled() if publish is None else bool(publish)
+
+    def span(self, name: str) -> Span:
+        path = "/".join(self._stack + [name])
+        self._stack.append(name)
+        return Span(self, name, path)
+
+    def _finish(self, span: Span) -> None:
+        if self._stack and self._stack[-1] == span.name:
+            self._stack.pop()
+        cell = self.totals.get(span.path)
+        if cell is None:
+            cell = [0.0, 0.0, 0]
+            self.totals[span.path] = cell
+        cell[0] += span.wall
+        cell[1] += span.cpu
+        cell[2] += 1
+        if self._publish:
+            registry = _metrics.registry()
+            registry.counter(
+                "repro_span_seconds_total",
+                {"span": span.path},
+                help="Wall-clock seconds spent inside each span path.",
+            ).value += span.wall
+            registry.counter(
+                "repro_span_cpu_seconds_total", {"span": span.path}
+            ).value += span.cpu
+            registry.counter(
+                "repro_spans_total", {"span": span.path}
+            ).value += 1
+
+    def wall_seconds(self, path: str) -> float:
+        cell = self.totals.get(path)
+        return cell[0] if cell else 0.0
+
+
+class PhaseClock:
+    """Single-cursor lap timer: contiguous, gap-free phase attribution.
+
+    ``start()`` plants the cursor; each ``lap(phase)`` attributes everything
+    since the previous lap (or start) to ``phase`` and advances the cursor
+    with the *same* time reading.  Wall and CPU lanes advance together.
+    Totals persist across ``start()`` calls, so one clock accumulates a
+    whole runner's lifetime of experiments.
+    """
+
+    __slots__ = ("wall", "cpu", "_wall_cursor", "_cpu_cursor", "_counters")
+
+    def __init__(self, phases: Iterable[str] = ()) -> None:
+        self.wall: Dict[str, float] = {phase: 0.0 for phase in phases}
+        self.cpu: Dict[str, float] = {phase: 0.0 for phase in phases}
+        self._wall_cursor = 0.0
+        self._cpu_cursor = 0.0
+        # Bind registry counters once; laps pay one attribute add per lane.
+        # When telemetry is disabled the bind is skipped and laps touch
+        # only the local dicts.
+        self._counters: Dict[str, Tuple[object, object]] = {}
+        if _metrics.enabled():
+            registry = _metrics.registry()
+            for phase in self.wall:
+                self._counters[phase] = (
+                    registry.counter(
+                        "repro_phase_seconds_total",
+                        {"phase": phase},
+                        help="Wall-clock seconds per experiment phase.",
+                    ),
+                    registry.counter(
+                        "repro_phase_cpu_seconds_total", {"phase": phase}
+                    ),
+                )
+
+    def start(self) -> None:
+        self._wall_cursor = perf_counter()
+        self._cpu_cursor = process_time()
+
+    def lap(self, phase: str) -> float:
+        now = perf_counter()
+        cpu_now = process_time()
+        wall_delta = now - self._wall_cursor
+        cpu_delta = cpu_now - self._cpu_cursor
+        self._wall_cursor = now
+        self._cpu_cursor = cpu_now
+        self.wall[phase] = self.wall.get(phase, 0.0) + wall_delta
+        self.cpu[phase] = self.cpu.get(phase, 0.0) + cpu_delta
+        bound = self._counters.get(phase)
+        if bound is not None:
+            bound[0].value += wall_delta
+            bound[1].value += cpu_delta
+        return wall_delta
+
+    def total_wall(self) -> float:
+        return sum(self.wall.values())

@@ -47,7 +47,6 @@ program by ``tests/test_compiled_differential.py``.
 from __future__ import annotations
 
 import operator
-import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionSetupError
@@ -62,6 +61,7 @@ from repro.vm.faults import (
     MisalignedAccessFault,
     SegmentationFault,
 )
+from repro.telemetry import metrics as telemetry_metrics
 from repro.vm.interpreter import Interpreter, _PauseSignal
 from repro.vm.program import (
     KIND_BRANCH,
@@ -105,16 +105,15 @@ CODEGEN_GENERATIONS = 0
 
 
 def _note_generation(module_name: str) -> None:
-    """Count one source generation (and log it for cross-process tests)."""
+    """Count one source generation (telemetry counter + compat shims).
+
+    Canonical count: ``repro_derivations_total{kind="codegen"}``.  The
+    module-level mirror and the ``REPRO_DERIVATION_LOG`` append survive as
+    shims for the cross-process cache tests.
+    """
     global CODEGEN_GENERATIONS
     CODEGEN_GENERATIONS += 1
-    log_path = os.environ.get("REPRO_DERIVATION_LOG")
-    if log_path:
-        try:
-            with open(log_path, "a") as handle:
-                handle.write(f"{os.getpid()} codegen:{module_name}\n")
-        except OSError:
-            pass
+    telemetry_metrics.note_derivation("codegen", f"codegen:{module_name}")
 
 
 # --------------------------------------------------------------------------- const table

@@ -75,11 +75,44 @@ from repro.vm.runtime import (
     ProgramExit,
     RuntimeScalar,
 )
+from repro.telemetry import metrics as _telemetry_metrics
 from repro.vm.trace import TraceCollector
 
 # Backwards-compatible aliases (the seed exposed these from this module).
 _MATH_INTRINSICS = MATH_INTRINSICS
 _ProgramExit = ProgramExit
+
+#: ``(ticks_counter, segments_counter)`` when telemetry is enabled, else
+#: None.  Checked once per *segment* (never per tick), so the disabled cost
+#: is a single ``is None`` test per execution slice.
+_VM_COUNTERS = None
+
+
+def refresh_vm_counters() -> None:
+    """Re-bind the segment-level VM counters to the current enable state.
+
+    Called at import time; call again after
+    :func:`repro.telemetry.set_enabled` to make the flip take effect here
+    (the overhead benchmark toggles it both ways).
+    """
+    global _VM_COUNTERS
+    if _telemetry_metrics.enabled():
+        registry = _telemetry_metrics.registry()
+        _VM_COUNTERS = (
+            registry.counter(
+                "repro_vm_ticks_total",
+                help="Dynamic instructions executed across all segments.",
+            ),
+            registry.counter(
+                "repro_vm_segments_total",
+                help="Execution segments (full runs, resumes, window slices).",
+            ),
+        )
+    else:
+        _VM_COUNTERS = None
+
+
+refresh_vm_counters()
 
 #: The instruction object passed to injection hooks: the decoded form on the
 #: production driver, the IR instruction on the reference interpreter.  Both
@@ -268,6 +301,17 @@ class Interpreter:
 
     def _execute(self, thunk) -> ExecutionResult:
         """Run ``thunk`` and classify how the execution ended."""
+        counters = _VM_COUNTERS
+        if counters is not None:
+            start_tick = self.dynamic_index
+            try:
+                return self._execute_inner(thunk)
+            finally:
+                counters[0].value += self.dynamic_index - start_tick
+                counters[1].value += 1
+        return self._execute_inner(thunk)
+
+    def _execute_inner(self, thunk) -> ExecutionResult:
         try:
             return_value = thunk()
             return ExecutionResult(

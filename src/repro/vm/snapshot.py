@@ -42,12 +42,12 @@ runs for every registry program.
 
 from __future__ import annotations
 
-import os
 from bisect import bisect_right
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ExecutionSetupError
 from repro.ir.module import Module
+from repro.telemetry import metrics as telemetry_metrics
 from repro.vm import bitops
 from repro.vm.faults import (
     AbortFault,
@@ -84,20 +84,17 @@ GOLDEN_DERIVATIONS = 0
 
 
 def _note_derivation(module_name: str) -> None:
-    """Count one real profiling run; append to REPRO_DERIVATION_LOG if set.
+    """Count one real profiling run (telemetry counter + compat shims).
 
-    The log file records ``<pid> <module>`` lines so multi-process tests can
-    observe which processes re-derived a golden trace.
+    The canonical count lives in the telemetry registry
+    (``repro_derivations_total{kind="golden"}``); the module-level
+    ``GOLDEN_DERIVATIONS`` mirror and the ``REPRO_DERIVATION_LOG`` file
+    append (``<pid> <module>`` lines) are kept so in-process and
+    multi-process zero-re-derivation tests keep working unchanged.
     """
     global GOLDEN_DERIVATIONS
     GOLDEN_DERIVATIONS += 1
-    log_path = os.environ.get("REPRO_DERIVATION_LOG")
-    if log_path:
-        try:
-            with open(log_path, "a") as handle:
-                handle.write(f"{os.getpid()} {module_name}\n")
-        except OSError:
-            pass
+    telemetry_metrics.note_derivation("golden", module_name)
 
 
 class FrameSnapshot:

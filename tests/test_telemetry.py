@@ -1,0 +1,493 @@
+"""Tests for the telemetry subsystem: registry, spans, event log, report."""
+
+import json
+import time
+
+import pytest
+
+from repro.campaign import CampaignConfig, ResultStore, SerialEngine
+from repro.frontend import compile_program
+from repro.injection import ExperimentRunner
+from repro.injection.faultmodel import win_size_by_index
+from repro.telemetry import metrics as tm
+from repro.telemetry import spans as spans_module
+from repro.telemetry.console import NORMAL, QUIET, ConsoleReporter
+from repro.telemetry.events import (
+    SCAN_CORRUPT,
+    SCAN_OK,
+    SCAN_TORN,
+    RunLog,
+    find_run_log,
+    latest_run_log,
+    read_events,
+    scan_jsonl,
+)
+from repro.telemetry.report import build_report, render_report
+from repro.telemetry.spans import PhaseClock, Tracer
+
+
+TINY_PROGRAM = '''
+def main() -> "i64":
+    total = 0
+    for i in range(12):
+        scratch[i % 4] = i * 7
+        total += scratch[i % 4]
+    output(total)
+    return total
+'''
+
+
+@pytest.fixture(scope="module")
+def tiny_runner():
+    program = compile_program("tiny", [TINY_PROGRAM], {"scratch": ("i32", [0, 0, 0, 0])})
+    return ExperimentRunner(program)
+
+
+@pytest.fixture(scope="module")
+def tiny_provider(tiny_runner):
+    def provider(name):
+        assert name == "tiny"
+        return tiny_runner
+
+    return provider
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        program="tiny",
+        technique="inject-on-write",
+        max_mbf=3,
+        win_size=win_size_by_index("w4"),
+        experiments=24,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+# --------------------------------------------------------------------- registry
+
+
+def _populate(registry, counter_value, gauge_value, observations):
+    registry.counter("repro_test_total", {"kind": "a"}).value += counter_value
+    registry.counter("repro_test_total", {"kind": "b"}).value += 1
+    registry.gauge("repro_test_gauge").set(gauge_value)
+    hist = registry.histogram("repro_test_seconds", (0.1, 1.0, 10.0))
+    for value in observations:
+        hist.observe(value)
+
+
+class TestMetricsRegistry:
+    def test_counter_and_gauge_identity(self):
+        registry = tm.MetricsRegistry()
+        first = registry.counter("c_total", {"x": "1"})
+        second = registry.counter("c_total", {"x": "1"})
+        assert first is second  # bind once, bump an attribute forever
+        assert registry.counter("c_total", {"x": "2"}) is not first
+        assert registry.gauge("g") is registry.gauge("g")
+
+    def test_snapshot_roundtrips_through_merge(self):
+        registry = tm.MetricsRegistry()
+        _populate(registry, 5, 3.0, [0.05, 0.5, 5.0, 50.0])
+        clone = tm.snapshot_from(registry.snapshot())
+        assert clone.snapshot() == registry.snapshot()
+
+    def test_merge_is_commutative_and_associative(self):
+        """Worker deltas can arrive in any order and any grouping."""
+        snapshots = []
+        for counter_value, gauge_value, observations in (
+            # Power-of-two observations: exact float sums, so snapshot
+            # equality is order-independent bit-for-bit.
+            (1, 7.0, [0.0625]),
+            (10, 2.0, [0.5, 2.0]),
+            (100, 5.0, [16.0]),
+        ):
+            registry = tm.MetricsRegistry()
+            _populate(registry, counter_value, gauge_value, observations)
+            snapshots.append(registry.snapshot())
+
+        def fold(order):
+            registry = tm.MetricsRegistry()
+            for snapshot in order:
+                registry.merge(snapshot)
+            return registry.snapshot()
+
+        a, b, c = snapshots
+        reference = fold([a, b, c])
+        assert fold([c, b, a]) == reference
+        assert fold([b, a, c]) == reference
+        # Associativity: pre-merge (a+b) into one snapshot, then add c.
+        ab = tm.MetricsRegistry()
+        ab.merge(a)
+        ab.merge(b)
+        grouped = tm.MetricsRegistry()
+        grouped.merge(ab.snapshot())
+        grouped.merge(c)
+        assert grouped.snapshot() == reference
+        # Counters summed, gauges kept at max.
+        assert reference["counters"]['repro_test_total{kind="a"}'] == 111
+        assert reference["gauges"]["repro_test_gauge"] == 7.0
+
+    def test_snapshot_delta_reports_only_changes(self):
+        registry = tm.MetricsRegistry()
+        _populate(registry, 5, 1.0, [0.5])
+        before = registry.snapshot()
+        registry.counter("repro_test_total", {"kind": "a"}).value += 2
+        delta = registry.snapshot_delta(before)
+        assert delta["counters"] == {'repro_test_total{kind="a"}': 2}
+        assert delta["histograms"] == {}
+
+    def test_labeled_totals(self):
+        registry = tm.MetricsRegistry()
+        registry.counter("repro_derivations_total", {"kind": "golden"}).value += 2
+        registry.counter("repro_derivations_total", {"kind": "codegen"}).value += 1
+        registry.counter("repro_other_total").value += 9
+        totals = tm.labeled_totals(
+            registry.snapshot(), "repro_derivations_total", "kind"
+        )
+        assert totals == {"golden": 2, "codegen": 1}
+
+    def test_prometheus_text_format(self):
+        registry = tm.MetricsRegistry()
+        registry.counter("c_total", {"kind": "x"}, help="a counter").value += 3
+        registry.histogram("h_seconds", (1.0,)).observe(0.5)
+        text = registry.to_prometheus_text()
+        assert "# HELP c_total a counter" in text
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{kind="x"} 3' in text
+        assert 'h_seconds_bucket{le="1"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_count 1" in text
+
+
+# ------------------------------------------------------------------ span clocks
+
+
+class TestPhaseClock:
+    def test_laps_are_contiguous_and_gap_free(self, monkeypatch):
+        """Phase totals sum exactly to the covered wall clock — the
+        double-counting failure mode of paired ``perf_counter()`` reads is
+        structurally impossible with a single shared cursor."""
+        wall_ticks = iter([10.0, 11.0, 13.0, 16.0])
+        cpu_ticks = iter([0.0, 0.5, 1.5, 2.0])
+        monkeypatch.setattr(spans_module, "perf_counter", lambda: next(wall_ticks))
+        monkeypatch.setattr(spans_module, "process_time", lambda: next(cpu_ticks))
+        clock = PhaseClock(("a", "b"))
+        clock.start()
+        assert clock.lap("a") == 1.0
+        assert clock.lap("b") == 2.0
+        assert clock.lap("a") == 3.0
+        assert clock.wall == {"a": 4.0, "b": 2.0}
+        assert clock.cpu == {"a": 1.0, "b": 1.0}
+        assert clock.total_wall() == 6.0  # == 16.0 - 10.0, exactly
+
+    def test_totals_persist_across_starts(self):
+        clock = PhaseClock(("a",))
+        clock.start()
+        clock.lap("a")
+        first = clock.wall["a"]
+        clock.start()
+        clock.lap("a")
+        assert clock.wall["a"] >= first
+
+    def test_enabled_clock_publishes_to_registry(self):
+        previous = tm.set_enabled(True)
+        before = tm.registry().snapshot()
+        try:
+            clock = PhaseClock(("window",))
+            clock.start()
+            clock.lap("window")
+        finally:
+            tm.set_enabled(previous)
+        delta = tm.registry().snapshot_delta(before)
+        published = tm.labeled_totals(delta, "repro_phase_seconds_total", "phase")
+        assert published.get("window", 0.0) == clock.wall["window"]
+
+
+class TestTracer:
+    def test_nested_spans_accumulate_under_paths(self):
+        tracer = Tracer(publish=False)
+        with tracer.span("campaign"):
+            with tracer.span("chunk"):
+                pass
+            with tracer.span("chunk"):
+                pass
+        assert tracer.totals["campaign/chunk"][2] == 2
+        assert tracer.totals["campaign"][2] == 1
+        assert tracer.wall_seconds("campaign") >= tracer.wall_seconds("campaign/chunk")
+
+
+# ------------------------------------------------------------------- event log
+
+
+class TestRunLog:
+    def test_fresh_log_emits_header_and_monotonic_seq(self, tmp_path):
+        with RunLog.open(tmp_path, "abc123", meta={"program": "tiny"}) as log:
+            log.emit("run_started", kind="campaign", total=4)
+            log.emit("run_finished", status="finished", sync=True)
+        events, status = read_events(tmp_path / "abc123.jsonl")
+        assert status == SCAN_OK
+        assert [e["type"] for e in events] == ["run_log", "run_started", "run_finished"]
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert all(e["run"] == "abc123" for e in events)
+        assert events[0]["meta"] == {"program": "tiny"}
+
+    def test_resume_continues_the_sequence(self, tmp_path):
+        with RunLog.open(tmp_path, "abc123") as log:
+            log.emit("run_started")
+        with RunLog.open(tmp_path, "abc123", resume=True) as log:
+            log.emit("run_started")  # resumed session, same stream
+        events, status = read_events(tmp_path / "abc123.jsonl")
+        assert status == SCAN_OK
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert [e["type"] for e in events].count("run_started") == 2
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "abc123.jsonl"
+        with RunLog.open(tmp_path, "abc123") as log:
+            log.emit("run_started")
+        with open(path, "a") as handle:
+            handle.write('{"seq": 2, "ts": 1.0, "ru')  # killed mid-append
+        events, status = read_events(path)
+        assert status == SCAN_TORN
+        assert [e["seq"] for e in events] == [0, 1]
+        # A resume after the crash continues after the last *intact* event.
+        with RunLog.open(tmp_path, "abc123", resume=True) as log:
+            log.emit("run_started")
+        events, status = read_events(path)
+        assert events[-1]["seq"] == 2
+
+    def test_ledger_resume_after_torn_tail_stays_loadable(self, tmp_path):
+        """Appending after a torn ledger tail used to fuse the new record
+        onto the partial line, turning the tolerated torn scan into a fatal
+        corrupt one on every later load."""
+        from repro.campaign.ledger import ChunkLedger
+
+        ledger = ChunkLedger.open(tmp_path, "k1", total=8, resume=False)
+        ledger.record_done(0, 4, {"payload": True})
+        ledger.close()
+        path = ledger.path
+        with open(path, "a") as handle:
+            handle.write('{"type": "done", "chu')  # killed mid-append
+        resumed = ChunkLedger.open(tmp_path, "k1", total=8, resume=True)
+        assert set(resumed.completed) == {0}
+        resumed.record_done(4, 4, {"payload": True})
+        resumed.close()
+        reloaded = ChunkLedger.open(tmp_path, "k1", total=8, resume=True)
+        assert set(reloaded.completed) == {0, 4}
+        reloaded.close()
+
+    def test_mid_file_corruption_is_reported(self):
+        lines = ['{"seq": 0}', "garbage", '{"seq": 2}']
+        records, status = scan_jsonl(lines)
+        assert status == SCAN_CORRUPT
+        assert [r["seq"] for r in records] == [0]
+
+    def test_latest_and_find(self, tmp_path):
+        with RunLog.open(tmp_path, "aaa111"):
+            pass
+        time.sleep(0.01)
+        with RunLog.open(tmp_path, "bbb222"):
+            pass
+        assert latest_run_log(tmp_path).name == "bbb222.jsonl"
+        assert find_run_log(tmp_path, "aaa").name == "aaa111.jsonl"
+        assert find_run_log(tmp_path, "zzz") is None
+
+
+# --------------------------------------------------------------------- report
+
+
+def _synthetic_events():
+    key = "feedc0defeedc0de"
+
+    def event(seq, ts, event_type, **fields):
+        record = {"seq": seq, "ts": ts, "run": key, "type": event_type}
+        record.update(fields)
+        return record
+
+    return [
+        event(0, 100.0, "run_log", version=1, meta={"program": "crc32"}),
+        event(1, 100.0, "run_started", kind="campaign", total=50, engine="serial"),
+        event(2, 100.5, "chunk_dispatched", chunk=0, count=25),
+        event(3, 101.0, "chunk_completed", chunk=0, count=25, done=25),
+        event(4, 102.0, "chunk_retried", chunk=25),
+        event(5, 103.0, "chunk_completed", chunk=25, count=25, done=50),
+        event(
+            6,
+            104.0,
+            "run_finished",
+            status="finished",
+            done=50,
+            seconds=4.0,
+            phase_seconds={"restore": 1.0, "window": 3.0},
+            phase_cpu_seconds={"restore": 0.5, "window": 2.5},
+            cache={
+                "hits": {"golden": 1},
+                "misses": {"golden": 0},
+                "derivations": {"golden": 1},
+            },
+            supervision={"retries": 1},
+        ),
+    ]
+
+
+class TestReport:
+    def test_report_golden_output(self):
+        report = build_report(_synthetic_events(), SCAN_OK)
+        expected = "\n".join(
+            [
+                "run feedc0defeedc0de (campaign) — crc32 — finished",
+                "  events       7 recorded (clean)",
+                "  progress     50/50 experiments in 4.00s — 12.5/s",
+                "  phases       restore 1.00s (25.0%) · window 3.00s (75.0%)",
+                "  phases(cpu)  restore 0.50s · window 2.50s",
+                "  timeline     t+0s 17/s · t+2s 17/s",
+                "  supervision  bisections=0 quarantined_units=0 retries=1 "
+                "timeouts=0 worker_restarts=0",
+                "  cache        golden: 1 hits/0 misses · derivations golden=1",
+            ]
+        )
+        assert render_report(report) == expected
+
+    def test_in_flight_run_reports_partial_progress(self):
+        events = _synthetic_events()[:4]  # no run_finished yet
+        report = build_report(events, SCAN_TORN)
+        assert report["state"] == "in-flight"
+        assert report["done"] == 25  # summed from chunk completions
+        rendered = render_report(report)
+        assert "torn tail tolerated" in rendered
+        assert "25/50 experiments" in rendered
+
+    def test_resumed_stream_keeps_the_original_origin(self):
+        """Two run_started events (original + resume) must not shift the
+        timeline origin, or the first session's completions land at negative
+        offsets."""
+        events = _synthetic_events()[:4]
+        events.append(
+            {"seq": 4, "ts": 150.0, "run": "feedc0defeedc0de", "type": "run_started",
+             "kind": "campaign", "total": 50}
+        )
+        events.append(
+            {"seq": 5, "ts": 151.0, "run": "feedc0defeedc0de",
+             "type": "chunk_completed", "chunk": 25, "count": 25, "done": 50}
+        )
+        report = build_report(events, SCAN_OK)
+        assert all(bucket["t"] >= 0 for bucket in report["timeline"])
+        assert sum(bucket["units"] for bucket in report["timeline"]) == 50
+
+
+# ------------------------------------------------------------ console reporter
+
+
+class TestConsoleReporter:
+    def test_verbosity_routing(self, capsys):
+        import io
+
+        out, err = io.StringIO(), io.StringIO()
+        reporter = ConsoleReporter(NORMAL, out=out, err=err, color=False)
+        reporter.result("result line")
+        reporter.note("note line")
+        reporter.detail("detail line")
+        reporter.warn("warn line")
+        assert out.getvalue() == "result line\n"  # detail needs verbose
+        assert err.getvalue() == "note line\nwarn line\n"
+
+    def test_quiet_keeps_results_and_warnings_only(self):
+        import io
+
+        out, err = io.StringIO(), io.StringIO()
+        reporter = ConsoleReporter(QUIET, out=out, err=err, color=False)
+        reporter.result("result line")
+        reporter.note("note line")
+        reporter.detail("detail line")
+        reporter.warn("warn line")
+        assert out.getvalue() == "result line\n"  # CI greps survive --quiet
+        assert err.getvalue() == "warn line\n"
+
+    def test_from_flags(self):
+        assert ConsoleReporter.from_flags(quiet=True, verbose=False).verbosity == 0
+        assert ConsoleReporter.from_flags(quiet=False, verbose=False).verbosity == 1
+        assert ConsoleReporter.from_flags(quiet=False, verbose=True).verbosity == 2
+
+    def test_no_color_env_disables_styling(self, monkeypatch):
+        import io
+
+        monkeypatch.setenv("NO_COLOR", "1")
+        reporter = ConsoleReporter(NORMAL, out=io.StringIO(), err=io.StringIO())
+        assert reporter.bold("x") == "x"
+
+
+# ------------------------------------------------------- engine integration
+
+
+class TestEngineTelemetry:
+    def test_serial_run_writes_a_renderable_event_log(
+        self, tiny_provider, tmp_path
+    ):
+        engine = SerialEngine(
+            ledger_dir=str(tmp_path / "ledger"),
+            runlog_dir=str(tmp_path / "runlog"),
+        )
+        engine.run(tiny_config(), provider=tiny_provider)
+        log_path = latest_run_log(tmp_path / "runlog")
+        assert log_path is not None
+        events, status = read_events(log_path)
+        assert status == SCAN_OK
+        kinds = [e["type"] for e in events]
+        assert kinds[0] == "run_log"
+        assert "run_started" in kinds and kinds[-1] == "run_finished"
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        finished = events[-1]
+        assert finished["status"] == "finished"
+        assert finished["done"] == 24
+        assert finished["phase_seconds"]  # span-derived, non-empty
+        assert finished["metrics"]["counters"]  # embedded snapshot delta
+        rendered = render_report(build_report(events, status))
+        assert "24/24 experiments" in rendered
+        assert "phases" in rendered
+
+    def test_phase_seconds_sum_does_not_exceed_wall_clock(self, tiny_provider):
+        """Regression for the segment-boundary double counting the paired
+        ``perf_counter()`` reads were prone to: per-phase totals are laps of
+        one shared cursor, so their sum is bounded by the covered wall
+        clock (inflated sums, not deflated ones, were the bug)."""
+        started = time.perf_counter()
+        result = SerialEngine().run(
+            tiny_config(experiments=64), provider=tiny_provider
+        )
+        elapsed = time.perf_counter() - started
+        covered = sum(result.phase_seconds.values())
+        assert covered > 0
+        assert covered <= elapsed * 1.02 + 0.005
+
+    def test_result_store_bytes_identical_with_telemetry_toggled(
+        self, tiny_provider, tmp_path
+    ):
+        """Instrumentation must never leak into scientific outputs."""
+        from repro.vm import interpreter as interpreter_module
+
+        previous = tm.enabled()
+        payloads = {}
+        try:
+            for flag in (True, False):
+                tm.set_enabled(flag)
+                interpreter_module.refresh_vm_counters()
+                result = SerialEngine().run(tiny_config(), provider=tiny_provider)
+                store = ResultStore()
+                store.add(result)
+                path = tmp_path / f"store_{flag}.json"
+                store.save(path)
+                payloads[flag] = path.read_bytes()
+        finally:
+            tm.set_enabled(previous)
+            interpreter_module.refresh_vm_counters()
+        assert payloads[True] == payloads[False]
+
+    def test_derivation_counter_and_log_shim(self, tmp_path, monkeypatch):
+        log = tmp_path / "derivations.log"
+        monkeypatch.setenv("REPRO_DERIVATION_LOG", str(log))
+        before = tm.registry().snapshot()
+        tm.note_derivation("golden", "golden:tiny")
+        delta = tm.registry().snapshot_delta(before)
+        totals = tm.labeled_totals(delta, "repro_derivations_total", "kind")
+        assert totals == {"golden": 1}
+        assert log.read_text().endswith("golden:tiny\n")
