@@ -28,11 +28,14 @@ from repro.campaign.config import (
     SMOKE_SCALE,
 )
 from repro.campaign.engine import (
+    DispatchRequest,
+    DispatchTransport,
     EngineProgress,
     ExecutionEngine,
     MultiprocessEngine,
     RegistryProvider,
     SerialEngine,
+    SupervisedPoolTransport,
 )
 from repro.campaign.plan import (
     ExhaustiveCampaignRequest,
@@ -59,6 +62,8 @@ __all__ = [
     "ChunkLedger",
     "ChunkSupervisor",
     "ChunkTask",
+    "DispatchRequest",
+    "DispatchTransport",
     "EngineProgress",
     "ExecutionEngine",
     "ExhaustiveCampaignRequest",
@@ -75,5 +80,6 @@ __all__ = [
     "SerialEngine",
     "single_bit_campaigns",
     "SMOKE_SCALE",
+    "SupervisedPoolTransport",
     "SupervisorStats",
 ]

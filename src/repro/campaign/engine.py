@@ -637,6 +637,96 @@ def _split_infer_task(task: ChunkTask) -> List[ChunkTask]:
     ]
 
 
+# -- transport-agnostic dispatch seam -----------------------------------------------
+#
+# A pooled engine describes one dispatch round as a DispatchRequest — chunk
+# tasks, the worker initializer that builds per-process state, the split
+# function used for bisection, fault-tolerance knobs and the engine's
+# ledger/telemetry callbacks — and hands it to a DispatchTransport.  The
+# in-process supervised pool is one implementation; the socket coordinator in
+# :mod:`repro.dist` is another.  Because chunks are deterministic and merge by
+# offset, *where* a transport runs them cannot change the assembled bytes.
+
+
+@dataclass
+class DispatchRequest:
+    """Everything a transport needs to execute one chunked dispatch round.
+
+    ``initializer(provider, program)`` builds the per-worker state that the
+    chunk functions (``task.fn``) consume; both the initializer and the chunk
+    functions are module-level (picklable by reference), so a request can
+    cross process and host boundaries.  The callbacks run in the dispatching
+    process: ``on_chunk_done`` is the durability point (the engine fsyncs the
+    ledger there), ``on_grant`` and ``on_event`` feed telemetry.
+    """
+
+    kind: str
+    program: str
+    provider: RunnerProvider
+    initializer: Callable
+    tasks: List[ChunkTask]
+    split: Optional[Callable[[ChunkTask], List[ChunkTask]]]
+    jobs: int
+    start_method: str
+    max_retries: int = 3
+    chunk_timeout: Optional[float] = None
+    quarantine: bool = True
+    on_chunk_done: Optional[Callable[[ChunkTask, object], None]] = None
+    on_grant: Optional[Callable[[ChunkTask], None]] = None
+    on_event: Optional[Callable[..., None]] = None
+
+    @property
+    def initargs(self) -> Tuple:
+        """Arguments for ``initializer`` — what workers need to warm up."""
+        return (self.provider, self.program)
+
+
+class DispatchTransport:
+    """Interface between pooled engines and whatever executes their chunks."""
+
+    #: Short name surfaced as the engine name in telemetry and summaries.
+    name: str = "?"
+
+    def execute(self, request: DispatchRequest):
+        """Run every task of ``request``; return a ``SupervisedRun``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (sockets, worker pools)."""
+
+    def __enter__(self) -> "DispatchTransport":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class SupervisedPoolTransport(DispatchTransport):
+    """The local dispatch path: a supervised process pool on this host."""
+
+    name = "multiprocess"
+
+    def execute(self, request: DispatchRequest):
+        context = multiprocessing.get_context(request.start_method)
+        supervisor = ChunkSupervisor(
+            jobs=min(request.jobs, max(1, len(request.tasks))),
+            context=context,
+            initializer=request.initializer,
+            initargs=request.initargs,
+            max_retries=request.max_retries,
+            chunk_timeout=request.chunk_timeout,
+            quarantine=request.quarantine,
+        )
+        return supervisor.run(
+            request.tasks,
+            split=request.split,
+            on_chunk_done=request.on_chunk_done,
+            on_grant=request.on_grant,
+            on_event=request.on_event,
+        )
+
+
 class _RunTelemetry:
     """Structured run-event stream for one engine dispatch.
 
@@ -936,6 +1026,10 @@ class ExecutionEngine:
                 total=total,
                 resumable=ledger is not None,
             )
+        if ledger is not None and total and done >= total:
+            ledger.compact(
+                [(0, total, {"outcomes": [outcomes[j].value for j in order]})]
+            )
         return outcomes
 
     def plan_infer_map(self, program: str, *, provider: RunnerProvider):
@@ -1137,6 +1231,8 @@ class SerialEngine(ExecutionEngine):
         result = CampaignResult(config=config, resolved_win_size=resolved)
         for start in sorted(partials):
             result.merge(partials[start])
+        if ledger is not None and total and done >= total:
+            ledger.compact([(0, total, result.to_partial_payload())])
         return result
 
 
@@ -1175,6 +1271,7 @@ class MultiprocessEngine(ExecutionEngine):
         ledger_dir: Optional[str] = None,
         resume: bool = False,
         runlog_dir: Optional[str] = None,
+        transport: Optional[DispatchTransport] = None,
     ) -> None:
         resolved_jobs = jobs if jobs is not None else available_cpus()
         if resolved_jobs < 1:
@@ -1200,6 +1297,10 @@ class MultiprocessEngine(ExecutionEngine):
         self._ledger_dir = ledger_dir
         self._resume = resume
         self._runlog_dir = runlog_dir
+        self._transport = transport or SupervisedPoolTransport()
+        # Surface the transport in progress/benchmark labels ("multiprocess"
+        # for the local pool, "distributed" for the socket coordinator).
+        self.name = self._transport.name
 
     def _warm_provider(self, provider: RunnerProvider, program: str) -> None:
         """Warm the parent once before dispatch.
@@ -1232,16 +1333,52 @@ class MultiprocessEngine(ExecutionEngine):
         chunk = self._experiment_chunk_size(total)
         return [(start, min(chunk, total - start)) for start in range(0, total, chunk)]
 
-    def _supervisor(self, context, initializer, initargs, task_count: int) -> ChunkSupervisor:
-        return ChunkSupervisor(
-            jobs=min(self.jobs, max(1, task_count)),
-            context=context,
+    def _dispatch(
+        self,
+        *,
+        kind: str,
+        program: str,
+        provider: RunnerProvider,
+        initializer: Callable,
+        tasks: List[ChunkTask],
+        split: Optional[Callable[[ChunkTask], List[ChunkTask]]],
+        on_chunk_done=None,
+        on_grant=None,
+        on_event=None,
+    ):
+        """Execute one chunked round through the configured transport."""
+        request = DispatchRequest(
+            kind=kind,
+            program=program,
+            provider=provider,
             initializer=initializer,
-            initargs=initargs,
+            tasks=tasks,
+            split=split,
+            jobs=self.jobs,
+            start_method=self._start_method,
             max_retries=self._max_retries,
             chunk_timeout=self._chunk_timeout,
             quarantine=self._quarantine,
+            on_chunk_done=on_chunk_done,
+            on_grant=on_grant,
+            on_event=on_event,
         )
+        return self._transport.execute(request)
+
+    def close(self) -> None:
+        self._transport.close()
+
+    def _supervision_summary(
+        self,
+        stats: SupervisorStats,
+        ledger: Optional[ChunkLedger],
+        serial_fallback_units: int,
+    ) -> dict:
+        summary = super()._supervision_summary(stats, ledger, serial_fallback_units)
+        dist = getattr(self._transport, "stats", None)
+        if dist is not None:
+            summary["distributed"] = dist.as_dict()
+        return summary
 
     # -- sampled campaigns --------------------------------------------------------
 
@@ -1264,7 +1401,6 @@ class MultiprocessEngine(ExecutionEngine):
         resolved = config.resolve_win_size()
         total = config.experiments
         chunk = self._experiment_chunk_size(total)
-        context = multiprocessing.get_context(self._start_method)
         self._warm_provider(provider, config.program)
         partials: Dict[int, CampaignResult] = {}
         ledger: Optional[ChunkLedger] = None
@@ -1339,14 +1475,12 @@ class MultiprocessEngine(ExecutionEngine):
         serial_fallback_units = 0
         try:
             if tasks:
-                supervisor = self._supervisor(
-                    context,
-                    _initialise_supervised_runner,
-                    (provider, config.program),
-                    len(tasks),
-                )
-                outcome = supervisor.run(
-                    tasks,
+                outcome = self._dispatch(
+                    kind="campaign",
+                    program=config.program,
+                    provider=provider,
+                    initializer=_initialise_supervised_runner,
+                    tasks=tasks,
                     split=_split_experiment_task,
                     on_chunk_done=on_done,
                     on_grant=on_grant,
@@ -1423,6 +1557,8 @@ class MultiprocessEngine(ExecutionEngine):
         result = CampaignResult(config=config, resolved_win_size=resolved)
         for start in sorted(partials):
             result.merge(partials[start])
+        if ledger is not None and total and done >= total:
+            ledger.compact([(0, total, result.to_partial_payload())])
         return result
 
     def _run_pool(
@@ -1494,7 +1630,6 @@ class MultiprocessEngine(ExecutionEngine):
         # slice of injection times, maximising checkpoint reuse per process.
         order = sorted(range(total), key=lambda j: errors[j][0])
         chunk = self._error_chunk_size(total)
-        context = multiprocessing.get_context(self._start_method)
         self._warm_provider(provider, program)
         outcomes: List[Optional[Outcome]] = [None] * total
         label = f"{program}/{technique}/error-space"
@@ -1578,14 +1713,12 @@ class MultiprocessEngine(ExecutionEngine):
         serial_fallback_units = 0
         try:
             if tasks:
-                supervisor = self._supervisor(
-                    context,
-                    _initialise_supervised_runner,
-                    (provider, program),
-                    len(tasks),
-                )
-                outcome = supervisor.run(
-                    tasks,
+                outcome = self._dispatch(
+                    kind="errors",
+                    program=program,
+                    provider=provider,
+                    initializer=_initialise_supervised_runner,
+                    tasks=tasks,
                     split=_split_error_task,
                     on_chunk_done=on_done,
                     on_grant=on_grant,
@@ -1649,6 +1782,10 @@ class MultiprocessEngine(ExecutionEngine):
             phase_seconds=phase_totals,
             supervision=self.supervision,
         )
+        if ledger is not None and total and done >= total:
+            ledger.compact(
+                [(0, total, {"outcomes": [outcomes[j].value for j in order]})]
+            )
         return outcomes
 
     def _run_errors_pool(
@@ -1765,14 +1902,12 @@ class MultiprocessEngine(ExecutionEngine):
                 for start in range(0, total, chunk)
             ]
             chunks: Dict[int, List[Optional[Outcome]]] = {}
-            supervisor = self._supervisor(
-                context,
-                _initialise_supervised_inference,
-                (provider, program),
-                len(tasks),
-            )
-            outcome = supervisor.run(
-                tasks,
+            outcome = self._dispatch(
+                kind="infer",
+                program=program,
+                provider=provider,
+                initializer=_initialise_supervised_inference,
+                tasks=tasks,
                 split=_split_infer_task,
                 on_chunk_done=lambda task, body: chunks.__setitem__(task.chunk_id, body),
             )

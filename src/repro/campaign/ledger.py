@@ -13,6 +13,7 @@ Record stream layout (one JSON object per line)::
     {"type": "header", "version": 1, "key": ..., "total": ..., "meta": {...}}
     {"type": "grant", "chunk": <start>, "count": <n>}
     {"type": "done",  "chunk": <start>, "count": <n>, "payload": {...}}
+    {"type": "finished"}                      # appended by compaction only
 
 ``done`` lines are flushed and fsync'd before the supervisor considers the
 chunk complete, so a SIGKILL'd run loses at most its in-flight chunks.
@@ -22,20 +23,79 @@ Loading tolerates exactly one truncated trailing line — the signature of a
 crash mid-append — and rejects ledgers whose header does not match the
 expected key/total (the run is then started fresh).
 
-The same format is intentionally shard-shaped: a future multi-host runner
-can merge per-host ledgers for disjoint chunk ranges of one run key.
+The format is shard-shaped by construction: the distributed coordinator
+(:mod:`repro.dist`) records remote completions into the very same ledger, so
+resuming an N-host run is the same interval-complement computation as
+resuming a local one.
+
+On a clean finish the ledger is *compacted*: the grant/done/retry churn is
+rewritten to the run's merged interval set (one ``done`` record covering the
+whole index space) plus a ``finished`` marker.  A compacted ledger still
+resumes byte-identically — it simply replays one merged partial — and the
+marker lets :func:`sweep_finished_ledgers` prune old completed runs the way
+the artifact cache sweeps stale ``.tmp`` files.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Dict, IO, Iterable, List, Optional, Tuple
 
 from repro.telemetry.events import SCAN_CORRUPT, scan_jsonl, trim_torn_tail
 
 LEDGER_VERSION = 1
+
+#: Age (seconds) after which a *finished* (compacted) ledger is swept.
+FINISHED_LEDGER_MAX_AGE = 24 * 3600.0
+
+
+def sweep_finished_ledgers(
+    directory: Path, *, max_age_seconds: float = FINISHED_LEDGER_MAX_AGE
+) -> int:
+    """Prune compacted ledgers of finished runs older than ``max_age_seconds``.
+
+    Mirrors the artifact cache's stale-``.tmp`` sweeper: best-effort, never
+    raises, spares anything young enough that an operator might still want
+    to ``--resume`` or inspect it.  Only ledgers ending with the compaction
+    ``finished`` marker are candidates — an interrupted run's ledger is
+    load-bearing state and is never touched.  Returns the number removed.
+    """
+    try:
+        entries = list(Path(directory).glob("*.jsonl"))
+    except OSError:
+        return 0
+    cutoff = time.time() - max_age_seconds
+    removed = 0
+    for path in entries:
+        try:
+            if path.stat().st_mtime > cutoff:
+                continue
+            with open(path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                handle.seek(max(0, handle.tell() - 4096))
+                tail = handle.read()
+        except OSError:
+            continue
+        finished = False
+        for line in reversed(tail.splitlines()):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except (ValueError, UnicodeDecodeError):
+                break
+            finished = isinstance(record, dict) and record.get("type") == "finished"
+            break
+        if finished:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
 
 
 def missing_intervals(
@@ -125,6 +185,9 @@ class ChunkLedger:
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        # Opportunistic GC, artifact-cache style: opening any ledger sweeps
+        # siblings whose runs finished long ago (compaction marked them).
+        sweep_finished_ledgers(directory)
         ledger = cls(directory / f"{key}.jsonl", key, total, meta)
         if resume:
             ledger._load_existing()
@@ -235,6 +298,60 @@ class ChunkLedger:
         )
         self._handle.flush()
         os.fsync(self._handle.fileno())
+
+    def compact(self, records: Iterable[Tuple[int, int, dict]]) -> bool:
+        """Rewrite the ledger to its merged interval set (clean-finish GC).
+
+        ``records`` is the run's coverage as ``(chunk, count, payload)``
+        triples — for a finished run, typically one record spanning the full
+        index space with the merged partial payload.  The rewrite is atomic
+        (tmp + fsync + rename) and appends a ``finished`` marker so
+        :func:`sweep_finished_ledgers` can prune the file later; a resumed
+        run replaying a compacted ledger assembles byte-identical results
+        from the merged payload.  Closes the ledger; returns False (leaving
+        the original file intact) on any I/O failure.
+        """
+        self.close()
+        tmp = self.path.with_name(f".tmp-compact-{os.getpid()}-{self.path.name}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(
+                        {
+                            "type": "header",
+                            "version": LEDGER_VERSION,
+                            "key": self.key,
+                            "total": self.total,
+                            "meta": self.meta,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                for chunk, count, payload in records:
+                    handle.write(
+                        json.dumps(
+                            {
+                                "type": "done",
+                                "chunk": chunk,
+                                "count": count,
+                                "payload": payload,
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                handle.write(json.dumps({"type": "finished"}) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+            return True
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -118,7 +118,21 @@ def _build_session(args: argparse.Namespace) -> ExperimentSession:
         chunk_timeout=getattr(args, "chunk_timeout", None),
         quarantine=not getattr(args, "no_quarantine", False),
         resume=getattr(args, "resume", False),
+        hosts=getattr(args, "hosts", 0),
+        dist_bind=getattr(args, "dist_bind", "127.0.0.1"),
+        dist_port=getattr(args, "dist_port", 0),
     )
+
+
+def _announce_coordinator(session: ExperimentSession, reporter: ConsoleReporter) -> None:
+    """Tell the operator where worker agents should dial in."""
+    address = session.coordinator_address
+    if address is not None:
+        host, port = address
+        reporter.note(
+            f"  coordinator listening on {host}:{port} — attach worker hosts "
+            f"with: repro worker {host}:{port}"
+        )
 
 
 def _reporter(args: argparse.Namespace) -> ConsoleReporter:
@@ -200,6 +214,37 @@ def build_parser() -> argparse.ArgumentParser:
             "instead of quarantining it with the 'crashed' outcome",
         )
 
+    def add_dist_options(
+        sub: argparse.ArgumentParser, *, hosts_default: int = 0
+    ) -> None:
+        sub.add_argument(
+            "--hosts",
+            type=int,
+            default=hosts_default,
+            metavar="N",
+            help="act as a distributed coordinator sized for N worker hosts: "
+            "open a lease-dispatch socket and hand chunks to connecting "
+            "'repro worker' agents instead of a local pool (0 = local "
+            "execution; results are byte-identical either way)"
+            + (" (default 1)" if hosts_default else ""),
+        )
+        sub.add_argument(
+            "--dist-bind",
+            default="127.0.0.1",
+            metavar="ADDR",
+            help="address the coordinator listens on (default 127.0.0.1; the "
+            "protocol trusts its peers — bind non-loopback addresses on "
+            "trusted networks only)",
+        )
+        sub.add_argument(
+            "--dist-port",
+            type=int,
+            default=0,
+            metavar="PORT",
+            help="coordinator port (default 0 = pick an ephemeral port and "
+            "print it)",
+        )
+
     def add_output_options(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--quiet", action="store_true", help="suppress per-campaign progress"
@@ -278,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         add_output_options(sub)
         add_resilience_options(sub)
+        add_dist_options(sub)
 
     figure_parser = subparsers.add_parser("figure", help="regenerate a figure (1-5)")
     figure_parser.add_argument("number", type=int, choices=sorted(_FIGURES))
@@ -287,75 +333,134 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser.add_argument("number", type=int, choices=(1, 2, 3, 4))
     add_campaign_options(table_parser)
 
-    campaign_parser = subparsers.add_parser(
-        "campaign",
-        help="run one fault-injection campaign and print outcome counts "
-        "(plus artifact-cache status when --cache-dir is active)",
+    # "coordinate" is "campaign" with the distributed coordinator on by
+    # default: the same workload surface, dispatched to worker hosts.
+    campaign_variants = [
+        (
+            "campaign",
+            "run one fault-injection campaign and print outcome counts "
+            "(plus artifact-cache status when --cache-dir is active)",
+            0,
+        ),
+        (
+            "coordinate",
+            "run one campaign as a distributed coordinator: listen for "
+            "'repro worker' agents and dispatch chunks to them under "
+            "expiring leases (byte-identical to a local run)",
+            1,
+        ),
+    ]
+    for variant_name, variant_help, hosts_default in campaign_variants:
+        campaign_parser = subparsers.add_parser(variant_name, help=variant_help)
+        campaign_parser.add_argument("program", help="benchmark program name")
+        campaign_parser.add_argument(
+            "--technique",
+            default="inject-on-read",
+            choices=("inject-on-read", "inject-on-write"),
+            help="injection technique (default inject-on-read)",
+        )
+        campaign_parser.add_argument(
+            "--max-mbf",
+            type=_positive_int,
+            default=1,
+            help="maximum multi-bit-flip count per experiment (default 1)",
+        )
+        campaign_parser.add_argument(
+            "--win-size",
+            default="w1",
+            help="win-size index from Table I, e.g. w4 (default w1 = no window)",
+        )
+        campaign_parser.add_argument(
+            "--experiments", type=_positive_int, default=50,
+            help="experiments to run (default 50)",
+        )
+        campaign_parser.add_argument(
+            "--cache", help="JSON file to cache campaign results across runs"
+        )
+        campaign_parser.add_argument(
+            "--cache-dir",
+            help="directory for the persistent artifact cache (golden traces, "
+            "checkpoints, generated backend source); defaults to "
+            "<--cache>.artifacts when --cache is given, else off",
+        )
+        campaign_parser.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes (default 1 = serial)",
+        )
+        campaign_parser.add_argument(
+            "--checkpoint", default=None, help=argparse.SUPPRESS
+        )
+        campaign_parser.add_argument(
+            "--no-fast-forward",
+            action="store_true",
+            help="replay every experiment's fault-free prefix from scratch",
+        )
+        campaign_parser.add_argument(
+            "--no-windowed",
+            action="store_true",
+            help="keep injection hooks armed for the whole faulty run instead "
+            "of only inside the fault window (slower; results are "
+            "bit-identical either way)",
+        )
+        campaign_parser.add_argument(
+            "--checkpoint-interval",
+            type=_positive_int,
+            default=None,
+            metavar="TICKS",
+            help="starting spacing between VM checkpoints during golden profiling",
+        )
+        campaign_parser.add_argument(
+            "--backend",
+            default="decoded",
+            choices=("decoded", "compiled", "reference"),
+            help="execution backend for experiment runs (default decoded); "
+            "results are bit-identical across all three",
+        )
+        add_output_options(campaign_parser)
+        add_resilience_options(campaign_parser)
+        add_dist_options(campaign_parser, hosts_default=hosts_default)
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="serve a coordinator as a worker host: pull chunk leases, "
+        "execute them on a local pool warmed from --cache-dir, stream "
+        "results back (reconnects with backoff; exits when stood down)",
     )
-    campaign_parser.add_argument("program", help="benchmark program name")
-    campaign_parser.add_argument(
-        "--technique",
-        default="inject-on-read",
-        choices=("inject-on-read", "inject-on-write"),
-        help="injection technique (default inject-on-read)",
+    worker_parser.add_argument(
+        "address",
+        help="coordinator address as HOST:PORT (printed by the coordinator)",
     )
-    campaign_parser.add_argument(
-        "--max-mbf",
-        type=_positive_int,
+    worker_parser.add_argument(
+        "--jobs",
+        type=int,
         default=1,
-        help="maximum multi-bit-flip count per experiment (default 1)",
+        help="local worker processes per lease batch (default 1 = in-process)",
     )
-    campaign_parser.add_argument(
-        "--win-size",
-        default="w1",
-        help="win-size index from Table I, e.g. w4 (default w1 = no window)",
-    )
-    campaign_parser.add_argument(
-        "--experiments", type=_positive_int, default=50,
-        help="experiments to run (default 50)",
-    )
-    campaign_parser.add_argument(
-        "--cache", help="JSON file to cache campaign results across runs"
-    )
-    campaign_parser.add_argument(
+    worker_parser.add_argument(
         "--cache-dir",
-        help="directory for the persistent artifact cache (golden traces, "
-        "checkpoints, generated backend source); defaults to "
-        "<--cache>.artifacts when --cache is given, else off",
+        help="this host's persistent artifact cache; leased work warms "
+        "golden traces, checkpoints and generated source from here",
     )
-    campaign_parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes (default 1 = serial)",
+    worker_parser.add_argument(
+        "--name",
+        help="host label in coordinator telemetry (default hostname:pid)",
     )
-    campaign_parser.add_argument("--checkpoint", default=None, help=argparse.SUPPRESS)
-    campaign_parser.add_argument(
-        "--no-fast-forward",
-        action="store_true",
-        help="replay every experiment's fault-free prefix from scratch",
+    worker_parser.add_argument(
+        "--reconnect-attempts",
+        type=int,
+        default=20,
+        metavar="N",
+        help="consecutive failed dials before giving up (default 20; "
+        "backoff is exponential, capped at 5s)",
     )
-    campaign_parser.add_argument(
-        "--no-windowed",
-        action="store_true",
-        help="keep injection hooks armed for the whole faulty run instead "
-        "of only inside the fault window (slower; results are "
-        "bit-identical either way)",
+    worker_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="local retry attempts per chunk before reporting failure to "
+        "the coordinator (default 1; the coordinator then re-issues)",
     )
-    campaign_parser.add_argument(
-        "--checkpoint-interval",
-        type=_positive_int,
-        default=None,
-        metavar="TICKS",
-        help="starting spacing between VM checkpoints during golden profiling",
-    )
-    campaign_parser.add_argument(
-        "--backend",
-        default="decoded",
-        choices=("decoded", "compiled", "reference"),
-        help="execution backend for experiment runs (default decoded); "
-        "results are bit-identical across all three",
-    )
-    add_output_options(campaign_parser)
-    add_resilience_options(campaign_parser)
 
     candidates_parser = subparsers.add_parser(
         "candidates",
@@ -452,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_output_options(exhaustive_parser)
     add_resilience_options(exhaustive_parser)
+    add_dist_options(exhaustive_parser)
 
     report_parser = subparsers.add_parser(
         "report",
@@ -493,20 +599,28 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_figure(args: argparse.Namespace) -> str:
     programs = _parse_programs(args.programs)
     session = _build_session(args)
+    _announce_coordinator(session, _reporter(args))
     function = _FIGURES[args.number]
-    if args.number == 1:
-        result = function(session, programs)
-    elif args.number == 3:
-        result = function(session, programs, win_size_specs=_parse_win_sizes(args.win_sizes))
-    elif args.number == 2:
-        result = function(session, programs, max_mbf_values=_parse_max_mbf(args.max_mbf))
-    else:
-        result = function(
-            session,
-            programs,
-            max_mbf_values=_parse_max_mbf(args.max_mbf),
-            win_size_specs=_parse_win_sizes(args.win_sizes),
-        )
+    try:
+        if args.number == 1:
+            result = function(session, programs)
+        elif args.number == 3:
+            result = function(
+                session, programs, win_size_specs=_parse_win_sizes(args.win_sizes)
+            )
+        elif args.number == 2:
+            result = function(
+                session, programs, max_mbf_values=_parse_max_mbf(args.max_mbf)
+            )
+        else:
+            result = function(
+                session,
+                programs,
+                max_mbf_values=_parse_max_mbf(args.max_mbf),
+                win_size_specs=_parse_win_sizes(args.win_sizes),
+            )
+    finally:
+        session.close()
     return f"{result.name}: {result.description}\n\n{result.text}"
 
 
@@ -515,19 +629,25 @@ def _run_table(args: argparse.Namespace) -> str:
         result = table1()
     elif args.number == 2:
         result = table2(_parse_programs(args.programs))
-    elif args.number == 3:
-        result = table3(
-            _build_session(args),
-            _parse_programs(args.programs),
-            max_mbf_values=_parse_max_mbf(args.max_mbf),
-            win_size_specs=_parse_win_sizes(args.win_sizes),
-        )
     else:
-        result = table4(
-            _build_session(args),
-            _parse_programs(args.programs),
-            win_size_specs=_parse_win_sizes(args.win_sizes),
-        )
+        session = _build_session(args)
+        _announce_coordinator(session, _reporter(args))
+        try:
+            if args.number == 3:
+                result = table3(
+                    session,
+                    _parse_programs(args.programs),
+                    max_mbf_values=_parse_max_mbf(args.max_mbf),
+                    win_size_specs=_parse_win_sizes(args.win_sizes),
+                )
+            else:
+                result = table4(
+                    session,
+                    _parse_programs(args.programs),
+                    win_size_specs=_parse_win_sizes(args.win_sizes),
+                )
+        finally:
+            session.close()
     return f"{result.name}: {result.description}\n\n{result.text}"
 
 
@@ -587,6 +707,12 @@ def _supervision_lines(supervision: dict, label: str = "  ") -> list:
             f"{label}resumed     {loaded} experiment(s) replayed from the "
             f"chunk ledger ({supervision.get('ledger_loaded_chunks', 0)} chunks)"
         )
+    distributed = supervision.get("distributed") or {}
+    if distributed.get("hosts_joined"):
+        lines.append(
+            f"{label}distributed "
+            + ", ".join(f"{key}={value}" for key, value in distributed.items())
+        )
     return lines
 
 
@@ -601,6 +727,7 @@ def _run_campaign(args: argparse.Namespace) -> str:
 
     get_program(args.program)  # raises ConfigurationError on typos
     session = _build_session(args)
+    _announce_coordinator(session, _reporter(args))
     config = CampaignConfig(
         program=args.program,
         technique=args.technique,
@@ -608,7 +735,10 @@ def _run_campaign(args: argparse.Namespace) -> str:
         win_size=win_size_by_index(args.win_size),
         experiments=args.experiments,
     )
-    store = session.ensure([config])
+    try:
+        store = session.ensure([config])
+    finally:
+        session.close()
     result = store.get(config)
     counts = result.outcome_counts.as_dict()
     lines = [
@@ -694,7 +824,11 @@ def _run_exhaustive(args: argparse.Namespace) -> str:
         chunk_timeout=args.chunk_timeout,
         quarantine=not args.no_quarantine,
         resume=args.resume,
+        hosts=getattr(args, "hosts", 0),
+        dist_bind=getattr(args, "dist_bind", "127.0.0.1"),
+        dist_port=getattr(args, "dist_port", 0),
     )
+    _announce_coordinator(session, _reporter(args))
     get_program(args.program)  # raises ConfigurationError on typos
     if args.budget is not None and not args.prune:
         raise SystemExit(
@@ -702,14 +836,17 @@ def _run_exhaustive(args: argparse.Namespace) -> str:
             "and cannot be combined with --no-prune"
         )
     mode = "budgeted" if args.budget is not None else ("pruned" if args.prune else "exhaustive")
-    result = session.run_exhaustive(
-        args.program,
-        args.technique,
-        mode=mode,
-        budget=args.budget,
-        validate=args.validate,
-        seed=args.seed,
-    )
+    try:
+        result = session.run_exhaustive(
+            args.program,
+            args.technique,
+            mode=mode,
+            budget=args.budget,
+            validate=args.validate,
+            seed=args.seed,
+        )
+    finally:
+        session.close()
     counts = result.outcome_counts
     lines = [
         f"{result.program} / {result.technique} / single-bit {result.mode}",
@@ -758,6 +895,34 @@ def _run_exhaustive(args: argparse.Namespace) -> str:
             "(render with: repro report --last)"
         )
     return "\n".join(lines)
+
+
+def _run_worker(args: argparse.Namespace) -> str:
+    """``repro worker``: serve a coordinator until stood down."""
+    from repro.dist import WorkerAgent
+
+    host, _, port = args.address.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(
+            "repro worker: address must be HOST:PORT (as printed by the "
+            "coordinator), e.g. 127.0.0.1:43117"
+        )
+    agent = WorkerAgent(
+        host,
+        int(port),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        name=args.name,
+        reconnect_attempts=args.reconnect_attempts,
+        max_retries=args.max_retries,
+    )
+    code = agent.run()
+    if code != 0:
+        raise SystemExit(
+            f"repro worker: coordinator at {args.address} unreachable after "
+            f"{args.reconnect_attempts} attempts"
+        )
+    return f"worker {agent.name}: stood down cleanly"
 
 
 def _runlog_directory(args: argparse.Namespace) -> Path:
@@ -835,6 +1000,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure": _run_figure,
         "table": _run_table,
         "campaign": _run_campaign,
+        "coordinate": _run_campaign,
+        "worker": _run_worker,
         "candidates": _run_candidates,
         "exhaustive": _run_exhaustive,
         "report": _run_report,

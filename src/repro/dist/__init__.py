@@ -1,0 +1,41 @@
+"""Distributed campaign dispatch: coordinator, worker agents, protocol.
+
+Multi-host sharding rides entirely on the determinism substrate: chunks are
+location-independent (per-experiment derived seeds, tick-sorted payloads,
+merge-by-offset), so executing them on another host through
+:class:`~repro.dist.coordinator.CoordinatorTransport` +
+:class:`~repro.dist.worker.WorkerAgent` produces byte-identical
+``ResultStore``s to a local run — under host death, partitions, duplicate
+completions and coordinator crash/resume alike.
+
+* :mod:`repro.dist.protocol` — length-prefixed framed messages (trusted
+  cluster networks only; loopback by default);
+* :mod:`repro.dist.coordinator` — lease dispatch with heartbeats, expiry,
+  re-issue, late join and local fallback;
+* :mod:`repro.dist.worker` — the per-host agent with capped-backoff
+  reconnect and a local supervised pool;
+* :mod:`repro.dist.chaos` — network-layer fault injection for tests.
+"""
+
+from repro.dist.chaos import NetChaos
+from repro.dist.coordinator import CoordinatorStats, CoordinatorTransport
+from repro.dist.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.dist.worker import WorkerAgent
+
+__all__ = [
+    "CoordinatorStats",
+    "CoordinatorTransport",
+    "MAX_FRAME_BYTES",
+    "NetChaos",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "recv_frame",
+    "send_frame",
+    "WorkerAgent",
+]

@@ -1,0 +1,70 @@
+"""Network-layer chaos knobs for distributed dispatch tests.
+
+Extends the process-level ``REPRO_CHAOS_*`` family (see
+:mod:`repro.campaign.supervisor`) across the host boundary.  All knobs are
+read in the **worker agent** and trigger on the *n*-th lease it has received
+over its lifetime, so each fires exactly once per agent:
+
+``REPRO_CHAOS_NET_KILL_NTH_CHUNK``
+    The agent hard-exits (``os._exit(137)``) upon receiving its *n*-th
+    lease — a dead worker host.  The coordinator must expire the lease and
+    re-issue the chunk elsewhere.
+
+``REPRO_CHAOS_NET_SEVER_NTH_CHUNK``
+    The agent abruptly closes its connection upon receiving its *n*-th
+    lease, then reconnects with backoff — a network partition that heals.
+    The chunk must be re-issued and the rejoined host must get new work.
+
+``REPRO_CHAOS_NET_DELAY_NTH_CHUNK`` / ``REPRO_CHAOS_NET_DELAY_SECONDS``
+    The agent sleeps before executing its *n*-th lease.  With a delay
+    longer than the lease TTL this manufactures a duplicate completion:
+    the coordinator re-issues the chunk, then the delayed first execution
+    finishes anyway — exactly one of the two results may be recorded.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+CHAOS_NET_KILL_ENV = "REPRO_CHAOS_NET_KILL_NTH_CHUNK"
+CHAOS_NET_SEVER_ENV = "REPRO_CHAOS_NET_SEVER_NTH_CHUNK"
+CHAOS_NET_DELAY_ENV = "REPRO_CHAOS_NET_DELAY_NTH_CHUNK"
+CHAOS_NET_DELAY_SECONDS_ENV = "REPRO_CHAOS_NET_DELAY_SECONDS"
+
+
+def _env_int(name: str) -> int:
+    try:
+        return int(os.environ.get(name, "0") or 0)
+    except ValueError:
+        return 0
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, "") or default)
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class NetChaos:
+    """Parsed network chaos configuration (0 = disabled)."""
+
+    kill_nth: int = 0
+    sever_nth: int = 0
+    delay_nth: int = 0
+    delay_seconds: float = 1.0
+
+    @classmethod
+    def from_env(cls) -> "NetChaos":
+        return cls(
+            kill_nth=_env_int(CHAOS_NET_KILL_ENV),
+            sever_nth=_env_int(CHAOS_NET_SEVER_ENV),
+            delay_nth=_env_int(CHAOS_NET_DELAY_ENV),
+            delay_seconds=_env_float(CHAOS_NET_DELAY_SECONDS_ENV, 1.0),
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.kill_nth or self.sever_nth or self.delay_nth)

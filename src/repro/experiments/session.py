@@ -70,6 +70,14 @@ class ExperimentSession:
     at ``<cache_dir>/runlog``: every run appends a structured JSONL event
     stream there (:mod:`repro.telemetry.events`), which ``repro report``
     renders after the fact.
+
+    ``hosts > 0`` makes the session a **distributed coordinator**: it opens
+    a lease coordinator socket (``dist_bind``/``dist_port``; port 0 picks an
+    ephemeral port, read :attr:`coordinator_address`) and dispatches chunks
+    to connecting ``repro worker`` agents instead of a local pool — with the
+    same ledger, resume and byte-identity guarantees (:mod:`repro.dist`).
+    Close the session (or use it as a context manager) to release the
+    socket.
     """
 
     def __init__(
@@ -94,13 +102,23 @@ class ExperimentSession:
         quarantine: bool = True,
         ledger_dir: Optional[Union[str, Path]] = None,
         resume: bool = False,
+        hosts: int = 0,
+        dist_bind: str = "127.0.0.1",
+        dist_port: int = 0,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be at least 1")
+        if hosts < 0:
+            raise ConfigurationError("hosts cannot be negative")
         if engine is not None and jobs != 1:
             raise ConfigurationError(
                 "jobs and engine are mutually exclusive; size the worker pool "
                 "on the engine instead"
+            )
+        if engine is not None and hosts > 0:
+            raise ConfigurationError(
+                "hosts and engine are mutually exclusive; pass a distributed "
+                "transport on the engine instead"
             )
         if checkpoint_every < 1:
             raise ConfigurationError("checkpoint_every must be at least 1")
@@ -139,10 +157,28 @@ class ExperimentSession:
         self.runlog_dir = (
             self.cache_dir / "runlog" if self.cache_dir is not None else None
         )
+        #: The distributed lease coordinator, when ``hosts > 0``.
+        self.coordinator = None
         if engine is None:
             ledger = str(self.ledger_dir) if self.ledger_dir is not None else None
             runlog = str(self.runlog_dir) if self.runlog_dir is not None else None
-            if jobs > 1:
+            if hosts > 0:
+                from repro.dist import CoordinatorTransport
+
+                self.coordinator = CoordinatorTransport(dist_bind, dist_port)
+                # ``jobs`` still sizes the local-fallback pool; the remote
+                # fan-out is governed by each worker host's own --jobs.
+                engine = MultiprocessEngine(
+                    max(jobs, hosts),
+                    max_retries=max_retries,
+                    chunk_timeout=chunk_timeout,
+                    quarantine=quarantine,
+                    ledger_dir=ledger,
+                    resume=resume,
+                    runlog_dir=runlog,
+                    transport=self.coordinator,
+                )
+            elif jobs > 1:
                 engine = MultiprocessEngine(
                     jobs,
                     max_retries=max_retries,
@@ -179,6 +215,22 @@ class ExperimentSession:
     @property
     def engine(self) -> ExecutionEngine:
         return self.runner.engine
+
+    @property
+    def coordinator_address(self):
+        """``(host, port)`` of the lease coordinator, or None when local."""
+        return self.coordinator.address if self.coordinator is not None else None
+
+    def close(self) -> None:
+        """Release the engine's transport (sockets, pools); idempotent."""
+        self.engine.close()
+
+    def __enter__(self) -> "ExperimentSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def ensure(self, configs: Sequence[CampaignConfig]) -> ResultStore:
         """Run any of ``configs`` not yet in the store; return the store."""

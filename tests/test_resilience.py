@@ -9,7 +9,9 @@ one.
 
 import json
 import multiprocessing
+import os
 import time
+from pathlib import Path
 
 import pytest
 
@@ -181,6 +183,55 @@ class TestChunkLedger:
         # resume trusts it again.
         header = json.loads((tmp_path / "k1.jsonl").read_text().splitlines()[0])
         assert header["total"] == 32
+
+    def test_compact_rewrites_to_merged_records_and_resumes(self, tmp_path):
+        with ChunkLedger.open(tmp_path, "k1", total=16) as ledger:
+            for chunk in range(0, 16, 2):
+                ledger.record_grant(chunk, 2)
+                ledger.record_done(chunk, 2, {"outcomes": ["benign"] * 2})
+        before = (tmp_path / "k1.jsonl").stat().st_size
+        assert ledger.compact([(0, 16, {"outcomes": ["benign"] * 16})])
+        after = (tmp_path / "k1.jsonl").stat().st_size
+        assert after < before
+        lines = (tmp_path / "k1.jsonl").read_text().splitlines()
+        assert json.loads(lines[-1]) == {"type": "finished"}
+        assert len(lines) == 3  # header + one merged done + finished marker
+        resumed = ChunkLedger.open(tmp_path, "k1", total=16, resume=True)
+        assert resumed.loaded_units == 16
+        assert resumed.missing(4) == []
+        resumed.close()
+
+    def test_sweeper_prunes_only_old_finished_ledgers(self, tmp_path):
+        from repro.campaign.ledger import sweep_finished_ledgers
+
+        def make(key, total, finish):
+            with ChunkLedger.open(tmp_path, key, total=total) as ledger:
+                ledger.record_done(0, total, {"outcomes": ["benign"] * total})
+            if finish:
+                ledger.compact([(0, total, {"outcomes": ["benign"] * total})])
+
+        make("old-finished", 4, finish=True)
+        make("young-finished", 4, finish=True)
+        make("old-unfinished", 4, finish=False)
+        stale = time.time() - 48 * 3600
+        os.utime(tmp_path / "old-finished.jsonl", (stale, stale))
+        os.utime(tmp_path / "old-unfinished.jsonl", (stale, stale))
+        assert sweep_finished_ledgers(tmp_path) == 1
+        assert not (tmp_path / "old-finished.jsonl").exists()
+        assert (tmp_path / "young-finished.jsonl").exists()
+        assert (tmp_path / "old-unfinished.jsonl").exists()
+
+    def test_clean_engine_finish_leaves_compacted_ledger(
+        self, tiny_provider, tmp_path
+    ):
+        config = tiny_config(experiments=16)
+        ledger_dir = tmp_path / "ledger"
+        engine = MultiprocessEngine(jobs=2, chunk_size=4, ledger_dir=str(ledger_dir))
+        engine.run(config, provider=tiny_provider)
+        ledger_path = Path(engine.supervision["ledger_path"])
+        lines = ledger_path.read_text().splitlines()
+        assert json.loads(lines[-1]) == {"type": "finished"}
+        assert len(lines) == 3
 
 
 # -- the supervisor -----------------------------------------------------------------
